@@ -1,0 +1,56 @@
+"""Benches regenerating Figures 1 and 2 (single-thread comparisons)."""
+
+from repro.core.experiments import fig1, fig2
+from repro.core.experiments.common import save_results
+
+
+class TestFig1:
+    def test_fig1_regenerate(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig1.run(size="mini"), rounds=1, iterations=1
+        )
+        save_results("bench-fig1", rows)
+        # Bounds checking only ever costs time on V8.
+        for row in rows:
+            assert row["v8_default_vs_native"] >= row["v8_none_vs_native"] * 0.99
+        # The spread exists: some benchmarks pay visibly, some don't.
+        overheads = [row["trap_overhead_pct"] for row in rows]
+        assert max(overheads) > 2 * max(1.0, min(overheads))
+
+
+class TestFig2:
+    def test_fig2_x86(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig2.run("x86_64", size="mini"), rounds=1, iterations=1
+        )
+        save_results("bench-fig2-x86_64", rows)
+        by = {
+            (r["suite"], r["runtime"], r["strategy"]): r["geomean_vs_native"]
+            for r in rows
+        }
+        assert by[("polybench", "wavm", "mprotect")] < by[
+            ("polybench", "wasmtime", "mprotect")
+        ] < by[("polybench", "wasm3", "trap")]
+        assert 5.0 < by[("polybench", "wasm3", "trap")] < 15.0
+
+    def test_fig2_armv8(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig2.run("armv8", size="mini"), rounds=1, iterations=1
+        )
+        save_results("bench-fig2-armv8", rows)
+        by = {
+            (r["suite"], r["runtime"], r["strategy"]): r["geomean_vs_native"]
+            for r in rows
+        }
+        # Cross-ISA consistency of strategy costs (§1.3): trap-vs-none
+        # gap within a few points of the x86 gap for WAVM.
+        gap = by[("polybench", "wavm", "trap")] / by[("polybench", "wavm", "none")]
+        assert 1.0 < gap < 1.6
+
+    def test_fig2_riscv(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig2.run("riscv64", size="mini"), rounds=1, iterations=1
+        )
+        save_results("bench-fig2-riscv64", rows)
+        runtimes = {r["runtime"] for r in rows}
+        assert runtimes == {"native-gcc", "v8", "wasm3"}

@@ -1,0 +1,43 @@
+"""Benches regenerating Figures 3 and 4 (thread scaling + utilisation)."""
+
+from repro.core.experiments import fig3, fig4
+from repro.core.experiments.common import save_results
+
+
+class TestFig3:
+    def test_fig3_polybench_scaling(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig3.run(isa="x86_64", size="mini", suites=("polybench",)),
+            rounds=1, iterations=1,
+        )
+        save_results("bench-fig3-x86_64", rows)
+        at16 = {
+            (r["runtime"], r["strategy"]): r["slowdown_vs_1t"]
+            for r in rows if r["threads"] == 16
+        }
+        # §4.1.1: mprotect is the worst-scaling strategy on PolyBench.
+        for runtime in ("wavm", "wasmtime", "v8"):
+            assert at16[(runtime, "mprotect")] >= at16[(runtime, "none")]
+        # none/uffd scale essentially perfectly.
+        assert at16[("wavm", "none")] < 1.03
+        assert at16[("wavm", "uffd")] < 1.05
+
+
+class TestFig4:
+    def test_fig4_utilisation(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig4.run(isa="x86_64", size="mini", suites=("polybench",)),
+            rounds=1, iterations=1,
+        )
+        save_results("bench-fig4-x86_64", rows)
+        by = {
+            (r["runtime"], r["strategy"], r["threads"]): r["utilisation_percent"]
+            for r in rows
+        }
+        # All runtimes saturate one core alone; V8 exceeds it (helpers).
+        assert by[("wavm", "none", 1)] > 95
+        assert by[("v8", "none", 1)] > 110
+        # 16 threads: mprotect cannot saturate; V8 cannot saturate.
+        assert by[("wavm", "mprotect", 16)] < by[("wavm", "none", 16)] - 40
+        assert by[("v8", "none", 16)] < 1560
+        assert by[("wavm", "uffd", 16)] > 1550

@@ -1,0 +1,40 @@
+"""Benches regenerating Figures 5 and 6 (context switches + memory)."""
+
+from repro.core.experiments import fig5, fig6
+from repro.core.experiments.common import save_results
+
+
+class TestFig5:
+    def test_fig5_context_switches(self, benchmark, bench_sets):
+        rows = benchmark.pedantic(
+            lambda: fig5.run(isa="x86_64", size="mini", suites=("polybench",)),
+            rounds=1, iterations=1,
+        )
+        save_results("bench-fig5-x86_64", rows)
+        by = {
+            (r["runtime"], r["strategy"], r["threads"]): r["ctx_per_sec"]
+            for r in rows
+        }
+        # V8's 16-thread blow-up and mprotect's lock-sleep churn.
+        assert by[("v8", "none", 16)] > 3 * by[("wavm", "none", 16)]
+        assert by[("wavm", "mprotect", 16)] > 3 * by[("wavm", "none", 16)]
+
+
+class TestFig6:
+    def test_fig6_memory(self, benchmark, bench_sets):
+        def both_isas():
+            return (
+                fig6.run(isa="x86_64", size="mini", suites=("polybench",)),
+                fig6.run(isa="armv8", size="mini", suites=("polybench",)),
+            )
+
+        x86_rows, arm_rows = benchmark.pedantic(both_isas, rounds=1, iterations=1)
+        save_results("bench-fig6-x86_64", x86_rows)
+        save_results("bench-fig6-armv8", arm_rows)
+        x86 = {(r["runtime"], r["strategy"]): r["mem_avg_mib"] for r in x86_rows}
+        arm = {(r["runtime"], r["strategy"]): r["mem_avg_mib"] for r in arm_rows}
+        # §4.3: THP granularity inflates the x86 numbers.
+        assert x86[("wavm", "none")] > 3 * arm[("wavm", "none")]
+        # Strategy-insensitive within a runtime.
+        values = [x86[("wavm", s)] for s in ("none", "trap", "mprotect", "uffd")]
+        assert max(values) < 2.0 * min(values)

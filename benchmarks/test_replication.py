@@ -1,0 +1,15 @@
+"""Bench regenerating the §4.4 replication table."""
+
+from repro.core.experiments import replication
+from repro.core.experiments.common import save_results
+
+
+def test_replication_table(benchmark, bench_sets):
+    rows = benchmark.pedantic(
+        lambda: replication.run(size="mini"), rounds=1, iterations=1
+    )
+    save_results("bench-replication", rows)
+    by = {r["claim"]: r["measured"] for r in rows}
+    for isa in ("x86_64", "armv8", "riscv64"):
+        assert 4.0 < by[f"wasm3-vs-v8-{isa}"] < 15.0
+    assert by["rossberg-within-2x"].startswith(("3/3", "2/3"))

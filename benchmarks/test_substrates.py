@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the substrates themselves.
+
+These time the building blocks (interpreter dispatch, binary codec,
+validator, compiler pipeline, discrete-event engine, kernel model) —
+useful for tracking the reproduction's own performance over time.
+"""
+
+import pytest
+
+from repro.compiler.pipeline import ALL_PASSES, CompilerConfig, compile_module
+from repro.core.harness import run_benchmark
+from repro.core.profiles import profile_for
+from repro.isa import isa_named
+from repro.runtime import Interpreter, strategy_named
+from repro.sim import Delay, Engine
+from repro.wasm import decode_module, encode_module, validate_module
+
+
+@pytest.fixture(scope="module")
+def gemm_module():
+    module, _ = profile_for("gemm", "mini")
+    return module
+
+
+class TestInterpreter:
+    def test_interpreter_throughput(self, benchmark, gemm_module):
+        """Wasm ops per second of the closure-threaded interpreter."""
+        def run():
+            interp = Interpreter(
+                gemm_module, collect_profile=False, track_pages=False,
+                validate=False,
+            )
+            interp.invoke("bench")
+
+        benchmark(run)
+
+    def test_profiling_overhead(self, benchmark, gemm_module):
+        """Same run with per-pc counting and page tracking enabled."""
+        def run():
+            interp = Interpreter(gemm_module, validate=False)
+            interp.invoke("bench")
+
+        benchmark(run)
+
+
+class TestBinaryFormat:
+    def test_encode(self, benchmark, gemm_module):
+        benchmark(encode_module, gemm_module)
+
+    def test_decode(self, benchmark, gemm_module):
+        binary = encode_module(gemm_module)
+        benchmark(decode_module, binary)
+
+    def test_validate(self, benchmark, gemm_module):
+        benchmark(validate_module, gemm_module)
+
+
+class TestCompiler:
+    def test_full_pipeline(self, benchmark, gemm_module):
+        config = CompilerConfig(
+            name="bench", passes=frozenset(ALL_PASSES),
+            regalloc_quality=1.0, addressing_fusion=True,
+        )
+        benchmark(
+            compile_module, gemm_module, isa_named("x86_64"), config,
+            strategy_named("trap"),
+        )
+
+
+class TestSimulation:
+    def test_event_engine_throughput(self, benchmark):
+        """Events per second through the DES core."""
+        def run():
+            engine = Engine()
+
+            def ticker():
+                for _ in range(10_000):
+                    yield Delay(1e-6)
+
+            engine.process(ticker())
+            engine.run()
+
+        benchmark(run)
+
+    def test_harness_16_thread_run(self, benchmark):
+        """A full contended 16-worker system simulation."""
+        benchmark.pedantic(
+            lambda: run_benchmark(
+                "trisolv", "wavm", "mprotect", "x86_64",
+                threads=16, size="mini", iterations=3,
+            ),
+            rounds=2, iterations=1,
+        )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: author a Wasm kernel, execute it, and cost it everywhere.
+
+This walks the library's whole pipeline in one page:
+
+1. write a small numeric kernel in the Wasm DSL (a dot product);
+2. run it in the interpreter and check the numeric result;
+3. collect its dynamic profile;
+4. price it under every runtime × bounds-checking strategy on x86-64.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa import isa_named
+from repro.reporting import render_table
+from repro.runtime import Interpreter, strategy_named
+from repro.runtimes import RUNTIMES, runtime_named
+from repro.wasm.dsl import DslModule
+
+
+def build_dot_product(n: int):
+    dm = DslModule("dot")
+    x = dm.array_f64("x", n)
+    y = dm.array_f64("y", n)
+
+    init = dm.func("init")
+    i = init.i32("i")
+    with init.for_(i, 0, n):
+        init.store(x[i], i.to_f64() * 0.5)
+        init.store(y[i], (n - i).to_f64() * 0.25)
+
+    dot = dm.func("dot", results=["f64"])
+    i = dot.i32("i")
+    acc = dot.f64("acc")
+    with dot.for_(i, 0, n):
+        dot.set(acc, acc + x[i] * y[i])
+    dot.ret(acc)
+
+    bench = dm.func("bench")
+    bench.call(init)
+    bench.eval_drop(bench.call(dot))
+    return dm.build()
+
+
+def main() -> None:
+    n = 256
+    module = build_dot_product(n)
+
+    # -- functional execution + profiling ------------------------------
+    interp = Interpreter(module)
+    interp.invoke("init")
+    result = interp.invoke("dot")
+    expected = sum((i * 0.5) * ((n - i) * 0.25) for i in range(n))
+    print(f"dot product = {result:.3f} (expected {expected:.3f})")
+    assert abs(result - expected) < 1e-6
+
+    interp2 = Interpreter(module)
+    interp2.invoke("bench")
+    profile = interp2.take_profile("dot", "demo")
+    print(
+        f"profile: {profile.total_instrs} wasm ops, "
+        f"{profile.mem_accesses} memory accesses "
+        f"({100 * profile.mem_access_fraction:.1f}% of ops)"
+    )
+
+    # -- cost under every configuration --------------------------------
+    isa = isa_named("x86_64")
+    baseline = runtime_named("native-clang").cycles(
+        module, profile, isa, strategy_named("none")
+    )
+    rows = []
+    for runtime_name in ("native-clang", "native-gcc", "wavm", "wasmtime", "v8", "wasm3"):
+        runtime = RUNTIMES[runtime_name]
+        for strategy_name in runtime.strategies:
+            cycles = runtime.cycles(
+                module, profile, isa, strategy_named(strategy_name)
+            )
+            rows.append((runtime_name, strategy_name, cycles / baseline))
+    print()
+    print(
+        render_table(
+            ["runtime", "strategy", "time vs native-clang"],
+            rows,
+            title=f"dot product ({n} elements) on the x86-64 model",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""The shared optimising compiler behind the AOT/JIT runtime models.
+
+Pipeline (DESIGN.md §5, step 2):
+
+1. :mod:`frontend` — translate a validated Wasm function's stack code
+   into a register IR of basic blocks, inserting a ``boundscheck``
+   pseudo-op before every memory access and loop-header phis for
+   loop-carried locals;
+2. :mod:`passes` — the optimisation passes the runtime model enables
+   (constant folding, local CSE, loop-invariant code motion, strength
+   reduction, dead-code elimination);
+3. :mod:`regalloc` — a linear-scan spill estimator;
+4. :mod:`isel` — lower IR to machine-op kind lists per block, applying
+   ISA addressing-mode fusion and expanding each bounds-checking
+   strategy to its real code shape;
+5. :mod:`timing` — price the result with an ISA cost model against a
+   dynamic :class:`~repro.runtime.profile.ExecutionProfile`.
+"""
+
+from repro.compiler.ir import IRBlock, IRFunction, IRInstr
+from repro.compiler.frontend import lower_function, lower_module
+from repro.compiler.pipeline import CompilerConfig, compile_module, CompiledModule
+from repro.compiler.timing import cycles_for_profile
+
+__all__ = [
+    "IRBlock",
+    "IRFunction",
+    "IRInstr",
+    "lower_function",
+    "lower_module",
+    "CompilerConfig",
+    "compile_module",
+    "CompiledModule",
+    "cycles_for_profile",
+]

@@ -1,0 +1,117 @@
+"""The register IR.
+
+A function is a list of basic blocks; each block is a list of
+:class:`IRInstr` over an infinite virtual register file.  The IR is a
+*costing* IR: it is never executed (the interpreter provides semantics),
+so control-flow edges carry no values — loop-carried and merged values
+appear as ``phi`` pseudo-defs.  Every instruction remembers the Wasm
+program counter it came from, which is how dynamic profile counts are
+mapped onto compiled code.
+
+Op vocabulary
+-------------
+
+==============  ==========================================================
+``const``       imm = literal value
+``iadd isub imul idiv irem iand ior ixor ishl ishr irot``  integer ALU
+``icmp``        imm = condition (eq/ne/lt_s/…); produces an i32 bool
+``fadd fsub fmul fdiv fmin fmax fcopysign``  float ALU
+``fneg fabs fsqrt fround``  float unary (fround = floor/ceil/trunc/nearest)
+``fcmp``        imm = condition
+``convert``     imm = source wasm op name
+``select``      srcs = (a, b, cond)
+``boundscheck`` srcs = (addr,), imm = access bytes — expanded at isel
+``load store``  imm = (offset, access_bytes); loads define a value
+``gload gstore`` globals (instance slots)
+``call``        imm = callee func index
+``call_indirect`` imm = type index
+``memsize growmem``  runtime calls
+``phi``         merge/loop-carried def (free)
+``move``        register copy
+``br brif brtable ret trap``  terminators (brif srcs = (cond,))
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+#: Pure ops that can be folded, CSE'd and hoisted.
+PURE_OPS = {
+    "const", "iadd", "isub", "imul", "iand", "ior", "ixor", "ishl", "ishr",
+    "irot", "ibit", "icmp", "fadd", "fsub", "fmul", "fmin", "fmax",
+    "fcopysign", "fneg", "fabs", "fcmp", "convert", "select", "move",
+}
+
+#: Ops that terminate a block.
+TERMINATORS = {"br", "brif", "brtable", "ret", "trap"}
+
+
+@dataclass
+class IRInstr:
+    op: str
+    dest: Optional[int]
+    srcs: Tuple[int, ...] = ()
+    imm: Any = None
+    valtype: str = "i32"
+    wasm_pc: int = -1
+
+    def __str__(self) -> str:
+        dest = f"r{self.dest} = " if self.dest is not None else ""
+        srcs = ", ".join(f"r{s}" for s in self.srcs)
+        imm = f" [{self.imm}]" if self.imm is not None else ""
+        return f"{dest}{self.op}({srcs}){imm}:{self.valtype}"
+
+
+@dataclass
+class IRBlock:
+    id: int
+    instrs: List[IRInstr] = field(default_factory=list)
+    #: Wasm pc whose dynamic execution count equals this block's count
+    #: (-1 when the block holds no countable instruction).
+    leader_pc: int = -1
+    #: Stack of enclosing loop ids (innermost last).
+    loop_path: Tuple[int, ...] = ()
+    #: if-nesting depth at creation (used to restrict LICM hoisting).
+    if_depth: int = 0
+
+    @property
+    def loop_depth(self) -> int:
+        return len(self.loop_path)
+
+    def set_leader(self, pc: int) -> None:
+        if self.leader_pc < 0:
+            self.leader_pc = pc
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        header = f"b{self.id} (leader={self.leader_pc}, loops={self.loop_path}):"
+        return "\n  ".join([header] + [str(i) for i in self.instrs])
+
+
+@dataclass
+class IRFunction:
+    func_index: int
+    name: str
+    blocks: List[IRBlock] = field(default_factory=list)
+    num_regs: int = 0
+    num_params: int = 0
+
+    def new_block(self, loop_path: Tuple[int, ...] = (), if_depth: int = 0) -> IRBlock:
+        block = IRBlock(id=len(self.blocks), loop_path=loop_path, if_depth=if_depth)
+        self.blocks.append(block)
+        return block
+
+    def new_reg(self) -> int:
+        reg = self.num_regs
+        self.num_regs += 1
+        return reg
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.instrs
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"func {self.name or self.func_index}:\n" + "\n".join(
+            str(b) for b in self.blocks
+        )

@@ -1,0 +1,180 @@
+"""Instruction selection: IR → machine-op kind lists per block.
+
+This is where bounds-checking strategies become code (§3.1):
+
+* ``clamp`` — compare + conditional-select on the *address register*,
+  inserting latency into every access's dependency chain (cmp+cmov on
+  x86, cmp+csel on Armv8, a 3-op branch-free idiom on the C906);
+* ``trap`` — compare + branch-to-ud2, macro-fused on x86 and well
+  predicted everywhere, which is why it beats ``clamp``;
+* ``none`` / ``mprotect`` / ``uffd`` — no inline code at all (the
+  guard region does the work); runtimes may still pay a fixed number
+  of bookkeeping ops per access (V8's trap-handler metadata and
+  dynamic memory base — ``extra_access_ops``).
+
+Addressing-mode fusion folds single-use ``base + (index << scale) +
+disp`` chains into the access itself on ISAs that support it, which is
+why the same kernel costs more on the C906 (reg+imm12 only) even
+before its per-op costs are applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.ir import IRFunction, IRInstr
+from repro.isa.model import IsaModel, OPK
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """The knobs a runtime model hands to instruction selection."""
+
+    #: '' | 'clamp' | 'trap' — from the bounds strategy.
+    inline_check: str
+    #: Extra ALU ops per memory access (runtime bookkeeping).
+    extra_access_ops: int
+    #: Whether the runtime's isel exploits complex addressing modes.
+    addressing_fusion: bool
+
+
+def select_function(
+    irf: IRFunction, isa: IsaModel, config: SelectionConfig
+) -> Dict[int, List[str]]:
+    """Lower each block to machine-op kinds; returns block_id -> kinds."""
+    use_counts: Dict[int, int] = {}
+    defs: Dict[int, IRInstr] = {}
+    for ins in irf.instructions():
+        if ins.op == "boundscheck" and not config.inline_check:
+            # The check compiles to nothing, so its address use does not
+            # pin the value in a register.
+            continue
+        for src in ins.srcs:
+            use_counts[src] = use_counts.get(src, 0) + 1
+        if ins.dest is not None and ins.dest not in defs:
+            defs[ins.dest] = ins
+    for ins in irf.instructions():
+        if ins.dest is not None and ins.dest not in defs:
+            defs[ins.dest] = ins
+
+    folded: Set[int] = set()  # id(instr) folded into an addressing mode
+    # Inline software checks consume the raw index value, so the
+    # address chain cannot be folded into the access — one reason
+    # clamp/trap cost so much more than their op counts suggest
+    # (up to 650 % in the paper's worst case, §1).
+    fusion = config.addressing_fusion and isa.addressing_fusion and not config.inline_check
+    if fusion:
+        for ins in irf.instructions():
+            if ins.op in ("load", "store"):
+                _fold_address(ins.srcs[0], defs, use_counts, folded)
+
+    result: Dict[int, List[str]] = {}
+    for block in irf.blocks:
+        kinds: List[str] = []
+        for ins in block.instrs:
+            if id(ins) in folded:
+                continue
+            kinds.extend(_kinds_for(ins, isa, config))
+        result[block.id] = kinds
+    return result
+
+
+def _fold_address(
+    addr: int, defs: Dict[int, IRInstr], use_counts: Dict[int, int],
+    folded: Set[int], depth: int = 0,
+) -> None:
+    """Fold a single-use `iadd`/`ishl` chain into the access (depth ≤ 2)."""
+    if depth >= 2:
+        return
+    ins = defs.get(addr)
+    if ins is None or use_counts.get(addr, 0) != 1:
+        return
+    if ins.op == "iadd":
+        # base + offset folds into a displacement / index.
+        folded.add(id(ins))
+        for src in ins.srcs:
+            src_def = defs.get(src)
+            if src_def is not None and src_def.op in ("ishl", "const"):
+                _fold_address(src, defs, use_counts, folded, depth + 1)
+    elif ins.op == "ishl" and isinstance(ins.imm, int) and 0 <= ins.imm <= 3:
+        folded.add(id(ins))
+
+
+def _kinds_for(ins: IRInstr, isa: IsaModel, config: SelectionConfig) -> List[str]:
+    op = ins.op
+    if op == "boundscheck":
+        kinds: List[str] = [OPK.ALU] * config.extra_access_ops
+        if config.inline_check == "clamp":
+            if isa.has_select:
+                kinds += [OPK.CMP, OPK.CMOV]
+            else:
+                kinds += [OPK.CMP, OPK.ALU, OPK.ALU, OPK.ALU]
+        elif config.inline_check == "trap":
+            kinds += [OPK.CMP_BRANCH]
+        return kinds
+    if op == "const":
+        return [OPK.CONST]
+    if op in ("iadd", "isub", "iand", "ior", "ixor", "ibit"):
+        return [OPK.ALU]
+    if op == "imul":
+        return [OPK.MUL]
+    if op in ("idiv", "irem"):
+        return [OPK.DIV]
+    if op in ("ishl", "ishr", "irot"):
+        return [OPK.SHIFT]
+    if op == "icmp":
+        return [OPK.CMP]
+    if op in ("fadd", "fsub"):
+        return [OPK.FADD]
+    if op == "fmul":
+        return [OPK.FMUL]
+    if op == "fdiv":
+        return [OPK.FDIV]
+    if op == "fsqrt":
+        return [OPK.FSQRT]
+    if op in ("fmin", "fmax", "fcmp"):
+        return [OPK.FCMP]
+    if op in ("fneg", "fabs", "fcopysign"):
+        return [OPK.MOVE]
+    if op == "fround":
+        return [OPK.CONVERT]
+    if op == "convert":
+        return [OPK.CONVERT]
+    if op == "select":
+        if isa.has_select:
+            return [OPK.CMOV]
+        return [OPK.ALU, OPK.ALU, OPK.ALU]
+    if op == "load":
+        return [OPK.LOAD]
+    if op == "store":
+        return [OPK.STORE]
+    if op == "gload":
+        return [OPK.LOAD]
+    if op == "gstore":
+        return [OPK.STORE]
+    if op == "call":
+        return [OPK.CALL]
+    if op == "call_indirect":
+        # Table bounds check + signature check + indirect call (§2.1's
+        # function-table sandboxing).
+        return [OPK.CMP_BRANCH, OPK.LOAD, OPK.CMP_BRANCH, OPK.CALL_IND]
+    if op in ("memsize",):
+        return [OPK.LOAD]
+    if op == "growmem":
+        return [OPK.CALL]
+    if op == "phi":
+        return []  # coalesced by the allocator
+    if op == "move":
+        return [OPK.MOVE]
+    if op == "br":
+        return [OPK.BRANCH]
+    if op == "brif":
+        return [OPK.BRANCH]
+    if op == "brtable":
+        return [OPK.CMP, OPK.LOAD, OPK.BRANCH]
+    if op == "ret":
+        return [OPK.BRANCH]
+    if op == "trap":
+        return [OPK.BRANCH]
+    raise KeyError(f"no machine lowering for IR op {op!r}")

@@ -1,0 +1,282 @@
+"""Optimisation passes.
+
+Each runtime model enables a subset (``CompilerConfig.passes``), which
+is how WAVM (LLVM-class optimisation), Wasmtime (Cranelift-class) and
+V8 TurboFan produce different code shapes from the same IR:
+
+``constfold``   fold constant integer arithmetic
+``cse``         local (per-block) common-subexpression elimination —
+                unifies the duplicated address arithmetic the Wasm
+                stack machine produces
+``checkelim``   treat ``boundscheck`` as CSE-able: a second check of
+                the same address register in a block is redundant
+``licm``        loop-invariant code motion (address components that
+                do not change in the inner loop move to the preheader)
+``strength``    multiply-by-power-of-two → shift
+``dce``         dead code elimination
+
+All passes operate on the costing IR; they never need to preserve
+execution semantics beyond what the cost model observes, but they do
+respect the same legality rules a real compiler would (loads are
+killed by stores, potentially-trapping ops are not hoisted, multi-def
+registers are not treated as invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.ir import IRBlock, IRFunction, IRInstr, PURE_OPS, TERMINATORS
+
+#: Ops that invalidate memory-dependent CSE entries.
+_MEMORY_CLOBBERS = {"store", "gstore", "call", "call_indirect", "growmem"}
+
+#: Integer ops we constant-fold (value kept mod 2**64; exactness of the
+#: fold result does not matter for costing, only that the op vanishes).
+_FOLDABLE = {
+    "iadd": lambda a, b: a + b,
+    "isub": lambda a, b: a - b,
+    "imul": lambda a, b: a * b,
+    "iand": lambda a, b: a & b,
+    "ior": lambda a, b: a | b,
+    "ixor": lambda a, b: a ^ b,
+    "ishl": lambda a, b: a << (b & 63),
+}
+
+
+def run_passes(irf: IRFunction, enabled: Set[str]) -> Dict[int, int]:
+    """Run the enabled passes in canonical order.
+
+    Returns the constant-value map (reg -> value) for use by
+    instruction selection (immediate folding, strength heuristics).
+    """
+    const_map: Dict[int, int] = {}
+    if "constfold" in enabled:
+        const_map = constant_fold(irf)
+    else:
+        const_map = _collect_consts(irf)
+    if "cse" in enabled:
+        local_cse(irf, check_elim="checkelim" in enabled)
+    if "licm" in enabled:
+        loop_invariant_code_motion(irf)
+    if "strength" in enabled:
+        strength_reduce(irf, const_map)
+    if "dce" in enabled:
+        dead_code_elim(irf)
+    return const_map
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+def _collect_consts(irf: IRFunction) -> Dict[int, int]:
+    consts: Dict[int, int] = {}
+    for ins in irf.instructions():
+        if ins.op == "const" and ins.dest is not None and isinstance(ins.imm, int):
+            consts[ins.dest] = ins.imm
+    return consts
+
+
+def constant_fold(irf: IRFunction) -> Dict[int, int]:
+    consts: Dict[int, int] = {}
+    for block in irf.blocks:
+        for ins in block.instrs:
+            if ins.op == "const" and isinstance(ins.imm, int):
+                consts[ins.dest] = ins.imm
+                continue
+            fold = _FOLDABLE.get(ins.op)
+            if fold is None or ins.dest is None:
+                continue
+            if len(ins.srcs) == 2 and all(s in consts for s in ins.srcs):
+                value = fold(consts[ins.srcs[0]], consts[ins.srcs[1]]) & (2**64 - 1)
+                ins.op = "const"
+                ins.imm = value
+                ins.srcs = ()
+                consts[ins.dest] = value
+    return consts
+
+
+# ----------------------------------------------------------------------
+# Local CSE
+# ----------------------------------------------------------------------
+def local_cse(irf: IRFunction, check_elim: bool) -> None:
+    rename: Dict[int, int] = {}
+
+    def resolve(reg: int) -> int:
+        while reg in rename:
+            reg = rename[reg]
+        return reg
+
+    for block in irf.blocks:
+        table: Dict[Tuple, int] = {}
+        checked: Set[Tuple[int, int]] = set()
+        kept: List[IRInstr] = []
+        for ins in block.instrs:
+            if rename:
+                ins.srcs = tuple(resolve(s) for s in ins.srcs)
+            if ins.op in _MEMORY_CLOBBERS:
+                table = {
+                    key: value for key, value in table.items() if key[0] != "load"
+                }
+                if ins.op == "growmem":
+                    checked.clear()
+                kept.append(ins)
+                continue
+            if ins.op == "boundscheck":
+                if check_elim:
+                    key = (ins.srcs[0], ins.imm)
+                    if key in checked:
+                        continue  # redundant check eliminated
+                    checked.add(key)
+                kept.append(ins)
+                continue
+            if ins.op in PURE_OPS and ins.op not in ("move",) and ins.dest is not None:
+                key = (ins.op, ins.srcs, ins.imm, ins.valtype)
+                existing = table.get(key)
+                if existing is not None:
+                    rename[ins.dest] = existing
+                    continue
+                table[key] = ins.dest
+                kept.append(ins)
+                continue
+            if ins.op == "load" and ins.dest is not None:
+                key = ("load", ins.srcs, ins.imm, ins.valtype)
+                existing = table.get(key)
+                if existing is not None:
+                    rename[ins.dest] = existing
+                    continue
+                table[key] = ins.dest
+                kept.append(ins)
+                continue
+            kept.append(ins)
+        block.instrs = kept
+    if rename:
+        for ins in irf.instructions():
+            ins.srcs = tuple(resolve(s) for s in ins.srcs)
+
+
+# ----------------------------------------------------------------------
+# LICM
+# ----------------------------------------------------------------------
+_HOISTABLE = PURE_OPS - {"move"}
+
+
+def loop_invariant_code_motion(irf: IRFunction) -> int:
+    """Hoist invariant pure ops to loop preheaders; returns hoist count."""
+    def_counts: Dict[int, int] = {}
+    for ins in irf.instructions():
+        if ins.dest is not None:
+            def_counts[ins.dest] = def_counts.get(ins.dest, 0) + 1
+
+    # Collect loops: id -> (header index, path).
+    loops: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+    for index, block in enumerate(irf.blocks):
+        if block.loop_path and block.loop_path[-1] not in loops:
+            loops[block.loop_path[-1]] = (index, block.loop_path)
+    hoisted_total = 0
+    # Innermost loops first so hoists can cascade outward.
+    for loop_id, (header_index, path) in sorted(
+        loops.items(), key=lambda item: -len(item[1][1])
+    ):
+        if header_index == 0:
+            continue  # no preheader to hoist into
+        preheader = irf.blocks[header_index - 1]
+        if loop_id in preheader.loop_path:
+            continue  # defensive: preheader must sit outside the loop
+        header = irf.blocks[header_index]
+        member_blocks = [b for b in irf.blocks if loop_id in b.loop_path]
+        defs_in_loop: Set[int] = set()
+        for block in member_blocks:
+            for ins in block.instrs:
+                if ins.dest is not None:
+                    defs_in_loop.add(ins.dest)
+        # Hoist only from blocks guaranteed to run every iteration:
+        # directly in this loop (not in a nested loop) and not under an
+        # if inside the loop.
+        body_blocks = [
+            b for b in member_blocks
+            if b.loop_path == path and b.if_depth == header.if_depth
+        ]
+        invariant: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for block in body_blocks:
+                kept: List[IRInstr] = []
+                for ins in block.instrs:
+                    can_hoist = (
+                        ins.op in _HOISTABLE
+                        and ins.dest is not None
+                        and def_counts.get(ins.dest, 0) == 1
+                        and all(
+                            s not in defs_in_loop or s in invariant
+                            for s in ins.srcs
+                        )
+                    )
+                    if can_hoist:
+                        _append_before_terminator(preheader, ins)
+                        invariant.add(ins.dest)
+                        hoisted_total += 1
+                        changed = True
+                    else:
+                        kept.append(ins)
+                block.instrs = kept
+    return hoisted_total
+
+
+def _append_before_terminator(block: IRBlock, ins: IRInstr) -> None:
+    if block.instrs and block.instrs[-1].op in TERMINATORS:
+        block.instrs.insert(len(block.instrs) - 1, ins)
+    else:
+        block.instrs.append(ins)
+
+
+# ----------------------------------------------------------------------
+# Strength reduction
+# ----------------------------------------------------------------------
+def strength_reduce(irf: IRFunction, const_map: Dict[int, int]) -> int:
+    reduced = 0
+    for ins in irf.instructions():
+        if ins.op != "imul" or len(ins.srcs) != 2:
+            continue
+        for position in (0, 1):
+            value = const_map.get(ins.srcs[position])
+            if value is not None and value > 0 and value & (value - 1) == 0:
+                other = ins.srcs[1 - position]
+                const_reg = ins.srcs[position]
+                ins.op = "ishl"
+                ins.srcs = (other, const_reg)
+                ins.imm = value.bit_length() - 1
+                reduced += 1
+                break
+    return reduced
+
+
+# ----------------------------------------------------------------------
+# DCE
+# ----------------------------------------------------------------------
+_REMOVABLE = PURE_OPS | {"phi", "gload", "memsize"}
+
+
+def dead_code_elim(irf: IRFunction) -> int:
+    removed_total = 0
+    while True:
+        used: Set[int] = set()
+        for ins in irf.instructions():
+            used.update(ins.srcs)
+        removed = 0
+        for block in irf.blocks:
+            kept = []
+            for ins in block.instrs:
+                if (
+                    ins.op in _REMOVABLE
+                    and ins.dest is not None
+                    and ins.dest not in used
+                ):
+                    removed += 1
+                    continue
+                kept.append(ins)
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total

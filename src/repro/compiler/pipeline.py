@@ -1,0 +1,113 @@
+"""The compiler driver: configuration → compiled, costed module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.compiler.frontend import lower_module
+from repro.compiler.ir import IRFunction
+from repro.compiler.isel import SelectionConfig, select_function
+from repro.compiler.passes import run_passes
+from repro.compiler.regalloc import estimate_spills
+from repro.isa.model import IsaModel, OPK
+from repro.runtime.strategies import BoundsStrategy
+from repro.wasm.module import Module
+
+#: Every pass the pipeline knows about, in run order.
+ALL_PASSES = frozenset({"constfold", "cse", "checkelim", "licm", "strength", "dce"})
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """How one runtime model configures the shared compiler."""
+
+    name: str
+    passes: FrozenSet[str]
+    #: Allocator quality: fraction of architectural registers the
+    #: allocator uses effectively (LLVM ≈ 1.0).
+    regalloc_quality: float
+    addressing_fusion: bool
+    #: Extra bookkeeping ALU ops per memory access when the strategy
+    #: relies on signal-based OOB detection (V8's trap-handler
+    #: metadata + dynamic memory base; 0 elsewhere).
+    signal_strategy_access_ops: int = 0
+    #: Extra bookkeeping ops per access regardless of strategy.
+    baseline_access_ops: int = 0
+    #: Multiplier applied to loop-block cost (GCC's PolyBench edge).
+    loop_bonus: float = 1.0
+    #: Emit a stack-overflow check at every function entry — one of the
+    #: Wasm safety costs Jangda et al. [12] identify alongside bounds
+    #: and indirect-call checks.  Native code has no such check.
+    stack_checks: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = self.passes - ALL_PASSES
+        if unknown:
+            raise ValueError(f"unknown passes {sorted(unknown)}")
+
+
+@dataclass
+class CompiledFunction:
+    irf: IRFunction
+    #: block id -> machine op kinds (including spill ops).
+    machine_ops: Dict[int, List[str]]
+    #: block id -> cycles per execution.
+    block_cycles: Dict[int, float]
+
+
+@dataclass
+class CompiledModule:
+    """The costed result of compiling a module for one configuration."""
+
+    module: Module
+    isa: IsaModel
+    config: CompilerConfig
+    strategy: BoundsStrategy
+    functions: Dict[int, CompiledFunction] = field(default_factory=dict)
+
+    @property
+    def total_static_ops(self) -> int:
+        return sum(
+            len(ops)
+            for func in self.functions.values()
+            for ops in func.machine_ops.values()
+        )
+
+
+def compile_module(
+    module: Module,
+    isa: IsaModel,
+    config: CompilerConfig,
+    strategy: BoundsStrategy,
+) -> CompiledModule:
+    """Run the full pipeline for every defined function."""
+    compiled = CompiledModule(module, isa, config, strategy)
+    extra_access_ops = config.baseline_access_ops
+    if strategy.signal_on_oob:
+        extra_access_ops += config.signal_strategy_access_ops
+    selection = SelectionConfig(
+        inline_check=strategy.inline_check,
+        extra_access_ops=extra_access_ops,
+        addressing_fusion=config.addressing_fusion,
+    )
+    for func_index, irf in lower_module(module).items():
+        run_passes(irf, set(config.passes))
+        machine_ops = select_function(irf, isa, selection)
+        if config.stack_checks and irf.blocks:
+            # Stack-limit compare+branch in the prologue (entry block).
+            entry = irf.blocks[0].id
+            machine_ops.setdefault(entry, []).insert(0, OPK.CMP_BRANCH)
+        spills = estimate_spills(irf, isa, config.regalloc_quality)
+        for block_id, count in spills.per_block.items():
+            machine_ops.setdefault(block_id, []).extend([OPK.SPILL] * count)
+        block_cycles = {}
+        for block in irf.blocks:
+            cycles = sum(isa.cost(kind) for kind in machine_ops.get(block.id, ()))
+            if block.loop_depth > 0:
+                cycles *= config.loop_bonus
+            block_cycles[block.id] = cycles
+        compiled.functions[func_index] = CompiledFunction(
+            irf=irf, machine_ops=machine_ops, block_cycles=block_cycles
+        )
+    return compiled

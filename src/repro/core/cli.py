@@ -1,0 +1,67 @@
+"""``leaps-bench`` — the experiment command-line interface.
+
+Usage::
+
+    leaps-bench fig1 [--size small] [--full]
+    leaps-bench fig2 [--isa x86_64|armv8|riscv64|all] ...
+    leaps-bench fig3|fig4|fig5|fig6 [--isa x86_64|armv8] ...
+    leaps-bench replication ...
+    leaps-bench cheri        # extension: projected CHERI strategy
+    leaps-bench tiers        # extension: compile-time/code-size/speed
+    leaps-bench all          # every figure, quick subsets
+
+Results are printed as the figures' rows/series and saved under
+``results/`` as JSON.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.experiments import (
+    extension_cheri,
+    extension_tiers,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    replication,
+)
+
+_EXPERIMENTS = {
+    "fig1": fig1.main,
+    "fig2": fig2.main,
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "replication": replication.main,
+    "cheri": extension_cheri.main,
+    "tiers": extension_tiers.main,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "all":
+        for name, entry in _EXPERIMENTS.items():
+            print(f"\n=== {name} ===\n")
+            entry(rest)
+        return 0
+    entry = _EXPERIMENTS.get(command)
+    if entry is None:
+        print(f"unknown experiment {command!r}; choose from "
+              f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    entry(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

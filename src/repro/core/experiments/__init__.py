@@ -1,0 +1,19 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+=========================  ==========================================
+module                     paper artefact
+=========================  ==========================================
+``fig1``                   Fig. 1 — per-benchmark cost of bounds
+                           checking in V8 on x86-64
+``fig2``                   Fig. 2a/b/c — geomean vs native Clang for
+                           every runtime × strategy, per ISA
+``fig3``                   Fig. 3a/b — scaling at 1/4/16 threads
+``fig4``                   Fig. 4a-d — average CPU utilisation
+``fig5``                   Fig. 5a/b — context switches per second
+``fig6``                   Fig. 6a/b — average memory usage
+``replication``            §4.4 — replication of prior results
+=========================  ==========================================
+
+Each module exposes ``run(...) -> rows`` and a ``main()`` that prints
+the figure's series and writes ``results/<figN>.json``.
+"""

@@ -1,0 +1,91 @@
+"""Shared plumbing for the figure experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.harness import RunMeasurement, run_benchmark
+from repro.runtime.strategies import STRATEGY_ORDER
+from repro.runtimes import RUNTIMES, runtime_named
+from repro.workloads import suite_workloads
+
+#: Representative subsets for the system-level (multi-thread) figures:
+#: they span long/short iterations, float/integer kernels, and the
+#: memory-intensity range — chosen so the contention effects the paper
+#: reports on "short-running benchmarks" are represented.
+PBC_QUICK = [
+    "gemm", "2mm", "atax", "trisolv", "jacobi-2d",
+    "cholesky", "floyd-warshall", "deriche",
+]
+SPEC_QUICK = ["505.mcf", "519.lbm", "557.xz"]
+
+#: Runtime rows in the paper's presentation order (Fig. 2).
+RUNTIME_ORDER = ["native-gcc", "wavm", "wasmtime", "v8", "wasm3"]
+BASELINE = "native-clang"
+
+
+def suite_names(suite: str, quick: bool) -> List[str]:
+    if quick:
+        return list(PBC_QUICK if suite == "polybench" else SPEC_QUICK)
+    return [w.name for w in suite_workloads(suite)]
+
+
+def configs_for_isa(isa: str) -> List[tuple]:
+    """(runtime, strategy) combinations available on an ISA (§3.2/3.4)."""
+    combos = []
+    for runtime in RUNTIME_ORDER:
+        model = runtime_named(runtime)
+        if not model.supports(isa):
+            continue
+        for strategy in STRATEGY_ORDER:
+            if strategy in model.strategies:
+                combos.append((runtime, strategy))
+    return combos
+
+
+def measure(
+    workloads: Sequence[str],
+    runtime: str,
+    strategy: str,
+    isa: str,
+    threads: int = 1,
+    size: str = "small",
+    iterations: int = 3,
+    verbose: bool = False,
+) -> Dict[str, RunMeasurement]:
+    """Run a set of workloads under one configuration."""
+    out: Dict[str, RunMeasurement] = {}
+    for name in workloads:
+        started = time.time()
+        out[name] = run_benchmark(
+            name, runtime, strategy, isa, threads=threads, size=size,
+            iterations=iterations,
+        )
+        if verbose:
+            print(
+                f"    {name:16s} {runtime}/{strategy}/{isa}/t{threads}: "
+                f"{out[name].median_iteration * 1e3:.3f} ms "
+                f"[{time.time() - started:.1f}s]"
+            )
+    return out
+
+
+def medians(measurements: Dict[str, RunMeasurement]) -> Dict[str, float]:
+    return {name: m.median_iteration for name, m in measurements.items()}
+
+
+def results_dir() -> Path:
+    root = os.environ.get("REPRO_RESULTS_DIR", "results")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_results(name: str, payload: object) -> Path:
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,94 @@
+"""Extension — the translation-time / code-size / speed triangle.
+
+§2.2 of the paper lays out the interpreter→JIT→AOT spectrum and §5
+cites Titzer [29] for "execution time, translation time and space
+statistics" across engine tiers.  This extension tabulates that
+trade-off for our runtime models, adding the V8 *Liftoff* baseline
+tier (which Titzer compares and the paper's related work names):
+
+* **translation time** — modelled seconds to compile the PolyBench
+  modules (LLVM slowest, Cranelift ~10× faster, Liftoff near-instant,
+  Wasm3's transpile effectively free);
+* **code size** — static machine ops emitted (interpreters: none);
+* **execution time** — geomean vs native Clang, as in Fig. 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.core.experiments.common import (
+    BASELINE,
+    measure,
+    medians,
+    save_results,
+    suite_names,
+)
+from repro.core.profiles import profile_for
+from repro.isa import isa_named
+from repro.reporting import render_table
+from repro.runtime import strategy_named
+from repro.runtimes import runtime_named
+from repro.stats import geomean_of_ratios
+
+TIERS = ["wasm3", "v8-liftoff", "v8", "wasmtime", "wavm"]
+
+
+def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[dict]:
+    workloads = suite_names("polybench", quick)
+    isa = isa_named("x86_64")
+    baseline = medians(
+        measure(workloads, BASELINE, "none", "x86_64", size=size, verbose=verbose)
+    )
+    rows: List[dict] = []
+    for runtime_name in TIERS:
+        runtime = runtime_named(runtime_name)
+        strategy = strategy_named(runtime.default_strategy)
+        compile_seconds = 0.0
+        code_ops = 0
+        for name in workloads:
+            module, _ = profile_for(name, size)
+            compile_seconds += runtime.compile_seconds(module)
+            code_ops += runtime.code_size_ops(module, isa, strategy)
+        measured = medians(
+            measure(workloads, runtime_name, runtime.default_strategy,
+                    "x86_64", size=size, verbose=verbose)
+        )
+        rows.append(
+            {
+                "runtime": runtime_name,
+                "compile_ms": compile_seconds * 1e3,
+                "code_ops": code_ops,
+                "geomean_vs_native": geomean_of_ratios(measured, baseline),
+            }
+        )
+    return rows
+
+
+def render(rows: List[dict]) -> str:
+    return render_table(
+        ["runtime", "translation ms (suite)", "machine ops", "exec vs native"],
+        [
+            (r["runtime"], r["compile_ms"], r["code_ops"], r["geomean_vs_native"])
+            for r in rows
+        ],
+        title="Extension — tier trade-off (PolyBench modules, x86-64)",
+    )
+
+
+def main(argv=None) -> List[dict]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
+    print(render(rows))
+    path = save_results("extension-tiers", rows)
+    print(f"\nsaved {path}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Figure 3 — performance scaling with 1, 4 and 16 threads.
+
+The paper runs multiple benchmark copies pinned to separate cores
+(SPEC-Rate style) and plots how per-copy performance degrades as the
+machine fills.  The headline effect: the ``mprotect`` strategy scales
+poorly on short-running PolyBench benchmarks because every
+resize/teardown serialises on the exclusive ``mmap_lock``; V8 also
+struggles at 16 threads because its helper threads and GC compete with
+the pinned workers.
+
+Series: per (runtime, strategy), geomean over benchmarks of
+``median_iteration(T) / median_iteration(1)`` for T in {1, 4, 16}.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.core.experiments.common import (
+    configs_for_isa,
+    measure,
+    medians,
+    save_results,
+    suite_names,
+)
+from repro.reporting import render_table
+from repro.stats import geomean
+
+THREAD_STEPS = (1, 4, 16)
+
+
+def run(
+    isa: str = "x86_64",
+    size: str = "small",
+    quick: bool = True,
+    suites: tuple = ("polybench", "spec"),
+    verbose: bool = False,
+) -> List[dict]:
+    rows: List[dict] = []
+    for suite in suites:
+        workloads = suite_names(suite, quick)
+        for runtime, strategy in configs_for_isa(isa):
+            base: Dict[str, float] = {}
+            for threads in THREAD_STEPS:
+                measured = medians(
+                    measure(
+                        workloads, runtime, strategy, isa,
+                        threads=threads, size=size, verbose=verbose,
+                    )
+                )
+                if threads == 1:
+                    base = measured
+                slowdown = geomean(
+                    measured[name] / base[name] for name in workloads
+                )
+                rows.append(
+                    {
+                        "isa": isa,
+                        "suite": suite,
+                        "runtime": runtime,
+                        "strategy": strategy,
+                        "threads": threads,
+                        "slowdown_vs_1t": slowdown,
+                    }
+                )
+    return rows
+
+
+def render(rows: List[dict]) -> str:
+    blocks = []
+    for suite in sorted({r["suite"] for r in rows}):
+        suite_rows = [r for r in rows if r["suite"] == suite]
+        combos = sorted({(r["runtime"], r["strategy"]) for r in suite_rows})
+        table_rows = []
+        for runtime, strategy in combos:
+            cells = [runtime, strategy]
+            for threads in THREAD_STEPS:
+                match = [
+                    r for r in suite_rows
+                    if r["runtime"] == runtime
+                    and r["strategy"] == strategy
+                    and r["threads"] == threads
+                ]
+                cells.append(match[0]["slowdown_vs_1t"] if match else "-")
+            table_rows.append(cells)
+        blocks.append(
+            render_table(
+                ["runtime", "strategy"] + [f"t={t}" for t in THREAD_STEPS],
+                table_rows,
+                title=f"Fig. 3 ({suite}) — per-copy slowdown vs 1 thread",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv=None) -> List[dict]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--isa", default="x86_64", choices=["x86_64", "armv8"])
+    parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    rows = run(isa=args.isa, size=args.size, quick=not args.full, verbose=args.verbose)
+    print(render(rows))
+    path = save_results(f"fig3-{args.isa}", rows)
+    print(f"\nsaved {path}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,261 @@
+"""Per-instance memory lifecycle: strategy → kernel events.
+
+This module is where the five bounds-checking strategies become
+different *system* behaviour (§3.1, §4.1.1).  Each worker owns one
+linear-memory arena (an 8 GiB reservation).  Per benchmark iteration:
+
+=========  =============================  ===============================
+strategy   grow (iteration start)         reset (iteration end)
+=========  =============================  ===============================
+none       nothing (mapped RW at setup)   madvise(DONTNEED)  [read lock]
+clamp      nothing                        madvise(DONTNEED)  [read lock]
+trap       nothing                        madvise(DONTNEED)  [read lock]
+mprotect   mprotect(range, RW) [WRITE]    mprotect(range, NONE) [WRITE,
+                                          zap + TLB shootdown]
+uffd       atomic size store (no kernel)  madvise(DONTNEED)  [read lock]
+=========  =============================  ===============================
+
+During the run, first-touch faults populate the working set: anonymous
+demand-zero faults (read lock) for everything except ``uffd``, which
+takes the SIGBUS + UFFDIO_ZEROPAGE path.  Faults are replayed in
+batches spread across the first part of the compute phase
+(DESIGN.md §5 approximation note).
+
+Native baselines run one *process* per instance: a fresh mmap/munmap
+pair brackets every iteration (the paper's vfork+fexecve runner), and
+each process has its own ``mmap_lock``, which is exactly why native
+code never sees the contention collapse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.cpu.core import USER
+from repro.cpu.thread import SimThread
+from repro.oskernel.kernel import Kernel, KernelProcess
+from repro.oskernel.layout import GUARD_REGION_BYTES, PAGE_SIZE, WASM_PAGE_SIZE
+from repro.oskernel.vma import Prot
+from repro.runtime.strategies import BoundsStrategy
+
+#: Cost of the vfork+fexecve process spawn per native iteration; the
+#: paper measures it "on the order of a hundred microseconds" (§3.5).
+NATIVE_SPAWN_SECONDS = 150e-6
+
+#: Minimum pages per replayed fault batch (one THP mapping).
+FAULT_BATCH_PAGES = 512
+
+#: Fraction of the compute phase over which first-touch faults spread.
+FAULT_PHASE_FRACTION = 0.4
+
+#: Cost of the uffd strategy's atomic arena-size update.
+ATOMIC_GROW_SECONDS = 40e-9
+
+
+@dataclass(frozen=True)
+class IterationPlan:
+    """Everything a worker needs to replay one benchmark iteration."""
+
+    compute_seconds: float
+    touched_pages: int  # 4 KiB pages populated per iteration
+    memory_bytes: int   # accessible linear-memory range
+    strategy: BoundsStrategy
+    native: bool = False
+    #: V8's stop-the-world GC: pauses of ``gc_duration`` every
+    #: ``gc_interval`` of execution (0 = no GC).
+    gc_interval: float = 0.0
+    gc_duration: float = 0.0
+
+
+def make_plan(
+    cycles: float,
+    frequency_hz: float,
+    strategy: BoundsStrategy,
+    time_scale: float,
+    memory_bytes: int,
+    native: bool = False,
+    gc_interval: float = 0.0,
+    gc_duration: float = 0.0,
+) -> IterationPlan:
+    """Scale a functional profile up to paper-sized iterations.
+
+    ``time_scale`` stretches the modelled compute cycles to the
+    paper-scale iteration duration; ``memory_bytes`` is the paper-scale
+    data footprint, all of which is touched (and hence faulted) each
+    iteration.
+    """
+    compute_seconds = cycles / frequency_hz * time_scale
+    memory_bytes = max(WASM_PAGE_SIZE, min(memory_bytes, GUARD_REGION_BYTES))
+    touched_pages = max(1, memory_bytes // PAGE_SIZE)
+    return IterationPlan(
+        compute_seconds=compute_seconds,
+        touched_pages=touched_pages,
+        memory_bytes=memory_bytes,
+        strategy=strategy,
+        native=native,
+        gc_interval=gc_interval,
+        gc_duration=gc_duration,
+    )
+
+
+class InstanceLifecycle:
+    """One worker's arena and its per-iteration kernel interaction."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        proc: KernelProcess,
+        thread: SimThread,
+        plan: IterationPlan,
+    ) -> None:
+        self.kernel = kernel
+        self.proc = proc
+        self.thread = thread
+        self.plan = plan
+        self.area = None
+        #: Executed time since the last stop-the-world GC pause.
+        self._since_gc = 0.0
+
+    # ------------------------------------------------------------------
+    def _run_compute(self, seconds: float) -> Generator:
+        """Burn compute time, pausing for GC at the configured cadence.
+
+        GC pauses land *inside* the timed region — a safepoint stops
+        the mutator mid-execution — which is what degrades V8's
+        long-running iterations at high thread counts (§4.1.1).
+        """
+        plan = self.plan
+        if plan.gc_interval <= 0:
+            if seconds > 0:
+                yield from self.thread.run(seconds, USER)
+            return
+        while seconds > 0:
+            step = min(seconds, plan.gc_interval - self._since_gc)
+            yield from self.thread.run(step, USER)
+            self._since_gc += step
+            seconds -= step
+            if self._since_gc >= plan.gc_interval:
+                yield from self.thread.sleep(plan.gc_duration)
+                self._since_gc = 0.0
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Generator:
+        """One-time arena creation (reused across iterations)."""
+        if self.plan.native:
+            return  # native maps per iteration (fresh process image)
+        self.area = yield from self.kernel.sys_mmap_reserve(
+            self.thread, self.proc, GUARD_REGION_BYTES, name="wasm-arena"
+        )
+        strategy = self.plan.strategy
+        if strategy.grow_mechanism == "mprotect":
+            return  # stays PROT_NONE; grows make it accessible
+        # none/clamp/trap/uffd: map the whole reservation RW up front.
+        yield from self.kernel.sys_mprotect(
+            self.thread, self.proc, self.area, 0, self.area.length, Prot.RW
+        )
+        if strategy.fault_mechanism == "uffd":
+            yield from self.kernel.sys_uffd_register(
+                self.thread, self.proc, self.area
+            )
+
+    # ------------------------------------------------------------------
+    def run_iteration(self) -> Generator:
+        """One benchmark iteration; returns the *timed* duration.
+
+        The paper's harness times module execution only: instance
+        setup (grow) and teardown (reset) stay outside the reported
+        time, but still happen on the machine and therefore show up in
+        utilisation, context switches and lock contention.
+        """
+        if self.plan.native:
+            return (yield from self._native_iteration())
+        return (yield from self._wasm_iteration())
+
+    # ------------------------------------------------------------------
+    def _wasm_iteration(self) -> Generator:
+        plan = self.plan
+        strategy = plan.strategy
+        # The timed region starts here: the benchmark program's own
+        # allocation (malloc -> memory.grow) happens inside ``main``,
+        # so the grow syscall — and any mmap_lock wait it suffers —
+        # is part of the measured execution time.
+        timed_start = self.thread.engine.now
+        if strategy.grow_mechanism == "mprotect":
+            yield from self.kernel.sys_mprotect(
+                self.thread, self.proc, self.area, 0, plan.memory_bytes,
+                Prot.RW, thp=True,
+            )
+        elif strategy.grow_mechanism == "atomic":
+            yield from self.thread.run(ATOMIC_GROW_SECONDS, USER)
+        yield from self._compute_with_faults(self.area)
+        timed = self.thread.engine.now - timed_start
+        # Reset (untimed): each iteration runs a *fresh* instance, so
+        # the arena returns to demand-zero.  mprotect revokes access
+        # under the exclusive lock (the paper's contended path);
+        # everything else uses madvise(DONTNEED) under the shared lock.
+        if strategy.reset_mechanism == "mprotect":
+            yield from self.kernel.sys_mprotect(
+                self.thread, self.proc, self.area, 0, plan.memory_bytes,
+                Prot.NONE, thp=True,
+            )
+        else:
+            yield from self.kernel.sys_madvise_dontneed(
+                self.thread, self.proc, self.area, 0, plan.memory_bytes,
+                thp=True,
+            )
+        return timed
+
+    def _native_iteration(self) -> Generator:
+        # Native timing covers the whole process run, spawn included —
+        # the paper measures it at ~100 µs and accepts the noise (§3.5).
+        plan = self.plan
+        timed_start = self.thread.engine.now
+        yield from self.thread.run(NATIVE_SPAWN_SECONDS, "sys")
+        area = yield from self.kernel.sys_mmap_reserve(
+            self.thread, self.proc, plan.memory_bytes, name="native-heap"
+        )
+        yield from self.kernel.sys_mprotect(
+            self.thread, self.proc, area, 0, plan.memory_bytes, Prot.RW, thp=True
+        )
+        yield from self._compute_with_faults(area)
+        yield from self.kernel.sys_munmap(self.thread, self.proc, area)
+        return self.thread.engine.now - timed_start
+
+    # ------------------------------------------------------------------
+    def _compute_with_faults(self, area) -> Generator:
+        plan = self.plan
+        pages = plan.touched_pages - len(area.populated)
+        if pages <= 0:  # nothing to fault (defensive; resets zap)
+            yield from self._run_compute(plan.compute_seconds)
+            return
+        # Batches align to THP granularity (512 pages: one huge-page
+        # fault each) and are capped in number: faults take the *read*
+        # side of mmap_lock, so coarser batching does not change the
+        # contention structure, only the event count.
+        batch_pages = max(512, math.ceil(pages / 256))
+        batches = math.ceil(pages / batch_pages)
+        fault_span = plan.compute_seconds * FAULT_PHASE_FRACTION
+        chunk = fault_span / batches if batches else 0.0
+        uffd = (not plan.native) and plan.strategy.fault_mechanism == "uffd"
+        offset = len(area.populated) * PAGE_SIZE
+        for index in range(batches):
+            count = min(batch_pages, pages - index * batch_pages)
+            length = count * PAGE_SIZE
+            if uffd:
+                # The SIGBUS handler populates 2 MiB per fault (§2.3.1:
+                # "the faulted page, or a larger range of pages").
+                yield from self.kernel.fault_uffd_batch(
+                    self.thread, self.proc, area, offset, length,
+                    range_pages=512,
+                )
+            else:
+                yield from self.kernel.fault_anon_batch(
+                    self.thread, self.proc, area, offset, length, thp=True
+                )
+            offset += length
+            yield from self._run_compute(chunk)
+        yield from self._run_compute(
+            plan.compute_seconds * (1.0 - FAULT_PHASE_FRACTION)
+        )

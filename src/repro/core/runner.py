@@ -1,0 +1,98 @@
+"""Sweep runner: drive grids of benchmark configurations.
+
+The figure experiments hard-code the paper's grids; this module is the
+general tool underneath for ad-hoc studies ("what does `trap` cost on
+Armv8 at 4 threads across the stencils?").  It expands a
+:class:`SweepSpec` into valid configurations (skipping the
+backend/strategy combinations §3.2/§3.4 rule out), runs them through
+the harness, and exports rows as dicts or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.harness import RunMeasurement, run_benchmark
+from repro.cpu.machine import MACHINE_SPECS
+from repro.runtimes import runtime_named
+
+#: The columns a sweep row always carries.
+FIELDS = [
+    "workload", "runtime", "strategy", "isa", "threads",
+    "median_ms", "utilisation_percent", "ctx_per_sec",
+    "mem_avg_mib", "mmap_write_wait_ms",
+]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of configurations to run."""
+
+    workloads: Sequence[str]
+    runtimes: Sequence[str]
+    strategies: Sequence[str]
+    isas: Sequence[str] = ("x86_64",)
+    threads: Sequence[int] = (1,)
+    size: str = "small"
+    iterations: int = 3
+
+    def configurations(self) -> Iterator[tuple]:
+        """Valid (runtime, strategy, isa, threads) combinations."""
+        for isa in self.isas:
+            cores = MACHINE_SPECS[isa].cores
+            for runtime in self.runtimes:
+                model = runtime_named(runtime)
+                if not model.supports(isa):
+                    continue
+                for strategy in self.strategies:
+                    if strategy not in model.strategies:
+                        continue
+                    for threads in self.threads:
+                        if threads <= cores:
+                            yield (runtime, strategy, isa, threads)
+
+
+def row_from(measurement: RunMeasurement) -> Dict[str, object]:
+    return {
+        "workload": measurement.workload,
+        "runtime": measurement.runtime,
+        "strategy": measurement.strategy,
+        "isa": measurement.isa,
+        "threads": measurement.threads,
+        "median_ms": measurement.median_iteration * 1e3,
+        "utilisation_percent": measurement.utilisation.utilisation_percent,
+        "ctx_per_sec": measurement.utilisation.context_switches_per_sec,
+        "mem_avg_mib": measurement.mem_avg_bytes / (1 << 20),
+        "mmap_write_wait_ms": measurement.mmap_write_wait * 1e3,
+    }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Run every valid configuration × workload; returns result rows."""
+    rows: List[Dict[str, object]] = []
+    for runtime, strategy, isa, threads in spec.configurations():
+        for workload in spec.workloads:
+            if progress is not None:
+                progress(f"{workload} {runtime}/{strategy}/{isa}/t{threads}")
+            measurement = run_benchmark(
+                workload, runtime, strategy, isa,
+                threads=threads, size=spec.size, iterations=spec.iterations,
+            )
+            rows.append(row_from(measurement))
+    return rows
+
+
+def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render sweep rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in FIELDS})
+    return buffer.getvalue()

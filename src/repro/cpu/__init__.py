@@ -1,0 +1,22 @@
+"""Multicore machine model.
+
+Models CPU cores with run queues, timeslice preemption, context-switch
+accounting and interrupt (IPI) injection — enough fidelity to reproduce
+the paper's CPU-utilisation (Fig. 4) and context-switch (Fig. 5)
+characterisations, where the interesting effects are queueing effects:
+threads blocked on the simulated ``mmap_lock``, TLB-shootdown interrupts,
+and V8's helper threads oversubscribing a fully pinned machine.
+"""
+
+from repro.cpu.core import Core, CpuAccounting
+from repro.cpu.thread import SimThread
+from repro.cpu.machine import Machine, MachineSpec, MACHINE_SPECS
+
+__all__ = [
+    "Core",
+    "CpuAccounting",
+    "SimThread",
+    "Machine",
+    "MachineSpec",
+    "MACHINE_SPECS",
+]

@@ -1,0 +1,98 @@
+"""Machine configurations mirroring the paper's three test platforms.
+
+The paper (§3.4) evaluates on:
+
+1. **x86_64** — Intel Xeon Gold 6230R, 16 hardware threads enabled,
+   768 GiB RAM (nominal 2.1 GHz base clock);
+2. **AArch64** — Cavium ThunderX2 CN9980, configured to 16 hardware
+   threads, 256 GiB RAM (2.2 GHz);
+3. **RISC-V** — Allwinner Nezha D1 with the XuanTie C906, a single
+   in-order core, 1 GiB RAM (1.0 GHz).
+
+Only *relative* performance matters for reproducing the figures, but the
+core counts and memory sizes are load-bearing: the thread-scaling
+experiments use 1/4/16 pinned copies, and the RISC-V platform is
+restricted to single-threaded PolyBench because of its 1 GiB of RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import Core
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a test platform."""
+
+    name: str
+    isa: str
+    cores: int
+    frequency_hz: float
+    memory_bytes: int
+    #: Scheduler quantum for round-robin on an oversubscribed core.
+    quantum: float = 3e-3
+    #: Kernel time consumed by one context switch.
+    switch_cost: float = 3e-6
+
+
+#: The three platforms from §3.4, keyed by ISA name.
+MACHINE_SPECS: dict[str, MachineSpec] = {
+    "x86_64": MachineSpec(
+        name="xeon-gold-6230r",
+        isa="x86_64",
+        cores=16,
+        frequency_hz=2.1e9,
+        memory_bytes=768 << 30,
+    ),
+    "armv8": MachineSpec(
+        name="thunderx2-cn9980",
+        isa="armv8",
+        cores=16,
+        frequency_hz=2.2e9,
+        memory_bytes=256 << 30,
+    ),
+    "riscv64": MachineSpec(
+        name="nezha-d1-c906",
+        isa="riscv64",
+        cores=1,
+        frequency_hz=1.0e9,
+        memory_bytes=1 << 30,
+        # A slow in-order core context-switches more expensively.
+        switch_cost=12e-6,
+    ),
+}
+
+
+class Machine:
+    """A running machine: an engine plus its set of cores."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.cores = [
+            Core(engine, index, quantum=spec.quantum, switch_cost=spec.switch_cost)
+            for index in range(spec.cores)
+        ]
+        self._placement_cursor = 0
+
+    def core(self, index: int) -> Core:
+        return self.cores[index]
+
+    def place(self) -> Core:
+        """Round-robin placement for unpinned (helper) threads."""
+        core = self.cores[self._placement_cursor % len(self.cores)]
+        self._placement_cursor += 1
+        return core
+
+    @property
+    def context_switches(self) -> int:
+        return sum(core.context_switches for core in self.cores)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.spec.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.spec.frequency_hz

@@ -1,0 +1,90 @@
+"""Simulated threads.
+
+A :class:`SimThread` is the unit of scheduling: it binds an identity (and
+a thread-group id, so the kernel model knows which threads share an
+address space) to a core.  The benchmark harness pins worker threads to
+distinct cores exactly as the paper's C++ harness does; V8's helper
+threads are placed round-robin and *share* cores with workers, which is
+what produces the context-switch blow-up in Figure 5b.
+
+Thread bodies are simulation processes (generators).  The discipline is:
+
+* ``yield from thread.startup()`` — first statement of every body;
+* ``yield from thread.run(duration, kind)`` — burn CPU time;
+* ``yield from thread.block_on(waitable)`` — leave the CPU while waiting
+  on an event or a lock-acquire generator, then get back on;
+* ``yield from thread.sleep(duration)`` — timed sleep off the CPU;
+* ``thread.finish()`` — final statement, releases the core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Union
+
+from repro.cpu.core import Core, USER
+from repro.sim.engine import Delay, Engine, Event
+
+
+Waitable = Union[Event, Generator]
+
+
+class SimThread:
+    """A schedulable thread pinned (or placed) on one core."""
+
+    def __init__(self, engine: Engine, name: str, core: Core, tgid: int = 0) -> None:
+        self.engine = engine
+        self.name = name
+        self.core = core
+        self.tgid = tgid
+        #: Set while the thread is on-CPU or runnable; cleared when blocked.
+        self.runnable = False
+
+    # -- lifecycle -------------------------------------------------------
+    def startup(self) -> Generator:
+        """Get on the CPU for the first time."""
+        self.runnable = True
+        yield from self.core.acquire(self)
+
+    def finish(self) -> None:
+        """Leave the CPU permanently (thread exit)."""
+        self.runnable = False
+        self.core.release(self)
+
+    # -- execution -------------------------------------------------------
+    def run(self, duration: float, kind: str = USER) -> Generator:
+        """Execute ``duration`` seconds of work of the given kind."""
+        yield from self.core.exec(self, duration, kind)
+
+    def block_on(self, waitable: Waitable) -> Generator:
+        """Block off-CPU until ``waitable`` completes, then reschedule.
+
+        ``waitable`` is either a triggered-later :class:`Event` or a
+        generator such as ``lock.acquire()``.  Returns the waitable's
+        result.
+        """
+        self.runnable = False
+        self.core.release(self)
+        if isinstance(waitable, Event):
+            result = yield waitable
+        else:
+            result = yield from waitable
+        self.runnable = True
+        yield from self.core.acquire(self)
+        return result
+
+    def sleep(self, duration: float) -> Generator:
+        """Sleep off-CPU for a fixed simulated duration."""
+        yield from self.block_on(self.engine.timeout(duration))
+
+    def migrate(self, core: Core) -> Generator:
+        """Move to another core (models the load balancer migrating
+        an unpinned thread); must be called while running."""
+        if core is self.core:
+            return
+        self.core.release(self)
+        self.core = core
+        yield from self.core.acquire(self)
+
+    # -- convenience -------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimThread({self.name!r}, core={self.core.index})"

@@ -1,0 +1,30 @@
+"""Virtual ISA cost models for the three platforms the paper tests.
+
+Each model prices the abstract machine operations the instruction
+selector emits (:mod:`repro.compiler.isel`) in *effective cycles* —
+reciprocal throughput blended with typical dependency stalls for
+loop-heavy numeric code.  Only relative magnitudes matter: every
+experiment reports ratios against the native-Clang baseline compiled
+with the same model.
+"""
+
+from repro.isa.model import IsaModel, OPK
+from repro.isa.x86_64 import X86_64
+from repro.isa.armv8 import ARMV8
+from repro.isa.riscv64 import RISCV64
+
+ISAS: dict[str, IsaModel] = {
+    "x86_64": X86_64,
+    "armv8": ARMV8,
+    "riscv64": RISCV64,
+}
+
+
+def isa_named(name: str) -> IsaModel:
+    try:
+        return ISAS[name]
+    except KeyError:
+        raise ValueError(f"unknown ISA {name!r}; choose from {sorted(ISAS)}") from None
+
+
+__all__ = ["IsaModel", "OPK", "X86_64", "ARMV8", "RISCV64", "ISAS", "isa_named"]

@@ -1,0 +1,44 @@
+"""Cost model for the Cavium ThunderX2 CN9980 (§3.4 platform 2).
+
+A wide but older out-of-order Armv8 core: slightly weaker per-cycle
+ALU/FP throughput than Cascade Lake, no compare/branch macro-fusion,
+``csel`` available for clamps.  Relative bounds-check costs stay within
+a couple of points of x86-64, matching the paper's key result that the
+strategy ranking is ISA-independent.
+"""
+
+from repro.isa.model import IsaModel, OPK
+
+ARMV8 = IsaModel(
+    name="armv8",
+    costs={
+        OPK.ALU: 0.35,
+        OPK.MUL: 1.1,
+        OPK.DIV: 18.0,
+        OPK.SHIFT: 0.35,
+        OPK.FADD: 1.3,
+        OPK.FMUL: 1.3,
+        OPK.FDIV: 12.0,
+        OPK.FSQRT: 14.0,
+        OPK.FCMP: 0.9,
+        OPK.CONST: 0.12,
+        OPK.LOAD: 1.15,
+        OPK.STORE: 1.0,
+        OPK.CMP: 0.35,
+        OPK.BRANCH: 0.5,
+        # No macro-fusion: cmp+b.cc are two issued ops.
+        OPK.CMP_BRANCH: 0.85,
+        OPK.CMOV: 1.45,  # csel, same dependency-chain position as cmov
+        OPK.CALL: 4.5,
+        OPK.CALL_IND: 8.0,
+        OPK.CONVERT: 1.4,
+        OPK.MOVE: 0.18,
+        OPK.SPILL: 1.6,
+        OPK.NOP: 0.0,
+    },
+    addressing_fusion=True,  # reg + reg<<scale addressing exists
+    has_select=True,
+    int_regs=28,
+    float_regs=32,
+    interp_dispatch=2.1,
+)

@@ -1,0 +1,63 @@
+"""The machine-op vocabulary and ISA cost-model schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class OPK:
+    """Machine-op kinds emitted by instruction selection.
+
+    A deliberately small vocabulary: enough to distinguish the code
+    shapes the bounds-checking strategies produce without simulating a
+    pipeline.
+    """
+
+    ALU = "alu"              # int add/sub/logic/compare-into-reg
+    MUL = "mul"              # int multiply
+    DIV = "div"              # int divide (blended latency)
+    SHIFT = "shift"
+    FADD = "fadd"            # float add/sub (dependency-blended)
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FCMP = "fcmp"
+    CONST = "const"          # materialise an immediate
+    LOAD = "load"            # L1-blended load
+    STORE = "store"
+    CMP = "cmp"              # compare feeding a branch
+    BRANCH = "branch"        # well-predicted conditional branch
+    CMP_BRANCH = "cmp_branch"  # fused compare+branch (x86 macro-fusion)
+    CMOV = "cmov"            # conditional select
+    CALL = "call"            # call+ret pair overhead
+    CALL_IND = "call_ind"    # indirect call via function table
+    CONVERT = "convert"      # int<->float moves/conversions
+    MOVE = "move"            # register move (spill-free shuffle)
+    SPILL = "spill"          # one stack spill or reload
+    NOP = "nop"              # folded away entirely
+
+
+@dataclass(frozen=True)
+class IsaModel:
+    """Cost model for one CPU."""
+
+    name: str
+    #: effective cycles per op kind.
+    costs: Dict[str, float]
+    #: Can loads/stores fold `base + index*scale + disp` addressing?
+    addressing_fusion: bool
+    #: Does the ISA have a conditional-select instruction (cmov/csel)?
+    has_select: bool
+    #: General-purpose registers available to the allocator.
+    int_regs: int
+    float_regs: int
+    #: Interpreter dispatch cost (cycles per bytecode op) for the
+    #: threaded-interpreter (Wasm3) model on this CPU.
+    interp_dispatch: float
+
+    def cost(self, kind: str) -> float:
+        try:
+            return self.costs[kind]
+        except KeyError:
+            raise KeyError(f"ISA {self.name} has no cost for op kind {kind!r}") from None

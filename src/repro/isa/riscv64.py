@@ -1,0 +1,45 @@
+"""Cost model for the XuanTie C906 (Nezha D1, §3.4 platform 3).
+
+A single-issue in-order RV64GC core: every instruction costs at least
+a cycle, loads see real latency, and there is no conditional-move
+instruction — a clamp lowers to a short branch-free sequence of three
+ALU ops (sltu/neg/and), keeping the *relative* strategy ranking close
+to the other ISAs (the paper's cross-ISA finding) while the absolute
+cycle counts are much higher.
+"""
+
+from repro.isa.model import IsaModel, OPK
+
+RISCV64 = IsaModel(
+    name="riscv64",
+    costs={
+        OPK.ALU: 1.0,
+        OPK.MUL: 3.0,
+        OPK.DIV: 35.0,
+        OPK.SHIFT: 1.0,
+        OPK.FADD: 4.0,
+        OPK.FMUL: 4.5,
+        OPK.FDIV: 30.0,
+        OPK.FSQRT: 35.0,
+        OPK.FCMP: 2.0,
+        OPK.CONST: 0.6,
+        OPK.LOAD: 3.0,
+        OPK.STORE: 2.0,
+        OPK.CMP: 1.0,
+        OPK.BRANCH: 1.8,
+        OPK.CMP_BRANCH: 2.2,
+        # No cmov: sltu + neg + and (branch-free clamp idiom).
+        OPK.CMOV: 3.0,
+        OPK.CALL: 8.0,
+        OPK.CALL_IND: 14.0,
+        OPK.CONVERT: 4.0,
+        OPK.MOVE: 1.0,
+        OPK.SPILL: 4.0,
+        OPK.NOP: 0.0,
+    },
+    addressing_fusion=False,  # only reg+imm12 addressing: index adds cost
+    has_select=False,
+    int_regs=27,
+    float_regs=32,
+    interp_dispatch=9.0,
+)

@@ -1,0 +1,46 @@
+"""Simulated Linux memory-management subsystem.
+
+This package models the slice of the Linux kernel that the paper's
+bounds-checking strategies exercise:
+
+* per-process address spaces with a real VMA (protection-interval)
+  structure that splits and merges on ``mprotect`` (:mod:`vma`,
+  :mod:`addressspace`);
+* the process-wide ``mmap_lock`` read/write semaphore whose write-side
+  serialisation under frequent ``mprotect`` is the paper's headline
+  multithreaded-scaling finding (§4.1.1, Figures 3–5);
+* demand paging: anonymous page faults, ``userfaultfd`` SIGBUS-style
+  faults serviced by a userspace handler, zero-fill costs;
+* TLB shootdown IPIs delivered to every other core running a thread of
+  the same process;
+* ``/proc/stat``-style CPU accounting (:mod:`procstat`) and a
+  ``MemAvailable`` model with transparent-huge-page granularity
+  (:mod:`meminfo`) for Figures 4 and 6.
+
+All latency constants live in :mod:`repro.oskernel.layout` with comments
+explaining what they are calibrated against.
+"""
+
+from repro.oskernel.layout import PAGE_SIZE, WASM_PAGE_SIZE, GUARD_REGION_BYTES, KernelCosts
+from repro.oskernel.vma import ProtectionMap, Prot
+from repro.oskernel.addressspace import AddressSpace, Area
+from repro.oskernel.kernel import Kernel, KernelProcess, SegFault
+from repro.oskernel.procstat import ProcStat, UtilisationSample
+from repro.oskernel.meminfo import MemInfoModel
+
+__all__ = [
+    "PAGE_SIZE",
+    "WASM_PAGE_SIZE",
+    "GUARD_REGION_BYTES",
+    "KernelCosts",
+    "ProtectionMap",
+    "Prot",
+    "AddressSpace",
+    "Area",
+    "Kernel",
+    "KernelProcess",
+    "SegFault",
+    "ProcStat",
+    "UtilisationSample",
+    "MemInfoModel",
+]

@@ -1,0 +1,129 @@
+"""Per-process address spaces and reservation areas.
+
+An :class:`Area` is one contiguous virtual reservation — for this
+reproduction, typically the 8 GiB guard region backing one WebAssembly
+linear memory.  It combines:
+
+* a :class:`~repro.oskernel.vma.ProtectionMap` (the VMA structure), and
+* the set of *populated* pages (pages with an installed PTE).
+
+The distinction is the crux of the paper's kernel-side story: changing
+protections is a VMA operation under the exclusive ``mmap_lock``;
+populating a page is a fault under the shared lock; and tearing down
+populated pages requires both PTE zapping and a TLB shootdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.oskernel.layout import PAGE_SIZE
+from repro.oskernel.vma import Prot, ProtectionMap, VmaError
+
+
+def pages_in(length: int) -> int:
+    """Number of base pages covering ``length`` bytes (rounded up)."""
+    return -(-length // PAGE_SIZE)
+
+
+@dataclass
+class Area:
+    """A contiguous virtual reservation within an address space."""
+
+    start: int
+    length: int
+    name: str = ""
+    uffd_registered: bool = False
+    prot_map: ProtectionMap = field(init=False)
+    #: Indices (relative to the area) of populated pages.
+    populated: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.prot_map = ProtectionMap(self.length, Prot.NONE)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def populated_bytes(self) -> int:
+        return len(self.populated) * PAGE_SIZE
+
+    def page_range(self, offset: int, length: int) -> range:
+        if not 0 <= offset <= offset + length <= self.length:
+            raise VmaError(
+                f"range [{offset:#x},{offset + length:#x}) outside area {self.name!r}"
+            )
+        first = offset // PAGE_SIZE
+        last = pages_in(offset + length)
+        return range(first, last)
+
+    def populate(self, offset: int, length: int) -> int:
+        """Mark pages populated; returns how many were newly installed."""
+        added = 0
+        for page in self.page_range(offset, length):
+            if page not in self.populated:
+                self.populated.add(page)
+                added += 1
+        return added
+
+    def zap(self, offset: int, length: int) -> int:
+        """Unpopulate pages in the range; returns how many were zapped."""
+        zapped = 0
+        for page in self.page_range(offset, length):
+            if page in self.populated:
+                self.populated.discard(page)
+                zapped += 1
+        return zapped
+
+    def zap_all(self) -> int:
+        zapped = len(self.populated)
+        self.populated.clear()
+        return zapped
+
+
+class AddressSpace:
+    """All reservations of one process, plus a simple placement policy."""
+
+    #: Reservations start high, like mmap on Linux, and grow upwards.
+    BASE_ADDRESS = 0x7F00_0000_0000
+
+    def __init__(self) -> None:
+        self._areas: dict[int, Area] = {}
+        self._cursor = self.BASE_ADDRESS
+
+    def map_area(self, length: int, name: str = "") -> Area:
+        if length <= 0:
+            raise VmaError(f"cannot map area of length {length}")
+        # Align placement to a page boundary and leave a guard gap.
+        aligned = pages_in(length) * PAGE_SIZE
+        area = Area(start=self._cursor, length=aligned, name=name)
+        self._areas[area.start] = area
+        self._cursor += aligned + PAGE_SIZE
+        return area
+
+    def unmap_area(self, area: Area) -> int:
+        """Remove a reservation; returns the number of zapped pages."""
+        if area.start not in self._areas:
+            raise VmaError(f"area {area.name!r} not mapped in this address space")
+        del self._areas[area.start]
+        return area.zap_all()
+
+    def find_area(self, address: int) -> Optional[Area]:
+        for area in self._areas.values():
+            if area.start <= address < area.end:
+                return area
+        return None
+
+    def areas(self) -> Iterator[Area]:
+        return iter(self._areas.values())
+
+    @property
+    def vma_count(self) -> int:
+        """Total protection intervals across all reservations."""
+        return sum(area.prot_map.interval_count for area in self._areas.values())
+
+    @property
+    def populated_bytes(self) -> int:
+        return sum(area.populated_bytes for area in self._areas.values())

@@ -1,0 +1,105 @@
+"""Memory-layout constants and kernel latency calibration.
+
+Every latency constant used by the simulated kernel is defined here, in
+seconds, with a note on its provenance.  Values are representative of a
+server-class x86-64 machine with CPU vulnerability mitigations disabled
+(the paper boots with ``mitigations=off``, §3.4); the experiments only
+depend on their *relative* magnitudes, which are well established:
+
+* syscall entry/exit is a fraction of a microsecond without mitigations;
+* delivering a signal to userspace costs roughly a microsecond
+  (cf. Xu, "Userfaultfd-wp Latency Measurements", ref. [35] of the
+  paper, which measures ~1–2 µs for the SIGBUS userfaultfd path);
+* zapping or installing a PTE is tens of nanoseconds per page;
+* zero-filling a 4 KiB page runs at memset speed (tens of GB/s);
+* a TLB-shootdown IPI costs on the order of a microsecond per target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base (small) page size on all three platforms.
+PAGE_SIZE = 4096
+
+#: WebAssembly linear-memory page size (64 KiB, fixed by the spec).
+WASM_PAGE_SIZE = 64 * 1024
+
+#: Size of the virtual-address reservation made for one linear memory.
+#: Wasm memory instructions take a 32-bit base plus a 32-bit offset, so
+#: the total addressable span is 8 GiB (§2.3) and 64-bit runtimes
+#: reserve the whole region up front.
+GUARD_REGION_BYTES = 8 << 30
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Latency constants for the simulated kernel, in seconds."""
+
+    #: Syscall entry + exit, mitigations off (~100 ns measured on
+    #: Skylake-era parts without KPTI; we use a round 250 ns to include
+    #: basic argument validation).
+    syscall_entry: float = 0.25e-6
+
+    #: Finding a VMA in the rbtree / maple tree: O(log n), folded into a
+    #: constant because our processes hold tens of VMAs, not thousands.
+    vma_find: float = 0.08e-6
+
+    #: Splitting a VMA during mprotect (allocation + rbtree insert).
+    vma_split: float = 0.18e-6
+
+    #: Merging adjacent VMAs with equal protections.
+    vma_merge: float = 0.12e-6
+
+    #: Removing a PTE during zap_page_range (per populated page),
+    #: including rmap/mmu-notifier bookkeeping — zap throughput on
+    #: server parts is on the order of tens of GB/s of address space.
+    pte_zap_per_page: float = 120e-9
+
+    #: Installing a PTE on fault (per page).
+    pte_set_per_page: float = 25e-9
+
+    #: Zero-filling one 4 KiB page (memset at ~25 GB/s).
+    page_zero_per_page: float = 0.16e-6
+
+    #: Hardware fault + kernel fault-path entry (per fault).
+    fault_entry: float = 0.45e-6
+
+    #: Delivering SIGSEGV/SIGBUS to a userspace handler and returning
+    #: (sigreturn): the dominant cost of the userfaultfd SIGBUS scheme.
+    signal_deliver: float = 1.1e-6
+
+    #: One UFFDIO_ZEROPAGE/UFFDIO_COPY ioctl, excluding the page zeroing
+    #: itself (entry, fd lookup, mfill bookkeeping).
+    uffd_ioctl: float = 0.55e-6
+
+    #: Local TLB flush after changing mappings.
+    tlb_local_flush: float = 0.3e-6
+
+    #: Sending one shootdown IPI and waiting for the ack, per target
+    #: core (initiator-side cost; the initiator cannot return until
+    #: every core acknowledges the flush).
+    tlb_ipi_send: float = 1.0e-6
+
+    #: Servicing a shootdown IPI (target-side cost, charged as irq time).
+    tlb_ipi_service: float = 0.8e-6
+
+    #: mmap_lock write-side fixed overhead beyond the queueing itself
+    #: (rwsem slow path, waiter wakeups under contention).
+    mmap_write_overhead: float = 1.0e-6
+
+
+#: Transparent-huge-page accounting granularity per ISA, in bytes.
+#:
+#: §4.3 of the paper attributes the higher apparent memory usage of the
+#: PolyBench suite on x86-64 to the kernel backing the Wasm reservations
+#: with huge pages "of up to 1 GiB" there, versus a 2 MiB limit on the
+#: ThunderX2.  We model this as a per-arena round-up granularity for the
+#: ``MemAvailable`` calculation: a conservative 64 MiB effective
+#: granularity on x86-64 (occasional 1 GiB THP promotion averaged over
+#: arenas) and 2 MiB on Armv8 and RISC-V.
+THP_GRANULARITY: dict[str, int] = {
+    "x86_64": 64 << 20,
+    "armv8": 2 << 20,
+    "riscv64": 2 << 20,
+}

@@ -1,0 +1,89 @@
+"""``/proc/stat``-style CPU accounting and the paper's utilisation metric.
+
+The paper (§4.2.1) defines CPU utilisation as
+
+    (us + sys + hi + si) / (us + sys + hi + si + id)
+
+averaged across CPUs, then rescaled so 100 % means one fully busy core
+(1600 % = all 16 cores busy).  :class:`ProcStat` snapshots the per-core
+accounting buckets of the machine model and computes exactly that
+quantity over a measurement window, along with the context-switch rate
+used for Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.machine import Machine
+
+
+@dataclass(frozen=True)
+class StatSnapshot:
+    """Cumulative counters at one instant."""
+
+    time: float
+    user: float
+    sys: float
+    irq: float
+    softirq: float
+    context_switches: int
+
+    @property
+    def busy(self) -> float:
+        return self.user + self.sys + self.irq + self.softirq
+
+
+@dataclass(frozen=True)
+class UtilisationSample:
+    """Derived metrics over a window between two snapshots."""
+
+    elapsed: float
+    busy_time: float
+    utilisation_percent: float
+    user_percent: float
+    sys_percent: float
+    irq_percent: float
+    context_switches_per_sec: float
+
+
+class ProcStat:
+    """Samples machine accounting the way the harness reads /proc/stat."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def snapshot(self) -> StatSnapshot:
+        user = sys = irq = softirq = 0.0
+        for core in self.machine.cores:
+            user += core.acct.user
+            sys += core.acct.sys
+            irq += core.acct.irq
+            softirq += core.acct.softirq
+        return StatSnapshot(
+            time=self.machine.engine.now,
+            user=user,
+            sys=sys,
+            irq=irq,
+            softirq=softirq,
+            context_switches=self.machine.context_switches,
+        )
+
+    def window(self, start: StatSnapshot, end: StatSnapshot) -> UtilisationSample:
+        elapsed = end.time - start.time
+        if elapsed <= 0:
+            raise ValueError("measurement window must have positive duration")
+        busy = end.busy - start.busy
+        # 100 % == one core fully busy for the whole window (paper's
+        # rescaled Equation 1).
+        scale = 100.0 / elapsed
+        return UtilisationSample(
+            elapsed=elapsed,
+            busy_time=busy,
+            utilisation_percent=busy * scale,
+            user_percent=(end.user - start.user) * scale,
+            sys_percent=(end.sys - start.sys) * scale,
+            irq_percent=(end.irq - start.irq) * scale,
+            context_switches_per_sec=(end.context_switches - start.context_switches)
+            / elapsed,
+        )

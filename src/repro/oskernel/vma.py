@@ -1,0 +1,133 @@
+"""Protection-interval maps: the VMA structure for one reservation.
+
+Linux represents a process address space as a tree of VMAs, each a
+contiguous range with uniform protection flags.  ``mprotect`` on a
+sub-range *splits* VMAs at the boundaries, changes the flags, and then
+*merges* adjacent VMAs whose flags became equal.  The number of splits
+and merges feeds the cost model: the work happens under the write side
+of ``mmap_lock``, so bigger VMA churn means longer exclusive holds.
+
+:class:`ProtectionMap` implements that structure for a single
+reservation (one Wasm linear-memory arena) as a sorted list of
+half-open intervals.  It is exact — the same sequence of ``mprotect``
+calls yields the same interval structure the kernel would hold — and it
+reports the split/merge counts of every operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+class Prot(enum.IntFlag):
+    """Page protection flags (subset of PROT_*)."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    RW = READ | WRITE
+
+
+@dataclass
+class _Interval:
+    start: int
+    end: int
+    prot: Prot
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"[{self.start:#x},{self.end:#x}):{self.prot.name}"
+
+
+@dataclass(frozen=True)
+class ProtectOutcome:
+    """What an mprotect-style operation did to the interval structure."""
+
+    splits: int
+    merges: int
+    changed_bytes: int
+
+
+class VmaError(ValueError):
+    """Raised for invalid protection-map operations."""
+
+
+class ProtectionMap:
+    """Sorted, merged protection intervals covering ``[0, size)``."""
+
+    def __init__(self, size: int, initial: Prot = Prot.NONE) -> None:
+        if size <= 0:
+            raise VmaError(f"protection map size must be positive, got {size}")
+        self.size = size
+        self._intervals: list[_Interval] = [_Interval(0, size, initial)]
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        return len(self._intervals)
+
+    def intervals(self) -> list[tuple[int, int, Prot]]:
+        return [(iv.start, iv.end, iv.prot) for iv in self._intervals]
+
+    def prot_at(self, offset: int) -> Prot:
+        if not 0 <= offset < self.size:
+            raise VmaError(f"offset {offset:#x} outside map of size {self.size:#x}")
+        index = bisect_right(self._starts(), offset) - 1
+        return self._intervals[index].prot
+
+    def is_accessible(self, offset: int, write: bool) -> bool:
+        prot = self.prot_at(offset)
+        needed = Prot.WRITE if write else Prot.READ
+        return bool(prot & needed)
+
+    # -- mutation ----------------------------------------------------------
+    def protect(self, start: int, end: int, prot: Prot) -> ProtectOutcome:
+        """Set protection on ``[start, end)``; returns split/merge counts."""
+        if not 0 <= start < end <= self.size:
+            raise VmaError(
+                f"bad protect range [{start:#x},{end:#x}) for size {self.size:#x}"
+            )
+        splits = 0
+        changed = 0
+
+        # Split at the boundaries so [start, end) aligns with intervals.
+        splits += self._split_at(start)
+        splits += self._split_at(end)
+
+        for iv in self._intervals:
+            if iv.start >= end or iv.end <= start:
+                continue
+            if iv.prot != prot:
+                changed += iv.end - iv.start
+                iv.prot = prot
+
+        merges = self._merge_all()
+        return ProtectOutcome(splits=splits, merges=merges, changed_bytes=changed)
+
+    # -- internals ---------------------------------------------------------
+    def _starts(self) -> list[int]:
+        return [iv.start for iv in self._intervals]
+
+    def _split_at(self, offset: int) -> int:
+        if offset in (0, self.size):
+            return 0
+        index = bisect_right(self._starts(), offset) - 1
+        iv = self._intervals[index]
+        if iv.start == offset:
+            return 0
+        self._intervals.insert(index + 1, _Interval(offset, iv.end, iv.prot))
+        iv.end = offset
+        return 1
+
+    def _merge_all(self) -> int:
+        merged: list[_Interval] = []
+        merges = 0
+        for iv in self._intervals:
+            if merged and merged[-1].prot == iv.prot and merged[-1].end == iv.start:
+                merged[-1].end = iv.end
+                merges += 1
+            else:
+                merged.append(iv)
+        self._intervals = merged
+        return merges

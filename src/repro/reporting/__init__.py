@@ -1,0 +1,5 @@
+"""Terminal rendering for experiment output."""
+
+from repro.reporting.tables import render_table, render_bars
+
+__all__ = ["render_table", "render_bars"]

@@ -1,0 +1,81 @@
+"""ASCII tables and bar charts for the figure harness.
+
+Every experiment prints the same rows/series the paper's figures plot;
+these helpers render them readably in a terminal and in the committed
+EXPERIMENTS.md transcripts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A padded, pipe-separated table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    reference: Optional[float] = None,
+) -> str:
+    """Horizontal bars, scaled to the maximum value.
+
+    ``reference`` draws a marker (│) at a reference value — the
+    figures use it for the native = 1.0 line.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines)
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    ref_pos = None
+    if reference is not None and reference <= peak:
+        ref_pos = int(round(reference / peak * width))
+    for label, value in zip(labels, values):
+        filled = int(round(value / peak * width))
+        bar = list("█" * filled + " " * (width - filled))
+        if ref_pos is not None and 0 <= ref_pos < width and bar[ref_pos] == " ":
+            bar[ref_pos] = "│"
+        lines.append(
+            f"{label.ljust(label_width)} {''.join(bar)} {_fmt(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,986 @@
+"""A closure-threaded WebAssembly interpreter.
+
+Functions are pre-compiled to lists of Python closures, one per
+instruction, each returning the next program counter — the Python
+analogue of the threaded-code dispatch Wasm3 uses (paper §2.2, ref.
+[1]).  The interpreter serves three roles:
+
+1. **reference semantics** — the full numeric tower (wrap-around
+   integer arithmetic, trapping division, IEEE float edge cases,
+   f32 rounding) against which the compiled-code model is
+   differentially tested;
+2. **the Wasm3 runtime model** — interpreter timing comes from dynamic
+   opcode counts priced with a dispatch-cost model;
+3. **the profiler** — when ``collect_profile`` is on, it records exact
+   per-pc execution counts plus memory observables, producing the
+   :class:`~repro.runtime.profile.ExecutionProfile` every other
+   runtime model is costed from.
+
+Value conventions: i32/i64 are canonical *unsigned* Python ints
+(0 ≤ v < 2**N); f32/f64 are Python floats, with f32 results rounded
+through single precision.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.memory import LinearMemory
+from repro.runtime.profile import ExecutionProfile
+from repro.runtime.strategies import BoundsStrategy, strategy_named
+from repro.wasm.errors import ExhaustionError, LinkError, Trap
+from repro.wasm.instructions import Instr
+from repro.wasm.module import Function, Module
+from repro.wasm.types import FuncType, ValType
+from repro.wasm.validator import validate_module
+
+M32 = 0xFFFFFFFF
+M64 = 0xFFFFFFFFFFFFFFFF
+
+# Each simulated wasm call consumes a handful of Python frames; raise
+# CPython's limit once at import so the interpreter's own depth guard
+# (_MAX_CALL_DEPTH) always fires first.
+if sys.getrecursionlimit() < 20_000:
+    sys.setrecursionlimit(20_000)
+_NAN = float("nan")
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Numeric helpers
+# ----------------------------------------------------------------------
+def s32(v: int) -> int:
+    return v - 0x1_0000_0000 if v & 0x8000_0000 else v
+
+
+def s64(v: int) -> int:
+    return v - 0x1_0000_0000_0000_0000 if v & 0x8000_0000_0000_0000 else v
+
+
+def to_f32(x: float) -> float:
+    """Round a Python float through IEEE single precision."""
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def _clz(v: int, bits: int) -> int:
+    return bits - v.bit_length()
+
+
+def _ctz(v: int, bits: int) -> int:
+    if v == 0:
+        return bits
+    return (v & -v).bit_length() - 1
+
+
+def _rotl(v: int, n: int, bits: int, mask: int) -> int:
+    n %= bits
+    return ((v << n) | (v >> (bits - n))) & mask if n else v
+
+
+def _rotr(v: int, n: int, bits: int, mask: int) -> int:
+    n %= bits
+    return ((v >> n) | (v << (bits - n))) & mask if n else v
+
+
+def _fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if math.isnan(a) or a == 0.0:
+            return _NAN
+        return math.copysign(_INF, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def _fmin(a: float, b: float) -> float:
+    if math.isnan(a) or math.isnan(b):
+        return _NAN
+    if a == b:
+        # min(-0, +0) is -0.
+        return a if math.copysign(1.0, a) < 0 else b
+    return a if a < b else b
+
+
+def _fmax(a: float, b: float) -> float:
+    if math.isnan(a) or math.isnan(b):
+        return _NAN
+    if a == b:
+        return a if math.copysign(1.0, a) > 0 else b
+    return a if a > b else b
+
+
+def _fsqrt(x: float) -> float:
+    if math.isnan(x) or x < 0.0:
+        return _NAN
+    return math.sqrt(x)
+
+
+def _fnearest(x: float) -> float:
+    if math.isnan(x) or math.isinf(x) or abs(x) >= 2.0**52:
+        return x
+    rounded = float(round(x))
+    if rounded == 0.0 and math.copysign(1.0, x) < 0:
+        return -0.0
+    return rounded
+
+
+def _ffloor(x: float) -> float:
+    if math.isnan(x) or math.isinf(x):
+        return x
+    return float(math.floor(x))
+
+
+def _fceil(x: float) -> float:
+    if math.isnan(x) or math.isinf(x):
+        return x
+    result = float(math.ceil(x))
+    if result == 0.0 and math.copysign(1.0, x) < 0:
+        return -0.0
+    return result
+
+
+def _ftrunc(x: float) -> float:
+    if math.isnan(x) or math.isinf(x):
+        return x
+    result = float(math.trunc(x))
+    if result == 0.0 and math.copysign(1.0, x) < 0:
+        return -0.0
+    return result
+
+
+def _trunc_to_int(x: float, lo: int, hi: int) -> int:
+    if math.isnan(x):
+        raise Trap("invalid-conversion-to-integer", "truncation of NaN")
+    if math.isinf(x):
+        raise Trap("integer-overflow", "truncation of infinity")
+    t = math.trunc(x)
+    if not lo <= t <= hi:
+        raise Trap("integer-overflow", f"{x} out of range [{lo},{hi}]")
+    return t
+
+
+# ----------------------------------------------------------------------
+# Host functions and instances
+# ----------------------------------------------------------------------
+@dataclass
+class HostFunc:
+    """A function provided by the embedder (e.g. a WASI shim)."""
+
+    params: Tuple[ValType, ...]
+    results: Tuple[ValType, ...]
+    fn: Callable[..., Any]
+    name: str = ""
+
+    @property
+    def func_type(self) -> FuncType:
+        return FuncType(self.params, self.results)
+
+
+class Instance:
+    """Runtime state of an instantiated module."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.memory: Optional[LinearMemory] = None
+        self.globals: List[Any] = []
+        self.table: List[Optional[int]] = []
+        #: absolute func index -> ('wasm', Function) | ('host', HostFunc)
+        self.funcs: List[Tuple[str, Union[Function, HostFunc]]] = []
+
+
+_MAX_CALL_DEPTH = 500
+
+
+class Interpreter:
+    """Instantiate and execute one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        imports: Optional[Dict[Tuple[str, str], HostFunc]] = None,
+        strategy: Union[BoundsStrategy, str, None] = None,
+        validate: bool = True,
+        collect_profile: bool = True,
+        track_pages: bool = True,
+    ) -> None:
+        if validate:
+            validate_module(module)
+        if isinstance(strategy, str):
+            strategy = strategy_named(strategy)
+        self.strategy = strategy or strategy_named("trap")
+        self.module = module
+        self.collect_profile = collect_profile
+        self.instance = self._instantiate(imports or {}, track_pages)
+        self._code_cache: Dict[int, List[Callable]] = {}
+        self._counts: Dict[int, List[int]] = {}
+        self._depth = 0
+        if module.start is not None:
+            self.call_function(module.start, [])
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+    def _instantiate(self, imports, track_pages: bool) -> Instance:
+        module = self.module
+        inst = Instance(module)
+        for imp in module.imports:
+            if imp.kind != "func":
+                raise LinkError(f"unsupported import kind {imp.kind!r}")
+            host = imports.get((imp.module, imp.name))
+            if host is None:
+                raise LinkError(f"unresolved import {imp.module}.{imp.name}")
+            declared = module.type_at(imp.desc)
+            if host.func_type != declared:
+                raise LinkError(
+                    f"import {imp.module}.{imp.name}: host type {host.func_type} "
+                    f"!= declared {declared}"
+                )
+            inst.funcs.append(("host", host))
+        for func in module.funcs:
+            inst.funcs.append(("wasm", func))
+        for glob in module.globals:
+            inst.globals.append(self._eval_const(glob.init, inst))
+        if module.memories:
+            inst.memory = LinearMemory(
+                module.memories[0].limits, self.strategy, track_pages=track_pages
+            )
+        if module.tables:
+            inst.table = [None] * module.tables[0].limits.minimum
+        for element in module.elements:
+            offset = self._eval_const(element.offset, inst)
+            if offset + len(element.func_indices) > len(inst.table):
+                raise LinkError("element segment out of table bounds")
+            for position, func_index in enumerate(element.func_indices):
+                inst.table[offset + position] = func_index
+        for segment in module.data:
+            if inst.memory is None:
+                raise LinkError("data segment with no memory")
+            offset = self._eval_const(segment.offset, inst)
+            if offset + len(segment.data) > inst.memory.size_bytes:
+                raise LinkError("data segment out of memory bounds")
+            inst.memory.data[offset : offset + len(segment.data)] = segment.data
+        return inst
+
+    def _eval_const(self, expr: List[Instr], inst: Instance) -> Any:
+        ins = expr[0]
+        if ins.op == "i32.const":
+            return ins.args[0] & M32
+        if ins.op == "i64.const":
+            return ins.args[0] & M64
+        if ins.op == "f32.const":
+            return to_f32(ins.args[0])
+        if ins.op == "f64.const":
+            return float(ins.args[0])
+        if ins.op == "global.get":
+            return inst.globals[ins.args[0]]
+        raise LinkError(f"unsupported constant expression {ins.op}")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def invoke(self, export_name: str, *args) -> Any:
+        """Call an exported function; returns its (single) result."""
+        export = self.module.export_named(export_name)
+        if export.kind != "func":
+            raise LinkError(f"export {export_name!r} is a {export.kind}, not a func")
+        results = self.call_function(export.index, list(args))
+        if not results:
+            return None
+        if len(results) == 1:
+            return results[0]
+        return tuple(results)
+
+    @property
+    def memory(self) -> Optional[LinearMemory]:
+        return self.instance.memory
+
+    def call_function(self, func_index: int, args: Sequence[Any]) -> List[Any]:
+        kind, target = self.instance.funcs[func_index]
+        if kind == "host":
+            results = target.fn(*args)
+            if results is None:
+                return []
+            if isinstance(results, (list, tuple)):
+                return list(results)
+            return [results]
+        func_type = self.module.func_type(func_index)
+        if len(args) != len(func_type.params):
+            raise LinkError(
+                f"function {func_index} expects {len(func_type.params)} args, "
+                f"got {len(args)}"
+            )
+        norm_args = [
+            self._normalize(value, valtype)
+            for value, valtype in zip(args, func_type.params)
+        ]
+        return self._run(func_index, target, func_type, norm_args)
+
+    @staticmethod
+    def _normalize(value: Any, valtype: ValType) -> Any:
+        if valtype == ValType.I32:
+            return int(value) & M32
+        if valtype == ValType.I64:
+            return int(value) & M64
+        if valtype == ValType.F32:
+            return to_f32(float(value))
+        return float(value)
+
+    def take_profile(self, workload: str = "", size: str = "") -> ExecutionProfile:
+        """Build an ExecutionProfile from counts gathered so far."""
+        profile = ExecutionProfile(workload=workload, size=size)
+        op_totals: Dict[str, int] = {}
+        for func_index, counts in self._counts.items():
+            func = self.module.defined_func(func_index)
+            profile.instr_counts[func_index] = list(counts)
+            for ins, count in zip(func.body, counts):
+                if count:
+                    op_totals[ins.op] = op_totals.get(ins.op, 0) + count
+        profile.op_totals = op_totals
+        profile.merge_totals()
+        memory = self.instance.memory
+        if memory is not None:
+            profile.mem_loads = memory.load_count
+            profile.mem_stores = memory.store_count
+            profile.pages_touched = len(memory.touched_pages)
+            profile.grow_events = [
+                (event.pages_before, event.pages_after) for event in memory.events
+            ]
+            profile.peak_pages = memory.pages
+        return profile
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        func_index: int,
+        func: Function,
+        func_type: FuncType,
+        args: List[Any],
+    ) -> List[Any]:
+        self._depth += 1
+        if self._depth > _MAX_CALL_DEPTH:
+            self._depth -= 1
+            raise ExhaustionError("call stack exhausted")
+        try:
+            code = self._code_cache.get(func_index)
+            if code is None:
+                code = self._compile(func_index, func)
+                self._code_cache[func_index] = code
+                if self.collect_profile:
+                    self._counts[func_index] = [0] * len(code)
+            frame = _Frame(args + _default_locals(func.locals))
+            n = len(code)
+            # The function body itself is a branch target (depth ==
+            # number of open blocks): branching to it returns.
+            frame.labels.append((n, 0, len(func_type.results)))
+            pc = 0
+            if self.collect_profile:
+                counts = self._counts[func_index]
+                while pc < n:
+                    counts[pc] += 1
+                    pc = code[pc](frame)
+            else:
+                while pc < n:
+                    pc = code[pc](frame)
+            arity = len(func_type.results)
+            return frame.stack[-arity:] if arity else []
+        finally:
+            self._depth -= 1
+
+    # ------------------------------------------------------------------
+    # Compilation to closures
+    # ------------------------------------------------------------------
+    def _compile(self, func_index: int, func: Function) -> List[Callable]:
+        body = func.body
+        matches = _match_control(body)
+        code: List[Callable] = []
+        for pc, ins in enumerate(body):
+            code.append(self._make_closure(pc, ins, matches, len(body)))
+        return code
+
+    def _make_closure(self, pc, ins, matches, body_len):
+        op = ins.op
+        next_pc = pc + 1
+        inst = self.instance
+        memory = inst.memory
+        globals_ = inst.globals
+
+        # ---- control -------------------------------------------------
+        if op == "nop":
+            return lambda f: next_pc
+        if op == "unreachable":
+            def run_unreachable(f):
+                raise Trap("unreachable")
+            return run_unreachable
+        if op in ("block", "loop", "if"):
+            end_pc, else_pc = matches[pc]
+            arity = 0 if ins.args[0] is None else 1
+            if op == "block":
+                target = end_pc + 1
+
+                def run_block(f, target=target, arity=arity):
+                    f.labels.append((target, len(f.stack), arity))
+                    return next_pc
+
+                return run_block
+            if op == "loop":
+                def run_loop(f, target=pc):
+                    f.labels.append((target, len(f.stack), 0))
+                    return next_pc
+
+                return run_loop
+            # if
+            target = end_pc + 1
+            else_target = else_pc + 1 if else_pc is not None else end_pc
+
+            def run_if(f, target=target, arity=arity, else_target=else_target):
+                cond = f.stack.pop()
+                f.labels.append((target, len(f.stack), arity))
+                return next_pc if cond else else_target
+
+            return run_if
+        if op == "else":
+            end_pc = matches[pc]
+
+            def run_else(f, end_pc=end_pc):
+                return end_pc  # jump to 'end', which pops the label
+
+            return run_else
+        if op == "end":
+            def run_end(f):
+                f.labels.pop()
+                return next_pc
+
+            return run_end
+        if op == "br":
+            depth = ins.args[0]
+
+            def run_br(f, depth=depth):
+                return _branch(f, depth)
+
+            return run_br
+        if op == "br_if":
+            depth = ins.args[0]
+
+            def run_br_if(f, depth=depth):
+                if f.stack.pop():
+                    return _branch(f, depth)
+                return next_pc
+
+            return run_br_if
+        if op == "br_table":
+            labels, default = ins.args
+
+            def run_br_table(f, labels=labels, default=default):
+                index = f.stack.pop()
+                depth = labels[index] if index < len(labels) else default
+                return _branch(f, depth)
+
+            return run_br_table
+        if op == "return":
+            return lambda f: body_len
+        if op == "call":
+            callee = ins.args[0]
+            nparams = len(self.module.func_type(callee).params)
+
+            def run_call(f, callee=callee, nparams=nparams):
+                if nparams:
+                    args = f.stack[-nparams:]
+                    del f.stack[-nparams:]
+                else:
+                    args = []
+                f.stack.extend(self.call_function(callee, args))
+                return next_pc
+
+            return run_call
+        if op == "call_indirect":
+            type_index, _table = ins.args
+            expected = self.module.type_at(type_index)
+            nparams = len(expected.params)
+
+            def run_call_indirect(f, expected=expected, nparams=nparams):
+                element = f.stack.pop()
+                table = inst.table
+                if element >= len(table):
+                    raise Trap("undefined-element", f"table index {element}")
+                callee = table[element]
+                if callee is None:
+                    raise Trap("uninitialized-element", f"table slot {element}")
+                actual = self.module.func_type(callee)
+                if actual != expected:
+                    raise Trap(
+                        "indirect-call-type-mismatch",
+                        f"{actual} != {expected}",
+                    )
+                if nparams:
+                    args = f.stack[-nparams:]
+                    del f.stack[-nparams:]
+                else:
+                    args = []
+                f.stack.extend(self.call_function(callee, args))
+                return next_pc
+
+            return run_call_indirect
+
+        # ---- parametric ------------------------------------------------
+        if op == "drop":
+            def run_drop(f):
+                f.stack.pop()
+                return next_pc
+
+            return run_drop
+        if op == "select":
+            def run_select(f):
+                stack = f.stack
+                cond = stack.pop()
+                second = stack.pop()
+                first = stack.pop()
+                stack.append(first if cond else second)
+                return next_pc
+
+            return run_select
+
+        # ---- variables ---------------------------------------------------
+        if op == "local.get":
+            index = ins.args[0]
+
+            def run_local_get(f, index=index):
+                f.stack.append(f.locals[index])
+                return next_pc
+
+            return run_local_get
+        if op == "local.set":
+            index = ins.args[0]
+
+            def run_local_set(f, index=index):
+                f.locals[index] = f.stack.pop()
+                return next_pc
+
+            return run_local_set
+        if op == "local.tee":
+            index = ins.args[0]
+
+            def run_local_tee(f, index=index):
+                f.locals[index] = f.stack[-1]
+                return next_pc
+
+            return run_local_tee
+        if op == "global.get":
+            index = ins.args[0]
+
+            def run_global_get(f, index=index):
+                f.stack.append(globals_[index])
+                return next_pc
+
+            return run_global_get
+        if op == "global.set":
+            index = ins.args[0]
+
+            def run_global_set(f, index=index):
+                globals_[index] = f.stack.pop()
+                return next_pc
+
+            return run_global_set
+
+        # ---- constants ------------------------------------------------------
+        if op == "i32.const":
+            value = ins.args[0] & M32
+            return lambda f, value=value: (f.stack.append(value), next_pc)[1]
+        if op == "i64.const":
+            value = ins.args[0] & M64
+            return lambda f, value=value: (f.stack.append(value), next_pc)[1]
+        if op == "f32.const":
+            value = to_f32(float(ins.args[0]))
+            return lambda f, value=value: (f.stack.append(value), next_pc)[1]
+        if op == "f64.const":
+            value = float(ins.args[0])
+            return lambda f, value=value: (f.stack.append(value), next_pc)[1]
+
+        # ---- memory ------------------------------------------------------------
+        if ins.info.category == "load":
+            return _make_load(op, ins.args[1], memory, next_pc)
+        if ins.info.category == "store":
+            return _make_store(op, ins.args[1], memory, next_pc)
+        if op == "memory.size":
+            def run_memory_size(f):
+                f.stack.append(memory.pages)
+                return next_pc
+
+            return run_memory_size
+        if op == "memory.grow":
+            def run_memory_grow(f):
+                delta = f.stack.pop()
+                f.stack.append(memory.grow(delta) & M32)
+                return next_pc
+
+            return run_memory_grow
+
+        # ---- numeric: table-driven -------------------------------------------------
+        unop = _UNOPS.get(op)
+        if unop is not None:
+            def run_unop(f, unop=unop):
+                stack = f.stack
+                stack[-1] = unop(stack[-1])
+                return next_pc
+
+            return run_unop
+        binop = _BINOPS.get(op)
+        if binop is not None:
+            def run_binop(f, binop=binop):
+                stack = f.stack
+                b = stack.pop()
+                stack[-1] = binop(stack[-1], b)
+                return next_pc
+
+            return run_binop
+        raise NotImplementedError(f"no interpreter support for {op}")  # pragma: no cover
+
+
+class _Frame:
+    __slots__ = ("stack", "locals", "labels")
+
+    def __init__(self, locals_: List[Any]) -> None:
+        self.stack: List[Any] = []
+        self.locals = locals_
+        self.labels: List[Tuple[int, int, int]] = []
+
+
+def _default_locals(locals_: List[ValType]) -> List[Any]:
+    return [0.0 if valtype.is_float else 0 for valtype in locals_]
+
+
+def _branch(f: _Frame, depth: int) -> int:
+    target, height, arity = f.labels[-1 - depth]
+    del f.labels[len(f.labels) - 1 - depth :]
+    stack = f.stack
+    if arity:
+        carried = stack[-arity:]
+        del stack[height:]
+        stack.extend(carried)
+    else:
+        del stack[height:]
+    return target
+
+
+def _match_control(body: List[Instr]):
+    """Map each block/loop/if pc to (end_pc, else_pc); else pc to end_pc."""
+    matches: Dict[int, Any] = {}
+    stack: List[Tuple[int, Optional[int]]] = []
+    for pc, ins in enumerate(body):
+        op = ins.op
+        if op in ("block", "loop", "if"):
+            stack.append((pc, None))
+        elif op == "else":
+            opener, _ = stack.pop()
+            stack.append((opener, pc))
+        elif op == "end":
+            opener, else_pc = stack.pop()
+            matches[opener] = (pc, else_pc)
+            if else_pc is not None:
+                matches[else_pc] = pc
+    return matches
+
+
+# ----------------------------------------------------------------------
+# Memory closures
+# ----------------------------------------------------------------------
+_LOAD_INT = {
+    "i32.load": (4, False, 32),
+    "i64.load": (8, False, 64),
+    "i32.load8_s": (1, True, 32),
+    "i32.load8_u": (1, False, 32),
+    "i32.load16_s": (2, True, 32),
+    "i32.load16_u": (2, False, 32),
+    "i64.load8_s": (1, True, 64),
+    "i64.load8_u": (1, False, 64),
+    "i64.load16_s": (2, True, 64),
+    "i64.load16_u": (2, False, 64),
+    "i64.load32_s": (4, True, 64),
+    "i64.load32_u": (4, False, 64),
+}
+
+_STORE_INT = {
+    "i32.store": 4,
+    "i64.store": 8,
+    "i32.store8": 1,
+    "i32.store16": 2,
+    "i64.store8": 1,
+    "i64.store16": 2,
+    "i64.store32": 4,
+}
+
+
+def _make_load(op: str, offset: int, memory: LinearMemory, next_pc: int):
+    if memory is None:  # pragma: no cover - validation prevents this
+        raise LinkError(f"{op} with no memory")
+    if op == "f32.load":
+        def run_f32_load(f):
+            stack = f.stack
+            stack[-1] = struct.unpack("<f", memory.load_bytes(stack[-1] + offset, 4))[0]
+            return next_pc
+
+        return run_f32_load
+    if op == "f64.load":
+        def run_f64_load(f):
+            stack = f.stack
+            stack[-1] = struct.unpack("<d", memory.load_bytes(stack[-1] + offset, 8))[0]
+            return next_pc
+
+        return run_f64_load
+    size, signed, bits = _LOAD_INT[op]
+    mask = M32 if bits == 32 else M64
+
+    def run_int_load(f, size=size, signed=signed, mask=mask):
+        stack = f.stack
+        raw = memory.load_bytes(stack[-1] + offset, size)
+        value = int.from_bytes(raw, "little", signed=signed)
+        stack[-1] = value & mask
+        return next_pc
+
+    return run_int_load
+
+
+def _make_store(op: str, offset: int, memory: LinearMemory, next_pc: int):
+    if memory is None:  # pragma: no cover - validation prevents this
+        raise LinkError(f"{op} with no memory")
+    if op == "f32.store":
+        def run_f32_store(f):
+            stack = f.stack
+            value = stack.pop()
+            memory.store_bytes(stack.pop() + offset, struct.pack("<f", to_f32(value)))
+            return next_pc
+
+        return run_f32_store
+    if op == "f64.store":
+        def run_f64_store(f):
+            stack = f.stack
+            value = stack.pop()
+            memory.store_bytes(stack.pop() + offset, struct.pack("<d", value))
+            return next_pc
+
+        return run_f64_store
+    size = _STORE_INT[op]
+    mask = (1 << (size * 8)) - 1
+
+    def run_int_store(f, size=size, mask=mask):
+        stack = f.stack
+        value = stack.pop() & mask
+        memory.store_bytes(stack.pop() + offset, value.to_bytes(size, "little"))
+        return next_pc
+
+    return run_int_store
+
+
+# ----------------------------------------------------------------------
+# Numeric operator tables
+# ----------------------------------------------------------------------
+def _div_s32(a, b):
+    sa, sb = s32(a), s32(b)
+    if sb == 0:
+        raise Trap("integer-divide-by-zero")
+    if sa == -0x8000_0000 and sb == -1:
+        raise Trap("integer-overflow")
+    return _trunc_div(sa, sb) & M32
+
+
+def _div_u32(a, b):
+    if b == 0:
+        raise Trap("integer-divide-by-zero")
+    return a // b
+
+
+def _rem_s32(a, b):
+    sa, sb = s32(a), s32(b)
+    if sb == 0:
+        raise Trap("integer-divide-by-zero")
+    return _trunc_rem(sa, sb) & M32
+
+
+def _rem_u32(a, b):
+    if b == 0:
+        raise Trap("integer-divide-by-zero")
+    return a % b
+
+
+def _div_s64(a, b):
+    sa, sb = s64(a), s64(b)
+    if sb == 0:
+        raise Trap("integer-divide-by-zero")
+    if sa == -0x8000_0000_0000_0000 and sb == -1:
+        raise Trap("integer-overflow")
+    return _trunc_div(sa, sb) & M64
+
+
+def _div_u64(a, b):
+    if b == 0:
+        raise Trap("integer-divide-by-zero")
+    return a // b
+
+
+def _rem_s64(a, b):
+    sa, sb = s64(a), s64(b)
+    if sb == 0:
+        raise Trap("integer-divide-by-zero")
+    return _trunc_rem(sa, sb) & M64
+
+
+def _rem_u64(a, b):
+    if b == 0:
+        raise Trap("integer-divide-by-zero")
+    return a % b
+
+
+_BINOPS: Dict[str, Callable[[Any, Any], Any]] = {
+    # i32
+    "i32.add": lambda a, b: (a + b) & M32,
+    "i32.sub": lambda a, b: (a - b) & M32,
+    "i32.mul": lambda a, b: (a * b) & M32,
+    "i32.div_s": _div_s32,
+    "i32.div_u": _div_u32,
+    "i32.rem_s": _rem_s32,
+    "i32.rem_u": _rem_u32,
+    "i32.and": lambda a, b: a & b,
+    "i32.or": lambda a, b: a | b,
+    "i32.xor": lambda a, b: a ^ b,
+    "i32.shl": lambda a, b: (a << (b & 31)) & M32,
+    "i32.shr_s": lambda a, b: (s32(a) >> (b & 31)) & M32,
+    "i32.shr_u": lambda a, b: a >> (b & 31),
+    "i32.rotl": lambda a, b: _rotl(a, b, 32, M32),
+    "i32.rotr": lambda a, b: _rotr(a, b, 32, M32),
+    "i32.eq": lambda a, b: 1 if a == b else 0,
+    "i32.ne": lambda a, b: 1 if a != b else 0,
+    "i32.lt_s": lambda a, b: 1 if s32(a) < s32(b) else 0,
+    "i32.lt_u": lambda a, b: 1 if a < b else 0,
+    "i32.gt_s": lambda a, b: 1 if s32(a) > s32(b) else 0,
+    "i32.gt_u": lambda a, b: 1 if a > b else 0,
+    "i32.le_s": lambda a, b: 1 if s32(a) <= s32(b) else 0,
+    "i32.le_u": lambda a, b: 1 if a <= b else 0,
+    "i32.ge_s": lambda a, b: 1 if s32(a) >= s32(b) else 0,
+    "i32.ge_u": lambda a, b: 1 if a >= b else 0,
+    # i64
+    "i64.add": lambda a, b: (a + b) & M64,
+    "i64.sub": lambda a, b: (a - b) & M64,
+    "i64.mul": lambda a, b: (a * b) & M64,
+    "i64.div_s": _div_s64,
+    "i64.div_u": _div_u64,
+    "i64.rem_s": _rem_s64,
+    "i64.rem_u": _rem_u64,
+    "i64.and": lambda a, b: a & b,
+    "i64.or": lambda a, b: a | b,
+    "i64.xor": lambda a, b: a ^ b,
+    "i64.shl": lambda a, b: (a << (b & 63)) & M64,
+    "i64.shr_s": lambda a, b: (s64(a) >> (b & 63)) & M64,
+    "i64.shr_u": lambda a, b: a >> (b & 63),
+    "i64.rotl": lambda a, b: _rotl(a, b, 64, M64),
+    "i64.rotr": lambda a, b: _rotr(a, b, 64, M64),
+    "i64.eq": lambda a, b: 1 if a == b else 0,
+    "i64.ne": lambda a, b: 1 if a != b else 0,
+    "i64.lt_s": lambda a, b: 1 if s64(a) < s64(b) else 0,
+    "i64.lt_u": lambda a, b: 1 if a < b else 0,
+    "i64.gt_s": lambda a, b: 1 if s64(a) > s64(b) else 0,
+    "i64.gt_u": lambda a, b: 1 if a > b else 0,
+    "i64.le_s": lambda a, b: 1 if s64(a) <= s64(b) else 0,
+    "i64.le_u": lambda a, b: 1 if a <= b else 0,
+    "i64.ge_s": lambda a, b: 1 if s64(a) >= s64(b) else 0,
+    "i64.ge_u": lambda a, b: 1 if a >= b else 0,
+    # f32
+    "f32.add": lambda a, b: to_f32(a + b),
+    "f32.sub": lambda a, b: to_f32(a - b),
+    "f32.mul": lambda a, b: to_f32(a * b),
+    "f32.div": lambda a, b: to_f32(_fdiv(a, b)),
+    "f32.min": _fmin,
+    "f32.max": _fmax,
+    "f32.copysign": lambda a, b: math.copysign(a, b),
+    "f32.eq": lambda a, b: 1 if a == b else 0,
+    "f32.ne": lambda a, b: 1 if a != b else 0,
+    "f32.lt": lambda a, b: 1 if a < b else 0,
+    "f32.gt": lambda a, b: 1 if a > b else 0,
+    "f32.le": lambda a, b: 1 if a <= b else 0,
+    "f32.ge": lambda a, b: 1 if a >= b else 0,
+    # f64
+    "f64.add": lambda a, b: a + b,
+    "f64.sub": lambda a, b: a - b,
+    "f64.mul": lambda a, b: a * b,
+    "f64.div": _fdiv,
+    "f64.min": _fmin,
+    "f64.max": _fmax,
+    "f64.copysign": lambda a, b: math.copysign(a, b),
+    "f64.eq": lambda a, b: 1 if a == b else 0,
+    "f64.ne": lambda a, b: 1 if a != b else 0,
+    "f64.lt": lambda a, b: 1 if a < b else 0,
+    "f64.gt": lambda a, b: 1 if a > b else 0,
+    "f64.le": lambda a, b: 1 if a <= b else 0,
+    "f64.ge": lambda a, b: 1 if a >= b else 0,
+}
+
+_UNOPS: Dict[str, Callable[[Any], Any]] = {
+    # integer unary
+    "i32.eqz": lambda a: 1 if a == 0 else 0,
+    "i64.eqz": lambda a: 1 if a == 0 else 0,
+    "i32.clz": lambda a: _clz(a, 32),
+    "i32.ctz": lambda a: _ctz(a, 32),
+    "i32.popcnt": lambda a: a.bit_count(),
+    "i64.clz": lambda a: _clz(a, 64),
+    "i64.ctz": lambda a: _ctz(a, 64),
+    "i64.popcnt": lambda a: a.bit_count(),
+    # float unary
+    "f32.abs": lambda a: to_f32(math.fabs(a)),
+    "f32.neg": lambda a: to_f32(-a if a == a else _NAN),
+    "f32.ceil": lambda a: to_f32(_fceil(a)),
+    "f32.floor": lambda a: to_f32(_ffloor(a)),
+    "f32.trunc": lambda a: to_f32(_ftrunc(a)),
+    "f32.nearest": lambda a: to_f32(_fnearest(a)),
+    "f32.sqrt": lambda a: to_f32(_fsqrt(a)),
+    "f64.abs": math.fabs,
+    "f64.neg": lambda a: -a if a == a else _NAN,
+    "f64.ceil": _fceil,
+    "f64.floor": _ffloor,
+    "f64.trunc": _ftrunc,
+    "f64.nearest": _fnearest,
+    "f64.sqrt": _fsqrt,
+    # conversions
+    "i32.wrap_i64": lambda a: a & M32,
+    "i32.trunc_f32_s": lambda a: _trunc_to_int(a, -(2**31), 2**31 - 1) & M32,
+    "i32.trunc_f32_u": lambda a: _trunc_to_int(a, 0, 2**32 - 1),
+    "i32.trunc_f64_s": lambda a: _trunc_to_int(a, -(2**31), 2**31 - 1) & M32,
+    "i32.trunc_f64_u": lambda a: _trunc_to_int(a, 0, 2**32 - 1),
+    "i64.extend_i32_s": lambda a: s32(a) & M64,
+    "i64.extend_i32_u": lambda a: a,
+    "i64.trunc_f32_s": lambda a: _trunc_to_int(a, -(2**63), 2**63 - 1) & M64,
+    "i64.trunc_f32_u": lambda a: _trunc_to_int(a, 0, 2**64 - 1),
+    "i64.trunc_f64_s": lambda a: _trunc_to_int(a, -(2**63), 2**63 - 1) & M64,
+    "i64.trunc_f64_u": lambda a: _trunc_to_int(a, 0, 2**64 - 1),
+    "f32.convert_i32_s": lambda a: to_f32(float(s32(a))),
+    "f32.convert_i32_u": lambda a: to_f32(float(a)),
+    "f32.convert_i64_s": lambda a: to_f32(float(s64(a))),
+    "f32.convert_i64_u": lambda a: to_f32(float(a)),
+    "f32.demote_f64": to_f32,
+    "f64.convert_i32_s": lambda a: float(s32(a)),
+    "f64.convert_i32_u": lambda a: float(a),
+    "f64.convert_i64_s": lambda a: float(s64(a)),
+    "f64.convert_i64_u": lambda a: float(a),
+    "f64.promote_f32": lambda a: a,
+    "i32.reinterpret_f32": lambda a: struct.unpack("<I", struct.pack("<f", a))[0],
+    "i64.reinterpret_f64": lambda a: struct.unpack("<Q", struct.pack("<d", a))[0],
+    "f32.reinterpret_i32": lambda a: struct.unpack("<f", struct.pack("<I", a))[0],
+    "f64.reinterpret_i64": lambda a: struct.unpack("<d", struct.pack("<Q", a))[0],
+    # sign extension
+    "i32.extend8_s": lambda a: ((a & 0xFF) - 0x100 if a & 0x80 else a & 0xFF) & M32,
+    "i32.extend16_s": lambda a: ((a & 0xFFFF) - 0x10000 if a & 0x8000 else a & 0xFFFF) & M32,
+    "i64.extend8_s": lambda a: ((a & 0xFF) - 0x100 if a & 0x80 else a & 0xFF) & M64,
+    "i64.extend16_s": lambda a: ((a & 0xFFFF) - 0x10000 if a & 0x8000 else a & 0xFFFF) & M64,
+    "i64.extend32_s": lambda a: (s32(a & M32)) & M64,
+}

@@ -1,0 +1,158 @@
+"""Linear memory instances.
+
+A :class:`LinearMemory` is the single resizable byte buffer a Wasm
+module addresses (§2.1).  Besides the functional byte storage it
+records the observables the timing pipeline needs:
+
+* the set of 4 KiB OS pages touched (first-touch faults for the
+  demand-paging simulation);
+* a list of :class:`MemoryEvent` entries (grow operations), which the
+  harness replays through the simulated kernel per iteration.
+
+Bounds behaviour is delegated to a
+:class:`~repro.runtime.strategies.BoundsStrategy`; the access helpers
+enforce the 8 GiB architectural limit (32-bit base + 32-bit offset)
+that makes the guard-region approach sound.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.oskernel.layout import GUARD_REGION_BYTES, PAGE_SIZE, WASM_PAGE_SIZE
+from repro.runtime.strategies import BoundsStrategy, strategy_named
+from repro.wasm.errors import Trap
+from repro.wasm.types import Limits
+
+#: Hard ceiling from the spec: memories are at most 2**16 pages (4 GiB).
+MAX_WASM_PAGES = 1 << 16
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One memory-management event observed during execution."""
+
+    kind: str  # 'grow'
+    pages_before: int
+    pages_after: int
+
+
+class LinearMemory:
+    """One linear memory instance."""
+
+    def __init__(
+        self,
+        limits: Limits,
+        strategy: Optional[BoundsStrategy] = None,
+        track_pages: bool = True,
+    ) -> None:
+        if limits.minimum > MAX_WASM_PAGES:
+            raise Trap("memory-too-large", f"{limits.minimum} pages exceeds 2**16")
+        self.limits = limits
+        self.strategy = strategy or strategy_named("trap")
+        self.pages = limits.minimum
+        self.data = bytearray(self.pages * WASM_PAGE_SIZE)
+        self.track_pages = track_pages
+        #: 4 KiB page indices touched since the last reset_tracking().
+        self.touched_pages: set[int] = set()
+        self.events: List[MemoryEvent] = []
+        self.load_count = 0
+        self.store_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self.pages * WASM_PAGE_SIZE
+
+    @property
+    def max_pages(self) -> int:
+        declared = self.limits.maximum
+        return MAX_WASM_PAGES if declared is None else min(declared, MAX_WASM_PAGES)
+
+    def grow(self, delta_pages: int) -> int:
+        """memory.grow semantics: returns old size in pages, or -1."""
+        if delta_pages < 0:
+            return -1
+        new_pages = self.pages + delta_pages
+        if new_pages > self.max_pages:
+            return -1
+        old_pages = self.pages
+        self.events.append(MemoryEvent("grow", old_pages, new_pages))
+        self.pages = new_pages
+        self.data.extend(bytes(delta_pages * WASM_PAGE_SIZE))
+        return old_pages
+
+    def reset_tracking(self) -> None:
+        self.touched_pages.clear()
+        self.events.clear()
+        self.load_count = 0
+        self.store_count = 0
+
+    # ------------------------------------------------------------------
+    # Access helpers.  ``address`` is the effective address (base+offset,
+    # both u32, so always < 8 GiB by construction).
+    # ------------------------------------------------------------------
+    def _check(self, address: int, size: int, write: bool) -> int:
+        """Bounds-check an access; returns the effective address to use."""
+        if address + size <= self.size_bytes:
+            return address
+        if address + size > GUARD_REGION_BYTES:  # pragma: no cover - u32+u32 bound
+            raise Trap("out-of-bounds-memory", "beyond the 8 GiB guard region")
+        clamped = self.strategy.on_out_of_bounds(
+            address, size, self.size_bytes, write
+        )
+        if clamped is None:
+            return -1  # 'none': absorbed by the RW guard mapping
+        return clamped
+
+    def _touch(self, address: int, size: int) -> None:
+        first = address >> 12  # PAGE_SIZE == 4096
+        last = (address + size - 1) >> 12
+        self.touched_pages.add(first)
+        if last != first:
+            self.touched_pages.add(last)
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        self.load_count += 1
+        effective = self._check(address, size, write=False)
+        if effective < 0:
+            return bytes(size)
+        if self.track_pages:
+            self._touch(effective, size)
+        return bytes(self.data[effective : effective + size])
+
+    def store_bytes(self, address: int, raw: bytes) -> None:
+        self.store_count += 1
+        effective = self._check(address, len(raw), write=True)
+        if effective < 0:
+            return  # 'none': write lands in the guard scratch area
+        if self.track_pages:
+            self._touch(effective, len(raw))
+        self.data[effective : effective + len(raw)] = raw
+
+    # -- typed accessors (used by instantiation, host code and tests) ------
+    def load_u32(self, address: int) -> int:
+        return int.from_bytes(self.load_bytes(address, 4), "little")
+
+    def store_u32(self, address: int, value: int) -> None:
+        self.store_bytes(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def load_u64(self, address: int) -> int:
+        return int.from_bytes(self.load_bytes(address, 8), "little")
+
+    def store_u64(self, address: int, value: int) -> None:
+        self.store_bytes(address, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def load_f32(self, address: int) -> float:
+        return struct.unpack("<f", self.load_bytes(address, 4))[0]
+
+    def store_f32(self, address: int, value: float) -> None:
+        self.store_bytes(address, struct.pack("<f", value))
+
+    def load_f64(self, address: int) -> float:
+        return struct.unpack("<d", self.load_bytes(address, 8))[0]
+
+    def store_f64(self, address: int, value: float) -> None:
+        self.store_bytes(address, struct.pack("<d", value))

@@ -1,0 +1,60 @@
+"""Dynamic execution profiles.
+
+An :class:`ExecutionProfile` is what one functional run of a workload
+produces and what the timing pipeline consumes (DESIGN.md §5):
+
+* exact per-instruction execution counts for every defined function
+  (``instr_counts[func_index][pc]``), from which any compiler
+  configuration can be costed by a dot product;
+* aggregate opcode totals (for reporting and the interpreter model);
+* memory observables: loads/stores, distinct 4 KiB pages touched, and
+  ``memory.grow`` events — the inputs to the kernel-event replay.
+
+Profiles are deterministic for deterministic workloads, so they are
+computed once per (workload, size) and shared across every
+runtime × strategy × ISA configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ExecutionProfile:
+    """The dynamic behaviour of one workload run."""
+
+    workload: str = ""
+    size: str = ""
+    #: func index (absolute) -> per-pc execution counts.
+    instr_counts: Dict[int, List[int]] = field(default_factory=dict)
+    #: opcode name -> total dynamic executions.
+    op_totals: Dict[str, int] = field(default_factory=dict)
+    mem_loads: int = 0
+    mem_stores: int = 0
+    pages_touched: int = 0
+    #: (pages_before, pages_after) per memory.grow during the run.
+    grow_events: List[Tuple[int, int]] = field(default_factory=list)
+    peak_pages: int = 0
+    total_instrs: int = 0
+
+    @property
+    def mem_accesses(self) -> int:
+        return self.mem_loads + self.mem_stores
+
+    @property
+    def mem_access_fraction(self) -> float:
+        """Share of dynamic instructions that touch memory.
+
+        Hennessy & Patterson put loads+stores at ~40 % of x86-64
+        programs (paper §2.3); PolyBench kernels land between ~15 %
+        and ~45 % depending on how compute-dense the inner loop is.
+        """
+        if self.total_instrs == 0:
+            return 0.0
+        return self.mem_accesses / self.total_instrs
+
+    def merge_totals(self) -> None:
+        """Recompute total_instrs from op_totals (consistency helper)."""
+        self.total_instrs = sum(self.op_totals.values())

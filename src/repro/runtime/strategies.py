@@ -1,0 +1,124 @@
+"""The five bounds-checking strategies (§3.1 of the paper).
+
+Each strategy bundles three things:
+
+1. **functional semantics** for an out-of-bounds access
+   (:meth:`BoundsStrategy.on_out_of_bounds`) — what the program observes;
+2. **inline code shape** (:attr:`inline_check`) — what the compiler must
+   emit before every memory access (nothing, a clamp, or a trap check);
+3. **memory-management behaviour** (:attr:`grow_mechanism`,
+   :attr:`fault_mechanism`, :attr:`reset_mechanism`) — which simulated
+   kernel operations instance setup, ``memory.grow``, demand paging and
+   per-iteration teardown use.  These drive the multithreaded-scaling
+   experiments.
+
+=========  ============  ===========================================
+strategy   inline code   kernel behaviour
+=========  ============  ===========================================
+none       none          whole 8 GiB mapped RW up-front; grow is
+                         bookkeeping; reset via madvise(DONTNEED)
+clamp      cmp+select    same mapping as *none*
+trap       cmp+branch    same mapping as *none*
+mprotect   none          region PROT_NONE; grow/reset via mprotect
+                         under the exclusive mmap_lock; OOB = SIGSEGV
+uffd       none          region registered with userfaultfd; grow is
+                         an atomic size update; faults are SIGBUS +
+                         UFFDIO_ZEROPAGE; OOB = SIGBUS
+=========  ============  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wasm.errors import Trap
+
+
+@dataclass(frozen=True)
+class BoundsStrategy:
+    """One bounds-checking configuration."""
+
+    name: str
+    #: Inline code the compiler emits per access: '' | 'clamp' | 'trap'.
+    inline_check: str
+    #: How memory.grow is implemented: 'noop' | 'mprotect' | 'atomic'.
+    grow_mechanism: str
+    #: How first-touch faults are serviced: 'anon' | 'uffd'.
+    fault_mechanism: str
+    #: How per-iteration teardown works: 'madvise' | 'mprotect'.
+    reset_mechanism: str
+    #: Whether an OOB access is caught by a signal (vs inline code).
+    signal_on_oob: bool
+
+    def on_out_of_bounds(self, address: int, size: int, mem_size: int, write: bool):
+        """Functional semantics of an out-of-bounds access.
+
+        Returns a clamped address for ``clamp``; ``None`` for ``none``
+        (access is silently absorbed by the RW-mapped guard region);
+        raises :class:`Trap` otherwise.
+        """
+        if self.name == "clamp":
+            return max(0, mem_size - size)
+        if self.name == "none":
+            return None
+        raise Trap(
+            "out-of-bounds-memory",
+            f"{'store' if write else 'load'} of {size} bytes at {address:#x} "
+            f"beyond memory size {mem_size:#x} ({self.name})",
+        )
+
+
+STRATEGIES: dict[str, BoundsStrategy] = {
+    "none": BoundsStrategy(
+        name="none",
+        inline_check="",
+        grow_mechanism="noop",
+        fault_mechanism="anon",
+        reset_mechanism="madvise",
+        signal_on_oob=False,
+    ),
+    "clamp": BoundsStrategy(
+        name="clamp",
+        inline_check="clamp",
+        grow_mechanism="noop",
+        fault_mechanism="anon",
+        reset_mechanism="madvise",
+        signal_on_oob=False,
+    ),
+    "trap": BoundsStrategy(
+        name="trap",
+        inline_check="trap",
+        grow_mechanism="noop",
+        fault_mechanism="anon",
+        reset_mechanism="madvise",
+        signal_on_oob=False,
+    ),
+    "mprotect": BoundsStrategy(
+        name="mprotect",
+        inline_check="",
+        grow_mechanism="mprotect",
+        fault_mechanism="anon",
+        reset_mechanism="mprotect",
+        signal_on_oob=True,
+    ),
+    "uffd": BoundsStrategy(
+        name="uffd",
+        inline_check="",
+        grow_mechanism="atomic",
+        fault_mechanism="uffd",
+        reset_mechanism="madvise",
+        signal_on_oob=True,
+    ),
+}
+
+#: The order figures present strategies in.
+STRATEGY_ORDER = ["none", "clamp", "trap", "mprotect", "uffd"]
+
+
+def strategy_named(name: str) -> BoundsStrategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bounds strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None

@@ -1,0 +1,149 @@
+"""A minimal, deterministic WASI preview-1 shim.
+
+The paper's runtimes execute benchmarks compiled for ``wasm32-wasi``
+(§2.1, §3.2): the WebAssembly System Interface provides the POSIX-ish
+environment — argument strings, a monotonic clock, stdout, randomness,
+process exit.  This shim implements the handful of syscalls numeric
+benchmarks actually use, with two properties the reproduction needs:
+
+* **deterministic**: the clock is a virtual nanosecond counter and
+  ``random_get`` is a seeded xorshift stream, so module output never
+  varies between runs;
+* **capturing**: ``fd_write`` to stdout/stderr lands in Python
+  buffers the host can inspect.
+
+Usage::
+
+    wasi = WasiEnvironment(argv=["bench"], seed=7)
+    interp = Interpreter(module, imports=wasi.imports())
+    wasi.bind(interp)          # gives the shim access to linear memory
+    interp.invoke("bench")
+    print(wasi.stdout())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.interpreter import HostFunc, Interpreter
+from repro.wasm.errors import Trap
+from repro.wasm.types import ValType
+
+I32, I64 = ValType.I32, ValType.I64
+
+#: WASI errno values used by the shim.
+ERRNO_SUCCESS = 0
+ERRNO_BADF = 8
+ERRNO_INVAL = 28
+
+#: Virtual clock rate: each clock_time_get advances this many ns, so
+#: repeated reads are monotonic but fully reproducible.
+_CLOCK_STEP_NS = 1_000
+
+
+class ProcExit(Trap):
+    """Raised when the module calls ``proc_exit`` (kind carries it)."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__("proc-exit", f"exit code {code}")
+        self.code = code
+
+
+class WasiEnvironment:
+    """State backing one module instance's WASI imports."""
+
+    MODULE = "wasi_snapshot_preview1"
+
+    def __init__(self, argv: Optional[List[str]] = None, seed: int = 0) -> None:
+        self.argv = list(argv or ["module"])
+        self._rand_state = (seed * 2654435761 + 0x9E3779B9) & 0xFFFFFFFFFFFFFFFF or 1
+        self._clock_ns = 0
+        self._interp: Optional[Interpreter] = None
+        self._out: Dict[int, bytearray] = {1: bytearray(), 2: bytearray()}
+
+    # ------------------------------------------------------------------
+    def bind(self, interp: Interpreter) -> "WasiEnvironment":
+        self._interp = interp
+        return self
+
+    def stdout(self) -> str:
+        return self._out[1].decode("utf-8", errors="replace")
+
+    def stderr(self) -> str:
+        return self._out[2].decode("utf-8", errors="replace")
+
+    @property
+    def _memory(self):
+        if self._interp is None or self._interp.memory is None:
+            raise Trap("wasi-unbound", "call WasiEnvironment.bind(interp) first")
+        return self._interp.memory
+
+    # ------------------------------------------------------------------
+    # Syscalls
+    # ------------------------------------------------------------------
+    def args_sizes_get(self, argc_ptr: int, buf_size_ptr: int) -> int:
+        memory = self._memory
+        memory.store_u32(argc_ptr, len(self.argv))
+        memory.store_u32(buf_size_ptr, sum(len(a) + 1 for a in self.argv))
+        return ERRNO_SUCCESS
+
+    def args_get(self, argv_ptr: int, buf_ptr: int) -> int:
+        memory = self._memory
+        cursor = buf_ptr
+        for index, arg in enumerate(self.argv):
+            memory.store_u32(argv_ptr + 4 * index, cursor)
+            raw = arg.encode() + b"\x00"
+            memory.store_bytes(cursor, raw)
+            cursor += len(raw)
+        return ERRNO_SUCCESS
+
+    def clock_time_get(self, clock_id: int, _precision: int, time_ptr: int) -> int:
+        if clock_id not in (0, 1):  # realtime, monotonic
+            return ERRNO_INVAL
+        self._clock_ns += _CLOCK_STEP_NS
+        self._memory.store_u64(time_ptr, self._clock_ns)
+        return ERRNO_SUCCESS
+
+    def fd_write(self, fd: int, iovs_ptr: int, iovs_len: int, nwritten_ptr: int) -> int:
+        if fd not in self._out:
+            return ERRNO_BADF
+        memory = self._memory
+        written = 0
+        for index in range(iovs_len):
+            base = memory.load_u32(iovs_ptr + 8 * index)
+            length = memory.load_u32(iovs_ptr + 8 * index + 4)
+            self._out[fd] += memory.load_bytes(base, length)
+            written += length
+        memory.store_u32(nwritten_ptr, written)
+        return ERRNO_SUCCESS
+
+    def random_get(self, buf_ptr: int, buf_len: int) -> int:
+        memory = self._memory
+        out = bytearray()
+        state = self._rand_state
+        while len(out) < buf_len:
+            state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+            state ^= state >> 7
+            state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+            out += state.to_bytes(8, "little")
+        self._rand_state = state
+        memory.store_bytes(buf_ptr, bytes(out[:buf_len]))
+        return ERRNO_SUCCESS
+
+    def proc_exit(self, code: int) -> None:
+        raise ProcExit(code)
+
+    # ------------------------------------------------------------------
+    def imports(self) -> Dict[Tuple[str, str], HostFunc]:
+        entries = [
+            ("args_sizes_get", (I32, I32), (I32,), self.args_sizes_get),
+            ("args_get", (I32, I32), (I32,), self.args_get),
+            ("clock_time_get", (I32, I64, I32), (I32,), self.clock_time_get),
+            ("fd_write", (I32, I32, I32, I32), (I32,), self.fd_write),
+            ("random_get", (I32, I32), (I32,), self.random_get),
+            ("proc_exit", (I32,), (), self.proc_exit),
+        ]
+        return {
+            (self.MODULE, name): HostFunc(params, results, fn, name=name)
+            for name, params, results, fn in entries
+        }

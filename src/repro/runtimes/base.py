@@ -1,0 +1,98 @@
+"""The RuntimeModel type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.compiler.pipeline import CompiledModule, CompilerConfig, compile_module
+from repro.compiler.timing import cycles_for_profile, interpreter_cycles
+from repro.isa.model import IsaModel
+from repro.runtime.profile import ExecutionProfile
+from repro.runtime.strategies import BoundsStrategy
+from repro.wasm.module import Module
+
+
+@dataclass
+class RuntimeModel:
+    """One execution environment."""
+
+    name: str
+    display: str
+    kind: str  # 'native' | 'aot' | 'jit' | 'interp'
+    compiler: Optional[CompilerConfig]
+    #: Scheduling/lowering quality not captured by the pass set: a
+    #: multiplier ≥ 1.0 on compiled-block cycles (LLVM = 1.0).
+    schedule_overhead: float = 1.0
+    supported_isas: FrozenSet[str] = frozenset({"x86_64", "armv8", "riscv64"})
+    #: Background helper threads the runtime spawns (V8's JIT/GC/IO
+    #: workers — the source of the Fig. 5b context-switch blow-up).
+    helper_threads: int = 0
+    #: Periodic stop-the-world pauses (V8's GC), seconds.  The
+    #: interval is per worker-compute at one thread; the harness
+    #: shortens it as workers multiply (shared-heap pressure).
+    gc_pause_interval: float = 0.0
+    gc_pause_duration: float = 0.0
+    #: Helper-thread activity: each helper runs ``helper_burst`` of
+    #: work every ``helper_period`` (JIT/GC/IO background work).
+    helper_burst: float = 2.5e-3
+    helper_period: float = 12e-3
+    #: Native code runs one *process* per benchmark copy (vfork+fexecve
+    #: in the paper's harness); Wasm runtimes run isolates in threads.
+    process_per_instance: bool = False
+    #: Which strategies this runtime can be configured with ('*' = all).
+    strategies: Tuple[str, ...] = ("none", "clamp", "trap", "mprotect", "uffd")
+    #: Default strategy (the paper: WAVM/Wasmtime/V8 default to mprotect).
+    default_strategy: str = "mprotect"
+    #: Translation cost per static wasm instruction, in seconds — the
+    #: compile-speed/code-quality trade-off Titzer [29] tabulates
+    #: (LLVM slowest, baseline tiers and interpreters near-free).
+    compile_seconds_per_instr: float = 0.0
+    _cache: Dict[Tuple[int, str, str], CompiledModule] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def is_native(self) -> bool:
+        return self.kind == "native"
+
+    def supports(self, isa_name: str) -> bool:
+        return isa_name in self.supported_isas
+
+    def compiled(
+        self, module: Module, isa: IsaModel, strategy: BoundsStrategy
+    ) -> CompiledModule:
+        if self.compiler is None:
+            raise ValueError(f"runtime {self.name} does not compile code")
+        key = (id(module), isa.name, strategy.name)
+        if key not in self._cache:
+            self._cache[key] = compile_module(module, isa, self.compiler, strategy)
+        return self._cache[key]
+
+    def cycles(
+        self,
+        module: Module,
+        profile: ExecutionProfile,
+        isa: IsaModel,
+        strategy: BoundsStrategy,
+    ) -> float:
+        """Single-thread execution cycles for one run of the workload."""
+        if not self.supports(isa.name):
+            raise ValueError(f"runtime {self.name} has no {isa.name} backend")
+        if self.kind == "interp":
+            return interpreter_cycles(profile, isa)
+        return (
+            cycles_for_profile(self.compiled(module, isa, strategy), profile)
+            * self.schedule_overhead
+        )
+
+    def compile_seconds(self, module: Module) -> float:
+        """Modelled translation time for the whole module."""
+        instrs = sum(len(func.body) for func in module.funcs)
+        return instrs * self.compile_seconds_per_instr
+
+    def code_size_ops(self, module: Module, isa: IsaModel, strategy: BoundsStrategy) -> int:
+        """Static machine-op count (code-size proxy); 0 for interpreters."""
+        if self.compiler is None:
+            return 0
+        return self.compiled(module, isa, strategy).total_static_ops

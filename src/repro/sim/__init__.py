@@ -1,0 +1,30 @@
+"""Discrete-event simulation engine.
+
+This package provides the simulation substrate used by the reproduction:
+a deterministic event loop (:mod:`repro.sim.engine`), generator-based
+processes, and synchronisation primitives (:mod:`repro.sim.resources`)
+modelled on the Linux kernel primitives that matter for the paper —
+most importantly a writer-preferring read/write semaphore that behaves
+like ``mmap_lock``.
+
+The engine is deliberately small and fully deterministic: given the same
+inputs it produces identical event orderings, which keeps every
+experiment in the benchmark harness reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import Engine, Event, Delay, Process, SimError
+from repro.sim.resources import Mutex, RWLock, Semaphore, Gate
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Delay",
+    "Process",
+    "SimError",
+    "Mutex",
+    "RWLock",
+    "Semaphore",
+    "Gate",
+    "RngStreams",
+]

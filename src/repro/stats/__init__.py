@@ -1,0 +1,5 @@
+"""Statistics helpers used by the experiments."""
+
+from repro.stats.summary import geomean, geomean_of_ratios, median, summarize
+
+__all__ = ["geomean", "geomean_of_ratios", "median", "summarize"]

@@ -1,0 +1,69 @@
+"""Benchmark statistics.
+
+The paper summarises suites "by taking the geometric mean of the
+ratios of execution times to the Native Clang execution time for each
+benchmark" (§4.1), citing Fleming & Wallace's classic argument [4]
+that the geometric mean is the correct way to average normalised
+results.  These helpers implement exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; rejects empty input and non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def geomean_of_ratios(
+    measured: Dict[str, float], baseline: Dict[str, float]
+) -> float:
+    """Fleming-Wallace summary: geomean over per-benchmark ratios.
+
+    Only benchmarks present in both mappings contribute; a missing
+    baseline is an error rather than a silent skip if nothing overlaps.
+    """
+    common = sorted(set(measured) & set(baseline))
+    if not common:
+        raise ValueError("no common benchmarks between measurement and baseline")
+    return geomean(measured[name] / baseline[name] for name in common)
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    median: float
+    mean: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("summary of empty sequence")
+    return Summary(
+        count=len(values),
+        median=median(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )

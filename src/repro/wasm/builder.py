@@ -1,0 +1,245 @@
+"""Structured module and function builders.
+
+:class:`ModuleBuilder` assembles a :class:`~repro.wasm.module.Module`
+piecewise; :class:`FunctionBuilder` appends instructions with structured
+control-flow helpers (``block``/``loop``/``if`` as context managers)
+that compute branch label depths automatically:
+
+    mb = ModuleBuilder("demo")
+    fb = mb.func("add1", params=[ValType.I32], results=[ValType.I32])
+    fb.emit("local.get", 0)
+    fb.emit("i32.const", 1)
+    fb.emit("i32.add")
+    mb.export_func(fb)
+
+    with fb.loop() as again:
+        ...
+        fb.br_if(again)       # depth computed from the control stack
+
+The builder is the foundation the workload DSL (:mod:`repro.wasm.dsl`)
+compiles into.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.wasm.instructions import Instr
+from repro.wasm.module import (
+    DataSegment,
+    ElementSegment,
+    Export,
+    Function,
+    Global,
+    Import,
+    Module,
+)
+from repro.wasm.types import (
+    FuncType,
+    GlobalType,
+    Limits,
+    MemoryType,
+    TableType,
+    ValType,
+)
+
+
+@dataclass
+class Label:
+    """A branch target created by ``block()`` or ``loop()``."""
+
+    builder: "FunctionBuilder"
+    kind: str  # 'block' | 'loop' | 'if'
+    position: int  # index in the builder's control stack at creation
+
+
+class BuilderError(RuntimeError):
+    """Misuse of the builder API (unbalanced control flow, bad label…)."""
+
+
+class FunctionBuilder:
+    """Accumulates the body of one function."""
+
+    def __init__(
+        self,
+        module_builder: "ModuleBuilder",
+        name: str,
+        params: Sequence[ValType],
+        results: Sequence[ValType],
+    ) -> None:
+        self.module_builder = module_builder
+        self.name = name
+        self.params = list(params)
+        self.results = list(results)
+        self.locals: List[ValType] = []
+        self.body: List[Instr] = []
+        self._control: List[Label] = []
+        #: Absolute function index, assigned when registered.
+        self.index: Optional[int] = None
+
+    # -- locals ------------------------------------------------------------
+    def add_local(self, valtype: ValType) -> int:
+        """Declare a local; returns its index (params occupy the front)."""
+        self.locals.append(valtype)
+        return len(self.params) + len(self.locals) - 1
+
+    # -- raw emission --------------------------------------------------------
+    def emit(self, op: str, *args) -> "FunctionBuilder":
+        self.body.append(Instr(op, tuple(args)))
+        return self
+
+    # -- structured control ----------------------------------------------------
+    @contextmanager
+    def block(self, result: Optional[ValType] = None) -> Iterator[Label]:
+        label = Label(self, "block", len(self._control))
+        self._control.append(label)
+        self.emit("block", result)
+        try:
+            yield label
+        finally:
+            self._end(label)
+
+    @contextmanager
+    def loop(self, result: Optional[ValType] = None) -> Iterator[Label]:
+        label = Label(self, "loop", len(self._control))
+        self._control.append(label)
+        self.emit("loop", result)
+        try:
+            yield label
+        finally:
+            self._end(label)
+
+    @contextmanager
+    def if_(self, result: Optional[ValType] = None) -> Iterator[Label]:
+        label = Label(self, "if", len(self._control))
+        self._control.append(label)
+        self.emit("if", result)
+        try:
+            yield label
+        finally:
+            self._end(label)
+
+    def else_(self) -> None:
+        if not self._control or self._control[-1].kind != "if":
+            raise BuilderError("else_() outside an if block")
+        self.emit("else")
+
+    def _end(self, label: Label) -> None:
+        if not self._control or self._control[-1] is not label:
+            raise BuilderError("control structure closed out of order")
+        self._control.pop()
+        self.emit("end")
+
+    def depth_of(self, label: Label) -> int:
+        if label.builder is not self:
+            raise BuilderError("label belongs to another function")
+        try:
+            index = self._control.index(label)
+        except ValueError:
+            raise BuilderError("branch to a label that is already closed") from None
+        return len(self._control) - 1 - index
+
+    def br(self, label: Label) -> "FunctionBuilder":
+        return self.emit("br", self.depth_of(label))
+
+    def br_if(self, label: Label) -> "FunctionBuilder":
+        return self.emit("br_if", self.depth_of(label))
+
+    # -- registration ------------------------------------------------------------
+    def func_type(self) -> FuncType:
+        return FuncType(tuple(self.params), tuple(self.results))
+
+
+class ModuleBuilder:
+    """Assembles a Module."""
+
+    def __init__(self, name: str = "") -> None:
+        self.module = Module(name=name)
+        self._pending: List[FunctionBuilder] = []
+
+    # -- imports (must be added before definitions are indexed) ----------------
+    def import_func(
+        self, module: str, name: str, params: Sequence[ValType], results: Sequence[ValType]
+    ) -> int:
+        if self._pending:
+            raise BuilderError("imports must be declared before functions")
+        type_index = self.module.add_type(FuncType(tuple(params), tuple(results)))
+        self.module.imports.append(Import(module, name, "func", type_index))
+        return self.module.num_imported_funcs - 1
+
+    # -- definitions ----------------------------------------------------------
+    def func(
+        self,
+        name: str,
+        params: Sequence[ValType] = (),
+        results: Sequence[ValType] = (),
+        export: bool = False,
+    ) -> FunctionBuilder:
+        fb = FunctionBuilder(self, name, params, results)
+        fb.index = self.module.num_imported_funcs + len(self._pending)
+        self._pending.append(fb)
+        if export:
+            self.module.exports.append(Export(name, "func", fb.index))
+        return fb
+
+    def add_memory(
+        self,
+        min_pages: int,
+        max_pages: Optional[int] = None,
+        export: Optional[str] = "memory",
+    ) -> int:
+        self.module.memories.append(MemoryType(Limits(min_pages, max_pages)))
+        index = self.module.num_memories - 1
+        if export:
+            self.module.exports.append(Export(export, "memory", index))
+        return index
+
+    def add_table(self, min_entries: int, max_entries: Optional[int] = None) -> int:
+        self.module.tables.append(TableType(Limits(min_entries, max_entries)))
+        return self.module.num_tables - 1
+
+    def add_global(
+        self, valtype: ValType, init_value, mutable: bool = True, name: str = ""
+    ) -> int:
+        const_op = f"{valtype.value}.const"
+        glob = Global(GlobalType(valtype, mutable), [Instr(const_op, (init_value,))], name)
+        self.module.globals.append(glob)
+        return self.module.num_globals - 1
+
+    def add_element(self, table_index: int, offset: int, func_indices: Sequence[int]) -> None:
+        self.module.elements.append(
+            ElementSegment(table_index, [Instr("i32.const", (offset,))], list(func_indices))
+        )
+
+    def add_data(self, memory_index: int, offset: int, data: bytes) -> None:
+        self.module.data.append(
+            DataSegment(memory_index, [Instr("i32.const", (offset,))], data)
+        )
+
+    def set_start(self, fb: FunctionBuilder) -> None:
+        self.module.start = fb.index
+
+    def export_func(self, fb: FunctionBuilder, name: Optional[str] = None) -> None:
+        self.module.exports.append(Export(name or fb.name, "func", fb.index))
+
+    # -- finalisation -------------------------------------------------------------
+    def build(self) -> Module:
+        """Materialise the module (idempotent)."""
+        for fb in self._pending:
+            if getattr(fb, "_registered", False):
+                continue
+            if fb._control:
+                raise BuilderError(f"function {fb.name!r} has unclosed control flow")
+            type_index = self.module.add_type(fb.func_type())
+            self.module.funcs.append(
+                Function(
+                    type_index=type_index,
+                    locals=list(fb.locals),
+                    body=list(fb.body),
+                    name=fb.name,
+                )
+            )
+            fb._registered = True
+        return self.module

@@ -1,0 +1,621 @@
+"""A small typed expression DSL that compiles to WebAssembly.
+
+The paper's workloads are C programs compiled to wasm32-wasi; ours are
+authored in this DSL and compiled through :mod:`repro.wasm.builder`
+into genuine Wasm modules (every array access becomes a real
+``f64.load``/``f64.store`` that flows through the bounds-checking
+machinery).  The DSL is deliberately C-shaped:
+
+    dm = DslModule("gemm")
+    A = dm.matrix_f64("A", ni, nk)
+    B = dm.matrix_f64("B", nk, nj)
+    C = dm.matrix_f64("C", ni, nj)
+
+    f = dm.func("run")
+    i, j, k = f.i32("i"), f.i32("j"), f.i32("k")
+    with f.for_(i, 0, ni):
+        with f.for_(j, 0, nj):
+            f.store(C[i, j], C[i, j] * beta)
+            with f.for_(k, 0, nk):
+                f.store(C[i, j], C[i, j] + alpha * A[i, k] * B[k, j])
+    module = dm.build()
+
+Expressions are typed trees (``i32``/``i64``/``f32``/``f64``); Python
+operators build them, with int/float literals coerced to the other
+operand's type.  Integer ``//`` and ``%`` are signed (like C); ``/`` is
+float division.  Comparisons produce ``i32`` booleans.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.module import Module
+from repro.wasm.types import ValType
+
+I32, I64, F32, F64 = "i32", "i64", "f32", "f64"
+_VALTYPES = {I32: ValType.I32, I64: ValType.I64, F32: ValType.F32, F64: ValType.F64}
+_ELEM_SIZE = {I32: 4, I64: 8, F32: 4, F64: 8}
+#: log2(natural alignment) per element type, used for memarg align.
+_ALIGN = {I32: 2, I64: 3, F32: 2, F64: 3}
+
+
+class DslError(TypeError):
+    """A type or usage error in DSL code (raised at build time)."""
+
+
+Number = Union[int, float]
+ExprLike = Union["Expr", Number]
+
+
+def _coerce(value: ExprLike, to_type: str) -> "Expr":
+    if isinstance(value, Expr):
+        if value.type != to_type:
+            raise DslError(f"type mismatch: expected {to_type}, got {value.type}")
+        return value
+    if isinstance(value, bool):
+        raise DslError("use 0/1 integers, not Python bools")
+    if isinstance(value, int):
+        if to_type in (F32, F64):
+            return Const(float(value), to_type)
+        return Const(value, to_type)
+    if isinstance(value, float):
+        if to_type not in (F32, F64):
+            raise DslError(f"float literal {value} where {to_type} expected")
+        return Const(value, to_type)
+    raise DslError(f"cannot use {value!r} as a DSL expression")
+
+
+def _join(a: ExprLike, b: ExprLike) -> str:
+    """Pick the common type of two operands (at least one is an Expr)."""
+    if isinstance(a, Expr):
+        return a.type
+    if isinstance(b, Expr):
+        return b.type
+    raise DslError("binary operation needs at least one DSL expression")
+
+
+class Expr:
+    """Base class of all DSL expressions."""
+
+    type: str = I32
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp("add", self, other)
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp("add", other, self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp("sub", self, other)
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp("sub", other, self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp("mul", self, other)
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return BinOp("mul", other, self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        if self.type not in (F32, F64):
+            raise DslError("use // for integer division")
+        return BinOp("div", self, other)
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        if self.type not in (F32, F64):
+            raise DslError("use // for integer division")
+        return BinOp("div", other, self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        if self.type not in (I32, I64):
+            raise DslError("// is integer division")
+        return BinOp("div_s", self, other)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        if self.type not in (I32, I64):
+            raise DslError("% is integer remainder")
+        return BinOp("rem_s", self, other)
+
+    def __neg__(self) -> "Expr":
+        if self.type in (F32, F64):
+            return UnOp("neg", self)
+        return BinOp("sub", Const(0, self.type), self)
+
+    # -- bitwise (integers) ------------------------------------------------
+    def __and__(self, other: ExprLike) -> "Expr":
+        return BinOp("and", self, other)
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return BinOp("or", self, other)
+
+    def __xor__(self, other: ExprLike) -> "Expr":
+        return BinOp("xor", self, other)
+
+    def __lshift__(self, other: ExprLike) -> "Expr":
+        return BinOp("shl", self, other)
+
+    def __rshift__(self, other: ExprLike) -> "Expr":
+        return BinOp("shr_s", self, other)
+
+    def shr_u(self, other: ExprLike) -> "Expr":
+        return BinOp("shr_u", self, other)
+
+    def div_u(self, other: ExprLike) -> "Expr":
+        return BinOp("div_u", self, other)
+
+    def rem_u(self, other: ExprLike) -> "Expr":
+        return BinOp("rem_u", self, other)
+
+    # -- comparisons (produce i32 booleans) -----------------------------------
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return Compare("lt", self, other)
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return Compare("le", self, other)
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return Compare("gt", self, other)
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return Compare("ge", self, other)
+
+    def eq(self, other: ExprLike) -> "Expr":
+        return Compare("eq", self, other)
+
+    def ne(self, other: ExprLike) -> "Expr":
+        return Compare("ne", self, other)
+
+    def lt_u(self, other: ExprLike) -> "Expr":
+        return Compare("lt_u", self, other)
+
+    def ge_u(self, other: ExprLike) -> "Expr":
+        return Compare("ge_u", self, other)
+
+    # -- conversions ---------------------------------------------------------
+    def to_f64(self) -> "Expr":
+        return Convert(self, F64)
+
+    def to_f32(self) -> "Expr":
+        return Convert(self, F32)
+
+    def to_i32(self) -> "Expr":
+        return Convert(self, I32)
+
+    def to_i64(self) -> "Expr":
+        return Convert(self, I64)
+
+    # -- math helpers ------------------------------------------------------------
+    def sqrt(self) -> "Expr":
+        return UnOp("sqrt", self)
+
+    def abs_(self) -> "Expr":
+        return UnOp("abs", self)
+
+    def min_(self, other: ExprLike) -> "Expr":
+        if self.type in (F32, F64):
+            return BinOp("min", self, other)
+        return Select(Compare("lt", self, other), self, other)
+
+    def max_(self, other: ExprLike) -> "Expr":
+        if self.type in (F32, F64):
+            return BinOp("max", self, other)
+        return Select(Compare("gt", self, other), self, other)
+
+    # -- emission (implemented by subclasses) ----------------------------------------
+    def emit(self, fb: FunctionBuilder) -> None:
+        raise NotImplementedError
+
+
+class Const(Expr):
+    def __init__(self, value: Number, type_: str) -> None:
+        self.value = value
+        self.type = type_
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        fb.emit(f"{self.type}.const", self.value)
+
+
+class LocalRef(Expr):
+    """A typed local variable (also assignable via DslFunc.set)."""
+
+    def __init__(self, index: int, type_: str, name: str = "") -> None:
+        self.index = index
+        self.type = type_
+        self.name = name
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        fb.emit("local.get", self.index)
+
+
+class BinOp(Expr):
+    def __init__(self, op: str, a: ExprLike, b: ExprLike) -> None:
+        self.type = _join(a, b)
+        self.a = _coerce(a, self.type)
+        self.b = _coerce(b, self.type)
+        if op in ("and", "or", "xor", "shl", "shr_s", "shr_u", "div_s", "rem_s",
+                  "div_u", "rem_u") and self.type not in (I32, I64):
+            raise DslError(f"{op} requires an integer type, got {self.type}")
+        if op in ("div", "min", "max") and self.type not in (F32, F64):
+            raise DslError(f"{op} requires a float type, got {self.type}")
+        self.op = op
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.a.emit(fb)
+        self.b.emit(fb)
+        fb.emit(f"{self.type}.{self.op}")
+
+
+class UnOp(Expr):
+    def __init__(self, op: str, a: Expr) -> None:
+        if op in ("neg", "abs", "sqrt", "floor", "ceil", "trunc", "nearest") and a.type not in (F32, F64):
+            raise DslError(f"{op} requires a float type, got {a.type}")
+        self.op = op
+        self.a = a
+        self.type = a.type
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.a.emit(fb)
+        fb.emit(f"{self.type}.{self.op}")
+
+
+class Compare(Expr):
+    def __init__(self, op: str, a: ExprLike, b: ExprLike) -> None:
+        operand_type = _join(a, b)
+        self.a = _coerce(a, operand_type)
+        self.b = _coerce(b, operand_type)
+        if operand_type in (I32, I64) and op in ("lt", "le", "gt", "ge"):
+            op += "_s"
+        self.op = op
+        self.operand_type = operand_type
+        self.type = I32
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.a.emit(fb)
+        self.b.emit(fb)
+        fb.emit(f"{self.operand_type}.{self.op}")
+
+
+class Select(Expr):
+    """Branch-free conditional: ``cond ? a : b``."""
+
+    def __init__(self, cond: ExprLike, a: ExprLike, b: ExprLike) -> None:
+        self.cond = _coerce(cond, I32)
+        if isinstance(a, Expr) or isinstance(b, Expr):
+            self.type = _join(a, b)
+        else:
+            # Both arms are literals: floats select as f64, ints as i32.
+            self.type = F64 if isinstance(a, float) or isinstance(b, float) else I32
+        self.a = _coerce(a, self.type)
+        self.b = _coerce(b, self.type)
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.a.emit(fb)
+        self.b.emit(fb)
+        self.cond.emit(fb)
+        fb.emit("select")
+
+
+_CONVERT_OPS = {
+    (I32, I64): "i64.extend_i32_s",
+    (I64, I32): "i32.wrap_i64",
+    (I32, F64): "f64.convert_i32_s",
+    (I32, F32): "f32.convert_i32_s",
+    (I64, F64): "f64.convert_i64_s",
+    (I64, F32): "f32.convert_i64_s",
+    (F64, I32): "i32.trunc_f64_s",
+    (F32, I32): "i32.trunc_f32_s",
+    (F64, I64): "i64.trunc_f64_s",
+    (F32, I64): "i64.trunc_f32_s",
+    (F32, F64): "f64.promote_f32",
+    (F64, F32): "f32.demote_f64",
+}
+
+
+class Convert(Expr):
+    def __init__(self, a: Expr, to_type: str) -> None:
+        if a.type == to_type:
+            raise DslError(f"conversion from {a.type} to itself")
+        self.a = a
+        self.type = to_type
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.a.emit(fb)
+        fb.emit(_CONVERT_OPS[(self.a.type, self.type)])
+
+
+class ArrayElem(Expr):
+    """``A[i, j]`` — a load as an expression, a location for stores."""
+
+    def __init__(self, array: "Array", indices: Tuple[ExprLike, ...]) -> None:
+        self.array = array
+        self.indices = indices
+        self.type = array.elem
+
+    def address(self) -> Expr:
+        return self.array.address_of(self.indices)
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        self.address().emit(fb)
+        fb.emit(f"{self.type}.load", _ALIGN[self.type], 0)
+
+    def emit_store(self, fb: FunctionBuilder, value: Expr) -> None:
+        self.address().emit(fb)
+        value.emit(fb)
+        fb.emit(f"{self.type}.store", _ALIGN[self.type], 0)
+
+
+class Array:
+    """A typed array laid out in linear memory (row-major)."""
+
+    def __init__(self, name: str, elem: str, shape: Tuple[int, ...], base: int) -> None:
+        if not shape or any(dim <= 0 for dim in shape):
+            raise DslError(f"array {name!r} has invalid shape {shape}")
+        self.name = name
+        self.elem = elem
+        self.shape = shape
+        self.base = base
+        self.strides: Tuple[int, ...] = tuple(
+            _product(shape[k + 1 :]) for k in range(len(shape))
+        )
+
+    @property
+    def count(self) -> int:
+        return _product(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * _ELEM_SIZE[self.elem]
+
+    def __getitem__(self, indices) -> ArrayElem:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != len(self.shape):
+            raise DslError(
+                f"array {self.name!r} has {len(self.shape)} dims, got {len(indices)} indices"
+            )
+        return ArrayElem(self, indices)
+
+    def address_of(self, indices: Tuple[ExprLike, ...]) -> Expr:
+        """byte address = base + elem_size * Σ idx_k * stride_k."""
+        elem_size = _ELEM_SIZE[self.elem]
+        linear: Optional[Expr] = None
+        constant = 0
+        for index, stride in zip(indices, self.strides):
+            if isinstance(index, int):
+                constant += index * stride
+                continue
+            term = _coerce(index, I32) if stride == 1 else _coerce(index, I32) * stride
+            linear = term if linear is None else linear + term
+        offset = self.base + constant * elem_size
+        if linear is None:
+            return Const(offset, I32)
+        scaled = linear * elem_size
+        return scaled if offset == 0 else scaled + offset
+
+
+def _product(values: Sequence[int]) -> int:
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+class CallExpr(Expr):
+    def __init__(self, target: "DslFunc", args: Tuple[Expr, ...]) -> None:
+        if len(target.fb.results) != 1:
+            raise DslError(f"call expression needs exactly one result")
+        self.target = target
+        self.args = args
+        self.type = target.fb.results[0].value
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        for arg in self.args:
+            arg.emit(fb)
+        fb.emit("call", self.target.fb.index)
+
+
+class _IfContext:
+    """Yielded by DslFunc.if_; supports a one-shot ``otherwise()``."""
+
+    def __init__(self, func: "DslFunc") -> None:
+        self._func = func
+        self._else_done = False
+
+    def otherwise(self) -> None:
+        if self._else_done:
+            raise DslError("otherwise() called twice")
+        self._else_done = True
+        self._func.fb.else_()
+
+
+class DslFunc:
+    """A function under construction."""
+
+    def __init__(self, module: "DslModule", fb: FunctionBuilder,
+                 param_refs: List[LocalRef]) -> None:
+        self.module = module
+        self.fb = fb
+        self.params = param_refs
+
+    # -- locals -----------------------------------------------------------
+    def local(self, type_: str, name: str = "") -> LocalRef:
+        index = self.fb.add_local(_VALTYPES[type_])
+        return LocalRef(index, type_, name)
+
+    def i32(self, name: str = "") -> LocalRef:
+        return self.local(I32, name)
+
+    def i64(self, name: str = "") -> LocalRef:
+        return self.local(I64, name)
+
+    def f32(self, name: str = "") -> LocalRef:
+        return self.local(F32, name)
+
+    def f64(self, name: str = "") -> LocalRef:
+        return self.local(F64, name)
+
+    # -- statements ------------------------------------------------------------
+    def set(self, target: LocalRef, value: ExprLike) -> None:
+        if not isinstance(target, LocalRef):
+            raise DslError("set() target must be a local; use store() for arrays")
+        _coerce(value, target.type).emit(self.fb)
+        self.fb.emit("local.set", target.index)
+
+    def store(self, target: ArrayElem, value: ExprLike) -> None:
+        if not isinstance(target, ArrayElem):
+            raise DslError("store() target must be an array element")
+        target.emit_store(self.fb, _coerce(value, target.type))
+
+    def inc(self, target: LocalRef, amount: ExprLike = 1) -> None:
+        self.set(target, target + amount)
+
+    def ret(self, value: Optional[ExprLike] = None) -> None:
+        if value is not None:
+            results = self.fb.results
+            if len(results) != 1:
+                raise DslError("ret with value in a function with no result")
+            _coerce(value, results[0].value).emit(self.fb)
+        self.fb.emit("return")
+
+    def call(self, target: "DslFunc", *args: ExprLike):
+        """Call another function: statement if void, Expr if one result."""
+        params = target.fb.params
+        if len(args) != len(params):
+            raise DslError(
+                f"{target.fb.name} takes {len(params)} args, got {len(args)}"
+            )
+        coerced = tuple(
+            _coerce(arg, param.value) for arg, param in zip(args, params)
+        )
+        if target.fb.results:
+            return CallExpr(target, coerced)
+        for arg in coerced:
+            arg.emit(self.fb)
+        self.fb.emit("call", target.fb.index)
+        return None
+
+    def eval_drop(self, expr: Expr) -> None:
+        """Evaluate an expression for its side effects and drop the value."""
+        expr.emit(self.fb)
+        self.fb.emit("drop")
+
+    # -- control flow ------------------------------------------------------------
+    @contextmanager
+    def for_(self, var: LocalRef, start: ExprLike, stop: ExprLike,
+             step: int = 1) -> Iterator[None]:
+        """C-style counted loop.
+
+        step > 0: ``for (var = start; var < stop; var += step)``
+        step < 0: ``for (var = start; var > stop; var += step)``
+        """
+        if step == 0:
+            raise DslError("for_ step must be non-zero")
+        if var.type != I32:
+            raise DslError("loop variable must be i32")
+        fb = self.fb
+        self.set(var, start)
+        with fb.block() as exit_label:
+            with fb.loop() as top:
+                # Exit test.
+                exit_cond = (var >= stop) if step > 0 else (var <= stop)
+                exit_cond.emit(fb)
+                fb.br_if(exit_label)
+                yield
+                self.set(var, var + step)
+                fb.br(top)
+
+    @contextmanager
+    def while_(self, cond_factory) -> Iterator[None]:
+        """``while (cond)``; pass a zero-arg callable building the condition."""
+        fb = self.fb
+        with fb.block() as exit_label:
+            with fb.loop() as top:
+                cond = cond_factory() if callable(cond_factory) else cond_factory
+                _coerce(cond, I32).emit(fb)
+                fb.emit("i32.eqz")
+                fb.br_if(exit_label)
+                yield
+                fb.br(top)
+
+    @contextmanager
+    def if_(self, cond: ExprLike) -> Iterator[_IfContext]:
+        _coerce(cond, I32).emit(self.fb)
+        with self.fb.if_():
+            yield _IfContext(self)
+
+
+class DslModule:
+    """A module under construction: arrays in linear memory + functions."""
+
+    #: Reserve the first 64 KiB like wasm-ld does (null page + stack area).
+    DATA_BASE = 0x1_0000
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.mb = ModuleBuilder(name)
+        self._cursor = self.DATA_BASE
+        self.arrays: List[Array] = []
+        self._funcs: List[DslFunc] = []
+        self._memory_declared = False
+
+    # -- data layout ---------------------------------------------------------
+    def array(self, name: str, elem: str, *shape: int) -> Array:
+        if elem not in _ELEM_SIZE:
+            raise DslError(f"unknown element type {elem!r}")
+        arr = Array(name, elem, tuple(shape), self._cursor)
+        # Keep every array 64-byte aligned (cache-line), like polybench's
+        # posix_memalign allocation.
+        self._cursor += (arr.nbytes + 63) // 64 * 64
+        self.arrays.append(arr)
+        return arr
+
+    def array_f64(self, name: str, *shape: int) -> Array:
+        return self.array(name, F64, *shape)
+
+    def array_f32(self, name: str, *shape: int) -> Array:
+        return self.array(name, F32, *shape)
+
+    def array_i32(self, name: str, *shape: int) -> Array:
+        return self.array(name, I32, *shape)
+
+    def array_i64(self, name: str, *shape: int) -> Array:
+        return self.array(name, I64, *shape)
+
+    # aliases reading naturally for 2-D data
+    def matrix_f64(self, name: str, rows: int, cols: int) -> Array:
+        return self.array(name, F64, rows, cols)
+
+    @property
+    def data_bytes(self) -> int:
+        return self._cursor
+
+    @property
+    def required_pages(self) -> int:
+        return -(-self._cursor // (64 * 1024))
+
+    # -- functions ---------------------------------------------------------------
+    def func(self, name: str, params: Sequence[Tuple[str, str]] = (),
+             results: Sequence[str] = (), export: bool = True) -> DslFunc:
+        param_types = [_VALTYPES[ptype] for _, ptype in params]
+        result_types = [_VALTYPES[rtype] for rtype in results]
+        fb = self.mb.func(name, param_types, result_types, export=export)
+        refs = [
+            LocalRef(index, ptype, pname)
+            for index, (pname, ptype) in enumerate(params)
+        ]
+        dsl_func = DslFunc(self, fb, refs)
+        self._funcs.append(dsl_func)
+        return dsl_func
+
+    # -- finalisation ------------------------------------------------------------
+    def build(self, extra_pages: int = 0) -> Module:
+        if not self._memory_declared:
+            pages = self.required_pages + extra_pages
+            self.mb.add_memory(max(pages, 1), max(pages, 1) + 16)
+            self._memory_declared = True
+        return self.mb.build()

@@ -1,0 +1,35 @@
+"""Error taxonomy for the WebAssembly substrate."""
+
+from __future__ import annotations
+
+
+class WasmError(Exception):
+    """Base class for all WebAssembly substrate errors."""
+
+
+class DecodeError(WasmError):
+    """The binary is malformed (decoding failed)."""
+
+
+class ValidationError(WasmError):
+    """The module is ill-typed (validation failed)."""
+
+
+class LinkError(WasmError):
+    """Instantiation failed (missing import, type mismatch, …)."""
+
+
+class Trap(WasmError):
+    """A runtime trap: out-of-bounds access, division by zero, …
+
+    ``kind`` is a stable machine-readable tag used by tests and by the
+    bounds-checking strategies (e.g. ``out-of-bounds-memory``).
+    """
+
+    def __init__(self, kind: str, message: str = "") -> None:
+        super().__init__(f"{kind}: {message}" if message else kind)
+        self.kind = kind
+
+
+class ExhaustionError(WasmError):
+    """Call-stack exhaustion."""

@@ -1,0 +1,55 @@
+"""Instruction representation.
+
+Function bodies are flat sequences of :class:`Instr` — structured
+control flow (``block``/``loop``/``if``/``else``/``end``) appears inline
+exactly as in the binary format.  The interpreter and compiler resolve
+the structure into jump targets when they pre-process a function.
+
+``args`` layout per immediate kind (see :mod:`repro.wasm.opcodes`):
+
+=================  ==========================================
+``'u32'``          ``(index,)``
+``'memarg'``       ``(align, offset)``
+``'i32'/'i64'``    ``(int_value,)``
+``'f32'/'f64'``    ``(float_value,)``
+``'block'``        ``(result_valtype_or_None,)``
+``'br_table'``     ``(labels_tuple, default_label)``
+``'call_indirect'`` ``(type_index, table_index)``
+``'memidx'``       ``()``
+``''``             ``()``
+=================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.wasm import opcodes
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One WebAssembly instruction."""
+
+    op: str
+    args: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in opcodes.BY_NAME:
+            raise ValueError(f"unknown instruction {self.op!r}")
+
+    @property
+    def info(self) -> opcodes.OpInfo:
+        return opcodes.BY_NAME[self.op]
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.op
+        rendered = " ".join(str(a) for a in self.args)
+        return f"{self.op} {rendered}"
+
+
+def instr(op: str, *args: Any) -> Instr:
+    """Convenience constructor: ``instr('i32.const', 5)``."""
+    return Instr(op, tuple(args))

@@ -1,0 +1,92 @@
+"""LEB128 variable-length integer encoding.
+
+WebAssembly uses unsigned LEB128 for indices/sizes and signed LEB128 for
+integer literals.  These functions operate on ``bytearray``/``bytes``
+plus an offset, returning ``(value, new_offset)`` on reads, and raise
+:class:`~repro.wasm.errors.DecodeError` on malformed or over-long input.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.wasm.errors import DecodeError
+
+
+def encode_u32(value: int) -> bytes:
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"u32 out of range: {value}")
+    return encode_unsigned(value)
+
+
+def encode_unsigned(value: int) -> bytes:
+    if value < 0:
+        raise ValueError(f"unsigned LEB128 cannot encode negative {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_signed(value: int, bits: int = 64) -> bytes:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"s{bits} out of range: {value}")
+    out = bytearray()
+    more = True
+    while more:
+        byte = value & 0x7F
+        value >>= 7
+        sign_bit = byte & 0x40
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            more = False
+        else:
+            byte |= 0x80
+        out.append(byte)
+    return bytes(out)
+
+
+def decode_unsigned(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    max_bytes = (max_bits + 6) // 7
+    for count in range(max_bytes):
+        if offset >= len(data):
+            raise DecodeError("unexpected end of LEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result >= (1 << max_bits):
+                raise DecodeError(f"LEB128 value exceeds u{max_bits}")
+            return result, offset
+        shift += 7
+    raise DecodeError(f"LEB128 longer than {max_bytes} bytes for u{max_bits}")
+
+
+def decode_signed(data: bytes, offset: int, max_bits: int = 64) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    max_bytes = (max_bits + 6) // 7
+    for count in range(max_bytes):
+        if offset >= len(data):
+            raise DecodeError("unexpected end of LEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40:
+                result |= -(1 << shift)
+            lo = -(1 << (max_bits - 1))
+            hi = (1 << (max_bits - 1)) - 1
+            if not lo <= result <= hi:
+                raise DecodeError(f"LEB128 value exceeds s{max_bits}")
+            return result, offset
+    raise DecodeError(f"LEB128 longer than {max_bytes} bytes for s{max_bits}")

@@ -1,0 +1,93 @@
+"""Static module statistics.
+
+Workload-characterization helpers over *static* module structure (the
+dynamic counterpart lives in :mod:`repro.runtime.profile`): opcode
+histograms, per-function sizes, section sizes of the encoded binary.
+Used by the tier experiment and handy when adding new workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.wasm import opcodes
+from repro.wasm.encoder import encode_module
+from repro.wasm.module import Module
+
+
+@dataclass(frozen=True)
+class FunctionStats:
+    name: str
+    instructions: int
+    locals: int
+    max_nesting: int
+    calls: int
+    memory_ops: int
+
+
+@dataclass
+class ModuleStats:
+    """Static statistics for one module."""
+
+    name: str
+    functions: List[FunctionStats] = field(default_factory=list)
+    opcode_histogram: Counter = field(default_factory=Counter)
+    category_histogram: Counter = field(default_factory=Counter)
+    binary_bytes: int = 0
+    data_bytes: int = 0
+    memory_pages: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(f.instructions for f in self.functions)
+
+    @property
+    def static_memory_op_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        loads = self.category_histogram.get("load", 0)
+        stores = self.category_histogram.get("store", 0)
+        return (loads + stores) / self.total_instructions
+
+    def top_opcodes(self, count: int = 10) -> List[Tuple[str, int]]:
+        return self.opcode_histogram.most_common(count)
+
+
+def module_stats(module: Module) -> ModuleStats:
+    """Compute static statistics for a module."""
+    stats = ModuleStats(name=module.name)
+    for func in module.funcs:
+        nesting = 0
+        max_nesting = 0
+        calls = 0
+        memory_ops = 0
+        for ins in func.body:
+            info = ins.info
+            stats.opcode_histogram[ins.op] += 1
+            stats.category_histogram[info.category] += 1
+            if ins.op in ("block", "loop", "if"):
+                nesting += 1
+                max_nesting = max(max_nesting, nesting)
+            elif ins.op == "end":
+                nesting -= 1
+            elif ins.op in ("call", "call_indirect"):
+                calls += 1
+            if info.category in ("load", "store"):
+                memory_ops += 1
+        stats.functions.append(
+            FunctionStats(
+                name=func.name,
+                instructions=len(func.body),
+                locals=len(func.locals),
+                max_nesting=max_nesting,
+                calls=calls,
+                memory_ops=memory_ops,
+            )
+        )
+    stats.binary_bytes = len(encode_module(module))
+    stats.data_bytes = sum(len(seg.data) for seg in module.data)
+    if module.memories:
+        stats.memory_pages = module.memories[0].limits.minimum
+    return stats

@@ -1,0 +1,160 @@
+"""The WebAssembly module structure.
+
+Mirrors the section layout of the binary format: types, imports,
+functions, tables, memories, globals, exports, an optional start
+function, element segments (function-table initialisers — the paper's
+"tables of function pointers" sandboxing mechanism), and data segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.wasm.errors import ValidationError
+from repro.wasm.instructions import Instr
+from repro.wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
+
+
+@dataclass
+class Function:
+    """A defined (non-imported) function."""
+
+    type_index: int
+    locals: List[ValType] = field(default_factory=list)
+    body: List[Instr] = field(default_factory=list)
+    name: str = ""
+
+
+@dataclass
+class Import:
+    """An imported function, memory, table or global."""
+
+    module: str
+    name: str
+    kind: str  # 'func' | 'table' | 'memory' | 'global'
+    desc: Union[int, TableType, MemoryType, GlobalType]
+
+
+@dataclass
+class Export:
+    name: str
+    kind: str  # 'func' | 'table' | 'memory' | 'global'
+    index: int
+
+
+@dataclass
+class Global:
+    """A defined global with its constant initialiser expression."""
+
+    type: GlobalType
+    init: List[Instr] = field(default_factory=list)
+    name: str = ""
+
+
+@dataclass
+class ElementSegment:
+    """Initialises a slice of a funcref table."""
+
+    table_index: int
+    offset: List[Instr]
+    func_indices: List[int]
+
+
+@dataclass
+class DataSegment:
+    """Initialises a slice of a linear memory."""
+
+    memory_index: int
+    offset: List[Instr]
+    data: bytes
+
+
+@dataclass
+class Module:
+    types: List[FuncType] = field(default_factory=list)
+    imports: List[Import] = field(default_factory=list)
+    funcs: List[Function] = field(default_factory=list)
+    tables: List[TableType] = field(default_factory=list)
+    memories: List[MemoryType] = field(default_factory=list)
+    globals: List[Global] = field(default_factory=list)
+    exports: List[Export] = field(default_factory=list)
+    start: Optional[int] = None
+    elements: List[ElementSegment] = field(default_factory=list)
+    data: List[DataSegment] = field(default_factory=list)
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Index-space helpers (imports precede definitions in each space)
+    # ------------------------------------------------------------------
+    def imported(self, kind: str) -> List[Import]:
+        return [imp for imp in self.imports if imp.kind == kind]
+
+    @property
+    def num_imported_funcs(self) -> int:
+        return len(self.imported("func"))
+
+    @property
+    def num_funcs(self) -> int:
+        return self.num_imported_funcs + len(self.funcs)
+
+    def func_type(self, func_index: int) -> FuncType:
+        """Signature of a function by absolute index (imports first)."""
+        imported = self.imported("func")
+        if func_index < len(imported):
+            type_index = imported[func_index].desc
+        else:
+            local_index = func_index - len(imported)
+            if local_index >= len(self.funcs):
+                raise ValidationError(f"function index {func_index} out of range")
+            type_index = self.funcs[local_index].type_index
+        return self.type_at(type_index)
+
+    def type_at(self, type_index: int) -> FuncType:
+        if not 0 <= type_index < len(self.types):
+            raise ValidationError(f"type index {type_index} out of range")
+        return self.types[type_index]
+
+    def defined_func(self, func_index: int) -> Function:
+        """The Function object for an absolute index; imports have none."""
+        local_index = func_index - self.num_imported_funcs
+        if local_index < 0:
+            raise ValidationError(f"function {func_index} is imported")
+        if local_index >= len(self.funcs):
+            raise ValidationError(f"function index {func_index} out of range")
+        return self.funcs[local_index]
+
+    def global_type(self, global_index: int) -> GlobalType:
+        imported = self.imported("global")
+        if global_index < len(imported):
+            return imported[global_index].desc
+        local_index = global_index - len(imported)
+        if local_index >= len(self.globals):
+            raise ValidationError(f"global index {global_index} out of range")
+        return self.globals[local_index].type
+
+    @property
+    def num_globals(self) -> int:
+        return len(self.imported("global")) + len(self.globals)
+
+    @property
+    def num_memories(self) -> int:
+        return len(self.imported("memory")) + len(self.memories)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.imported("table")) + len(self.tables)
+
+    def export_named(self, name: str) -> Export:
+        for export in self.exports:
+            if export.name == name:
+                return export
+        raise KeyError(f"no export named {name!r}")
+
+    def add_type(self, func_type: FuncType) -> int:
+        """Intern a function type, returning its index."""
+        try:
+            return self.types.index(func_type)
+        except ValueError:
+            self.types.append(func_type)
+            return len(self.types) - 1

@@ -1,0 +1,256 @@
+"""The WebAssembly MVP opcode table (plus sign-extension operators).
+
+One table drives everything: binary encoding/decoding, validation
+(stack signatures), interpretation and instruction selection.  Each
+entry records the opcode byte, the immediate kind, the stack signature
+for simple (non-polymorphic) instructions, a category, and — for memory
+instructions — the access width in bytes.
+
+Immediate kinds:
+
+=============  ========================================================
+``''``         no immediate
+``'u32'``      one LEB128 u32 (indices: local, global, func, label)
+``'memarg'``   alignment + offset pair (memory instructions)
+``'i32'``      signed LEB128 32-bit literal
+``'i64'``      signed LEB128 64-bit literal
+``'f32'``      4-byte IEEE literal
+``'f64'``      8-byte IEEE literal
+``'block'``    block type (empty / one value type)
+``'br_table'`` label vector + default label
+``'call_indirect'`` type index + table index
+``'memidx'``   reserved 0x00 byte (memory.size / memory.grow)
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+I32, I64, F32, F64 = "i32", "i64", "f32", "f64"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one instruction."""
+
+    name: str
+    code: int
+    imm: str
+    params: Tuple[str, ...]
+    results: Tuple[str, ...]
+    category: str
+    #: Bytes accessed for loads/stores (0 otherwise).
+    access_bytes: int = 0
+    #: For sub-width loads: 's' or 'u'; '' elsewhere.
+    sign: str = ""
+
+
+_TABLE: list[OpInfo] = []
+
+
+def _op(name, code, imm="", params=(), results=(), category="arith", access=0, sign=""):
+    info = OpInfo(
+        name=name,
+        code=code,
+        imm=imm,
+        params=tuple(params),
+        results=tuple(results),
+        category=category,
+        access_bytes=access,
+        sign=sign,
+    )
+    _TABLE.append(info)
+    return info
+
+
+# -- control ---------------------------------------------------------------
+_op("unreachable", 0x00, category="control")
+_op("nop", 0x01, category="control")
+_op("block", 0x02, imm="block", category="control")
+_op("loop", 0x03, imm="block", category="control")
+_op("if", 0x04, imm="block", category="control")
+_op("else", 0x05, category="control")
+_op("end", 0x0B, category="control")
+_op("br", 0x0C, imm="u32", category="control")
+_op("br_if", 0x0D, imm="u32", category="control")
+_op("br_table", 0x0E, imm="br_table", category="control")
+_op("return", 0x0F, category="control")
+_op("call", 0x10, imm="u32", category="control")
+_op("call_indirect", 0x11, imm="call_indirect", category="control")
+
+# -- parametric --------------------------------------------------------------
+_op("drop", 0x1A, category="parametric")
+_op("select", 0x1B, category="parametric")
+
+# -- variable ----------------------------------------------------------------
+_op("local.get", 0x20, imm="u32", category="variable")
+_op("local.set", 0x21, imm="u32", category="variable")
+_op("local.tee", 0x22, imm="u32", category="variable")
+_op("global.get", 0x23, imm="u32", category="variable")
+_op("global.set", 0x24, imm="u32", category="variable")
+
+# -- memory: loads ------------------------------------------------------------
+_op("i32.load", 0x28, "memarg", (I32,), (I32,), "load", 4)
+_op("i64.load", 0x29, "memarg", (I32,), (I64,), "load", 8)
+_op("f32.load", 0x2A, "memarg", (I32,), (F32,), "load", 4)
+_op("f64.load", 0x2B, "memarg", (I32,), (F64,), "load", 8)
+_op("i32.load8_s", 0x2C, "memarg", (I32,), (I32,), "load", 1, "s")
+_op("i32.load8_u", 0x2D, "memarg", (I32,), (I32,), "load", 1, "u")
+_op("i32.load16_s", 0x2E, "memarg", (I32,), (I32,), "load", 2, "s")
+_op("i32.load16_u", 0x2F, "memarg", (I32,), (I32,), "load", 2, "u")
+_op("i64.load8_s", 0x30, "memarg", (I32,), (I64,), "load", 1, "s")
+_op("i64.load8_u", 0x31, "memarg", (I32,), (I64,), "load", 1, "u")
+_op("i64.load16_s", 0x32, "memarg", (I32,), (I64,), "load", 2, "s")
+_op("i64.load16_u", 0x33, "memarg", (I32,), (I64,), "load", 2, "u")
+_op("i64.load32_s", 0x34, "memarg", (I32,), (I64,), "load", 4, "s")
+_op("i64.load32_u", 0x35, "memarg", (I32,), (I64,), "load", 4, "u")
+
+# -- memory: stores ------------------------------------------------------------
+_op("i32.store", 0x36, "memarg", (I32, I32), (), "store", 4)
+_op("i64.store", 0x37, "memarg", (I32, I64), (), "store", 8)
+_op("f32.store", 0x38, "memarg", (I32, F32), (), "store", 4)
+_op("f64.store", 0x39, "memarg", (I32, F64), (), "store", 8)
+_op("i32.store8", 0x3A, "memarg", (I32, I32), (), "store", 1)
+_op("i32.store16", 0x3B, "memarg", (I32, I32), (), "store", 2)
+_op("i64.store8", 0x3C, "memarg", (I32, I64), (), "store", 1)
+_op("i64.store16", 0x3D, "memarg", (I32, I64), (), "store", 2)
+_op("i64.store32", 0x3E, "memarg", (I32, I64), (), "store", 4)
+_op("memory.size", 0x3F, "memidx", (), (I32,), "memory")
+_op("memory.grow", 0x40, "memidx", (I32,), (I32,), "memory")
+
+# -- constants ------------------------------------------------------------------
+_op("i32.const", 0x41, "i32", (), (I32,), "const")
+_op("i64.const", 0x42, "i64", (), (I64,), "const")
+_op("f32.const", 0x43, "f32", (), (F32,), "const")
+_op("f64.const", 0x44, "f64", (), (F64,), "const")
+
+# -- i32 comparisons ---------------------------------------------------------------
+_op("i32.eqz", 0x45, "", (I32,), (I32,), "compare")
+for _name, _code in [
+    ("i32.eq", 0x46), ("i32.ne", 0x47), ("i32.lt_s", 0x48), ("i32.lt_u", 0x49),
+    ("i32.gt_s", 0x4A), ("i32.gt_u", 0x4B), ("i32.le_s", 0x4C), ("i32.le_u", 0x4D),
+    ("i32.ge_s", 0x4E), ("i32.ge_u", 0x4F),
+]:
+    _op(_name, _code, "", (I32, I32), (I32,), "compare")
+
+# -- i64 comparisons ---------------------------------------------------------------
+_op("i64.eqz", 0x50, "", (I64,), (I32,), "compare")
+for _name, _code in [
+    ("i64.eq", 0x51), ("i64.ne", 0x52), ("i64.lt_s", 0x53), ("i64.lt_u", 0x54),
+    ("i64.gt_s", 0x55), ("i64.gt_u", 0x56), ("i64.le_s", 0x57), ("i64.le_u", 0x58),
+    ("i64.ge_s", 0x59), ("i64.ge_u", 0x5A),
+]:
+    _op(_name, _code, "", (I64, I64), (I32,), "compare")
+
+# -- float comparisons ---------------------------------------------------------------
+for _name, _code in [
+    ("f32.eq", 0x5B), ("f32.ne", 0x5C), ("f32.lt", 0x5D),
+    ("f32.gt", 0x5E), ("f32.le", 0x5F), ("f32.ge", 0x60),
+]:
+    _op(_name, _code, "", (F32, F32), (I32,), "compare")
+for _name, _code in [
+    ("f64.eq", 0x61), ("f64.ne", 0x62), ("f64.lt", 0x63),
+    ("f64.gt", 0x64), ("f64.le", 0x65), ("f64.ge", 0x66),
+]:
+    _op(_name, _code, "", (F64, F64), (I32,), "compare")
+
+# -- i32 arithmetic -----------------------------------------------------------------
+for _name, _code in [("i32.clz", 0x67), ("i32.ctz", 0x68), ("i32.popcnt", 0x69)]:
+    _op(_name, _code, "", (I32,), (I32,), "arith")
+for _name, _code in [
+    ("i32.add", 0x6A), ("i32.sub", 0x6B), ("i32.mul", 0x6C),
+    ("i32.div_s", 0x6D), ("i32.div_u", 0x6E), ("i32.rem_s", 0x6F), ("i32.rem_u", 0x70),
+    ("i32.and", 0x71), ("i32.or", 0x72), ("i32.xor", 0x73),
+    ("i32.shl", 0x74), ("i32.shr_s", 0x75), ("i32.shr_u", 0x76),
+    ("i32.rotl", 0x77), ("i32.rotr", 0x78),
+]:
+    _op(_name, _code, "", (I32, I32), (I32,), "arith")
+
+# -- i64 arithmetic -----------------------------------------------------------------
+for _name, _code in [("i64.clz", 0x79), ("i64.ctz", 0x7A), ("i64.popcnt", 0x7B)]:
+    _op(_name, _code, "", (I64,), (I64,), "arith")
+for _name, _code in [
+    ("i64.add", 0x7C), ("i64.sub", 0x7D), ("i64.mul", 0x7E),
+    ("i64.div_s", 0x7F), ("i64.div_u", 0x80), ("i64.rem_s", 0x81), ("i64.rem_u", 0x82),
+    ("i64.and", 0x83), ("i64.or", 0x84), ("i64.xor", 0x85),
+    ("i64.shl", 0x86), ("i64.shr_s", 0x87), ("i64.shr_u", 0x88),
+    ("i64.rotl", 0x89), ("i64.rotr", 0x8A),
+]:
+    _op(_name, _code, "", (I64, I64), (I64,), "arith")
+
+# -- f32 arithmetic -----------------------------------------------------------------
+for _name, _code in [
+    ("f32.abs", 0x8B), ("f32.neg", 0x8C), ("f32.ceil", 0x8D), ("f32.floor", 0x8E),
+    ("f32.trunc", 0x8F), ("f32.nearest", 0x90), ("f32.sqrt", 0x91),
+]:
+    _op(_name, _code, "", (F32,), (F32,), "arith")
+for _name, _code in [
+    ("f32.add", 0x92), ("f32.sub", 0x93), ("f32.mul", 0x94), ("f32.div", 0x95),
+    ("f32.min", 0x96), ("f32.max", 0x97), ("f32.copysign", 0x98),
+]:
+    _op(_name, _code, "", (F32, F32), (F32,), "arith")
+
+# -- f64 arithmetic -----------------------------------------------------------------
+for _name, _code in [
+    ("f64.abs", 0x99), ("f64.neg", 0x9A), ("f64.ceil", 0x9B), ("f64.floor", 0x9C),
+    ("f64.trunc", 0x9D), ("f64.nearest", 0x9E), ("f64.sqrt", 0x9F),
+]:
+    _op(_name, _code, "", (F64,), (F64,), "arith")
+for _name, _code in [
+    ("f64.add", 0xA0), ("f64.sub", 0xA1), ("f64.mul", 0xA2), ("f64.div", 0xA3),
+    ("f64.min", 0xA4), ("f64.max", 0xA5), ("f64.copysign", 0xA6),
+]:
+    _op(_name, _code, "", (F64, F64), (F64,), "arith")
+
+# -- conversions ---------------------------------------------------------------------
+_op("i32.wrap_i64", 0xA7, "", (I64,), (I32,), "convert")
+_op("i32.trunc_f32_s", 0xA8, "", (F32,), (I32,), "convert")
+_op("i32.trunc_f32_u", 0xA9, "", (F32,), (I32,), "convert")
+_op("i32.trunc_f64_s", 0xAA, "", (F64,), (I32,), "convert")
+_op("i32.trunc_f64_u", 0xAB, "", (F64,), (I32,), "convert")
+_op("i64.extend_i32_s", 0xAC, "", (I32,), (I64,), "convert")
+_op("i64.extend_i32_u", 0xAD, "", (I32,), (I64,), "convert")
+_op("i64.trunc_f32_s", 0xAE, "", (F32,), (I64,), "convert")
+_op("i64.trunc_f32_u", 0xAF, "", (F32,), (I64,), "convert")
+_op("i64.trunc_f64_s", 0xB0, "", (F64,), (I64,), "convert")
+_op("i64.trunc_f64_u", 0xB1, "", (F64,), (I64,), "convert")
+_op("f32.convert_i32_s", 0xB2, "", (I32,), (F32,), "convert")
+_op("f32.convert_i32_u", 0xB3, "", (I32,), (F32,), "convert")
+_op("f32.convert_i64_s", 0xB4, "", (I64,), (F32,), "convert")
+_op("f32.convert_i64_u", 0xB5, "", (I64,), (F32,), "convert")
+_op("f32.demote_f64", 0xB6, "", (F64,), (F32,), "convert")
+_op("f64.convert_i32_s", 0xB7, "", (I32,), (F64,), "convert")
+_op("f64.convert_i32_u", 0xB8, "", (I32,), (F64,), "convert")
+_op("f64.convert_i64_s", 0xB9, "", (I64,), (F64,), "convert")
+_op("f64.convert_i64_u", 0xBA, "", (I64,), (F64,), "convert")
+_op("f64.promote_f32", 0xBB, "", (F32,), (F64,), "convert")
+_op("i32.reinterpret_f32", 0xBC, "", (F32,), (I32,), "convert")
+_op("i64.reinterpret_f64", 0xBD, "", (F64,), (I64,), "convert")
+_op("f32.reinterpret_i32", 0xBE, "", (I32,), (F32,), "convert")
+_op("f64.reinterpret_i64", 0xBF, "", (I64,), (F64,), "convert")
+
+# -- sign-extension operators (post-MVP, widely supported) ------------------------------
+_op("i32.extend8_s", 0xC0, "", (I32,), (I32,), "convert")
+_op("i32.extend16_s", 0xC1, "", (I32,), (I32,), "convert")
+_op("i64.extend8_s", 0xC2, "", (I64,), (I64,), "convert")
+_op("i64.extend16_s", 0xC3, "", (I64,), (I64,), "convert")
+_op("i64.extend32_s", 0xC4, "", (I64,), (I64,), "convert")
+
+
+#: name -> OpInfo
+BY_NAME: dict[str, OpInfo] = {info.name: info for info in _TABLE}
+#: opcode byte -> OpInfo
+BY_CODE: dict[int, OpInfo] = {info.code: info for info in _TABLE}
+
+if len(BY_NAME) != len(_TABLE) or len(BY_CODE) != len(_TABLE):  # pragma: no cover
+    raise AssertionError("duplicate opcode table entries")
+
+
+def info(name: str) -> OpInfo:
+    """Look up an instruction by name, raising KeyError with context."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown instruction {name!r}") from None

@@ -1,0 +1,118 @@
+"""WebAssembly type structures.
+
+The MVP has exactly four value types (§2.1 of the paper): 32- and 64-bit
+integers and floats.  Types carry their binary encodings so the encoder
+and decoder share a single source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.wasm.errors import DecodeError
+
+
+class ValType(enum.Enum):
+    """The four WebAssembly value types."""
+
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+
+    @property
+    def binary(self) -> int:
+        return _VALTYPE_TO_BYTE[self]
+
+    @classmethod
+    def from_binary(cls, byte: int) -> "ValType":
+        try:
+            return _BYTE_TO_VALTYPE[byte]
+        except KeyError:
+            raise DecodeError(f"invalid value type byte {byte:#x}") from None
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (ValType.I32, ValType.I64)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (ValType.F32, ValType.F64)
+
+    @property
+    def bit_width(self) -> int:
+        return 32 if self in (ValType.I32, ValType.F32) else 64
+
+    def __repr__(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_VALTYPE_TO_BYTE = {
+    ValType.I32: 0x7F,
+    ValType.I64: 0x7E,
+    ValType.F32: 0x7D,
+    ValType.F64: 0x7C,
+}
+_BYTE_TO_VALTYPE = {byte: vt for vt, byte in _VALTYPE_TO_BYTE.items()}
+
+#: Binary tag introducing a function type.
+FUNC_TYPE_TAG = 0x60
+
+#: Element type for MVP tables (funcref).
+FUNCREF = 0x70
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function signature: parameter and result types."""
+
+    params: Tuple[ValType, ...] = ()
+    results: Tuple[ValType, ...] = ()
+
+    def __str__(self) -> str:
+        p = " ".join(t.value for t in self.params) or "ε"
+        r = " ".join(t.value for t in self.results) or "ε"
+        return f"[{p}] -> [{r}]"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Min/max limits for memories and tables (units: pages / entries)."""
+
+    minimum: int
+    maximum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ValueError(f"limits minimum must be >= 0, got {self.minimum}")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ValueError(
+                f"limits maximum {self.maximum} below minimum {self.minimum}"
+            )
+
+
+@dataclass(frozen=True)
+class MemoryType:
+    """A linear memory: limits in 64 KiB Wasm pages."""
+
+    limits: Limits
+
+
+@dataclass(frozen=True)
+class TableType:
+    """A funcref table."""
+
+    limits: Limits
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    """A global variable's type and mutability."""
+
+    valtype: ValType
+    mutable: bool = False

@@ -1,0 +1,110 @@
+"""WAT-style text rendering of modules (a debugging aid).
+
+Produces readable, roughly WAT-shaped text — folded enough to diff and
+eyeball, not intended to be byte-identical with reference tooling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.wasm.instructions import Instr
+from repro.wasm.module import Module
+from repro.wasm.types import FuncType
+
+
+def _render_functype(func_type: FuncType) -> str:
+    parts = []
+    if func_type.params:
+        parts.append("(param " + " ".join(t.value for t in func_type.params) + ")")
+    if func_type.results:
+        parts.append("(result " + " ".join(t.value for t in func_type.results) + ")")
+    return " ".join(parts)
+
+
+def _render_instr(ins: Instr) -> str:
+    if ins.op in ("block", "loop", "if"):
+        result = ins.args[0]
+        suffix = f" (result {result.value})" if result is not None else ""
+        return ins.op + suffix
+    if ins.op == "br_table":
+        labels, default = ins.args
+        return "br_table " + " ".join(str(l) for l in (*labels, default))
+    if ins.op == "call_indirect":
+        type_index, table_index = ins.args
+        return f"call_indirect (type {type_index})"
+    if ins.info.imm == "memarg":
+        align, offset = ins.args
+        parts = [ins.op]
+        if offset:
+            parts.append(f"offset={offset}")
+        parts.append(f"align={1 << align}")
+        return " ".join(parts)
+    return str(ins)
+
+
+def body_to_wat(body: List[Instr], indent: int = 4) -> str:
+    """Render a body with control-structure indentation."""
+    lines = []
+    depth = 0
+    for ins in body:
+        if ins.op in ("end", "else"):
+            depth = max(0, depth - 1)
+        lines.append(" " * (indent + 2 * depth) + _render_instr(ins))
+        if ins.op in ("block", "loop", "if", "else"):
+            depth += 1
+    return "\n".join(lines)
+
+
+def module_to_wat(module: Module) -> str:
+    """Render a whole module."""
+    lines = [f"(module ;; {module.name}" if module.name else "(module"]
+    for index, func_type in enumerate(module.types):
+        lines.append(f"  (type (;{index};) (func {_render_functype(func_type)}))")
+    for imp in module.imports:
+        lines.append(f'  (import "{imp.module}" "{imp.name}" ({imp.kind} {imp.desc}))')
+    for index, memory in enumerate(module.memories):
+        limits = memory.limits
+        maximum = f" {limits.maximum}" if limits.maximum is not None else ""
+        lines.append(f"  (memory (;{index};) {limits.minimum}{maximum})")
+    for index, table in enumerate(module.tables):
+        limits = table.limits
+        maximum = f" {limits.maximum}" if limits.maximum is not None else ""
+        lines.append(f"  (table (;{index};) {limits.minimum}{maximum} funcref)")
+    for index, glob in enumerate(module.globals):
+        mut = f"(mut {glob.type.valtype.value})" if glob.type.mutable else glob.type.valtype.value
+        init = "; ".join(str(i) for i in glob.init)
+        lines.append(f"  (global (;{index};) {mut} ({init}))")
+    for index, func in enumerate(module.funcs):
+        abs_index = module.num_imported_funcs + index
+        func_type = module.type_at(func.type_index)
+        header = f"  (func (;{abs_index};)"
+        if func.name:
+            header += f" ${func.name}"
+        sig = _render_functype(func_type)
+        if sig:
+            header += " " + sig
+        lines.append(header)
+        if func.locals:
+            lines.append("    (local " + " ".join(t.value for t in func.locals) + ")")
+        rendered = body_to_wat(func.body)
+        if rendered:
+            lines.append(rendered)
+        lines.append("  )")
+    for export in module.exports:
+        lines.append(f'  (export "{export.name}" ({export.kind} {export.index}))')
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+    for element in module.elements:
+        offset = "; ".join(str(i) for i in element.offset)
+        funcs = " ".join(str(i) for i in element.func_indices)
+        lines.append(f"  (elem (table {element.table_index}) ({offset}) func {funcs})")
+    for segment in module.data:
+        offset = "; ".join(str(i) for i in segment.offset)
+        preview = segment.data[:16].hex()
+        ellipsis = "…" if len(segment.data) > 16 else ""
+        lines.append(
+            f'  (data (memory {segment.memory_index}) ({offset}) "{preview}{ellipsis}" ;; {len(segment.data)} bytes'
+        )
+    lines.append(")")
+    return "\n".join(lines)

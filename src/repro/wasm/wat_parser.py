@@ -1,0 +1,367 @@
+"""A WAT (WebAssembly text) parser for the flat instruction form.
+
+Complements :mod:`repro.wasm.wat` (the printer): enough of the text
+format to hand-write test fixtures and small programs without touching
+the builder API.  Supported grammar:
+
+* ``(module ...)`` with ``(memory min [max])``, ``(table min [max]
+  funcref)``, ``(global [$id] (mut? <type>) (<type>.const v))``,
+  ``(func ...)``, ``(export "n" (func|memory|table|global idx|$id))``,
+  ``(elem (i32.const k) $f ...)``, ``(data (i32.const k) "bytes")``,
+  ``(start $f)``;
+* functions with ``$identifiers``, ``(param <t>*)``, ``(result <t>)``,
+  ``(local <t>*)`` and **flat** (non-folded) instructions, including
+  structured ``block/loop/if … else … end`` with optional
+  ``(result <t>)`` annotations;
+* ``call $name`` and branch labels by numeric depth.
+
+Folded expressions ``(i32.add (…) (…))`` are not supported — the
+printer emits flat form, and flat form keeps the parser honest and
+small.  Raises :class:`WatParseError` with positions on bad input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.wasm import opcodes
+from repro.wasm.errors import WasmError
+from repro.wasm.instructions import Instr
+from repro.wasm.module import (
+    DataSegment,
+    ElementSegment,
+    Export,
+    Function,
+    Global,
+    Module,
+)
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+
+class WatParseError(WasmError):
+    """Malformed WAT input."""
+
+
+_VALTYPES = {"i32": ValType.I32, "i64": ValType.I64,
+             "f32": ValType.F32, "f64": ValType.F64}
+
+
+# ----------------------------------------------------------------------
+# S-expression tokenizer/reader
+# ----------------------------------------------------------------------
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    index, length = 0, len(text)
+    while index < length:
+        ch = text[index]
+        if ch in " \t\r\n":
+            index += 1
+        elif text.startswith(";;", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline
+        elif text.startswith("(;", index):
+            close = text.find(";)", index)
+            if close < 0:
+                raise WatParseError("unterminated block comment")
+            index = close + 2
+        elif ch in "()":
+            tokens.append(ch)
+            index += 1
+        elif ch == '"':
+            end = index + 1
+            out = []
+            while end < length and text[end] != '"':
+                if text[end] == "\\":
+                    end += 1
+                    if end >= length:
+                        raise WatParseError("unterminated escape")
+                    esc = text[end]
+                    if esc in "\\\"'":
+                        out.append(esc)
+                    elif esc == "n":
+                        out.append("\n")
+                    elif esc == "t":
+                        out.append("\t")
+                    else:  # \xx hex byte
+                        out.append(chr(int(text[end : end + 2], 16)))
+                        end += 1
+                else:
+                    out.append(text[end])
+                end += 1
+            if end >= length:
+                raise WatParseError("unterminated string literal")
+            tokens.append('"' + "".join(out))
+            index = end + 1
+        else:
+            end = index
+            while end < length and text[end] not in ' \t\r\n()";':
+                end += 1
+            tokens.append(text[index:end])
+            index = end
+    return tokens
+
+
+Sexp = Union[str, list]
+
+
+def _read(tokens: List[str], position: int = 0) -> Tuple[Sexp, int]:
+    if position >= len(tokens):
+        raise WatParseError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[Sexp] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _read(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise WatParseError("missing closing parenthesis")
+        return items, position + 1
+    if token == ")":
+        raise WatParseError("unexpected ')'")
+    return token, position + 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def parse_wat(text: str) -> Module:
+    """Parse WAT source into a Module (validate separately)."""
+    sexp, position = _read(_tokenize(text))
+    if position != len(_tokenize(text)):
+        pass  # trailing content is tolerated only if whitespace; re-check:
+    if not isinstance(sexp, list) or not sexp or sexp[0] != "module":
+        raise WatParseError("top-level form must be (module ...)")
+    return _Parser().parse_module(sexp[1:])
+
+
+class _Parser:
+    def __init__(self) -> None:
+        self.module = Module()
+        self.func_names: Dict[str, int] = {}
+        self.global_names: Dict[str, int] = {}
+        self._pending_funcs: List[Tuple[int, list]] = []
+
+    def parse_module(self, forms: List[Sexp]) -> Module:
+        # First pass: assign indices to named items so calls can refer
+        # forward.
+        for form in forms:
+            if isinstance(form, list) and form and form[0] == "func":
+                index = len(self.module.funcs)
+                name = ""
+                if len(form) > 1 and isinstance(form[1], str) and form[1].startswith("$"):
+                    name = form[1][1:]
+                    self.func_names[form[1]] = index
+                self.module.funcs.append(Function(type_index=-1, name=name))
+                self._pending_funcs.append((index, form))
+            elif isinstance(form, list) and form and form[0] == "global":
+                if len(form) > 1 and isinstance(form[1], str) and form[1].startswith("$"):
+                    self.global_names[form[1]] = len(self.global_names)
+        for form in forms:
+            if not isinstance(form, list) or not form:
+                raise WatParseError(f"unexpected module field {form!r}")
+            head = form[0]
+            handler = getattr(self, f"_field_{head.replace('.', '_')}", None)
+            if handler is None:
+                raise WatParseError(f"unsupported module field ({head} ...)")
+            handler(form)
+        for index, form in self._pending_funcs:
+            self._parse_func_body(index, form)
+        return self.module
+
+    # -- fields --------------------------------------------------------
+    def _field_func(self, form: list) -> None:
+        pass  # bodies parsed after all indices are known
+
+    def _field_memory(self, form: list) -> None:
+        numbers = [int(f) for f in form[1:] if isinstance(f, str) and not f.startswith("$")]
+        if not numbers:
+            raise WatParseError("(memory) needs a minimum size")
+        maximum = numbers[1] if len(numbers) > 1 else None
+        self.module.memories.append(MemoryType(Limits(numbers[0], maximum)))
+
+    def _field_table(self, form: list) -> None:
+        numbers = [int(f) for f in form[1:] if isinstance(f, str) and f.isdigit()]
+        if not numbers:
+            raise WatParseError("(table) needs a minimum size")
+        maximum = numbers[1] if len(numbers) > 1 else None
+        self.module.tables.append(TableType(Limits(numbers[0], maximum)))
+
+    def _field_global(self, form: list) -> None:
+        rest = form[1:]
+        if rest and isinstance(rest[0], str) and rest[0].startswith("$"):
+            rest = rest[1:]
+        if len(rest) != 2:
+            raise WatParseError("(global) needs a type and an initialiser")
+        type_form, init_form = rest
+        if isinstance(type_form, list) and type_form[0] == "mut":
+            gtype = GlobalType(_valtype(type_form[1]), mutable=True)
+        else:
+            gtype = GlobalType(_valtype(type_form), mutable=False)
+        if not isinstance(init_form, list) or not init_form[0].endswith(".const"):
+            raise WatParseError("global initialiser must be a const expression")
+        init = [_const_instr(init_form)]
+        self.module.globals.append(Global(gtype, init))
+
+    def _field_export(self, form: list) -> None:
+        if len(form) != 3 or not isinstance(form[1], str) or not form[1].startswith('"'):
+            raise WatParseError('(export "name" (kind idx)) expected')
+        name = form[1][1:]
+        kind, ref = form[2][0], form[2][1]
+        index = self._resolve(kind, ref)
+        self.module.exports.append(Export(name, kind, index))
+
+    def _field_start(self, form: list) -> None:
+        self.module.start = self._resolve("func", form[1])
+
+    def _field_elem(self, form: list) -> None:
+        offset = [_const_instr(form[1])]
+        funcs = [self._resolve("func", ref) for ref in form[2:]]
+        self.module.elements.append(ElementSegment(0, offset, funcs))
+
+    def _field_data(self, form: list) -> None:
+        offset = [_const_instr(form[1])]
+        blobs = [f[1:] for f in form[2:] if isinstance(f, str) and f.startswith('"')]
+        raw = "".join(blobs).encode("latin-1")
+        self.module.data.append(DataSegment(0, offset, raw))
+
+    # -- functions ----------------------------------------------------------
+    def _parse_func_body(self, index: int, form: list) -> None:
+        rest = list(form[1:])
+        if rest and isinstance(rest[0], str) and rest[0].startswith("$"):
+            rest.pop(0)
+        params: List[ValType] = []
+        results: List[ValType] = []
+        locals_: List[ValType] = []
+        body_forms: List[Sexp] = []
+        exports: List[str] = []
+        in_header = True
+        for item in rest:
+            head = item[0] if isinstance(item, list) and item else None
+            if in_header and head == "param":
+                params.extend(_valtype(t) for t in item[1:] if not t.startswith("$"))
+            elif in_header and head == "result":
+                results.extend(_valtype(t) for t in item[1:])
+            elif in_header and head == "local":
+                locals_.extend(_valtype(t) for t in item[1:] if not t.startswith("$"))
+            elif in_header and head == "export":
+                exports.append(item[1][1:])
+            else:
+                # First instruction ends the header: later (result …)
+                # forms annotate blocks, not the function type.
+                in_header = False
+                body_forms.append(item)
+        func = self.module.funcs[index]
+        func.type_index = self.module.add_type(FuncType(tuple(params), tuple(results)))
+        func.locals = locals_
+        func.body = self._parse_instrs(body_forms)
+        for export_name in exports:
+            self.module.exports.append(Export(export_name, "func", index))
+
+    def _parse_instrs(self, forms: List[Sexp]) -> List[Instr]:
+        instrs: List[Instr] = []
+        position = 0
+        while position < len(forms):
+            token = forms[position]
+            if isinstance(token, list):
+                raise WatParseError(
+                    f"folded expressions are not supported: ({token[0]} ...)"
+                )
+            info = opcodes.BY_NAME.get(token)
+            if info is None:
+                raise WatParseError(f"unknown instruction {token!r}")
+            position += 1
+            if info.imm == "":
+                instrs.append(Instr(token))
+            elif info.imm == "block":
+                result: Optional[ValType] = None
+                if (
+                    position < len(forms)
+                    and isinstance(forms[position], list)
+                    and forms[position][0] == "result"
+                ):
+                    result = _valtype(forms[position][1])
+                    position += 1
+                instrs.append(Instr(token, (result,)))
+            elif info.imm == "u32":
+                arg = forms[position]
+                position += 1
+                if token == "call":
+                    instrs.append(Instr(token, (self._resolve("func", arg),)))
+                elif token in ("global.get", "global.set"):
+                    instrs.append(Instr(token, (self._resolve("global", arg),)))
+                else:
+                    instrs.append(Instr(token, (int(arg),)))
+            elif info.imm == "memarg":
+                align_log2 = _natural_align(info)
+                offset = 0
+                while position < len(forms) and isinstance(forms[position], str) and "=" in forms[position]:
+                    key, _, value = forms[position].partition("=")
+                    if key == "offset":
+                        offset = int(value)
+                    elif key == "align":
+                        align_log2 = int(value).bit_length() - 1
+                    else:
+                        raise WatParseError(f"unknown memarg key {key!r}")
+                    position += 1
+                instrs.append(Instr(token, (align_log2, offset)))
+            elif info.imm in ("i32", "i64"):
+                instrs.append(Instr(token, (int(forms[position], 0),)))
+                position += 1
+            elif info.imm in ("f32", "f64"):
+                instrs.append(Instr(token, (float(forms[position]),)))
+                position += 1
+            elif info.imm == "br_table":
+                labels: List[int] = []
+                while position < len(forms) and isinstance(forms[position], str) and forms[position].isdigit():
+                    labels.append(int(forms[position]))
+                    position += 1
+                if len(labels) < 1:
+                    raise WatParseError("br_table needs at least a default label")
+                instrs.append(Instr(token, (tuple(labels[:-1]), labels[-1])))
+            elif info.imm == "call_indirect":
+                type_index = None
+                if (
+                    position < len(forms)
+                    and isinstance(forms[position], list)
+                    and forms[position][0] == "type"
+                ):
+                    type_index = int(forms[position][1])
+                    position += 1
+                if type_index is None:
+                    raise WatParseError("call_indirect requires (type n)")
+                instrs.append(Instr(token, (type_index, 0)))
+            elif info.imm == "memidx":
+                instrs.append(Instr(token))
+            else:  # pragma: no cover - closed table
+                raise WatParseError(f"unhandled immediate kind {info.imm}")
+        return instrs
+
+    # -- helpers ---------------------------------------------------------
+    def _resolve(self, kind: str, ref: str) -> int:
+        if isinstance(ref, str) and ref.startswith("$"):
+            table = self.func_names if kind == "func" else self.global_names
+            if ref not in table:
+                raise WatParseError(f"unknown {kind} name {ref}")
+            return table[ref]
+        return int(ref)
+
+
+def _valtype(token: str) -> ValType:
+    try:
+        return _VALTYPES[token]
+    except KeyError:
+        raise WatParseError(f"unknown value type {token!r}") from None
+
+
+def _const_instr(form: list) -> Instr:
+    op = form[0]
+    if op in ("i32.const", "i64.const"):
+        return Instr(op, (int(form[1], 0),))
+    if op in ("f32.const", "f64.const"):
+        return Instr(op, (float(form[1]),))
+    raise WatParseError(f"expected const expression, got ({op} ...)")
+
+
+def _natural_align(info: opcodes.OpInfo) -> int:
+    return max(0, info.access_bytes.bit_length() - 1)

@@ -1,0 +1,32 @@
+"""Benchmark workloads (§3.3).
+
+* :mod:`polybench` — all 30 PolyBench/C 4.2 kernels, authored in the
+  Wasm DSL and verified element-wise against NumPy references;
+* :mod:`spec` — proxies for the 7-benchmark SPEC CPU 2017 Rate subset
+  the paper compiled to WASI (505.mcf, 508.namd, 519.lbm, 525.x264,
+  531.deepsjeng, 544.nab, 557.xz), each reproducing the computational
+  character of its original (pointer chasing, stencils, search, …);
+* :mod:`registry` — the catalogue with size presets (the paper uses
+  PolyBench MEDIUM and SPEC Train; we scale dimensions down so a
+  Python-interpreted functional run stays tractable, see sizes.py).
+"""
+
+from repro.workloads.base import Built, Workload, read_array
+from repro.workloads.registry import (
+    WORKLOADS,
+    POLYBENCH,
+    SPEC,
+    workload_named,
+    suite_workloads,
+)
+
+__all__ = [
+    "Built",
+    "Workload",
+    "read_array",
+    "WORKLOADS",
+    "POLYBENCH",
+    "SPEC",
+    "workload_named",
+    "suite_workloads",
+]

@@ -1,0 +1,61 @@
+"""Workload plumbing: build results, the catalogue entry type, helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.interpreter import Interpreter
+from repro.wasm.dsl import Array, DslModule
+from repro.wasm.module import Module
+
+
+@dataclass
+class Built:
+    """A workload compiled to a Wasm module, with its array layout."""
+
+    module: Module
+    arrays: Dict[str, Array]
+    dm: DslModule
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One catalogue entry.
+
+    ``build(size)`` produces the module; the module exports ``bench``
+    (init + kernel, the profiled entry point) and usually ``init`` /
+    ``kernel`` separately for tests.  ``reference(size)`` computes the
+    expected contents of ``check_arrays`` with NumPy.
+    """
+
+    name: str
+    suite: str  # 'polybench' | 'spec'
+    build: Callable[[str], Built]
+    reference: Optional[Callable[[str], Dict[str, np.ndarray]]]
+    check_arrays: Tuple[str, ...]
+    #: Loose descriptors used in reporting (e.g. 'stencil', 'blas').
+    tags: Tuple[str, ...] = ()
+
+
+_DTYPES = {"f64": "<f8", "f32": "<f4", "i32": "<i4", "i64": "<i8"}
+
+
+def read_array(interp: Interpreter, array: Array) -> np.ndarray:
+    """Copy a DSL array out of an instance's linear memory."""
+    memory = interp.memory
+    raw = bytes(memory.data[array.base : array.base + array.nbytes])
+    return np.frombuffer(raw, dtype=_DTYPES[array.elem]).reshape(array.shape).copy()
+
+
+def run_and_extract(workload: Workload, size: str) -> Dict[str, np.ndarray]:
+    """Execute a workload functionally and return its checked arrays."""
+    built = workload.build(size)
+    interp = Interpreter(built.module, collect_profile=False, track_pages=False)
+    interp.invoke("bench")
+    return {
+        name: read_array(interp, built.arrays[name])
+        for name in workload.check_arrays
+    }

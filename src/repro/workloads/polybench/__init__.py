@@ -1,0 +1,25 @@
+"""PolyBench/C 4.2: all 30 kernels, authored in the Wasm DSL.
+
+Kernels follow the upstream algorithms (loop structure, update order,
+triangular iteration spaces) with deterministic initialisation; the
+NumPy references in each module mirror the exact same recurrences, so
+every kernel is verified element-wise in the test suite.
+"""
+
+from repro.workloads.polybench import (
+    blas,
+    datamining,
+    medley,
+    solvers,
+    stencils,
+    triangular,
+)
+
+ALL = (
+    blas.WORKLOADS
+    + triangular.WORKLOADS
+    + solvers.WORKLOADS
+    + datamining.WORKLOADS
+    + medley.WORKLOADS
+    + stencils.WORKLOADS
+)

@@ -1,0 +1,462 @@
+"""PolyBench BLAS-like kernels: gemm, 2mm, 3mm, atax, bicg, doitgen,
+mvt, gemver, gesummv."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import frac, make_bench
+from repro.workloads.sizes import dims
+
+ALPHA, BETA = 1.5, 1.2
+
+
+# ----------------------------------------------------------------------
+# gemm: C = alpha*A*B + beta*C
+# ----------------------------------------------------------------------
+def build_gemm(preset: str) -> Built:
+    ni, nj, nk = dims("gemm", preset)
+    dm = DslModule("gemm")
+    A = dm.matrix_f64("A", ni, nk)
+    B = dm.matrix_f64("B", nk, nj)
+    C = dm.matrix_f64("C", ni, nj)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, ni):
+        with init.for_(j, 0, nj):
+            init.store(C[i, j], frac(i * j + 1, ni))
+    with init.for_(i, 0, ni):
+        with init.for_(j, 0, nk):
+            init.store(A[i, j], frac(i * (j + 1), nk))
+    with init.for_(i, 0, nk):
+        with init.for_(j, 0, nj):
+            init.store(B[i, j], frac(i * (j + 2), nj))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, ni):
+        with kernel.for_(j, 0, nj):
+            kernel.store(C[i, j], C[i, j] * BETA)
+        with kernel.for_(k, 0, nk):
+            with kernel.for_(j, 0, nj):
+                kernel.store(C[i, j], C[i, j] + ALPHA * A[i, k] * B[k, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A, "B": B, "C": C}, dm)
+
+
+def ref_gemm(preset: str):
+    ni, nj, nk = dims("gemm", preset)
+    C = np.fromfunction(lambda i, j: ((i * j + 1) % ni) / ni, (ni, nj))
+    A = np.fromfunction(lambda i, j: ((i * (j + 1)) % nk) / nk, (ni, nk))
+    B = np.fromfunction(lambda i, j: ((i * (j + 2)) % nj) / nj, (nk, nj))
+    C = BETA * C + ALPHA * (A @ B)
+    return {"C": C}
+
+
+# ----------------------------------------------------------------------
+# 2mm: D = alpha*A*B*C + beta*D
+# ----------------------------------------------------------------------
+def build_2mm(preset: str) -> Built:
+    ni, nj, nk, nl = dims("2mm", preset)
+    dm = DslModule("2mm")
+    A = dm.matrix_f64("A", ni, nk)
+    B = dm.matrix_f64("B", nk, nj)
+    C = dm.matrix_f64("C", nj, nl)
+    D = dm.matrix_f64("D", ni, nl)
+    tmp = dm.matrix_f64("tmp", ni, nj)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, ni):
+        with init.for_(j, 0, nk):
+            init.store(A[i, j], frac(i * j + 1, ni))
+    with init.for_(i, 0, nk):
+        with init.for_(j, 0, nj):
+            init.store(B[i, j], frac(i * (j + 1), nj))
+    with init.for_(i, 0, nj):
+        with init.for_(j, 0, nl):
+            init.store(C[i, j], frac(i * (j + 3) + 1, nl))
+    with init.for_(i, 0, ni):
+        with init.for_(j, 0, nl):
+            init.store(D[i, j], frac(i * (j + 2), nk))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, ni):
+        with kernel.for_(j, 0, nj):
+            kernel.store(tmp[i, j], 0.0)
+            with kernel.for_(k, 0, nk):
+                kernel.store(tmp[i, j], tmp[i, j] + ALPHA * A[i, k] * B[k, j])
+    with kernel.for_(i, 0, ni):
+        with kernel.for_(j, 0, nl):
+            kernel.store(D[i, j], D[i, j] * BETA)
+            with kernel.for_(k, 0, nj):
+                kernel.store(D[i, j], D[i, j] + tmp[i, k] * C[k, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"D": D, "tmp": tmp}, dm)
+
+
+def ref_2mm(preset: str):
+    ni, nj, nk, nl = dims("2mm", preset)
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % ni) / ni, (ni, nk))
+    B = np.fromfunction(lambda i, j: ((i * (j + 1)) % nj) / nj, (nk, nj))
+    C = np.fromfunction(lambda i, j: ((i * (j + 3) + 1) % nl) / nl, (nj, nl))
+    D = np.fromfunction(lambda i, j: ((i * (j + 2)) % nk) / nk, (ni, nl))
+    tmp = ALPHA * (A @ B)
+    D = BETA * D + tmp @ C
+    return {"D": D, "tmp": tmp}
+
+
+# ----------------------------------------------------------------------
+# 3mm: G = (A*B)*(C*D)
+# ----------------------------------------------------------------------
+def build_3mm(preset: str) -> Built:
+    ni, nj, nk, nl, nm = dims("3mm", preset)
+    dm = DslModule("3mm")
+    A = dm.matrix_f64("A", ni, nk)
+    B = dm.matrix_f64("B", nk, nj)
+    C = dm.matrix_f64("C", nj, nm)
+    D = dm.matrix_f64("D", nm, nl)
+    E = dm.matrix_f64("E", ni, nj)
+    F = dm.matrix_f64("F", nj, nl)
+    G = dm.matrix_f64("G", ni, nl)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, ni):
+        with init.for_(j, 0, nk):
+            init.store(A[i, j], frac(i * j + 1, ni))
+    with init.for_(i, 0, nk):
+        with init.for_(j, 0, nj):
+            init.store(B[i, j], frac(i * (j + 1) + 2, nj))
+    with init.for_(i, 0, nj):
+        with init.for_(j, 0, nm):
+            init.store(C[i, j], frac(i * (j + 3), nl))
+    with init.for_(i, 0, nm):
+        with init.for_(j, 0, nl):
+            init.store(D[i, j], frac(i * (j + 2) + 2, nk))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    for dest, lhs, rhs, rows, cols, inner in (
+        (E, A, B, ni, nj, nk),
+        (F, C, D, nj, nl, nm),
+        (G, E, F, ni, nl, nj),
+    ):
+        with kernel.for_(i, 0, rows):
+            with kernel.for_(j, 0, cols):
+                kernel.store(dest[i, j], 0.0)
+                with kernel.for_(k, 0, inner):
+                    kernel.store(dest[i, j], dest[i, j] + lhs[i, k] * rhs[k, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"G": G}, dm)
+
+
+def ref_3mm(preset: str):
+    ni, nj, nk, nl, nm = dims("3mm", preset)
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % ni) / ni, (ni, nk))
+    B = np.fromfunction(lambda i, j: ((i * (j + 1) + 2) % nj) / nj, (nk, nj))
+    C = np.fromfunction(lambda i, j: ((i * (j + 3)) % nl) / nl, (nj, nm))
+    D = np.fromfunction(lambda i, j: ((i * (j + 2) + 2) % nk) / nk, (nm, nl))
+    return {"G": (A @ B) @ (C @ D)}
+
+
+# ----------------------------------------------------------------------
+# atax: y = A^T (A x)
+# ----------------------------------------------------------------------
+def build_atax(preset: str) -> Built:
+    m, n = dims("atax", preset)
+    dm = DslModule("atax")
+    A = dm.matrix_f64("A", m, n)
+    x = dm.array_f64("x", n)
+    y = dm.array_f64("y", n)
+    tmp = dm.array_f64("tmp", m)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        init.store(x[i], 1.0 + i.to_f64() / n)
+    with init.for_(i, 0, m):
+        with init.for_(j, 0, n):
+            init.store(A[i, j], ((i + j) % n).to_f64() / (5.0 * m))
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        kernel.store(y[i], 0.0)
+    with kernel.for_(i, 0, m):
+        kernel.store(tmp[i], 0.0)
+        with kernel.for_(j, 0, n):
+            kernel.store(tmp[i], tmp[i] + A[i, j] * x[j])
+        with kernel.for_(j, 0, n):
+            kernel.store(y[j], y[j] + A[i, j] * tmp[i])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"y": y}, dm)
+
+
+def ref_atax(preset: str):
+    m, n = dims("atax", preset)
+    x = 1.0 + np.arange(n) / n
+    A = np.fromfunction(lambda i, j: ((i + j) % n) / (5.0 * m), (m, n))
+    return {"y": A.T @ (A @ x)}
+
+
+# ----------------------------------------------------------------------
+# bicg: s = A^T r ; q = A p
+# ----------------------------------------------------------------------
+def build_bicg(preset: str) -> Built:
+    n, m = dims("bicg", preset)
+    dm = DslModule("bicg")
+    A = dm.matrix_f64("A", n, m)
+    s = dm.array_f64("s", m)
+    q = dm.array_f64("q", n)
+    p = dm.array_f64("p", m)
+    r = dm.array_f64("r", n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, m):
+        init.store(p[i], frac(i, m))
+    with init.for_(i, 0, n):
+        init.store(r[i], frac(i, n))
+        with init.for_(j, 0, m):
+            init.store(A[i, j], frac(i * (j + 1), n))
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, m):
+        kernel.store(s[i], 0.0)
+    with kernel.for_(i, 0, n):
+        kernel.store(q[i], 0.0)
+        with kernel.for_(j, 0, m):
+            kernel.store(s[j], s[j] + r[i] * A[i, j])
+            kernel.store(q[i], q[i] + A[i, j] * p[j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"s": s, "q": q}, dm)
+
+
+def ref_bicg(preset: str):
+    n, m = dims("bicg", preset)
+    p = np.arange(m) % m / m
+    r = np.arange(n) % n / n
+    A = np.fromfunction(lambda i, j: ((i * (j + 1)) % n) / n, (n, m))
+    return {"s": A.T @ r, "q": A @ p}
+
+
+# ----------------------------------------------------------------------
+# doitgen: A[r,q,:] = A[r,q,:] @ C4
+# ----------------------------------------------------------------------
+def build_doitgen(preset: str) -> Built:
+    nr, nq, np_ = dims("doitgen", preset)
+    dm = DslModule("doitgen")
+    A = dm.array_f64("A", nr, nq, np_)
+    C4 = dm.matrix_f64("C4", np_, np_)
+    summ = dm.array_f64("sum", np_)
+
+    init = dm.func("init")
+    i, j, k = init.i32(), init.i32(), init.i32()
+    with init.for_(i, 0, nr):
+        with init.for_(j, 0, nq):
+            with init.for_(k, 0, np_):
+                init.store(A[i, j, k], frac(i * j + k, np_))
+    with init.for_(i, 0, np_):
+        with init.for_(j, 0, np_):
+            init.store(C4[i, j], frac(i * j, np_))
+
+    kernel = dm.func("kernel")
+    r, q, p, s = kernel.i32(), kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(r, 0, nr):
+        with kernel.for_(q, 0, nq):
+            with kernel.for_(p, 0, np_):
+                kernel.store(summ[p], 0.0)
+                with kernel.for_(s, 0, np_):
+                    kernel.store(summ[p], summ[p] + A[r, q, s] * C4[s, p])
+            with kernel.for_(p, 0, np_):
+                kernel.store(A[r, q, p], summ[p])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_doitgen(preset: str):
+    nr, nq, np_ = dims("doitgen", preset)
+    A = np.fromfunction(lambda i, j, k: ((i * j + k) % np_) / np_, (nr, nq, np_))
+    C4 = np.fromfunction(lambda i, j: ((i * j) % np_) / np_, (np_, np_))
+    for r in range(nr):
+        for q in range(nq):
+            A[r, q, :] = A[r, q, :] @ C4
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# mvt: x1 += A y1 ; x2 += A^T y2
+# ----------------------------------------------------------------------
+def build_mvt(preset: str) -> Built:
+    (n,) = dims("mvt", preset)
+    dm = DslModule("mvt")
+    A = dm.matrix_f64("A", n, n)
+    x1 = dm.array_f64("x1", n)
+    x2 = dm.array_f64("x2", n)
+    y1 = dm.array_f64("y1", n)
+    y2 = dm.array_f64("y2", n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        init.store(x1[i], frac(i, n))
+        init.store(x2[i], frac(i + 1, n))
+        init.store(y1[i], frac(i + 3, n))
+        init.store(y2[i], frac(i + 4, n))
+        with init.for_(j, 0, n):
+            init.store(A[i, j], frac(i * j, n))
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, n):
+            kernel.store(x1[i], x1[i] + A[i, j] * y1[j])
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, n):
+            kernel.store(x2[i], x2[i] + A[j, i] * y2[j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"x1": x1, "x2": x2}, dm)
+
+
+def ref_mvt(preset: str):
+    (n,) = dims("mvt", preset)
+    idx = np.arange(n)
+    x1 = idx % n / n
+    x2 = (idx + 1) % n / n
+    y1 = (idx + 3) % n / n
+    y2 = (idx + 4) % n / n
+    A = np.fromfunction(lambda i, j: (i * j % n) / n, (n, n))
+    return {"x1": x1 + A @ y1, "x2": x2 + A.T @ y2}
+
+
+# ----------------------------------------------------------------------
+# gemver
+# ----------------------------------------------------------------------
+def build_gemver(preset: str) -> Built:
+    (n,) = dims("gemver", preset)
+    dm = DslModule("gemver")
+    A = dm.matrix_f64("A", n, n)
+    u1 = dm.array_f64("u1", n)
+    v1 = dm.array_f64("v1", n)
+    u2 = dm.array_f64("u2", n)
+    v2 = dm.array_f64("v2", n)
+    w = dm.array_f64("w", n)
+    x = dm.array_f64("x", n)
+    y = dm.array_f64("y", n)
+    z = dm.array_f64("z", n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        fi = i.to_f64()
+        init.store(u1[i], fi)
+        init.store(u2[i], (fi + 1.0) / n / 2.0)
+        init.store(v1[i], (fi + 1.0) / n / 4.0)
+        init.store(v2[i], (fi + 1.0) / n / 6.0)
+        init.store(y[i], (fi + 1.0) / n / 8.0)
+        init.store(z[i], (fi + 1.0) / n / 9.0)
+        init.store(x[i], 0.0)
+        init.store(w[i], 0.0)
+        with init.for_(j, 0, n):
+            init.store(A[i, j], frac(i * j, n))
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, n):
+            kernel.store(A[i, j], A[i, j] + u1[i] * v1[j] + u2[i] * v2[j])
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, n):
+            kernel.store(x[i], x[i] + BETA * A[j, i] * y[j])
+    with kernel.for_(i, 0, n):
+        kernel.store(x[i], x[i] + z[i])
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, n):
+            kernel.store(w[i], w[i] + ALPHA * A[i, j] * x[j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"w": w, "x": x, "A": A}, dm)
+
+
+def ref_gemver(preset: str):
+    (n,) = dims("gemver", preset)
+    idx = np.arange(n, dtype=float)
+    u1 = idx
+    u2 = (idx + 1.0) / n / 2.0
+    v1 = (idx + 1.0) / n / 4.0
+    v2 = (idx + 1.0) / n / 6.0
+    y = (idx + 1.0) / n / 8.0
+    z = (idx + 1.0) / n / 9.0
+    A = np.fromfunction(lambda i, j: (i * j % n) / n, (n, n))
+    A = A + np.outer(u1, v1) + np.outer(u2, v2)
+    x = BETA * (A.T @ y) + z
+    w = ALPHA * (A @ x)
+    return {"w": w, "x": x, "A": A}
+
+
+# ----------------------------------------------------------------------
+# gesummv: y = alpha*A*x + beta*B*x
+# ----------------------------------------------------------------------
+def build_gesummv(preset: str) -> Built:
+    (n,) = dims("gesummv", preset)
+    dm = DslModule("gesummv")
+    A = dm.matrix_f64("A", n, n)
+    B = dm.matrix_f64("B", n, n)
+    x = dm.array_f64("x", n)
+    y = dm.array_f64("y", n)
+    tmp = dm.array_f64("tmp", n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        init.store(x[i], frac(i, n))
+        with init.for_(j, 0, n):
+            init.store(A[i, j], frac(i * j + 1, n))
+            init.store(B[i, j], frac(i * j + 2, n))
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        kernel.store(tmp[i], 0.0)
+        kernel.store(y[i], 0.0)
+        with kernel.for_(j, 0, n):
+            kernel.store(tmp[i], A[i, j] * x[j] + tmp[i])
+            kernel.store(y[i], B[i, j] * x[j] + y[i])
+        kernel.store(y[i], ALPHA * tmp[i] + BETA * y[i])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"y": y}, dm)
+
+
+def ref_gesummv(preset: str):
+    (n,) = dims("gesummv", preset)
+    x = np.arange(n) % n / n
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % n) / n, (n, n))
+    B = np.fromfunction(lambda i, j: ((i * j + 2) % n) / n, (n, n))
+    return {"y": ALPHA * (A @ x) + BETA * (B @ x)}
+
+
+WORKLOADS = [
+    Workload("gemm", "polybench", build_gemm, ref_gemm, ("C",), ("blas",)),
+    Workload("2mm", "polybench", build_2mm, ref_2mm, ("D", "tmp"), ("blas",)),
+    Workload("3mm", "polybench", build_3mm, ref_3mm, ("G",), ("blas",)),
+    Workload("atax", "polybench", build_atax, ref_atax, ("y",), ("blas",)),
+    Workload("bicg", "polybench", build_bicg, ref_bicg, ("s", "q"), ("blas",)),
+    Workload("doitgen", "polybench", build_doitgen, ref_doitgen, ("A",), ("blas",)),
+    Workload("mvt", "polybench", build_mvt, ref_mvt, ("x1", "x2"), ("blas",)),
+    Workload("gemver", "polybench", build_gemver, ref_gemver, ("w", "x", "A"), ("blas",)),
+    Workload("gesummv", "polybench", build_gesummv, ref_gesummv, ("y",), ("blas",)),
+]

@@ -1,0 +1,17 @@
+"""Shared helpers for PolyBench kernel definitions."""
+
+from __future__ import annotations
+
+from repro.wasm.dsl import DslFunc, DslModule, Expr
+
+
+def frac(expr: Expr, modulus: int) -> Expr:
+    """The ubiquitous PolyBench init pattern ``((e) % m) / m`` as f64."""
+    return (expr % modulus).to_f64() / float(modulus)
+
+
+def make_bench(dm: DslModule, init: DslFunc, kernel: DslFunc) -> None:
+    """Add the exported ``bench`` entry point: init then kernel."""
+    bench = dm.func("bench")
+    bench.call(init)
+    bench.call(kernel)

@@ -1,0 +1,143 @@
+"""PolyBench data-mining kernels: correlation, covariance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule, Select
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import make_bench
+from repro.workloads.sizes import dims
+
+_EPS = 0.1
+
+
+def _data_init(init, data, n, m):
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, m):
+            init.store(data[i, j], (i * j).to_f64() / m + i.to_f64())
+
+
+def _data_ref(n, m):
+    return np.fromfunction(lambda i, j: (i * j) / m + i, (n, m))
+
+
+# ----------------------------------------------------------------------
+# correlation
+# ----------------------------------------------------------------------
+def build_correlation(preset: str) -> Built:
+    m, n = dims("correlation", preset)
+    dm = DslModule("correlation")
+    data = dm.matrix_f64("data", n, m)
+    corr = dm.matrix_f64("corr", m, m)
+    mean = dm.array_f64("mean", m)
+    stddev = dm.array_f64("stddev", m)
+    float_n = float(n)
+
+    init = dm.func("init")
+    _data_init(init, data, n, m)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(j, 0, m):
+        kernel.store(mean[j], 0.0)
+        with kernel.for_(i, 0, n):
+            kernel.store(mean[j], mean[j] + data[i, j])
+        kernel.store(mean[j], mean[j] / float_n)
+    with kernel.for_(j, 0, m):
+        kernel.store(stddev[j], 0.0)
+        with kernel.for_(i, 0, n):
+            diff = data[i, j] - mean[j]
+            kernel.store(stddev[j], stddev[j] + diff * diff)
+        kernel.store(stddev[j], (stddev[j] / float_n).sqrt())
+        # Guard near-zero deviation (PolyBench's own trick).
+        kernel.store(stddev[j], Select(stddev[j] <= _EPS, 1.0, stddev[j]))
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, m):
+            kernel.store(data[i, j], data[i, j] - mean[j])
+            kernel.store(data[i, j], data[i, j] / (float_n ** 0.5 * stddev[j]))
+    with kernel.for_(i, 0, m - 1):
+        kernel.store(corr[i, i], 1.0)
+        with kernel.for_(j, i + 1, m):
+            kernel.store(corr[i, j], 0.0)
+            with kernel.for_(k, 0, n):
+                kernel.store(corr[i, j], corr[i, j] + data[k, i] * data[k, j])
+            kernel.store(corr[j, i], corr[i, j])
+    kernel.store(corr[m - 1, m - 1], 1.0)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"corr": corr}, dm)
+
+
+def ref_correlation(preset: str):
+    m, n = dims("correlation", preset)
+    data = _data_ref(n, m)
+    mean = data.sum(axis=0) / n
+    stddev = np.sqrt(((data - mean) ** 2).sum(axis=0) / n)
+    stddev = np.where(stddev <= _EPS, 1.0, stddev)
+    data = (data - mean) / (np.sqrt(n) * stddev)
+    corr = np.zeros((m, m))
+    for i in range(m - 1):
+        corr[i, i] = 1.0
+        for j in range(i + 1, m):
+            corr[i, j] = float(np.dot(data[:, i], data[:, j]))
+            corr[j, i] = corr[i, j]
+    corr[m - 1, m - 1] = 1.0
+    return {"corr": corr}
+
+
+# ----------------------------------------------------------------------
+# covariance
+# ----------------------------------------------------------------------
+def build_covariance(preset: str) -> Built:
+    m, n = dims("covariance", preset)
+    dm = DslModule("covariance")
+    data = dm.matrix_f64("data", n, m)
+    cov = dm.matrix_f64("cov", m, m)
+    mean = dm.array_f64("mean", m)
+    float_n = float(n)
+
+    init = dm.func("init")
+    _data_init(init, data, n, m)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(j, 0, m):
+        kernel.store(mean[j], 0.0)
+        with kernel.for_(i, 0, n):
+            kernel.store(mean[j], mean[j] + data[i, j])
+        kernel.store(mean[j], mean[j] / float_n)
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, m):
+            kernel.store(data[i, j], data[i, j] - mean[j])
+    with kernel.for_(i, 0, m):
+        with kernel.for_(j, i, m):
+            kernel.store(cov[i, j], 0.0)
+            with kernel.for_(k, 0, n):
+                kernel.store(cov[i, j], cov[i, j] + data[k, i] * data[k, j])
+            kernel.store(cov[i, j], cov[i, j] / (float_n - 1.0))
+            kernel.store(cov[j, i], cov[i, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"cov": cov}, dm)
+
+
+def ref_covariance(preset: str):
+    m, n = dims("covariance", preset)
+    data = _data_ref(n, m)
+    data = data - data.sum(axis=0) / n
+    cov = np.zeros((m, m))
+    for i in range(m):
+        for j in range(i, m):
+            cov[i, j] = float(np.dot(data[:, i], data[:, j])) / (n - 1.0)
+            cov[j, i] = cov[i, j]
+    return {"cov": cov}
+
+
+WORKLOADS = [
+    Workload("correlation", "polybench", build_correlation, ref_correlation,
+             ("corr",), ("datamining",)),
+    Workload("covariance", "polybench", build_covariance, ref_covariance,
+             ("cov",), ("datamining",)),
+]

@@ -1,0 +1,260 @@
+"""PolyBench medley kernels: deriche, floyd-warshall, nussinov."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule, Select
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import frac, make_bench
+from repro.workloads.sizes import dims
+
+_DERICHE_ALPHA = 0.25
+
+
+def _deriche_coeffs():
+    alpha = _DERICHE_ALPHA
+    ea = math.exp(-alpha)
+    e2a = math.exp(-2.0 * alpha)
+    k = (1.0 - ea) ** 2 / (1.0 + 2.0 * alpha * ea - e2a)
+    a1 = a5 = k
+    a2 = a6 = k * ea * (alpha - 1.0)
+    a3 = a7 = k * ea * (alpha + 1.0)
+    a4 = a8 = -k * e2a
+    b1 = 2.0 ** (-alpha)
+    b2 = -e2a
+    c1 = c2 = 1.0
+    return a1, a2, a3, a4, a5, a6, a7, a8, b1, b2, c1, c2
+
+
+# ----------------------------------------------------------------------
+# deriche (recursive edge-detection filter, 4 IIR passes)
+# ----------------------------------------------------------------------
+def build_deriche(preset: str) -> Built:
+    w, h = dims("deriche", preset)
+    a1, a2, a3, a4, a5, a6, a7, a8, b1, b2, c1, c2 = _deriche_coeffs()
+    dm = DslModule("deriche")
+    img_in = dm.matrix_f64("imgIn", w, h)
+    img_out = dm.matrix_f64("imgOut", w, h)
+    y1 = dm.matrix_f64("y1", w, h)
+    y2 = dm.matrix_f64("y2", w, h)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, w):
+        with init.for_(j, 0, h):
+            init.store(img_in[i, j], ((313 * i + 991 * j) % 65536).to_f64() / 65535.0)
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    ym1, ym2, xm1 = kernel.f64(), kernel.f64(), kernel.f64()
+    yp1, yp2, xp1, xp2 = kernel.f64(), kernel.f64(), kernel.f64(), kernel.f64()
+    tm1, tp1, tp2 = kernel.f64(), kernel.f64(), kernel.f64()
+    # Horizontal forward.
+    with kernel.for_(i, 0, w):
+        kernel.set(ym1, 0.0)
+        kernel.set(ym2, 0.0)
+        kernel.set(xm1, 0.0)
+        with kernel.for_(j, 0, h):
+            kernel.store(y1[i, j], a1 * img_in[i, j] + a2 * xm1 + b1 * ym1 + b2 * ym2)
+            kernel.set(xm1, img_in[i, j])
+            kernel.set(ym2, ym1)
+            kernel.set(ym1, y1[i, j])
+    # Horizontal backward.
+    with kernel.for_(i, 0, w):
+        kernel.set(yp1, 0.0)
+        kernel.set(yp2, 0.0)
+        kernel.set(xp1, 0.0)
+        kernel.set(xp2, 0.0)
+        with kernel.for_(j, h - 1, -1, step=-1):
+            kernel.store(y2[i, j], a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2)
+            kernel.set(xp2, xp1)
+            kernel.set(xp1, img_in[i, j])
+            kernel.set(yp2, yp1)
+            kernel.set(yp1, y2[i, j])
+    with kernel.for_(i, 0, w):
+        with kernel.for_(j, 0, h):
+            kernel.store(img_out[i, j], c1 * (y1[i, j] + y2[i, j]))
+    # Vertical forward.
+    with kernel.for_(j, 0, h):
+        kernel.set(tm1, 0.0)
+        kernel.set(ym1, 0.0)
+        kernel.set(ym2, 0.0)
+        with kernel.for_(i, 0, w):
+            kernel.store(y1[i, j], a5 * img_out[i, j] + a6 * tm1 + b1 * ym1 + b2 * ym2)
+            kernel.set(tm1, img_out[i, j])
+            kernel.set(ym2, ym1)
+            kernel.set(ym1, y1[i, j])
+    # Vertical backward.
+    with kernel.for_(j, 0, h):
+        kernel.set(tp1, 0.0)
+        kernel.set(tp2, 0.0)
+        kernel.set(yp1, 0.0)
+        kernel.set(yp2, 0.0)
+        with kernel.for_(i, w - 1, -1, step=-1):
+            kernel.store(y2[i, j], a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2)
+            kernel.set(tp2, tp1)
+            kernel.set(tp1, img_out[i, j])
+            kernel.set(yp2, yp1)
+            kernel.set(yp1, y2[i, j])
+    with kernel.for_(i, 0, w):
+        with kernel.for_(j, 0, h):
+            kernel.store(img_out[i, j], c2 * (y1[i, j] + y2[i, j]))
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"imgOut": img_out}, dm)
+
+
+def ref_deriche(preset: str):
+    w, h = dims("deriche", preset)
+    a1, a2, a3, a4, a5, a6, a7, a8, b1, b2, c1, c2 = _deriche_coeffs()
+    img_in = np.fromfunction(
+        lambda i, j: ((313 * i + 991 * j) % 65536) / 65535.0, (w, h)
+    )
+    y1 = np.zeros((w, h))
+    y2 = np.zeros((w, h))
+    for i in range(w):
+        ym1 = ym2 = xm1 = 0.0
+        for j in range(h):
+            y1[i, j] = a1 * img_in[i, j] + a2 * xm1 + b1 * ym1 + b2 * ym2
+            xm1 = img_in[i, j]
+            ym2, ym1 = ym1, y1[i, j]
+    for i in range(w):
+        yp1 = yp2 = xp1 = xp2 = 0.0
+        for j in range(h - 1, -1, -1):
+            y2[i, j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2
+            xp2, xp1 = xp1, img_in[i, j]
+            yp2, yp1 = yp1, y2[i, j]
+    img_out = c1 * (y1 + y2)
+    for j in range(h):
+        tm1 = ym1 = ym2 = 0.0
+        for i in range(w):
+            y1[i, j] = a5 * img_out[i, j] + a6 * tm1 + b1 * ym1 + b2 * ym2
+            tm1 = img_out[i, j]
+            ym2, ym1 = ym1, y1[i, j]
+    for j in range(h):
+        tp1 = tp2 = yp1 = yp2 = 0.0
+        for i in range(w - 1, -1, -1):
+            y2[i, j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2
+            tp2, tp1 = tp1, img_out[i, j]
+            yp2, yp1 = yp1, y2[i, j]
+    img_out = c2 * (y1 + y2)
+    return {"imgOut": img_out}
+
+
+# ----------------------------------------------------------------------
+# floyd-warshall (integer all-pairs shortest paths)
+# ----------------------------------------------------------------------
+def build_floyd_warshall(preset: str) -> Built:
+    (n,) = dims("floyd-warshall", preset)
+    dm = DslModule("floyd-warshall")
+    path = dm.array_i32("path", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            init.store(path[i, j], i * j % 7 + 1)
+            cond = ((i + j) % 13).eq(0) | ((i + j) % 7).eq(0) | ((i + j) % 11).eq(0)
+            with init.if_(cond):
+                init.store(path[i, j], 999)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(k, 0, n):
+        with kernel.for_(i, 0, n):
+            with kernel.for_(j, 0, n):
+                through = path[i, k] + path[k, j]
+                kernel.store(
+                    path[i, j], Select(path[i, j] < through, path[i, j], through)
+                )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"path": path}, dm)
+
+
+def ref_floyd_warshall(preset: str):
+    (n,) = dims("floyd-warshall", preset)
+    path = np.zeros((n, n), dtype=np.int32)
+    for i in range(n):
+        for j in range(n):
+            path[i, j] = i * j % 7 + 1
+            if (i + j) % 13 == 0 or (i + j) % 7 == 0 or (i + j) % 11 == 0:
+                path[i, j] = 999
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                through = path[i, k] + path[k, j]
+                if through < path[i, j]:
+                    path[i, j] = through
+    return {"path": path}
+
+
+# ----------------------------------------------------------------------
+# nussinov (RNA secondary-structure DP)
+# ----------------------------------------------------------------------
+def build_nussinov(preset: str) -> Built:
+    (n,) = dims("nussinov", preset)
+    dm = DslModule("nussinov")
+    seq = dm.array_i32("seq", n)
+    table = dm.array_i32("table", n, n)
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, n):
+        init.store(seq[i], (i + 1) % 4)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    w = kernel.i32("w")
+    with kernel.for_(i, n - 1, -1, step=-1):
+        with kernel.for_(j, i + 1, n):
+            with kernel.if_(j - 1 >= 0):
+                kernel.store(table[i, j], table[i, j].max_(table[i, j - 1]))
+            with kernel.if_(i + 1 < n):
+                kernel.store(table[i, j], table[i, j].max_(table[i + 1, j]))
+            with kernel.if_(((j - 1) >= 0) & ((i + 1) < n)):
+                with kernel.if_(i < j - 1) as branch:
+                    match = Select((seq[i] + seq[j]).eq(3), 1, 0)
+                    kernel.store(
+                        table[i, j], table[i, j].max_(table[i + 1, j - 1] + match)
+                    )
+                    branch.otherwise()
+                    kernel.store(table[i, j], table[i, j].max_(table[i + 1, j - 1]))
+            with kernel.for_(k, i + 1, j):
+                kernel.store(table[i, j], table[i, j].max_(table[i, k] + table[k + 1, j]))
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"table": table}, dm)
+
+
+def ref_nussinov(preset: str):
+    (n,) = dims("nussinov", preset)
+    seq = [(i + 1) % 4 for i in range(n)]
+    table = np.zeros((n, n), dtype=np.int32)
+    for i in range(n - 1, -1, -1):
+        for j in range(i + 1, n):
+            if j - 1 >= 0:
+                table[i, j] = max(table[i, j], table[i, j - 1])
+            if i + 1 < n:
+                table[i, j] = max(table[i, j], table[i + 1, j])
+            if j - 1 >= 0 and i + 1 < n:
+                if i < j - 1:
+                    match = 1 if seq[i] + seq[j] == 3 else 0
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1] + match)
+                else:
+                    table[i, j] = max(table[i, j], table[i + 1, j - 1])
+            for k in range(i + 1, j):
+                table[i, j] = max(table[i, j], table[i, k] + table[k + 1, j])
+    return {"table": table}
+
+
+WORKLOADS = [
+    Workload("deriche", "polybench", build_deriche, ref_deriche, ("imgOut",), ("medley",)),
+    Workload("floyd-warshall", "polybench", build_floyd_warshall, ref_floyd_warshall,
+             ("path",), ("medley", "integer")),
+    Workload("nussinov", "polybench", build_nussinov, ref_nussinov,
+             ("table",), ("medley", "integer")),
+]

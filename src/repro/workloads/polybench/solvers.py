@@ -1,0 +1,356 @@
+"""PolyBench solver kernels: cholesky, durbin, gramschmidt, lu, ludcmp,
+trisolv.
+
+SPD inputs for cholesky/lu/ludcmp use a diagonally-dominant Hilbert-like
+matrix (``1/(i+j+1) + n·[i==j]``) so the factorisations are
+well-conditioned at every size preset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule, Select
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import frac, make_bench
+from repro.workloads.sizes import dims
+
+
+def _spd_init(init, A, n):
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            diag = Select(i.eq(j), float(n), 0.0)
+            init.store(A[i, j], 1.0 / (i + j + 1).to_f64() + diag)
+
+
+def _spd_ref(n):
+    A = np.fromfunction(lambda i, j: 1.0 / (i + j + 1), (n, n))
+    A += n * np.eye(n)
+    return A
+
+
+# ----------------------------------------------------------------------
+# cholesky (in place, lower triangle)
+# ----------------------------------------------------------------------
+def build_cholesky(preset: str) -> Built:
+    (n,) = dims("cholesky", preset)
+    dm = DslModule("cholesky")
+    A = dm.matrix_f64("A", n, n)
+
+    init = dm.func("init")
+    _spd_init(init, A, n)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, i):
+            with kernel.for_(k, 0, j):
+                kernel.store(A[i, j], A[i, j] - A[i, k] * A[j, k])
+            kernel.store(A[i, j], A[i, j] / A[j, j])
+        with kernel.for_(k, 0, i):
+            kernel.store(A[i, i], A[i, i] - A[i, k] * A[i, k])
+        kernel.store(A[i, i], A[i, i].sqrt())
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_cholesky(preset: str):
+    (n,) = dims("cholesky", preset)
+    A = _spd_ref(n)
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                A[i, j] -= A[i, k] * A[j, k]
+            A[i, j] /= A[j, j]
+        for k in range(i):
+            A[i, i] -= A[i, k] * A[i, k]
+        A[i, i] = np.sqrt(A[i, i])
+    # The kernel never touches the strict upper triangle, which keeps
+    # its initial values — mirror that exactly.
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# durbin (Levinson-Durbin recursion)
+# ----------------------------------------------------------------------
+def build_durbin(preset: str) -> Built:
+    (n,) = dims("durbin", preset)
+    dm = DslModule("durbin")
+    r = dm.array_f64("r", n)
+    y = dm.array_f64("y", n)
+    z = dm.array_f64("z", n)
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, n):
+        init.store(r[i], (n + 1 - i).to_f64())
+
+    kernel = dm.func("kernel")
+    k, i = kernel.i32(), kernel.i32()
+    alpha, beta, summ = kernel.f64(), kernel.f64(), kernel.f64()
+    kernel.store(y[0], -r[0])
+    kernel.set(beta, 1.0)
+    kernel.set(alpha, -r[0])
+    with kernel.for_(k, 1, n):
+        kernel.set(beta, (1.0 - alpha * alpha) * beta)
+        kernel.set(summ, 0.0)
+        with kernel.for_(i, 0, k):
+            kernel.set(summ, summ + r[k - i - 1] * y[i])
+        kernel.set(alpha, -(r[k] + summ) / beta)
+        with kernel.for_(i, 0, k):
+            kernel.store(z[i], y[i] + alpha * y[k - i - 1])
+        with kernel.for_(i, 0, k):
+            kernel.store(y[i], z[i])
+        kernel.store(y[k], alpha)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"y": y}, dm)
+
+
+def ref_durbin(preset: str):
+    (n,) = dims("durbin", preset)
+    r = np.array([float(n + 1 - i) for i in range(n)])
+    y = np.zeros(n)
+    z = np.zeros(n)
+    y[0] = -r[0]
+    beta, alpha = 1.0, -r[0]
+    for k in range(1, n):
+        beta = (1.0 - alpha * alpha) * beta
+        summ = sum(r[k - i - 1] * y[i] for i in range(k))
+        alpha = -(r[k] + summ) / beta
+        for i in range(k):
+            z[i] = y[i] + alpha * y[k - i - 1]
+        y[:k] = z[:k]
+        y[k] = alpha
+    return {"y": y}
+
+
+# ----------------------------------------------------------------------
+# gramschmidt (modified Gram-Schmidt QR)
+# ----------------------------------------------------------------------
+def build_gramschmidt(preset: str) -> Built:
+    m, n = dims("gramschmidt", preset)
+    dm = DslModule("gramschmidt")
+    A = dm.matrix_f64("A", m, n)
+    R = dm.matrix_f64("R", n, n)
+    Q = dm.matrix_f64("Q", m, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, m):
+        with init.for_(j, 0, n):
+            # Diagonal boost keeps the columns linearly independent.
+            bump = Select(i.eq(j), float(m), 0.0)
+            init.store(A[i, j], frac(i * j + i + 1, m) * 100.0 + 10.0 + bump)
+
+    kernel = dm.func("kernel")
+    k, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    nrm = kernel.f64()
+    with kernel.for_(k, 0, n):
+        kernel.set(nrm, 0.0)
+        with kernel.for_(i, 0, m):
+            kernel.set(nrm, nrm + A[i, k] * A[i, k])
+        kernel.store(R[k, k], nrm.sqrt())
+        with kernel.for_(i, 0, m):
+            kernel.store(Q[i, k], A[i, k] / R[k, k])
+        with kernel.for_(j, k + 1, n):
+            kernel.store(R[k, j], 0.0)
+            with kernel.for_(i, 0, m):
+                kernel.store(R[k, j], R[k, j] + Q[i, k] * A[i, j])
+            with kernel.for_(i, 0, m):
+                kernel.store(A[i, j], A[i, j] - Q[i, k] * R[k, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"Q": Q, "R": R}, dm)
+
+
+def ref_gramschmidt(preset: str):
+    m, n = dims("gramschmidt", preset)
+    A = np.fromfunction(
+        lambda i, j: ((i * j + i + 1) % m) / m * 100.0 + 10.0, (m, n)
+    )
+    for d in range(min(m, n)):
+        A[d, d] += m
+    R = np.zeros((n, n))
+    Q = np.zeros((m, n))
+    for k in range(n):
+        nrm = float(np.dot(A[:, k], A[:, k]))
+        R[k, k] = np.sqrt(nrm)
+        Q[:, k] = A[:, k] / R[k, k]
+        for j in range(k + 1, n):
+            R[k, j] = float(np.dot(Q[:, k], A[:, j]))
+            A[:, j] -= Q[:, k] * R[k, j]
+    return {"Q": Q, "R": R}
+
+
+# ----------------------------------------------------------------------
+# lu (in place)
+# ----------------------------------------------------------------------
+def build_lu(preset: str) -> Built:
+    (n,) = dims("lu", preset)
+    dm = DslModule("lu")
+    A = dm.matrix_f64("A", n, n)
+
+    init = dm.func("init")
+    _spd_init(init, A, n)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, i):
+            with kernel.for_(k, 0, j):
+                kernel.store(A[i, j], A[i, j] - A[i, k] * A[k, j])
+            kernel.store(A[i, j], A[i, j] / A[j, j])
+        with kernel.for_(j, i, n):
+            with kernel.for_(k, 0, i):
+                kernel.store(A[i, j], A[i, j] - A[i, k] * A[k, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_lu(preset: str):
+    (n,) = dims("lu", preset)
+    A = _spd_ref(n)
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                A[i, j] -= A[i, k] * A[k, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, n):
+            for k in range(i):
+                A[i, j] -= A[i, k] * A[k, j]
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# ludcmp (LU factorisation + triangular solves)
+# ----------------------------------------------------------------------
+def build_ludcmp(preset: str) -> Built:
+    (n,) = dims("ludcmp", preset)
+    dm = DslModule("ludcmp")
+    A = dm.matrix_f64("A", n, n)
+    b = dm.array_f64("b", n)
+    x = dm.array_f64("x", n)
+    y = dm.array_f64("y", n)
+
+    init = dm.func("init")
+    _spd_init(init, A, n)
+    i = init.i32()
+    with init.for_(i, 0, n):
+        init.store(b[i], (i + 1).to_f64() / n / 2.0 + 4.0)
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    w = kernel.f64()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, i):
+            kernel.set(w, A[i, j])
+            with kernel.for_(k, 0, j):
+                kernel.set(w, w - A[i, k] * A[k, j])
+            kernel.store(A[i, j], w / A[j, j])
+        with kernel.for_(j, i, n):
+            kernel.set(w, A[i, j])
+            with kernel.for_(k, 0, i):
+                kernel.set(w, w - A[i, k] * A[k, j])
+            kernel.store(A[i, j], w)
+    with kernel.for_(i, 0, n):
+        kernel.set(w, b[i])
+        with kernel.for_(j, 0, i):
+            kernel.set(w, w - A[i, j] * y[j])
+        kernel.store(y[i], w)
+    with kernel.for_(i, n - 1, -1, step=-1):
+        kernel.set(w, y[i])
+        with kernel.for_(j, i + 1, n):
+            kernel.set(w, w - A[i, j] * x[j])
+        kernel.store(x[i], w / A[i, i])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"x": x}, dm)
+
+
+def ref_ludcmp(preset: str):
+    (n,) = dims("ludcmp", preset)
+    A = _spd_ref(n)
+    b = (np.arange(n) + 1.0) / n / 2.0 + 4.0
+    x = np.zeros(n)
+    y = np.zeros(n)
+    for i in range(n):
+        for j in range(i):
+            w = A[i, j]
+            for k in range(j):
+                w -= A[i, k] * A[k, j]
+            A[i, j] = w / A[j, j]
+        for j in range(i, n):
+            w = A[i, j]
+            for k in range(i):
+                w -= A[i, k] * A[k, j]
+            A[i, j] = w
+    for i in range(n):
+        w = b[i]
+        for j in range(i):
+            w -= A[i, j] * y[j]
+        y[i] = w
+    for i in range(n - 1, -1, -1):
+        w = y[i]
+        for j in range(i + 1, n):
+            w -= A[i, j] * x[j]
+        x[i] = w / A[i, i]
+    return {"x": x}
+
+
+# ----------------------------------------------------------------------
+# trisolv (forward substitution)
+# ----------------------------------------------------------------------
+def build_trisolv(preset: str) -> Built:
+    (n,) = dims("trisolv", preset)
+    dm = DslModule("trisolv")
+    L = dm.matrix_f64("L", n, n)
+    x = dm.array_f64("x", n)
+    b = dm.array_f64("b", n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        init.store(b[i], -(i.to_f64()) / n - 10.0)
+        with init.for_(j, 0, i + 1):
+            init.store(L[i, j], (i + n - j + 1).to_f64() * 2.0 / n)
+
+    kernel = dm.func("kernel")
+    i, j = kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        kernel.store(x[i], b[i])
+        with kernel.for_(j, 0, i):
+            kernel.store(x[i], x[i] - L[i, j] * x[j])
+        kernel.store(x[i], x[i] / L[i, i])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"x": x}, dm)
+
+
+def ref_trisolv(preset: str):
+    (n,) = dims("trisolv", preset)
+    L = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1):
+            L[i, j] = (i + n - j + 1) * 2.0 / n
+    b = -(np.arange(n, dtype=float)) / n - 10.0
+    x = np.zeros(n)
+    for i in range(n):
+        x[i] = b[i]
+        for j in range(i):
+            x[i] -= L[i, j] * x[j]
+        x[i] /= L[i, i]
+    return {"x": x}
+
+
+WORKLOADS = [
+    Workload("cholesky", "polybench", build_cholesky, ref_cholesky, ("A",), ("solver",)),
+    Workload("durbin", "polybench", build_durbin, ref_durbin, ("y",), ("solver",)),
+    Workload("gramschmidt", "polybench", build_gramschmidt, ref_gramschmidt, ("Q", "R"), ("solver",)),
+    Workload("lu", "polybench", build_lu, ref_lu, ("A",), ("solver",)),
+    Workload("ludcmp", "polybench", build_ludcmp, ref_ludcmp, ("x",), ("solver",)),
+    Workload("trisolv", "polybench", build_trisolv, ref_trisolv, ("x",), ("solver",)),
+]

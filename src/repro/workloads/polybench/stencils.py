@@ -1,0 +1,401 @@
+"""PolyBench stencil kernels: adi, fdtd-2d, heat-3d, jacobi-1d,
+jacobi-2d, seidel-2d."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import make_bench
+from repro.workloads.sizes import dims
+
+
+# ----------------------------------------------------------------------
+# jacobi-1d
+# ----------------------------------------------------------------------
+def build_jacobi_1d(preset: str) -> Built:
+    tsteps, n = dims("jacobi-1d", preset)
+    dm = DslModule("jacobi-1d")
+    A = dm.array_f64("A", n)
+    B = dm.array_f64("B", n)
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, n):
+        init.store(A[i], (i + 2).to_f64() / n)
+        init.store(B[i], (i + 3).to_f64() / n)
+
+    kernel = dm.func("kernel")
+    t, i = kernel.i32(), kernel.i32()
+    with kernel.for_(t, 0, tsteps):
+        with kernel.for_(i, 1, n - 1):
+            kernel.store(B[i], 0.33333 * (A[i - 1] + A[i] + A[i + 1]))
+        with kernel.for_(i, 1, n - 1):
+            kernel.store(A[i], 0.33333 * (B[i - 1] + B[i] + B[i + 1]))
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_jacobi_1d(preset: str):
+    tsteps, n = dims("jacobi-1d", preset)
+    A = (np.arange(n) + 2.0) / n
+    B = (np.arange(n) + 3.0) / n
+    for _ in range(tsteps):
+        B[1:-1] = 0.33333 * (A[:-2] + A[1:-1] + A[2:])
+        A[1:-1] = 0.33333 * (B[:-2] + B[1:-1] + B[2:])
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# jacobi-2d
+# ----------------------------------------------------------------------
+def build_jacobi_2d(preset: str) -> Built:
+    tsteps, n = dims("jacobi-2d", preset)
+    dm = DslModule("jacobi-2d")
+    A = dm.matrix_f64("A", n, n)
+    B = dm.matrix_f64("B", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            init.store(A[i, j], i.to_f64() * (j + 2).to_f64() / n)
+            init.store(B[i, j], i.to_f64() * (j + 3).to_f64() / n)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(t, 0, tsteps):
+        with kernel.for_(i, 1, n - 1):
+            with kernel.for_(j, 1, n - 1):
+                kernel.store(
+                    B[i, j],
+                    0.2 * (A[i, j] + A[i, j - 1] + A[i, j + 1] + A[i + 1, j] + A[i - 1, j]),
+                )
+        with kernel.for_(i, 1, n - 1):
+            with kernel.for_(j, 1, n - 1):
+                kernel.store(
+                    A[i, j],
+                    0.2 * (B[i, j] + B[i, j - 1] + B[i, j + 1] + B[i + 1, j] + B[i - 1, j]),
+                )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_jacobi_2d(preset: str):
+    tsteps, n = dims("jacobi-2d", preset)
+    A = np.fromfunction(lambda i, j: i * (j + 2) / n, (n, n))
+    B = np.fromfunction(lambda i, j: i * (j + 3) / n, (n, n))
+    for _ in range(tsteps):
+        B[1:-1, 1:-1] = 0.2 * (
+            A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:] + A[2:, 1:-1] + A[:-2, 1:-1]
+        )
+        A[1:-1, 1:-1] = 0.2 * (
+            B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:] + B[2:, 1:-1] + B[:-2, 1:-1]
+        )
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# seidel-2d (in-place Gauss-Seidel; order matters)
+# ----------------------------------------------------------------------
+def build_seidel_2d(preset: str) -> Built:
+    tsteps, n = dims("seidel-2d", preset)
+    dm = DslModule("seidel-2d")
+    A = dm.matrix_f64("A", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            init.store(A[i, j], (i.to_f64() * (j + 2).to_f64() + 2.0) / n)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(t, 0, tsteps):
+        with kernel.for_(i, 1, n - 1):
+            with kernel.for_(j, 1, n - 1):
+                kernel.store(
+                    A[i, j],
+                    (
+                        A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]
+                        + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                        + A[i + 1, j - 1] + A[i + 1, j] + A[i + 1, j + 1]
+                    ) / 9.0,
+                )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_seidel_2d(preset: str):
+    tsteps, n = dims("seidel-2d", preset)
+    A = np.fromfunction(lambda i, j: (i * (j + 2) + 2.0) / n, (n, n))
+    for _ in range(tsteps):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                A[i, j] = (
+                    A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]
+                    + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                    + A[i + 1, j - 1] + A[i + 1, j] + A[i + 1, j + 1]
+                ) / 9.0
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# fdtd-2d
+# ----------------------------------------------------------------------
+def build_fdtd_2d(preset: str) -> Built:
+    tmax, nx, ny = dims("fdtd-2d", preset)
+    dm = DslModule("fdtd-2d")
+    ex = dm.matrix_f64("ex", nx, ny)
+    ey = dm.matrix_f64("ey", nx, ny)
+    hz = dm.matrix_f64("hz", nx, ny)
+    fict = dm.array_f64("fict", tmax)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, tmax):
+        init.store(fict[i], i.to_f64())
+    with init.for_(i, 0, nx):
+        with init.for_(j, 0, ny):
+            init.store(ex[i, j], i.to_f64() * (j + 1).to_f64() / nx)
+            init.store(ey[i, j], i.to_f64() * (j + 2).to_f64() / ny)
+            init.store(hz[i, j], i.to_f64() * (j + 3).to_f64() / nx)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(t, 0, tmax):
+        with kernel.for_(j, 0, ny):
+            kernel.store(ey[0, j], fict[t])
+        with kernel.for_(i, 1, nx):
+            with kernel.for_(j, 0, ny):
+                kernel.store(ey[i, j], ey[i, j] - 0.5 * (hz[i, j] - hz[i - 1, j]))
+        with kernel.for_(i, 0, nx):
+            with kernel.for_(j, 1, ny):
+                kernel.store(ex[i, j], ex[i, j] - 0.5 * (hz[i, j] - hz[i, j - 1]))
+        with kernel.for_(i, 0, nx - 1):
+            with kernel.for_(j, 0, ny - 1):
+                kernel.store(
+                    hz[i, j],
+                    hz[i, j]
+                    - 0.7 * (ex[i, j + 1] - ex[i, j] + ey[i + 1, j] - ey[i, j]),
+                )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"ex": ex, "ey": ey, "hz": hz}, dm)
+
+
+def ref_fdtd_2d(preset: str):
+    tmax, nx, ny = dims("fdtd-2d", preset)
+    fict = np.arange(tmax, dtype=float)
+    ex = np.fromfunction(lambda i, j: i * (j + 1) / nx, (nx, ny))
+    ey = np.fromfunction(lambda i, j: i * (j + 2) / ny, (nx, ny))
+    hz = np.fromfunction(lambda i, j: i * (j + 3) / nx, (nx, ny))
+    for t in range(tmax):
+        ey[0, :] = fict[t]
+        ey[1:, :] -= 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] -= 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] -= 0.7 * (
+            ex[:-1, 1:] - ex[:-1, :-1] + ey[1:, :-1] - ey[:-1, :-1]
+        )
+    return {"ex": ex, "ey": ey, "hz": hz}
+
+
+# ----------------------------------------------------------------------
+# heat-3d
+# ----------------------------------------------------------------------
+def build_heat_3d(preset: str) -> Built:
+    tsteps, n = dims("heat-3d", preset)
+    dm = DslModule("heat-3d")
+    A = dm.array_f64("A", n, n, n)
+    B = dm.array_f64("B", n, n, n)
+
+    init = dm.func("init")
+    i, j, k = init.i32(), init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            with init.for_(k, 0, n):
+                value = (i + j + (n - k)).to_f64() * 10.0 / n
+                init.store(A[i, j, k], value)
+                init.store(B[i, j, k], value)
+
+    kernel = dm.func("kernel")
+    t, i, j, k = kernel.i32(), kernel.i32(), kernel.i32(), kernel.i32()
+
+    def sweep(dst, src):
+        with kernel.for_(i, 1, n - 1):
+            with kernel.for_(j, 1, n - 1):
+                with kernel.for_(k, 1, n - 1):
+                    kernel.store(
+                        dst[i, j, k],
+                        0.125 * (src[i + 1, j, k] - 2.0 * src[i, j, k] + src[i - 1, j, k])
+                        + 0.125 * (src[i, j + 1, k] - 2.0 * src[i, j, k] + src[i, j - 1, k])
+                        + 0.125 * (src[i, j, k + 1] - 2.0 * src[i, j, k] + src[i, j, k - 1])
+                        + src[i, j, k],
+                    )
+
+    with kernel.for_(t, 1, tsteps + 1):
+        sweep(B, A)
+        sweep(A, B)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"A": A}, dm)
+
+
+def ref_heat_3d(preset: str):
+    tsteps, n = dims("heat-3d", preset)
+    A = np.fromfunction(lambda i, j, k: (i + j + (n - k)) * 10.0 / n, (n, n, n))
+    B = A.copy()
+
+    def sweep(dst, src):
+        c = slice(1, -1)
+        dst[c, c, c] = (
+            0.125 * (src[2:, c, c] - 2.0 * src[c, c, c] + src[:-2, c, c])
+            + 0.125 * (src[c, 2:, c] - 2.0 * src[c, c, c] + src[c, :-2, c])
+            + 0.125 * (src[c, c, 2:] - 2.0 * src[c, c, c] + src[c, c, :-2])
+            + src[c, c, c]
+        )
+
+    for _ in range(1, tsteps + 1):
+        sweep(B, A)
+        sweep(A, B)
+    return {"A": A}
+
+
+# ----------------------------------------------------------------------
+# adi (alternating-direction implicit, tridiagonal sweeps)
+# ----------------------------------------------------------------------
+def build_adi(preset: str) -> Built:
+    tsteps, n = dims("adi", preset)
+    dx = 1.0 / n
+    dy = 1.0 / n
+    dt = 1.0 / tsteps
+    b1, b2 = 2.0, 1.0
+    mul1 = b1 * dt / (dx * dx)
+    mul2 = b2 * dt / (dy * dy)
+    a = -mul1 / 2.0
+    b = 1.0 + mul1
+    c = a
+    d = -mul2 / 2.0
+    e = 1.0 + mul2
+    f = d
+
+    dm = DslModule("adi")
+    u = dm.matrix_f64("u", n, n)
+    v = dm.matrix_f64("v", n, n)
+    p = dm.matrix_f64("p", n, n)
+    q = dm.matrix_f64("q", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, n):
+            init.store(u[i, j], (i + n - j).to_f64() / n)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(t, 1, tsteps + 1):
+        # Column sweep.
+        with kernel.for_(i, 1, n - 1):
+            kernel.store(v[0, i], 1.0)
+            kernel.store(p[i, 0], 0.0)
+            kernel.store(q[i, 0], v[0, i])
+            with kernel.for_(j, 1, n - 1):
+                kernel.store(p[i, j], -c / (a * p[i, j - 1] + b))
+                kernel.store(
+                    q[i, j],
+                    (
+                        -d * u[j, i - 1]
+                        + (1.0 + 2.0 * d) * u[j, i]
+                        - f * u[j, i + 1]
+                        - a * q[i, j - 1]
+                    )
+                    / (a * p[i, j - 1] + b),
+                )
+            kernel.store(v[n - 1, i], 1.0)
+            with kernel.for_(j, n - 2, 0, step=-1):
+                kernel.store(v[j, i], p[i, j] * v[j + 1, i] + q[i, j])
+        # Row sweep.
+        with kernel.for_(i, 1, n - 1):
+            kernel.store(u[i, 0], 1.0)
+            kernel.store(p[i, 0], 0.0)
+            kernel.store(q[i, 0], u[i, 0])
+            with kernel.for_(j, 1, n - 1):
+                kernel.store(p[i, j], -f / (d * p[i, j - 1] + e))
+                kernel.store(
+                    q[i, j],
+                    (
+                        -a * v[i - 1, j]
+                        + (1.0 + 2.0 * a) * v[i, j]
+                        - c * v[i + 1, j]
+                        - d * q[i, j - 1]
+                    )
+                    / (d * p[i, j - 1] + e),
+                )
+            kernel.store(u[i, n - 1], 1.0)
+            with kernel.for_(j, n - 2, 0, step=-1):
+                kernel.store(u[i, j], p[i, j] * u[i, j + 1] + q[i, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"u": u}, dm)
+
+
+def ref_adi(preset: str):
+    tsteps, n = dims("adi", preset)
+    dx = 1.0 / n
+    dy = 1.0 / n
+    dt = 1.0 / tsteps
+    b1, b2 = 2.0, 1.0
+    mul1 = b1 * dt / (dx * dx)
+    mul2 = b2 * dt / (dy * dy)
+    a = -mul1 / 2.0
+    b = 1.0 + mul1
+    c = a
+    d = -mul2 / 2.0
+    e = 1.0 + mul2
+    f = d
+    u = np.fromfunction(lambda i, j: (i + n - j) / n, (n, n))
+    v = np.zeros((n, n))
+    p = np.zeros((n, n))
+    q = np.zeros((n, n))
+    for _ in range(1, tsteps + 1):
+        for i in range(1, n - 1):
+            v[0, i] = 1.0
+            p[i, 0] = 0.0
+            q[i, 0] = v[0, i]
+            for j in range(1, n - 1):
+                p[i, j] = -c / (a * p[i, j - 1] + b)
+                q[i, j] = (
+                    -d * u[j, i - 1] + (1.0 + 2.0 * d) * u[j, i] - f * u[j, i + 1]
+                    - a * q[i, j - 1]
+                ) / (a * p[i, j - 1] + b)
+            v[n - 1, i] = 1.0
+            for j in range(n - 2, 0, -1):
+                v[j, i] = p[i, j] * v[j + 1, i] + q[i, j]
+        for i in range(1, n - 1):
+            u[i, 0] = 1.0
+            p[i, 0] = 0.0
+            q[i, 0] = u[i, 0]
+            for j in range(1, n - 1):
+                p[i, j] = -f / (d * p[i, j - 1] + e)
+                q[i, j] = (
+                    -a * v[i - 1, j] + (1.0 + 2.0 * a) * v[i, j] - c * v[i + 1, j]
+                    - d * q[i, j - 1]
+                ) / (d * p[i, j - 1] + e)
+            u[i, n - 1] = 1.0
+            for j in range(n - 2, 0, -1):
+                u[i, j] = p[i, j] * u[i, j + 1] + q[i, j]
+    return {"u": u}
+
+
+WORKLOADS = [
+    Workload("adi", "polybench", build_adi, ref_adi, ("u",), ("stencil",)),
+    Workload("fdtd-2d", "polybench", build_fdtd_2d, ref_fdtd_2d, ("ex", "ey", "hz"), ("stencil",)),
+    Workload("heat-3d", "polybench", build_heat_3d, ref_heat_3d, ("A",), ("stencil",)),
+    Workload("jacobi-1d", "polybench", build_jacobi_1d, ref_jacobi_1d, ("A",), ("stencil",)),
+    Workload("jacobi-2d", "polybench", build_jacobi_2d, ref_jacobi_2d, ("A",), ("stencil",)),
+    Workload("seidel-2d", "polybench", build_seidel_2d, ref_seidel_2d, ("A",), ("stencil",)),
+]

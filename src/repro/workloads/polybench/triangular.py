@@ -1,0 +1,205 @@
+"""PolyBench triangular-update kernels: symm, syrk, syr2k, trmm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import frac, make_bench
+from repro.workloads.sizes import dims
+
+ALPHA, BETA = 1.5, 1.2
+
+
+# ----------------------------------------------------------------------
+# symm: C = alpha*A*B + beta*C with symmetric A (lower stored)
+# ----------------------------------------------------------------------
+def build_symm(preset: str) -> Built:
+    m, n = dims("symm", preset)
+    dm = DslModule("symm")
+    A = dm.matrix_f64("A", m, m)
+    B = dm.matrix_f64("B", m, n)
+    C = dm.matrix_f64("C", m, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, m):
+        with init.for_(j, 0, n):
+            init.store(C[i, j], frac(i + j, 100))
+            init.store(B[i, j], frac(n + i - j, 100))
+        with init.for_(j, 0, m):
+            init.store(A[i, j], frac(i * j + 1, 100))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    temp2 = kernel.f64("temp2")
+    with kernel.for_(i, 0, m):
+        with kernel.for_(j, 0, n):
+            kernel.set(temp2, 0.0)
+            with kernel.for_(k, 0, i):
+                kernel.store(C[k, j], C[k, j] + ALPHA * B[i, j] * A[i, k])
+                kernel.set(temp2, temp2 + B[k, j] * A[i, k])
+            kernel.store(
+                C[i, j],
+                BETA * C[i, j] + ALPHA * B[i, j] * A[i, i] + ALPHA * temp2,
+            )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"C": C}, dm)
+
+
+def ref_symm(preset: str):
+    m, n = dims("symm", preset)
+    C = np.fromfunction(lambda i, j: ((i + j) % 100) / 100, (m, n))
+    B = np.fromfunction(lambda i, j: ((n + i - j) % 100) / 100, (m, n))
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % 100) / 100, (m, m))
+    for i in range(m):
+        for j in range(n):
+            temp2 = 0.0
+            for k in range(i):
+                C[k, j] += ALPHA * B[i, j] * A[i, k]
+                temp2 += B[k, j] * A[i, k]
+            C[i, j] = BETA * C[i, j] + ALPHA * B[i, j] * A[i, i] + ALPHA * temp2
+    return {"C": C}
+
+
+# ----------------------------------------------------------------------
+# syrk: C = alpha*A*A^T + beta*C (lower triangle)
+# ----------------------------------------------------------------------
+def build_syrk(preset: str) -> Built:
+    n, m = dims("syrk", preset)
+    dm = DslModule("syrk")
+    A = dm.matrix_f64("A", n, m)
+    C = dm.matrix_f64("C", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, m):
+            init.store(A[i, j], frac(i * j + 1, n))
+        with init.for_(j, 0, n):
+            init.store(C[i, j], frac(i * j + 2, m))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, i + 1):
+            kernel.store(C[i, j], C[i, j] * BETA)
+        with kernel.for_(k, 0, m):
+            with kernel.for_(j, 0, i + 1):
+                kernel.store(C[i, j], C[i, j] + ALPHA * A[i, k] * A[j, k])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"C": C}, dm)
+
+
+def ref_syrk(preset: str):
+    n, m = dims("syrk", preset)
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % n) / n, (n, m))
+    C = np.fromfunction(lambda i, j: ((i * j + 2) % m) / m, (n, n))
+    for i in range(n):
+        C[i, : i + 1] *= BETA
+        for k in range(m):
+            for j in range(i + 1):
+                C[i, j] += ALPHA * A[i, k] * A[j, k]
+    return {"C": C}
+
+
+# ----------------------------------------------------------------------
+# syr2k: C = alpha*(A*B^T + B*A^T) + beta*C (lower triangle)
+# ----------------------------------------------------------------------
+def build_syr2k(preset: str) -> Built:
+    n, m = dims("syr2k", preset)
+    dm = DslModule("syr2k")
+    A = dm.matrix_f64("A", n, m)
+    B = dm.matrix_f64("B", n, m)
+    C = dm.matrix_f64("C", n, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, n):
+        with init.for_(j, 0, m):
+            init.store(A[i, j], frac(i * j + 1, n))
+            init.store(B[i, j], frac(i * j + 2, m))
+        with init.for_(j, 0, n):
+            init.store(C[i, j], frac(i * j + 3, n))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, n):
+        with kernel.for_(j, 0, i + 1):
+            kernel.store(C[i, j], C[i, j] * BETA)
+        with kernel.for_(k, 0, m):
+            with kernel.for_(j, 0, i + 1):
+                kernel.store(
+                    C[i, j],
+                    C[i, j] + A[j, k] * ALPHA * B[i, k] + B[j, k] * ALPHA * A[i, k],
+                )
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"C": C}, dm)
+
+
+def ref_syr2k(preset: str):
+    n, m = dims("syr2k", preset)
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % n) / n, (n, m))
+    B = np.fromfunction(lambda i, j: ((i * j + 2) % m) / m, (n, m))
+    C = np.fromfunction(lambda i, j: ((i * j + 3) % n) / n, (n, n))
+    for i in range(n):
+        C[i, : i + 1] *= BETA
+        for k in range(m):
+            for j in range(i + 1):
+                C[i, j] += A[j, k] * ALPHA * B[i, k] + B[j, k] * ALPHA * A[i, k]
+    return {"C": C}
+
+
+# ----------------------------------------------------------------------
+# trmm: B = alpha * A * B, A unit lower triangular
+# ----------------------------------------------------------------------
+def build_trmm(preset: str) -> Built:
+    m, n = dims("trmm", preset)
+    dm = DslModule("trmm")
+    A = dm.matrix_f64("A", m, m)
+    B = dm.matrix_f64("B", m, n)
+
+    init = dm.func("init")
+    i, j = init.i32(), init.i32()
+    with init.for_(i, 0, m):
+        with init.for_(j, 0, m):
+            init.store(A[i, j], frac(i * j + 1, m))
+        init.store(A[i, i], 1.0)
+        with init.for_(j, 0, n):
+            init.store(B[i, j], frac(n + i - j, n))
+
+    kernel = dm.func("kernel")
+    i, j, k = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(i, 0, m):
+        with kernel.for_(j, 0, n):
+            with kernel.for_(k, i + 1, m):
+                kernel.store(B[i, j], B[i, j] + A[k, i] * B[k, j])
+            kernel.store(B[i, j], ALPHA * B[i, j])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"B": B}, dm)
+
+
+def ref_trmm(preset: str):
+    m, n = dims("trmm", preset)
+    A = np.fromfunction(lambda i, j: ((i * j + 1) % m) / m, (m, m))
+    np.fill_diagonal(A, 1.0)
+    B = np.fromfunction(lambda i, j: ((n + i - j) % n) / n, (m, n))
+    for i in range(m):
+        for j in range(n):
+            for k in range(i + 1, m):
+                B[i, j] += A[k, i] * B[k, j]
+            B[i, j] *= ALPHA
+    return {"B": B}
+
+
+WORKLOADS = [
+    Workload("symm", "polybench", build_symm, ref_symm, ("C",), ("blas", "triangular")),
+    Workload("syrk", "polybench", build_syrk, ref_syrk, ("C",), ("blas", "triangular")),
+    Workload("syr2k", "polybench", build_syr2k, ref_syr2k, ("C",), ("blas", "triangular")),
+    Workload("trmm", "polybench", build_trmm, ref_trmm, ("B",), ("blas", "triangular")),
+]

@@ -1,0 +1,35 @@
+"""The workload catalogue."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads import polybench, spec
+from repro.workloads.base import Workload
+
+POLYBENCH: List[Workload] = list(polybench.ALL)
+SPEC: List[Workload] = list(spec.ALL)
+
+WORKLOADS: Dict[str, Workload] = {w.name: w for w in POLYBENCH + SPEC}
+
+if len(WORKLOADS) != len(POLYBENCH) + len(SPEC):  # pragma: no cover
+    raise AssertionError("duplicate workload names")
+
+
+def workload_named(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+def suite_workloads(suite: str) -> List[Workload]:
+    if suite == "polybench":
+        return list(POLYBENCH)
+    if suite == "spec":
+        return list(SPEC)
+    if suite == "all":
+        return POLYBENCH + SPEC
+    raise ValueError(f"unknown suite {suite!r} (polybench | spec | all)")

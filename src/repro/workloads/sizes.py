@@ -1,0 +1,89 @@
+"""Size presets.
+
+The paper runs PolyBench in its MEDIUM configuration and SPEC in
+Train.  A functional run in our Python interpreter must stay tractable
+(the profile is computed once per workload × size and cached), so the
+presets scale each kernel's dimensions down while preserving its
+compute/memory character:
+
+* ``mini``   — seconds-long full-suite test runs (CI, pytest);
+* ``small``  — the default for experiments (≈10⁵–10⁶ dynamic ops each);
+* ``medium`` — closer to PolyBench LARGE ratios, for spot checks.
+
+Relative runtime ratios between configurations are stable across these
+presets because the timing model is linear in block execution counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: name -> preset -> dimension tuple (meaning documented per kernel).
+SIZES: Dict[str, Dict[str, Tuple[int, ...]]] = {
+    # -- BLAS-like (dims as in the PolyBench kernels) ------------------
+    "gemm": {"mini": (6, 7, 8), "small": (16, 18, 20), "medium": (28, 32, 36)},
+    "2mm": {"mini": (5, 6, 7, 8), "small": (14, 16, 18, 20), "medium": (24, 26, 28, 30)},
+    "3mm": {"mini": (5, 6, 7, 8, 9), "small": (12, 14, 16, 18, 20), "medium": (20, 22, 24, 26, 28)},
+    "atax": {"mini": (7, 9), "small": (24, 30), "medium": (48, 56)},
+    "bicg": {"mini": (7, 9), "small": (24, 30), "medium": (48, 56)},
+    "doitgen": {"mini": (5, 6, 7), "small": (10, 12, 14), "medium": (16, 18, 20)},
+    "mvt": {"mini": (9,), "small": (28,), "medium": (52,)},
+    "gemver": {"mini": (8,), "small": (24,), "medium": (44,)},
+    "gesummv": {"mini": (8,), "small": (26,), "medium": (48,)},
+    "symm": {"mini": (6, 8), "small": (14, 18), "medium": (24, 28)},
+    "syrk": {"mini": (6, 8), "small": (14, 18), "medium": (24, 28)},
+    "syr2k": {"mini": (6, 8), "small": (14, 18), "medium": (24, 28)},
+    "trmm": {"mini": (6, 8), "small": (14, 18), "medium": (24, 28)},
+    # -- solvers ---------------------------------------------------------
+    "cholesky": {"mini": (8,), "small": (20,), "medium": (36,)},
+    "durbin": {"mini": (10,), "small": (40,), "medium": (90,)},
+    # (m rows, n cols) with m > n so the QR factorisation is full rank.
+    "gramschmidt": {"mini": (8, 6), "small": (18, 14), "medium": (26, 22)},
+    "lu": {"mini": (8,), "small": (20,), "medium": (34,)},
+    "ludcmp": {"mini": (8,), "small": (20,), "medium": (34,)},
+    "trisolv": {"mini": (10,), "small": (40,), "medium": (90,)},
+    # -- data mining ---------------------------------------------------------
+    "correlation": {"mini": (7, 8), "small": (16, 20), "medium": (26, 30)},
+    "covariance": {"mini": (7, 8), "small": (16, 20), "medium": (26, 30)},
+    # -- medley -----------------------------------------------------------------
+    "deriche": {"mini": (8, 10), "small": (24, 28), "medium": (44, 52)},
+    "floyd-warshall": {"mini": (9,), "small": (20,), "medium": (34,)},
+    "nussinov": {"mini": (10,), "small": (24,), "medium": (44,)},
+    # -- stencils: (tsteps, n...) -------------------------------------------------
+    "adi": {"mini": (2, 8), "small": (4, 16), "medium": (6, 26)},
+    "fdtd-2d": {"mini": (3, 7, 8), "small": (6, 16, 18), "medium": (10, 26, 30)},
+    "heat-3d": {"mini": (2, 6), "small": (4, 10), "medium": (6, 14)},
+    "jacobi-1d": {"mini": (4, 16), "small": (12, 80), "medium": (24, 200)},
+    "jacobi-2d": {"mini": (3, 8), "small": (8, 18), "medium": (14, 30)},
+    "seidel-2d": {"mini": (3, 8), "small": (8, 18), "medium": (14, 30)},
+    # -- SPEC proxies ------------------------------------------------------------
+    # mcf: (nodes, arcs_per_node, iterations)
+    "505.mcf": {"mini": (24, 3, 4), "small": (80, 4, 8), "medium": (200, 4, 12)},
+    # namd: (atoms, steps)
+    "508.namd": {"mini": (12, 2), "small": (32, 3), "medium": (64, 4)},
+    # lbm: (nx, ny, steps)
+    "519.lbm": {"mini": (6, 6, 3), "small": (12, 12, 6), "medium": (20, 20, 10)},
+    # x264: (frame_w, frame_h, blocks, search_range)
+    "525.x264": {"mini": (32, 24, 4, 3), "small": (48, 32, 8, 5), "medium": (80, 48, 12, 7)},
+    # deepsjeng: (depth, branching)
+    "531.deepsjeng": {"mini": (4, 4), "small": (6, 5), "medium": (7, 6)},
+    # nab: (atoms, steps)
+    "544.nab": {"mini": (14, 2), "small": (36, 3), "medium": (70, 4)},
+    # xz: (data_len, iterations)
+    "557.xz": {"mini": (600, 2), "small": (3000, 3), "medium": (9000, 4)},
+}
+
+PRESETS = ("mini", "small", "medium")
+
+
+def dims(name: str, preset: str) -> Tuple[int, ...]:
+    try:
+        per_kernel = SIZES[name]
+    except KeyError:
+        raise KeyError(f"no size table for workload {name!r}") from None
+    try:
+        return per_kernel[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {preset!r} (choose from {PRESETS})"
+        ) from None

@@ -1,0 +1,27 @@
+"""SPEC CPU 2017 Rate subset proxies (§3.3, footnote 3).
+
+The paper runs 505.mcf_r, 508.namd_r, 519.lbm_r, 525.x264_r,
+531.deepsjeng_r, 544.nab_r and 557.xz_r — the subset that compiles to
+wasm32-wasi.  SPEC sources and inputs are proprietary, so each proxy
+reimplements the benchmark's *computational character* on synthetic
+inputs (DESIGN.md §2):
+
+==================  ==================================================
+505.mcf             network-flow arc relaxation: integer, branchy,
+                    irregular pointer-chasing over CSR arrays
+508.namd            Lennard-Jones pair forces: float, sqrt/div heavy
+519.lbm             D2Q9 lattice-Boltzmann stream+collide: float
+                    stencil with very high memory traffic
+525.x264            SAD block motion search: integer abs-diff loops
+531.deepsjeng       alpha-beta game-tree search: deep recursion,
+                    integer mixing, indirect control flow
+544.nab             non-bonded energy with exclusions: float with
+                    heavier divide/sqrt mix than namd
+557.xz              LZ77 match finder over hash chains: integer,
+                    data-dependent loops, memory chasing
+==================  ==================================================
+"""
+
+from repro.workloads.spec import float_proxies, int_proxies
+
+ALL = int_proxies.WORKLOADS + float_proxies.WORKLOADS

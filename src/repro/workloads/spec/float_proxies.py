@@ -1,0 +1,265 @@
+"""Floating-point SPEC proxies: 508.namd, 519.lbm, 544.nab."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import DslModule
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import make_bench
+from repro.workloads.sizes import dims
+
+_CUTOFF2 = 6.25  # namd/nab pair cutoff squared
+
+
+# ----------------------------------------------------------------------
+# 508.namd — Lennard-Jones pair forces + integration
+# ----------------------------------------------------------------------
+def build_namd(preset: str) -> Built:
+    atoms, steps = dims("508.namd", preset)
+    dm = DslModule("508.namd")
+    px = dm.array_f64("px", atoms)
+    py = dm.array_f64("py", atoms)
+    pz = dm.array_f64("pz", atoms)
+    fx = dm.array_f64("fx", atoms)
+    fy = dm.array_f64("fy", atoms)
+    fz = dm.array_f64("fz", atoms)
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, atoms):
+        init.store(px[i], (i % 7).to_f64() * 0.73 + (i % 3).to_f64() * 0.21)
+        init.store(py[i], (i % 5).to_f64() * 0.61 + (i % 4).to_f64() * 0.17)
+        init.store(pz[i], (i % 6).to_f64() * 0.53 + (i % 2).to_f64() * 0.29)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    dx, dy, dz = kernel.f64(), kernel.f64(), kernel.f64()
+    r2, inv6, force = kernel.f64(), kernel.f64(), kernel.f64()
+    with kernel.for_(t, 0, steps):
+        with kernel.for_(i, 0, atoms):
+            kernel.store(fx[i], 0.0)
+            kernel.store(fy[i], 0.0)
+            kernel.store(fz[i], 0.0)
+        with kernel.for_(i, 0, atoms):
+            with kernel.for_(j, i + 1, atoms):
+                kernel.set(dx, px[i] - px[j])
+                kernel.set(dy, py[i] - py[j])
+                kernel.set(dz, pz[i] - pz[j])
+                kernel.set(r2, dx * dx + dy * dy + dz * dz + 0.01)
+                with kernel.if_(r2 < _CUTOFF2):
+                    kernel.set(inv6, 1.0 / (r2 * r2 * r2))
+                    kernel.set(force, inv6 * (inv6 - 0.5) / r2)
+                    kernel.store(fx[i], fx[i] + force * dx)
+                    kernel.store(fy[i], fy[i] + force * dy)
+                    kernel.store(fz[i], fz[i] + force * dz)
+                    kernel.store(fx[j], fx[j] - force * dx)
+                    kernel.store(fy[j], fy[j] - force * dy)
+                    kernel.store(fz[j], fz[j] - force * dz)
+        with kernel.for_(i, 0, atoms):
+            kernel.store(px[i], px[i] + fx[i] * 1e-4)
+            kernel.store(py[i], py[i] + fy[i] * 1e-4)
+            kernel.store(pz[i], pz[i] + fz[i] * 1e-4)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"px": px, "py": py, "pz": pz}, dm)
+
+
+def ref_namd(preset: str):
+    atoms, steps = dims("508.namd", preset)
+    idx = np.arange(atoms)
+    px = (idx % 7) * 0.73 + (idx % 3) * 0.21
+    py = (idx % 5) * 0.61 + (idx % 4) * 0.17
+    pz = (idx % 6) * 0.53 + (idx % 2) * 0.29
+    for _ in range(steps):
+        fx = np.zeros(atoms)
+        fy = np.zeros(atoms)
+        fz = np.zeros(atoms)
+        for i in range(atoms):
+            for j in range(i + 1, atoms):
+                dx, dy, dz = px[i] - px[j], py[i] - py[j], pz[i] - pz[j]
+                r2 = dx * dx + dy * dy + dz * dz + 0.01
+                if r2 < _CUTOFF2:
+                    inv6 = 1.0 / (r2 * r2 * r2)
+                    force = inv6 * (inv6 - 0.5) / r2
+                    fx[i] += force * dx
+                    fy[i] += force * dy
+                    fz[i] += force * dz
+                    fx[j] -= force * dx
+                    fy[j] -= force * dy
+                    fz[j] -= force * dz
+        px += fx * 1e-4
+        py += fy * 1e-4
+        pz += fz * 1e-4
+    return {"px": px, "py": py, "pz": pz}
+
+
+# ----------------------------------------------------------------------
+# 519.lbm — D2Q9 lattice-Boltzmann stream + collide (periodic)
+# ----------------------------------------------------------------------
+_D2Q9_CX = (0, 1, 0, -1, 0, 1, -1, -1, 1)
+_D2Q9_CY = (0, 0, 1, 0, -1, 1, 1, -1, -1)
+_D2Q9_W = (4 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 36, 1 / 36, 1 / 36, 1 / 36)
+_TAU = 0.8
+
+
+def build_lbm(preset: str) -> Built:
+    nx, ny, steps = dims("519.lbm", preset)
+    dm = DslModule("519.lbm")
+    f = dm.array_f64("f", 9, nx, ny)
+    ftmp = dm.array_f64("ftmp", 9, nx, ny)
+
+    init = dm.func("init")
+    x, y = init.i32(), init.i32()
+    with init.for_(x, 0, nx):
+        with init.for_(y, 0, ny):
+            for q in range(9):
+                perturb = ((x * 3 + y * 5 + q) % 10).to_f64() * 0.001
+                init.store(f[q, x, y], _D2Q9_W[q] + perturb)
+
+    kernel = dm.func("kernel")
+    t, x, y = kernel.i32(), kernel.i32(), kernel.i32()
+    rho, ux, uy, usq = kernel.f64(), kernel.f64(), kernel.f64(), kernel.f64()
+    cu = kernel.f64()
+    with kernel.for_(t, 0, steps):
+        # Collide into ftmp.
+        with kernel.for_(x, 0, nx):
+            with kernel.for_(y, 0, ny):
+                kernel.set(rho, 0.0)
+                kernel.set(ux, 0.0)
+                kernel.set(uy, 0.0)
+                for q in range(9):
+                    kernel.set(rho, rho + f[q, x, y])
+                    if _D2Q9_CX[q]:
+                        kernel.set(ux, ux + float(_D2Q9_CX[q]) * f[q, x, y])
+                    if _D2Q9_CY[q]:
+                        kernel.set(uy, uy + float(_D2Q9_CY[q]) * f[q, x, y])
+                kernel.set(ux, ux / rho)
+                kernel.set(uy, uy / rho)
+                kernel.set(usq, ux * ux + uy * uy)
+                for q in range(9):
+                    kernel.set(cu, float(_D2Q9_CX[q]) * ux + float(_D2Q9_CY[q]) * uy)
+                    feq = (
+                        _D2Q9_W[q]
+                        * rho
+                        * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq)
+                    )
+                    kernel.store(
+                        ftmp[q, x, y], f[q, x, y] - (f[q, x, y] - feq) / _TAU
+                    )
+        # Stream back into f (periodic wrap).
+        with kernel.for_(x, 0, nx):
+            with kernel.for_(y, 0, ny):
+                for q in range(9):
+                    sx = (x + _D2Q9_CX[q] + nx) % nx
+                    sy = (y + _D2Q9_CY[q] + ny) % ny
+                    kernel.store(f[q, sx, sy], ftmp[q, x, y])
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"f": f}, dm)
+
+
+def ref_lbm(preset: str):
+    nx, ny, steps = dims("519.lbm", preset)
+    f = np.zeros((9, nx, ny))
+    for x in range(nx):
+        for y in range(ny):
+            for q in range(9):
+                f[q, x, y] = _D2Q9_W[q] + ((x * 3 + y * 5 + q) % 10) * 0.001
+    for _ in range(steps):
+        rho = f.sum(axis=0)
+        ux = sum(_D2Q9_CX[q] * f[q] for q in range(9)) / rho
+        uy = sum(_D2Q9_CY[q] * f[q] for q in range(9)) / rho
+        usq = ux * ux + uy * uy
+        ftmp = np.zeros_like(f)
+        for q in range(9):
+            cu = _D2Q9_CX[q] * ux + _D2Q9_CY[q] * uy
+            feq = _D2Q9_W[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq)
+            ftmp[q] = f[q] - (f[q] - feq) / _TAU
+        for q in range(9):
+            f[q] = np.roll(ftmp[q], (_D2Q9_CX[q], _D2Q9_CY[q]), axis=(0, 1))
+    return {"f": f}
+
+
+# ----------------------------------------------------------------------
+# 544.nab — non-bonded energy with exclusions
+# ----------------------------------------------------------------------
+def build_nab(preset: str) -> Built:
+    atoms, steps = dims("544.nab", preset)
+    dm = DslModule("544.nab")
+    px = dm.array_f64("px", atoms)
+    py = dm.array_f64("py", atoms)
+    pz = dm.array_f64("pz", atoms)
+    charge = dm.array_f64("charge", atoms)
+    energy = dm.array_f64("energy", 2)  # [vdw, electrostatic]
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, atoms):
+        init.store(px[i], (i % 9).to_f64() * 0.47)
+        init.store(py[i], (i % 8).to_f64() * 0.43)
+        init.store(pz[i], (i % 7).to_f64() * 0.39)
+        init.store(charge[i], ((i % 3).to_f64() - 1.0) * 0.4)
+
+    kernel = dm.func("kernel")
+    t, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    dx, dy, dz = kernel.f64(), kernel.f64(), kernel.f64()
+    r2, r, inv6 = kernel.f64(), kernel.f64(), kernel.f64()
+    with kernel.for_(t, 0, steps):
+        kernel.store(energy[0], 0.0)
+        kernel.store(energy[1], 0.0)
+        with kernel.for_(i, 0, atoms):
+            with kernel.for_(j, i + 1, atoms):
+                # 1-4 exclusion pattern.
+                with kernel.if_(((i + j) % 5).ne(0)):
+                    kernel.set(dx, px[i] - px[j])
+                    kernel.set(dy, py[i] - py[j])
+                    kernel.set(dz, pz[i] - pz[j])
+                    kernel.set(r2, dx * dx + dy * dy + dz * dz + 0.02)
+                    with kernel.if_(r2 < _CUTOFF2):
+                        kernel.set(r, r2.sqrt())
+                        kernel.set(inv6, 1.0 / (r2 * r2 * r2))
+                        kernel.store(
+                            energy[0], energy[0] + inv6 * inv6 - inv6
+                        )
+                        kernel.store(
+                            energy[1], energy[1] + charge[i] * charge[j] / r
+                        )
+        # Tiny perturbation so steps differ.
+        with kernel.for_(i, 0, atoms):
+            kernel.store(px[i], px[i] + energy[1] * 1e-7)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"energy": energy}, dm)
+
+
+def ref_nab(preset: str):
+    atoms, steps = dims("544.nab", preset)
+    idx = np.arange(atoms)
+    px = (idx % 9) * 0.47
+    py = (idx % 8) * 0.43
+    pz = (idx % 7) * 0.39
+    charge = ((idx % 3) - 1.0) * 0.4
+    energy = np.zeros(2)
+    for _ in range(steps):
+        energy[:] = 0.0
+        for i in range(atoms):
+            for j in range(i + 1, atoms):
+                if (i + j) % 5 == 0:
+                    continue
+                dx, dy, dz = px[i] - px[j], py[i] - py[j], pz[i] - pz[j]
+                r2 = dx * dx + dy * dy + dz * dz + 0.02
+                if r2 < _CUTOFF2:
+                    r = np.sqrt(r2)
+                    inv6 = 1.0 / (r2 * r2 * r2)
+                    energy[0] += inv6 * inv6 - inv6
+                    energy[1] += charge[i] * charge[j] / r
+        px = px + energy[1] * 1e-7
+    return {"energy": energy}
+
+
+WORKLOADS = [
+    Workload("508.namd", "spec", build_namd, ref_namd, ("px", "py", "pz"), ("float",)),
+    Workload("519.lbm", "spec", build_lbm, ref_lbm, ("f",), ("float", "stencil")),
+    Workload("544.nab", "spec", build_nab, ref_nab, ("energy",), ("float",)),
+]

@@ -1,0 +1,343 @@
+"""Integer SPEC proxies: 505.mcf, 525.x264, 531.deepsjeng, 557.xz."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wasm.dsl import Const, DslModule, Select
+from repro.workloads.base import Built, Workload
+from repro.workloads.polybench.common import make_bench
+from repro.workloads.sizes import dims
+
+_INF = 1_000_000_000
+
+
+# ----------------------------------------------------------------------
+# 505.mcf — arc relaxation over a CSR network (Bellman-Ford rounds)
+# ----------------------------------------------------------------------
+def build_mcf(preset: str) -> Built:
+    nodes, deg, iterations = dims("505.mcf", preset)
+    narcs = nodes * deg
+    dm = DslModule("505.mcf")
+    target = dm.array_i32("target", narcs)
+    cost = dm.array_i32("cost", narcs)
+    dist = dm.array_i32("dist", nodes)
+
+    init = dm.func("init")
+    u, e, a = init.i32(), init.i32(), init.i32()
+    with init.for_(u, 0, nodes):
+        with init.for_(e, 0, deg):
+            init.set(a, u * deg + e)
+            init.store(target[a], (u * 37 + e * 11 + 3) % nodes)
+            init.store(cost[a], (u * 7 + e * 13) % 50 + 1)
+        init.store(dist[u], _INF)
+    init.store(dist[0], 0)
+
+    kernel = dm.func("kernel")
+    it, u, e, a = kernel.i32(), kernel.i32(), kernel.i32(), kernel.i32()
+    du, cand, v = kernel.i32(), kernel.i32(), kernel.i32()
+    with kernel.for_(it, 0, iterations):
+        with kernel.for_(u, 0, nodes):
+            kernel.set(du, dist[u])
+            with kernel.if_(du < _INF):
+                with kernel.for_(e, 0, deg):
+                    kernel.set(a, u * deg + e)
+                    kernel.set(v, target[a])
+                    kernel.set(cand, du + cost[a])
+                    with kernel.if_(cand < dist[v]):
+                        kernel.store(dist[v], cand)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"dist": dist}, dm)
+
+
+def ref_mcf(preset: str):
+    nodes, deg, iterations = dims("505.mcf", preset)
+    target = np.zeros(nodes * deg, dtype=np.int32)
+    cost = np.zeros(nodes * deg, dtype=np.int32)
+    for u in range(nodes):
+        for e in range(deg):
+            a = u * deg + e
+            target[a] = (u * 37 + e * 11 + 3) % nodes
+            cost[a] = (u * 7 + e * 13) % 50 + 1
+    dist = np.full(nodes, _INF, dtype=np.int32)
+    dist[0] = 0
+    for _ in range(iterations):
+        for u in range(nodes):
+            du = dist[u]
+            if du < _INF:
+                for e in range(deg):
+                    a = u * deg + e
+                    v = target[a]
+                    cand = du + cost[a]
+                    if cand < dist[v]:
+                        dist[v] = cand
+    return {"dist": dist}
+
+
+# ----------------------------------------------------------------------
+# 525.x264 — SAD block motion search
+# ----------------------------------------------------------------------
+_BLOCK = 8
+
+
+def build_x264(preset: str) -> Built:
+    w, h, nblocks, srange = dims("525.x264", preset)
+    dm = DslModule("525.x264")
+    cur = dm.array_i32("cur", h, w)
+    ref = dm.array_i32("ref", h, w)
+    best_sad = dm.array_i32("best_sad", nblocks)
+    best_mv = dm.array_i32("best_mv", nblocks, 2)
+
+    init = dm.func("init")
+    x, y = init.i32(), init.i32()
+    with init.for_(y, 0, h):
+        with init.for_(x, 0, w):
+            init.store(ref[y, x], (x * 13 + y * 29) % 256)
+            # The "current" frame is the reference shifted by (1, 2)
+            # plus noise, so the search has a real optimum to find.
+            init.store(
+                cur[y, x],
+                ((x + 1) * 13 + (y + 2) * 29 + (x * y) % 3) % 256,
+            )
+
+    kernel = dm.func("kernel")
+    b, dy, dx = kernel.i32(), kernel.i32(), kernel.i32()
+    by, bx = kernel.i32(), kernel.i32()
+    py, px = kernel.i32(), kernel.i32()
+    sad, diff = kernel.i32(), kernel.i32()
+    ry, rx = kernel.i32(), kernel.i32()
+    blocks_per_row = (w - 2 * srange) // _BLOCK
+    if nblocks > blocks_per_row * ((h - 2 * srange) // _BLOCK):
+        raise ValueError("x264 proxy: blocks do not fit in the frame")
+    with kernel.for_(b, 0, nblocks):
+        kernel.set(by, (b // blocks_per_row) * _BLOCK + srange)
+        kernel.set(bx, (b % blocks_per_row) * _BLOCK + srange)
+        kernel.store(best_sad[b], _INF)
+        with kernel.for_(dy, -srange, srange + 1):
+            with kernel.for_(dx, -srange, srange + 1):
+                kernel.set(sad, 0)
+                with kernel.for_(py, 0, _BLOCK):
+                    with kernel.for_(px, 0, _BLOCK):
+                        kernel.set(ry, by + py + dy)
+                        kernel.set(rx, bx + px + dx)
+                        kernel.set(
+                            diff, cur[by + py, bx + px] - ref[ry, rx]
+                        )
+                        kernel.set(sad, sad + Select(diff < 0, -diff, diff))
+                with kernel.if_(sad < best_sad[b]):
+                    kernel.store(best_sad[b], sad)
+                    kernel.store(best_mv[b, 0], dy)
+                    kernel.store(best_mv[b, 1], dx)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"best_sad": best_sad, "best_mv": best_mv}, dm)
+
+
+def ref_x264(preset: str):
+    w, h, nblocks, srange = dims("525.x264", preset)
+    ref_frame = np.fromfunction(
+        lambda y, x: (x * 13 + y * 29) % 256, (h, w)
+    ).astype(np.int64)
+    cur = np.fromfunction(
+        lambda y, x: ((x + 1) * 13 + (y + 2) * 29 + (x * y) % 3) % 256, (h, w)
+    ).astype(np.int64)
+    blocks_per_row = (w - 2 * srange) // _BLOCK
+    best_sad = np.zeros(nblocks, dtype=np.int32)
+    best_mv = np.zeros((nblocks, 2), dtype=np.int32)
+    for b in range(nblocks):
+        by = (b // blocks_per_row) * _BLOCK + srange
+        bx = (b % blocks_per_row) * _BLOCK + srange
+        best = _INF
+        for dy in range(-srange, srange + 1):
+            for dx in range(-srange, srange + 1):
+                block = cur[by : by + _BLOCK, bx : bx + _BLOCK]
+                shifted = ref_frame[
+                    by + dy : by + dy + _BLOCK, bx + dx : bx + dx + _BLOCK
+                ]
+                sad = int(np.abs(block - shifted).sum())
+                if sad < best:
+                    best = sad
+                    best_mv[b] = (dy, dx)
+        best_sad[b] = best
+    return {"best_sad": best_sad, "best_mv": best_mv}
+
+
+# ----------------------------------------------------------------------
+# 531.deepsjeng — recursive alpha-beta search over a synthetic tree
+# ----------------------------------------------------------------------
+_MIX = 2654435761  # Knuth multiplicative hash constant
+
+
+def build_deepsjeng(preset: str) -> Built:
+    depth, branching = dims("531.deepsjeng", preset)
+    dm = DslModule("531.deepsjeng")
+    result = dm.array_i32("result", 4)
+
+    # negamax(state, depth, alpha, beta) -> score
+    search = dm.func(
+        "search",
+        params=[("state", "i32"), ("d", "i32"), ("alpha", "i32"), ("beta", "i32")],
+        results=["i32"],
+        export=False,
+    )
+    state, d, alpha, beta = search.params
+    with search.if_(d.eq(0)):
+        # Leaf evaluation: multiplicative hash of the position.
+        search.ret(((state * _MIX).shr_u(17) & 0xFF) - 128)
+    move, score, best = search.i32(), search.i32(), search.i32()
+    a = search.i32()
+    search.set(best, -_INF)
+    search.set(a, alpha)
+    with search.for_(move, 0, branching):
+        child = (state * 31 + move * 7 + 1) & 0x7FFFFFFF
+        search.set(score, -search.call(search, child, d - 1, -beta, -a))
+        with search.if_(score > best):
+            search.set(best, score)
+        with search.if_(best > a):
+            search.set(a, best)
+        with search.if_(a >= beta):
+            search.ret(best)  # beta cutoff
+    search.ret(best)
+
+    init = dm.func("init")
+    init.store(result[0], 0)
+
+    kernel = dm.func("kernel")
+    kernel.store(result[0], kernel.call(search, 12345, depth, -_INF, _INF))
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"result": result}, dm)
+
+
+def _mix_leaf(state: int) -> int:
+    return (((state * _MIX) & 0xFFFFFFFF) >> 17 & 0xFF) - 128
+
+
+def _negamax(state: int, depth: int, alpha: int, beta: int, branching: int) -> int:
+    if depth == 0:
+        return _mix_leaf(state)
+    best = -_INF
+    a = alpha
+    for move in range(branching):
+        child = (state * 31 + move * 7 + 1) & 0x7FFFFFFF
+        score = -_negamax(child, depth - 1, -beta, -a, branching)
+        if score > best:
+            best = score
+        if best > a:
+            a = best
+        if a >= beta:
+            return best
+    return best
+
+
+def ref_deepsjeng(preset: str):
+    depth, branching = dims("531.deepsjeng", preset)
+    result = np.zeros(4, dtype=np.int32)
+    result[0] = _negamax(12345, depth, -_INF, _INF, branching)
+    return {"result": result}
+
+
+# ----------------------------------------------------------------------
+# 557.xz — LZ77 match finder over hash chains
+# ----------------------------------------------------------------------
+_HASH_BITS = 12
+_HASH_SIZE = 1 << _HASH_BITS
+_MAX_CHAIN = 16
+_MAX_MATCH = 64
+
+
+def build_xz(preset: str) -> Built:
+    data_len, iterations = dims("557.xz", preset)
+    dm = DslModule("557.xz")
+    data = dm.array_i32("data", data_len)
+    head = dm.array_i32("head", _HASH_SIZE)
+    prev = dm.array_i32("prev", data_len)
+    match_len = dm.array_i32("match_len", data_len)
+    total = dm.array_i32("total", 2)
+
+    init = dm.func("init")
+    i = init.i32()
+    with init.for_(i, 0, data_len):
+        # Repetitive synthetic byte stream: period-67 pattern with
+        # occasional substitutions, so real matches exist.
+        base = (i % 67) * 3 % 251
+        noisy = Select((i % 113).eq(0), (i * 31) % 251, base)
+        init.store(data[i], noisy)
+
+    kernel = dm.func("kernel")
+    it, i, j = kernel.i32(), kernel.i32(), kernel.i32()
+    h, cand, chain = kernel.i32(), kernel.i32(), kernel.i32()
+    length, best = kernel.i32(), kernel.i32()
+    with kernel.for_(it, 0, iterations):
+        with kernel.for_(i, 0, _HASH_SIZE):
+            kernel.store(head[i], -1)
+        kernel.store(total[0], 0)
+        with kernel.for_(i, 0, data_len - 3):
+            kernel.set(
+                h,
+                (data[i] * 413 + data[i + 1] * 31 + data[i + 2]) % _HASH_SIZE,
+            )
+            kernel.set(cand, head[h])
+            kernel.set(best, 0)
+            kernel.set(chain, 0)
+            with kernel.while_(lambda: (cand >= 0) & (chain < _MAX_CHAIN)):
+                kernel.set(length, 0)
+                limit = (data_len - i).min_(_MAX_MATCH)
+                with kernel.while_(
+                    lambda: (length < limit)
+                    & data[cand + length].eq(data[i + length])
+                ):
+                    kernel.set(length, length + 1)
+                with kernel.if_(length > best):
+                    kernel.set(best, length)
+                kernel.set(cand, prev[cand])
+                kernel.set(chain, chain + 1)
+            kernel.store(match_len[i], best)
+            kernel.store(total[0], total[0] + best)
+            kernel.store(prev[i], head[h])
+            kernel.store(head[h], i)
+
+    make_bench(dm, init, kernel)
+    return Built(dm.build(), {"match_len": match_len, "total": total}, dm)
+
+
+def ref_xz(preset: str):
+    data_len, iterations = dims("557.xz", preset)
+    data = np.zeros(data_len, dtype=np.int64)
+    for i in range(data_len):
+        base = (i % 67) * 3 % 251
+        data[i] = (i * 31) % 251 if i % 113 == 0 else base
+    match_len = np.zeros(data_len, dtype=np.int32)
+    total = np.zeros(2, dtype=np.int32)
+    for _ in range(iterations):
+        head = [-1] * _HASH_SIZE
+        prev = [0] * data_len
+        total[0] = 0
+        for i in range(data_len - 3):
+            h = int(data[i] * 413 + data[i + 1] * 31 + data[i + 2]) % _HASH_SIZE
+            cand = head[h]
+            best = 0
+            chain = 0
+            while cand >= 0 and chain < _MAX_CHAIN:
+                length = 0
+                limit = min(data_len - i, _MAX_MATCH)
+                while length < limit and data[cand + length] == data[i + length]:
+                    length += 1
+                if length > best:
+                    best = length
+                cand = prev[cand]
+                chain += 1
+            match_len[i] = best
+            total[0] += best
+            prev[i] = head[h]
+            head[h] = i
+    return {"match_len": match_len, "total": total}
+
+
+WORKLOADS = [
+    Workload("505.mcf", "spec", build_mcf, ref_mcf, ("dist",), ("integer", "graph")),
+    Workload("525.x264", "spec", build_x264, ref_x264, ("best_sad", "best_mv"), ("integer",)),
+    Workload("531.deepsjeng", "spec", build_deepsjeng, ref_deepsjeng, ("result",), ("integer", "search")),
+    Workload("557.xz", "spec", build_xz, ref_xz, ("match_len", "total"), ("integer", "compression")),
+]

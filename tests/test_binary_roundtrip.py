@@ -1,0 +1,187 @@
+"""Encoder/decoder round-trip tests, including property-based module generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import (
+    DecodeError,
+    ModuleBuilder,
+    decode_module,
+    encode_module,
+    validate_module,
+)
+from repro.wasm.instructions import Instr
+from repro.wasm.module import DataSegment, Global, Module
+from repro.wasm.types import GlobalType, Limits, MemoryType, ValType
+
+
+def roundtrip(module):
+    return decode_module(encode_module(module))
+
+
+class TestHeader:
+    def test_empty_module(self):
+        module = roundtrip(Module())
+        assert module.funcs == []
+        assert module.types == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DecodeError, match="magic"):
+            decode_module(b"\x7fELF" + b"\x00" * 10)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(DecodeError, match="version"):
+            decode_module(b"\x00asm\x02\x00\x00\x00")
+
+    def test_truncated_section_rejected(self):
+        good = encode_module(_simple_module())
+        with pytest.raises(DecodeError):
+            decode_module(good[:-3])
+
+
+def _simple_module():
+    mb = ModuleBuilder("simple")
+    mb.add_memory(2, 10)
+    fb = mb.func("f", params=[ValType.I32], results=[ValType.I32], export=True)
+    fb.emit("local.get", 0)
+    fb.emit("i32.const", -7)
+    fb.emit("i32.add")
+    return mb.build()
+
+
+class TestStructuredRoundtrip:
+    def test_function_bodies_preserved(self):
+        module = _simple_module()
+        again = roundtrip(module)
+        assert again.funcs[0].body == module.funcs[0].body
+        assert again.types == module.types
+
+    def test_memory_limits_preserved(self):
+        module = roundtrip(_simple_module())
+        assert module.memories[0].limits == Limits(2, 10)
+
+    def test_exports_preserved(self):
+        module = roundtrip(_simple_module())
+        names = {e.name: e.kind for e in module.exports}
+        assert names == {"memory": "memory", "f": "func"}
+
+    def test_globals_roundtrip(self):
+        mb = ModuleBuilder()
+        mb.add_global(ValType.I64, 123456789, mutable=True)
+        mb.add_global(ValType.F64, 2.5, mutable=False)
+        module = roundtrip(mb.build())
+        assert module.globals[0].type == GlobalType(ValType.I64, True)
+        assert module.globals[0].init == [Instr("i64.const", (123456789,))]
+        assert module.globals[1].type == GlobalType(ValType.F64, False)
+
+    def test_table_and_elements_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.func("t", results=[ValType.I32])
+        fb.emit("i32.const", 9)
+        mb.add_table(4)
+        mb.add_element(0, 1, [0, 0])
+        module = roundtrip(mb.build())
+        assert module.tables[0].limits.minimum == 4
+        assert module.elements[0].func_indices == [0, 0]
+
+    def test_data_segments_roundtrip(self):
+        mb = ModuleBuilder()
+        mb.add_memory(1)
+        mb.add_data(0, 16, b"hello world")
+        module = roundtrip(mb.build())
+        assert module.data[0].data == b"hello world"
+        assert module.data[0].offset == [Instr("i32.const", (16,))]
+
+    def test_locals_run_length_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f")
+        for _ in range(3):
+            fb.add_local(ValType.I32)
+        for _ in range(2):
+            fb.add_local(ValType.F64)
+        fb.add_local(ValType.I32)
+        module = roundtrip(mb.build())
+        assert module.funcs[0].locals == [
+            ValType.I32, ValType.I32, ValType.I32,
+            ValType.F64, ValType.F64, ValType.I32,
+        ]
+
+    def test_control_flow_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f", params=[ValType.I32], results=[ValType.I32])
+        with fb.block(ValType.I32) as b:
+            fb.emit("local.get", 0)
+            with fb.if_(ValType.I32):
+                fb.emit("i32.const", 1)
+                fb.else_()
+                fb.emit("i32.const", 2)
+        module = roundtrip(mb.build())
+        assert module.funcs[0].body == mb.build().funcs[0].body
+
+    def test_br_table_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f", params=[ValType.I32])
+        with fb.block() as b0:
+            with fb.block() as b1:
+                fb.emit("local.get", 0)
+                fb.emit("br_table", (0, 1, 0), 1)
+        module = roundtrip(mb.build())
+        assert Instr("br_table", ((0, 1, 0), 1)) in module.funcs[0].body
+
+    def test_start_function_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.func("init")
+        fb.emit("nop")
+        mb.set_start(fb)
+        assert roundtrip(mb.build()).start == 0
+
+    def test_float_consts_roundtrip_exactly(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f", results=[ValType.F64])
+        fb.emit("f64.const", 0.1)
+        module = roundtrip(mb.build())
+        assert module.funcs[0].body[0].args[0] == 0.1
+
+    def test_reencoding_is_stable(self):
+        first = encode_module(_simple_module())
+        assert encode_module(decode_module(first)) == first
+
+
+# ----------------------------------------------------------------------
+# Property-based: random straight-line modules round-trip and validate
+# ----------------------------------------------------------------------
+_INT_BIN = ["i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor"]
+
+
+@st.composite
+def straightline_func(draw):
+    """A random well-typed i32 expression as postfix instructions."""
+    instrs = [Instr("i32.const", (draw(st.integers(-(2**31), 2**31 - 1)),))]
+    depth = 1
+    for _ in range(draw(st.integers(0, 30))):
+        if depth >= 2 and draw(st.booleans()):
+            instrs.append(Instr(draw(st.sampled_from(_INT_BIN))))
+            depth -= 1
+        else:
+            instrs.append(Instr("i32.const", (draw(st.integers(-(2**31), 2**31 - 1)),)))
+            depth += 1
+    while depth > 1:
+        instrs.append(Instr(draw(st.sampled_from(_INT_BIN))))
+        depth -= 1
+    return instrs
+
+
+@given(st.lists(straightline_func(), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_random_modules_roundtrip_and_validate(bodies):
+    mb = ModuleBuilder("random")
+    for index, body in enumerate(bodies):
+        fb = mb.func(f"f{index}", results=[ValType.I32], export=True)
+        fb.body.extend(body)
+    module = mb.build()
+    validate_module(module)
+    again = roundtrip(module)
+    validate_module(again)
+    for func_a, func_b in zip(module.funcs, again.funcs):
+        assert func_a.body == func_b.body
+    assert encode_module(again) == encode_module(module)

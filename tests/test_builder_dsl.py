@@ -1,0 +1,279 @@
+"""Tests for the structured builder, the DSL and the WAT printer."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Interpreter
+from repro.wasm import ModuleBuilder, module_to_wat, validate_module
+from repro.wasm.builder import BuilderError
+from repro.wasm.dsl import Const, DslError, DslModule, Select
+from repro.wasm.types import ValType
+
+I32 = ValType.I32
+
+
+class TestBuilder:
+    def test_label_depths_computed(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f")
+        with fb.block() as outer:
+            with fb.block() as inner:
+                assert fb.depth_of(inner) == 0
+                assert fb.depth_of(outer) == 1
+        validate_module(mb.build())
+
+    def test_branch_to_closed_label_rejected(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f")
+        with fb.block() as label:
+            pass
+        with pytest.raises(BuilderError, match="already closed"):
+            fb.br(label)
+
+    def test_foreign_label_rejected(self):
+        mb = ModuleBuilder()
+        fa = mb.func("a")
+        fother = mb.func("b")
+        with fa.block() as label:
+            with pytest.raises(BuilderError, match="another function"):
+                fother.depth_of(label)
+
+    def test_else_outside_if_rejected(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f")
+        with pytest.raises(BuilderError, match="outside an if"):
+            fb.else_()
+
+    def test_unclosed_control_rejected_at_build(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f")
+        fb._control.append(object())  # simulate an unclosed block
+        fb._control[-1] = type("L", (), {"builder": fb, "kind": "block", "position": 0})()
+        with pytest.raises(BuilderError, match="unclosed"):
+            mb.build()
+
+    def test_imports_must_precede_functions(self):
+        mb = ModuleBuilder()
+        mb.func("f")
+        with pytest.raises(BuilderError, match="imports"):
+            mb.import_func("env", "h", [], [])
+
+    def test_build_is_idempotent(self):
+        mb = ModuleBuilder()
+        fb = mb.func("f", results=[I32], export=True)
+        fb.emit("i32.const", 3)
+        first = mb.build()
+        second = mb.build()
+        assert first is second or len(second.funcs) == 1
+
+    def test_function_indices_account_for_imports(self):
+        mb = ModuleBuilder()
+        mb.import_func("env", "h", [], [])
+        fb = mb.func("f")
+        assert fb.index == 1
+
+
+class TestDslExpressions:
+    def eval_expr(self, builder_fn, result="i32"):
+        dm = DslModule("t")
+        f = dm.func("f", results=[result])
+        f.ret(builder_fn(f))
+        module = dm.build()
+        validate_module(module)
+        return Interpreter(module).invoke("f")
+
+    def test_arithmetic_precedence(self):
+        assert self.eval_expr(lambda f: Const(2, "i32") + 3 * 4) == 14
+
+    def test_float_math(self):
+        value = self.eval_expr(
+            lambda f: (Const(2.0, "f64") + 0.25) * 4.0, result="f64"
+        )
+        assert value == 9.0
+
+    def test_comparison_produces_i32(self):
+        assert self.eval_expr(lambda f: Const(3, "i32") < 5) == 1
+        assert self.eval_expr(lambda f: Const(7, "i32") < 5) == 0
+
+    def test_signed_division(self):
+        assert self.eval_expr(lambda f: Const(-7, "i32") // 2) == (-3) & 0xFFFFFFFF
+
+    def test_select(self):
+        assert self.eval_expr(
+            lambda f: Select(Const(1, "i32"), Const(10, "i32"), Const(20, "i32"))
+        ) == 10
+
+    def test_conversions(self):
+        assert self.eval_expr(lambda f: Const(3, "i32").to_f64() + 0.5, result="f64") == 3.5
+        assert self.eval_expr(lambda f: Const(3.9, "f64").to_i32()) == 3
+
+    def test_sqrt(self):
+        assert self.eval_expr(lambda f: Const(16.0, "f64").sqrt(), result="f64") == 4.0
+
+    def test_min_max_float(self):
+        assert self.eval_expr(
+            lambda f: Const(3.0, "f64").min_(1.0), result="f64"
+        ) == 1.0
+        assert self.eval_expr(
+            lambda f: Const(3.0, "f64").max_(1.0), result="f64"
+        ) == 3.0
+
+    def test_integer_min_via_select(self):
+        assert self.eval_expr(lambda f: Const(3, "i32").min_(8)) == 3
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(DslError, match="type mismatch"):
+            Const(1, "i32") + Const(1.0, "f64")
+
+    def test_float_truediv_int_rejected(self):
+        with pytest.raises(DslError, match="//"):
+            Const(1, "i32") / 2
+
+    def test_bool_literal_rejected(self):
+        with pytest.raises(DslError, match="bool"):
+            Const(1, "i32") + True
+
+
+class TestDslStatements:
+    def test_for_loop_sums(self):
+        dm = DslModule()
+        f = dm.func("f", params=[("n", "i32")], results=["i32"])
+        n = f.params[0]
+        total, i = f.i32("total"), f.i32("i")
+        with f.for_(i, 0, n):
+            f.set(total, total + i)
+        f.ret(total)
+        interp = Interpreter(dm.build())
+        assert interp.invoke("f", 10) == 45
+
+    def test_for_loop_downwards(self):
+        dm = DslModule()
+        f = dm.func("f", results=["i32"])
+        total, i = f.i32(), f.i32()
+        with f.for_(i, 5, 0, step=-1):  # 5,4,3,2,1
+            f.set(total, total + i)
+        f.ret(total)
+        assert Interpreter(dm.build()).invoke("f") == 15
+
+    def test_for_loop_with_step(self):
+        dm = DslModule()
+        f = dm.func("f", results=["i32"])
+        total, i = f.i32(), f.i32()
+        with f.for_(i, 0, 10, step=3):  # 0,3,6,9
+            f.set(total, total + i)
+        f.ret(total)
+        assert Interpreter(dm.build()).invoke("f") == 18
+
+    def test_zero_step_rejected(self):
+        dm = DslModule()
+        f = dm.func("f")
+        i = f.i32()
+        with pytest.raises(DslError, match="non-zero"):
+            with f.for_(i, 0, 10, step=0):
+                pass
+
+    def test_while_loop(self):
+        dm = DslModule()
+        f = dm.func("f", results=["i32"])
+        x = f.i32()
+        f.set(x, 1)
+        with f.while_(lambda: x < 100):
+            f.set(x, x * 2)
+        f.ret(x)
+        assert Interpreter(dm.build()).invoke("f") == 128
+
+    def test_if_otherwise(self):
+        dm = DslModule()
+        f = dm.func("f", params=[("c", "i32")], results=["i32"])
+        c = f.params[0]
+        r = f.i32()
+        with f.if_(c) as branch:
+            f.set(r, 1)
+            branch.otherwise()
+            f.set(r, 2)
+        f.ret(r)
+        interp = Interpreter(dm.build())
+        assert interp.invoke("f", 5) == 1
+        assert interp.invoke("f", 0) == 2
+
+    def test_nested_function_call(self):
+        dm = DslModule()
+        sq = dm.func("sq", params=[("x", "i32")], results=["i32"], export=False)
+        sq.ret(sq.params[0] * sq.params[0])
+        f = dm.func("f", params=[("x", "i32")], results=["i32"])
+        f.ret(f.call(sq, f.params[0]) + 1)
+        assert Interpreter(dm.build()).invoke("f", 6) == 37
+
+    def test_array_shapes_and_strides(self):
+        dm = DslModule()
+        arr = dm.array_f64("A", 3, 4, 5)
+        assert arr.strides == (20, 5, 1)
+        assert arr.nbytes == 3 * 4 * 5 * 8
+
+    def test_arrays_do_not_overlap_and_are_aligned(self):
+        dm = DslModule()
+        a = dm.array_f64("A", 7)
+        b = dm.array_f64("B", 7)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_array_store_load(self):
+        dm = DslModule()
+        a = dm.array_f64("A", 4, 4)
+        f = dm.func("f", results=["f64"])
+        i = f.i32()
+        with f.for_(i, 0, 4):
+            f.store(a[i, i], i.to_f64() * 2.0)
+        f.ret(a[2, 2] + a[3, 3])
+        assert Interpreter(dm.build()).invoke("f") == 10.0
+
+    def test_matrix_matches_numpy_layout(self):
+        dm = DslModule()
+        a = dm.matrix_f64("A", 3, 5)
+        f = dm.func("fill")
+        i, j = f.i32(), f.i32()
+        with f.for_(i, 0, 3):
+            with f.for_(j, 0, 5):
+                f.store(a[i, j], (i * 10 + j).to_f64())
+        interp = Interpreter(dm.build())
+        interp.invoke("fill")
+        got = np.frombuffer(
+            bytes(interp.memory.data[a.base : a.base + a.nbytes]), dtype="<f8"
+        ).reshape(3, 5)
+        expected = np.fromfunction(lambda i, j: i * 10 + j, (3, 5))
+        assert np.array_equal(got, expected)
+
+    def test_wrong_index_count_rejected(self):
+        dm = DslModule()
+        a = dm.matrix_f64("A", 3, 3)
+        with pytest.raises(DslError, match="dims"):
+            a[1]
+
+    def test_required_pages(self):
+        dm = DslModule()
+        dm.array_f64("A", 10000)  # 80 KB > one 64 KiB page
+        assert dm.required_pages == 3  # 64 KiB base offset + 80 KB data
+
+
+class TestWatPrinter:
+    def test_renders_key_elements(self):
+        dm = DslModule("pretty")
+        a = dm.array_f64("A", 8)
+        f = dm.func("f", params=[("x", "i32")], results=["f64"])
+        f.ret(a[f.params[0]])
+        text = module_to_wat(dm.build())
+        assert "(module" in text
+        assert "f64.load" in text
+        assert '(export "f" (func 0))' in text
+        assert "(memory" in text
+
+    def test_indentation_follows_nesting(self):
+        dm = DslModule()
+        f = dm.func("f", results=["i32"])
+        i = f.i32()
+        with f.for_(i, 0, 3):
+            pass
+        f.ret(i)
+        text = module_to_wat(dm.build())
+        assert "      loop" in text  # nested inside block

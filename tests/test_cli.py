@@ -1,0 +1,32 @@
+"""Tests for the leaps-bench CLI."""
+
+import pytest
+
+from repro.core import cli
+from repro.core.experiments import fig1
+
+
+def test_help_returns_zero(capsys):
+    assert cli.main(["--help"]) == 0
+    assert "leaps-bench" in capsys.readouterr().out
+
+
+def test_no_args_prints_usage(capsys):
+    assert cli.main([]) == 0
+    assert "fig1" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert cli.main(["fig9"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_dispatch_runs_experiment(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.setattr(
+        fig1, "suite_names", lambda suite, quick: ["gemm"] if suite == "polybench" else []
+    )
+    assert cli.main(["fig1", "--size", "mini"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out
+    assert (tmp_path / "fig1.json").exists()

@@ -1,0 +1,161 @@
+"""Property-based tests over randomly generated DSL programs.
+
+Hypothesis builds random (but well-typed) kernels; the properties
+check structural invariants of the compiler pipeline that must hold
+for *any* program, not just the benchmark suite:
+
+* lowering + passes never crash and never lose stores;
+* DCE and CSE only remove instructions;
+* enabling more passes never increases the modelled cost of a profile;
+* block leaders always point at real wasm instructions;
+* expression semantics survive the interpreter (random expressions are
+  evaluated both by a Python mirror and by the Wasm interpreter).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.frontend import lower_function
+from repro.compiler.pipeline import ALL_PASSES, CompilerConfig, compile_module
+from repro.compiler.timing import cycles_for_profile
+from repro.isa import isa_named
+from repro.runtime import Interpreter, strategy_named
+from repro.wasm.dsl import Const, DslModule
+
+M32 = 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Random i32 expression trees with a Python-semantics mirror
+# ----------------------------------------------------------------------
+@st.composite
+def i32_expr(draw, depth=0):
+    """Returns (dsl_builder, python_value)."""
+    if depth >= 4 or draw(st.booleans()):
+        value = draw(st.integers(-(2**31), 2**31 - 1))
+        return Const(value, "i32"), value & M32
+    op = draw(st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+    left, lval = draw(i32_expr(depth + 1))
+    right, rval = draw(i32_expr(depth + 1))
+    if op == "add":
+        return left + right, (lval + rval) & M32
+    if op == "sub":
+        return left - right, (lval - rval) & M32
+    if op == "mul":
+        return left * right, (lval * rval) & M32
+    if op == "and":
+        return left & right, lval & rval
+    if op == "or":
+        return left | right, lval | rval
+    return left ^ right, lval ^ rval
+
+
+@given(i32_expr())
+@settings(max_examples=80, deadline=None)
+def test_random_expressions_evaluate_correctly(pair):
+    expr, expected = pair
+    dm = DslModule()
+    f = dm.func("f", results=["i32"])
+    f.ret(expr)
+    module = dm.build()
+    assert Interpreter(module).invoke("f") == expected
+
+
+# ----------------------------------------------------------------------
+# Random small kernels (loop + array traffic)
+# ----------------------------------------------------------------------
+@st.composite
+def random_kernel(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    stride = draw(st.integers(min_value=1, max_value=3))
+    scale = draw(st.integers(min_value=1, max_value=7))
+    use_nested = draw(st.booleans())
+    dm = DslModule("rand")
+    a = dm.array_i32("a", n * 4)
+    f = dm.func("bench")
+    i = f.i32("i")
+    j = f.i32("j")
+    with f.for_(i, 0, n):
+        f.store(a[i * stride], a[i * stride] + i * scale)
+        if use_nested:
+            with f.for_(j, 0, 3):
+                f.store(a[j], a[j] ^ (i + j))
+    return dm.build()
+
+
+@given(random_kernel())
+@settings(max_examples=40, deadline=None)
+def test_pipeline_structural_invariants(module):
+    func = module.funcs[-1]
+    func_index = module.num_imported_funcs + len(module.funcs) - 1
+    raw = lower_function(module, func_index, func)
+    raw_ops = [ins.op for ins in raw.instructions()]
+
+    config = CompilerConfig(
+        name="p", passes=frozenset(ALL_PASSES),
+        regalloc_quality=1.0, addressing_fusion=True,
+    )
+    compiled = compile_module(
+        module, isa_named("x86_64"), config, strategy_named("trap")
+    )
+    opt = compiled.functions[func_index].irf
+    opt_ops = [ins.op for ins in opt.instructions()]
+
+    # Stores are never removed by optimisation.
+    assert opt_ops.count("store") == raw_ops.count("store")
+    # Optimisation only shrinks the instruction stream.
+    assert len(opt_ops) <= len(raw_ops)
+    # Leaders point at real wasm pcs.
+    body_len = len(func.body)
+    for block in opt.blocks:
+        assert -1 <= block.leader_pc < body_len
+        if block.leader_pc >= 0:
+            assert func.body[block.leader_pc].op not in ("end", "else")
+    # Every block got a machine-op cost.
+    for block in opt.blocks:
+        assert block.id in compiled.functions[func_index].block_cycles
+        assert compiled.functions[func_index].block_cycles[block.id] >= 0
+
+
+@given(random_kernel())
+@settings(max_examples=25, deadline=None)
+def test_more_passes_never_cost_more(module):
+    interp = Interpreter(module, collect_profile=True)
+    interp.invoke("bench")
+    profile = interp.take_profile("rand", "prop")
+    isa = isa_named("x86_64")
+    strategy = strategy_named("none")
+
+    def cost(passes):
+        config = CompilerConfig(
+            name="p", passes=frozenset(passes),
+            regalloc_quality=1.0, addressing_fusion=True,
+        )
+        return cycles_for_profile(
+            compile_module(module, isa, config, strategy), profile
+        )
+
+    minimal = cost({"dce"})
+    full = cost(ALL_PASSES)
+    assert full <= minimal * 1.0001
+
+
+@given(random_kernel())
+@settings(max_examples=25, deadline=None)
+def test_strategy_cost_ordering_holds_for_any_program(module):
+    interp = Interpreter(module, collect_profile=True)
+    interp.invoke("bench")
+    profile = interp.take_profile("rand", "prop")
+    isa = isa_named("x86_64")
+    config = CompilerConfig(
+        name="p", passes=frozenset(ALL_PASSES),
+        regalloc_quality=1.0, addressing_fusion=True,
+    )
+
+    def cost(strategy):
+        return cycles_for_profile(
+            compile_module(module, isa, config, strategy_named(strategy)), profile
+        )
+
+    none, trap, clamp = cost("none"), cost("trap"), cost("clamp")
+    assert none <= trap <= clamp

@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run end-to-end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "dot product" in out
+    assert "wasm3" in out
+
+
+def test_wasm_toolchain(capsys):
+    out = run_example("wasm_toolchain.py", capsys)
+    assert "fib(15)      = 610" in out
+    assert "trapped as expected" in out
+    assert "(module" in out
+
+
+def test_custom_workload(capsys):
+    out = run_example("custom_workload.py", capsys)
+    assert "matches the NumPy reference" in out
+    assert "riscv64" in out
+
+
+@pytest.mark.slow
+def test_serverless_scaling(capsys):
+    out = run_example("serverless_scaling.py", capsys)
+    assert "mprotect" in out and "uffd" in out
+    assert "userfaultfd" in out

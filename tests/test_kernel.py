@@ -1,0 +1,302 @@
+"""Tests for the simulated kernel: syscalls, faults, locks, shootdowns."""
+
+import pytest
+
+from repro.cpu import Machine, MachineSpec, SimThread
+from repro.oskernel import Kernel, SegFault
+from repro.oskernel.layout import PAGE_SIZE, KernelCosts
+from repro.oskernel.vma import Prot
+from repro.sim import Engine
+
+
+def make_system(cores=4):
+    engine = Engine()
+    spec = MachineSpec(
+        name="test",
+        isa="x86_64",
+        cores=cores,
+        frequency_hz=1e9,
+        memory_bytes=1 << 30,
+        quantum=1e-3,
+        switch_cost=0.0,
+    )
+    machine = Machine(engine, spec)
+    kernel = Kernel(engine, machine)
+    return engine, machine, kernel
+
+
+def run_in_thread(engine, machine, body_factory, core_index=0, tgid=0):
+    """Run a single kernel-calling body in a thread and return its value."""
+    thread = SimThread(engine, "t", machine.core(core_index), tgid=tgid)
+
+    def body():
+        yield from thread.startup()
+        result = yield from body_factory(thread)
+        thread.finish()
+        return result
+
+    return engine.run_process(body())
+
+
+class TestSyscalls:
+    def test_mmap_reserve_creates_prot_none_area(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 64 * PAGE_SIZE, "mem")
+            return area
+
+        area = run_in_thread(engine, machine, body, tgid=proc.tgid)
+        assert area.prot_map.prot_at(0) == Prot.NONE
+        assert proc.stats["mmap_calls"] == 1
+        assert engine.now > 0  # syscall consumed time
+
+    def test_mprotect_grow_pattern(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 1024 * PAGE_SIZE, "mem")
+            yield from kernel.sys_mprotect(thread, proc, area, 0, 64 * PAGE_SIZE, Prot.RW)
+            return area
+
+        area = run_in_thread(engine, machine, body, tgid=proc.tgid)
+        assert area.prot_map.prot_at(0) == Prot.RW
+        assert area.prot_map.prot_at(64 * PAGE_SIZE) == Prot.NONE
+        assert proc.stats["mprotect_calls"] == 1
+
+    def test_mprotect_revoke_zaps_and_shoots_down(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 64 * PAGE_SIZE, "mem")
+            yield from kernel.sys_mprotect(thread, proc, area, 0, 16 * PAGE_SIZE, Prot.RW)
+            yield from kernel.fault_anon_batch(thread, proc, area, 0, 16 * PAGE_SIZE)
+            yield from kernel.sys_mprotect(thread, proc, area, 0, 16 * PAGE_SIZE, Prot.NONE)
+            return area
+
+        area = run_in_thread(engine, machine, body, tgid=proc.tgid)
+        assert area.populated_bytes == 0
+        assert proc.stats["pages_zapped"] == 16
+        assert proc.stats["shootdowns"] == 1
+
+    def test_madvise_dontneed_zaps_under_read_lock(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 64 * PAGE_SIZE, "mem")
+            yield from kernel.sys_mprotect(thread, proc, area, 0, 64 * PAGE_SIZE, Prot.RW)
+            yield from kernel.fault_anon_batch(thread, proc, area, 0, 32 * PAGE_SIZE)
+            zapped = yield from kernel.sys_madvise_dontneed(
+                thread, proc, area, 0, 64 * PAGE_SIZE
+            )
+            return zapped
+
+        zapped = run_in_thread(engine, machine, body, tgid=proc.tgid)
+        assert zapped == 32
+        # madvise never takes the write lock.
+        assert proc.mmap_lock.write_stats.acquisitions == 2  # mmap + mprotect only
+
+    def test_munmap_removes_area(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 16 * PAGE_SIZE, "mem")
+            yield from kernel.sys_mprotect(thread, proc, area, 0, 16 * PAGE_SIZE, Prot.RW)
+            yield from kernel.fault_anon_batch(thread, proc, area, 0, 4 * PAGE_SIZE)
+            zapped = yield from kernel.sys_munmap(thread, proc, area)
+            return zapped
+
+        assert run_in_thread(engine, machine, body, tgid=proc.tgid) == 4
+
+
+class TestFaults:
+    def test_anon_fault_populates_once(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 64 * PAGE_SIZE, "mem")
+            first = yield from kernel.fault_anon_batch(thread, proc, area, 0, 8 * PAGE_SIZE)
+            second = yield from kernel.fault_anon_batch(thread, proc, area, 0, 8 * PAGE_SIZE)
+            return first, second
+
+        first, second = run_in_thread(engine, machine, body, tgid=proc.tgid)
+        assert (first, second) == (8, 0)
+        assert proc.stats["anon_faults"] == 8
+
+    def test_uffd_fault_requires_registration(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            area = yield from kernel.sys_mmap_reserve(thread, proc, 64 * PAGE_SIZE, "mem")
+            yield from kernel.fault_uffd_batch(thread, proc, area, 0, PAGE_SIZE)
+
+        with pytest.raises(SegFault):
+            run_in_thread(engine, machine, body, tgid=proc.tgid)
+
+    def test_uffd_fault_costs_more_than_anon(self):
+        """Per-page, the SIGBUS+ioctl path is pricier than a plain fault."""
+
+        def run(kind):
+            engine, machine, kernel = make_system()
+            proc = kernel.create_process("p")
+
+            def body(thread):
+                area = yield from kernel.sys_mmap_reserve(
+                    thread, proc, 256 * PAGE_SIZE, "mem"
+                )
+                if kind == "uffd":
+                    yield from kernel.sys_uffd_register(thread, proc, area)
+                    start = engine.now
+                    yield from kernel.fault_uffd_batch(
+                        thread, proc, area, 0, 256 * PAGE_SIZE
+                    )
+                else:
+                    yield from kernel.sys_mprotect(
+                        thread, proc, area, 0, 256 * PAGE_SIZE, Prot.RW
+                    )
+                    start = engine.now
+                    yield from kernel.fault_anon_batch(
+                        thread, proc, area, 0, 256 * PAGE_SIZE
+                    )
+                return engine.now - start
+
+            return run_in_thread(engine, machine, body, tgid=proc.tgid)
+
+        assert run("uffd") > run("anon")
+
+    def test_sigsegv_delivery_costs_time(self):
+        engine, machine, kernel = make_system()
+        proc = kernel.create_process("p")
+
+        def body(thread):
+            start = engine.now
+            yield from kernel.deliver_sigsegv(thread)
+            return engine.now - start
+
+        assert run_in_thread(engine, machine, body, tgid=proc.tgid) > 0
+
+
+class TestShootdowns:
+    def test_shootdown_interrupts_other_cores_of_same_process(self):
+        engine, machine, kernel = make_system(cores=3)
+        proc = kernel.create_process("p")
+        other_proc = kernel.create_process("q")
+
+        def spinner(name, core_index, tgid):
+            thread = SimThread(engine, name, machine.core(core_index), tgid=tgid)
+
+            def body():
+                yield from thread.startup()
+                yield from thread.run(1.0)
+                thread.finish()
+
+            return body()
+
+        def zapper():
+            thread = SimThread(engine, "zapper", machine.core(0), tgid=proc.tgid)
+
+            def body():
+                yield from thread.startup()
+                area = yield from kernel.sys_mmap_reserve(
+                    thread, proc, 64 * PAGE_SIZE, "mem"
+                )
+                yield from kernel.sys_mprotect(
+                    thread, proc, area, 0, 16 * PAGE_SIZE, Prot.RW
+                )
+                yield from kernel.fault_anon_batch(thread, proc, area, 0, 16 * PAGE_SIZE)
+                yield from kernel.sys_mprotect(
+                    thread, proc, area, 0, 16 * PAGE_SIZE, Prot.NONE
+                )
+                thread.finish()
+
+            return body()
+
+        engine.process(spinner("same-proc", 1, proc.tgid))
+        engine.process(spinner("other-proc", 2, other_proc.tgid))
+        engine.process(zapper())
+        engine.run()
+        # Core 1 (same process) got the IPI; core 2 (other process) did not.
+        assert machine.core(1).acct.irq > 0
+        assert machine.core(2).acct.irq == 0
+
+
+class TestLockContention:
+    def test_mprotect_storm_serialises_faulting_threads(self):
+        """The paper's §4.1.1 effect in miniature.
+
+        Two threads fault continuously (read lock); a third thread issues
+        a stream of mprotect calls (write lock).  The writer must have
+        measurable wait/hold impact on the readers.
+        """
+        engine, machine, kernel = make_system(cores=3)
+        proc = kernel.create_process("p")
+
+        def setup_and_run():
+            thread = SimThread(engine, "setup", machine.core(0), tgid=proc.tgid)
+
+            def body():
+                yield from thread.startup()
+                areas = []
+                for i in range(3):
+                    area = yield from kernel.sys_mmap_reserve(
+                        thread, proc, 4096 * PAGE_SIZE, f"mem{i}"
+                    )
+                    yield from kernel.sys_mprotect(
+                        thread, proc, area, 0, 4096 * PAGE_SIZE, Prot.RW
+                    )
+                    areas.append(area)
+                thread.finish()
+                return areas
+
+            return body()
+
+        areas = engine.run_process(setup_and_run())
+
+        def faulter(name, core_index, area):
+            thread = SimThread(engine, name, machine.core(core_index), tgid=proc.tgid)
+
+            def body():
+                yield from thread.startup()
+                for _ in range(50):
+                    yield from kernel.fault_anon_batch(
+                        thread, proc, area, 0, 64 * PAGE_SIZE
+                    )
+                    yield from kernel.sys_madvise_dontneed(
+                        thread, proc, area, 0, 64 * PAGE_SIZE
+                    )
+                thread.finish()
+
+            return body()
+
+        def protector(area):
+            thread = SimThread(engine, "prot", machine.core(0), tgid=proc.tgid)
+
+            def body():
+                yield from thread.startup()
+                for _ in range(50):
+                    yield from kernel.sys_mprotect(
+                        thread, proc, area, 0, 1024 * PAGE_SIZE, Prot.RW
+                    )
+                    yield from kernel.fault_anon_batch(
+                        thread, proc, area, 0, 1024 * PAGE_SIZE
+                    )
+                    yield from kernel.sys_mprotect(
+                        thread, proc, area, 0, 1024 * PAGE_SIZE, Prot.NONE
+                    )
+                thread.finish()
+
+            return body()
+
+        engine.process(faulter("f1", 1, areas[0]))
+        engine.process(faulter("f2", 2, areas[1]))
+        engine.process(protector(areas[2]))
+        engine.run()
+        assert proc.mmap_lock.read_stats.total_wait_time > 0
+        assert proc.mmap_lock.write_stats.acquisitions > 100

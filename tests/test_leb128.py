@@ -1,0 +1,109 @@
+"""Tests for LEB128 encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wasm.errors import DecodeError
+from repro.wasm.leb128 import (
+    decode_signed,
+    decode_unsigned,
+    encode_signed,
+    encode_u32,
+    encode_unsigned,
+)
+
+
+class TestUnsigned:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (624485, b"\xe5\x8e\x26"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_unsigned(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_unsigned(-1)
+
+    def test_u32_range_checked(self):
+        with pytest.raises(ValueError):
+            encode_u32(1 << 32)
+        assert encode_u32((1 << 32) - 1)
+
+    def test_truncated_input(self):
+        with pytest.raises(DecodeError):
+            decode_unsigned(b"\x80", 0)
+
+    def test_overlong_rejected(self):
+        # Six continuation bytes cannot fit in u32.
+        with pytest.raises(DecodeError):
+            decode_unsigned(b"\x80\x80\x80\x80\x80\x01", 0, 32)
+
+    def test_value_exceeding_bits_rejected(self):
+        # 2^32 encoded in 5 bytes.
+        with pytest.raises(DecodeError):
+            decode_unsigned(b"\x80\x80\x80\x80\x10", 0, 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_u32(self, value):
+        encoded = encode_unsigned(value)
+        decoded, offset = decode_unsigned(encoded, 0, 32)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_u64(self, value):
+        encoded = encode_unsigned(value)
+        decoded, offset = decode_unsigned(encoded, 0, 64)
+        assert decoded == value
+
+
+class TestSigned:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (-1, b"\x7f"),
+            (63, b"\x3f"),
+            (64, b"\xc0\x00"),
+            (-64, b"\x40"),
+            (-123456, b"\xc0\xbb\x78"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_signed(value) == expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_signed(1 << 31, 32)
+        with pytest.raises(ValueError):
+            encode_signed(-(1 << 31) - 1, 32)
+
+    def test_truncated_input(self):
+        with pytest.raises(DecodeError):
+            decode_signed(b"\xff", 0)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_roundtrip_s32(self, value):
+        encoded = encode_signed(value, 32)
+        decoded, offset = decode_signed(encoded, 0, 32)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_s64(self, value):
+        encoded = encode_signed(value, 64)
+        decoded, _ = decode_signed(encoded, 0, 64)
+        assert decoded == value
+
+    def test_offset_advances_through_stream(self):
+        stream = encode_signed(-5) + encode_signed(300)
+        first, offset = decode_signed(stream, 0)
+        second, offset = decode_signed(stream, offset)
+        assert (first, second) == (-5, 300)

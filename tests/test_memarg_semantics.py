@@ -1,0 +1,117 @@
+"""Effective-address semantics: base + static offset edge cases.
+
+Wasm memory instructions compute ``effective = base(u32) + offset(u32)``
+with no wraparound — the 33-bit sum is what makes the paper's 8 GiB
+guard-region reservation sound (§2.3).  These tests pin that math.
+"""
+
+import pytest
+
+from repro.runtime import Interpreter
+from repro.wasm import ModuleBuilder, Trap
+from repro.wasm.types import ValType
+
+I32 = ValType.I32
+
+
+def module_with_load(offset, pages=1):
+    mb = ModuleBuilder()
+    mb.add_memory(pages)
+    fb = mb.func("peek", params=[I32], results=[I32], export=True)
+    fb.emit("local.get", 0)
+    fb.emit("i32.load", 2, offset)
+    return mb.build()
+
+
+def module_with_store(offset, pages=1):
+    mb = ModuleBuilder()
+    mb.add_memory(pages)
+    fb = mb.func("poke", params=[I32, I32], export=True)
+    fb.emit("local.get", 0)
+    fb.emit("local.get", 1)
+    fb.emit("i32.store", 2, offset)
+    return mb.build()
+
+
+class TestStaticOffsets:
+    def test_offset_added_to_base(self):
+        module = module_with_store(8)
+        interp = Interpreter(module, strategy="trap")
+        interp.invoke("poke", 100, 0xABCD)
+        assert interp.memory.load_u32(108) == 0xABCD
+
+    def test_large_offset_within_bounds(self):
+        module = module_with_load(65536 - 4, pages=2)
+        interp = Interpreter(module, strategy="trap")
+        interp.memory.store_u32(65536 - 4, 77)
+        assert interp.invoke("peek", 0) == 77
+
+    def test_offset_pushes_access_out_of_bounds(self):
+        module = module_with_load(65536 - 2)  # 1 page: last 2 bytes + 2 over
+        interp = Interpreter(module, strategy="trap")
+        with pytest.raises(Trap, match="out-of-bounds"):
+            interp.invoke("peek", 0)
+
+    def test_huge_base_plus_offset_does_not_wrap(self):
+        # base near 2^32 plus a static offset must not wrap back into
+        # valid memory: the 33-bit sum lands in the guard region.
+        module = module_with_load(16)
+        interp = Interpreter(module, strategy="trap")
+        with pytest.raises(Trap, match="out-of-bounds"):
+            interp.invoke("peek", 0xFFFFFFF0)
+
+    def test_none_strategy_absorbs_guard_region_access(self):
+        module = module_with_load(16)
+        interp = Interpreter(module, strategy="none")
+        assert interp.invoke("peek", 0xFFFFFFF0) == 0
+
+    def test_boundary_exact_fit(self):
+        module = module_with_load(65536 - 4)
+        interp = Interpreter(module, strategy="trap")
+        assert interp.invoke("peek", 0) == 0  # exactly the last word
+
+    def test_sub_width_access_at_boundary(self):
+        mb = ModuleBuilder()
+        mb.add_memory(1)
+        fb = mb.func("last_byte", results=[I32], export=True)
+        fb.emit("i32.const", 65535)
+        fb.emit("i32.load8_u", 0, 0)
+        interp = Interpreter(mb.build(), strategy="trap")
+        assert interp.invoke("last_byte") == 0
+
+
+class TestGrowInteraction:
+    def test_access_becomes_valid_after_grow(self):
+        mb = ModuleBuilder()
+        mb.add_memory(1, 4)
+        fb = mb.func("grow_and_write", results=[I32], export=True)
+        fb.emit("i32.const", 1)
+        fb.emit("memory.grow")
+        fb.emit("drop")
+        fb.emit("i32.const", 65536 + 128)  # inside the grown page
+        fb.emit("i32.const", 99)
+        fb.emit("i32.store", 2, 0)
+        fb.emit("i32.const", 65536 + 128)
+        fb.emit("i32.load", 2, 0)
+        interp = Interpreter(mb.build(), strategy="trap")
+        assert interp.invoke("grow_and_write") == 99
+
+    def test_memory_size_reflects_grow(self):
+        mb = ModuleBuilder()
+        mb.add_memory(2, 10)
+        fb = mb.func("f", results=[I32], export=True)
+        fb.emit("i32.const", 3)
+        fb.emit("memory.grow")
+        fb.emit("drop")
+        fb.emit("memory.size")
+        interp = Interpreter(mb.build(), strategy="trap")
+        assert interp.invoke("f") == 5
+
+    def test_failed_grow_returns_minus_one(self):
+        mb = ModuleBuilder()
+        mb.add_memory(1, 2)
+        fb = mb.func("f", results=[I32], export=True)
+        fb.emit("i32.const", 100)
+        fb.emit("memory.grow")
+        interp = Interpreter(mb.build(), strategy="trap")
+        assert interp.invoke("f") == 0xFFFFFFFF

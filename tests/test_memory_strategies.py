@@ -1,0 +1,142 @@
+"""Tests for linear memory and the functional side of bounds strategies."""
+
+import pytest
+
+from repro.oskernel.layout import WASM_PAGE_SIZE
+from repro.runtime import LinearMemory, STRATEGIES, strategy_named
+from repro.runtime.strategies import STRATEGY_ORDER
+from repro.wasm.errors import Trap
+from repro.wasm.types import Limits
+
+
+class TestLinearMemory:
+    def test_initial_size(self):
+        mem = LinearMemory(Limits(2, 10))
+        assert mem.pages == 2
+        assert mem.size_bytes == 2 * WASM_PAGE_SIZE
+        assert len(mem.data) == mem.size_bytes
+
+    def test_grow_returns_old_size(self):
+        mem = LinearMemory(Limits(1, 10))
+        assert mem.grow(3) == 1
+        assert mem.pages == 4
+        assert mem.grow(0) == 4
+
+    def test_grow_beyond_max_fails(self):
+        mem = LinearMemory(Limits(1, 2))
+        assert mem.grow(5) == -1
+        assert mem.pages == 1
+
+    def test_grow_negative_fails(self):
+        mem = LinearMemory(Limits(1, 4))
+        assert mem.grow(-1) == -1
+
+    def test_grow_records_event(self):
+        mem = LinearMemory(Limits(1, 10))
+        mem.grow(2)
+        assert [(e.pages_before, e.pages_after) for e in mem.events] == [(1, 3)]
+
+    def test_grown_memory_zeroed_and_usable(self):
+        mem = LinearMemory(Limits(1, 10))
+        mem.grow(1)
+        address = WASM_PAGE_SIZE + 8
+        assert mem.load_u64(address) == 0
+        mem.store_u64(address, 0xDEADBEEF)
+        assert mem.load_u64(address) == 0xDEADBEEF
+
+    def test_typed_roundtrips(self):
+        mem = LinearMemory(Limits(1))
+        mem.store_f64(0, -2.75)
+        assert mem.load_f64(0) == -2.75
+        mem.store_f32(8, 1.5)
+        assert mem.load_f32(8) == 1.5
+        mem.store_u32(16, 0xFFFFFFFF)
+        assert mem.load_u32(16) == 0xFFFFFFFF
+
+    def test_page_touch_tracking(self):
+        mem = LinearMemory(Limits(1))
+        mem.store_u32(0, 1)
+        mem.store_u32(5000, 1)
+        assert mem.touched_pages == {0, 1}
+
+    def test_straddling_access_touches_both_pages(self):
+        mem = LinearMemory(Limits(1))
+        mem.store_u64(4092, 1)  # crosses the 4096 boundary
+        assert mem.touched_pages == {0, 1}
+
+    def test_reset_tracking(self):
+        mem = LinearMemory(Limits(1, 4))
+        mem.store_u32(0, 1)
+        mem.grow(1)
+        mem.reset_tracking()
+        assert mem.touched_pages == set()
+        assert mem.events == []
+        assert mem.store_count == 0
+
+    def test_tracking_can_be_disabled(self):
+        mem = LinearMemory(Limits(1), track_pages=False)
+        mem.store_u32(0, 1)
+        assert mem.touched_pages == set()
+
+
+class TestStrategyCatalogue:
+    def test_all_five_strategies_present(self):
+        # The paper's five; extensions (e.g. the projected CHERI
+        # strategy) may register additional entries at runtime.
+        assert {"none", "clamp", "trap", "mprotect", "uffd"} <= set(STRATEGIES)
+        assert STRATEGY_ORDER == ["none", "clamp", "trap", "mprotect", "uffd"]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown bounds strategy"):
+            strategy_named("mpk")
+
+    def test_inline_code_shapes(self):
+        assert strategy_named("none").inline_check == ""
+        assert strategy_named("clamp").inline_check == "clamp"
+        assert strategy_named("trap").inline_check == "trap"
+        assert strategy_named("mprotect").inline_check == ""
+        assert strategy_named("uffd").inline_check == ""
+
+    def test_kernel_mechanisms_match_paper(self):
+        mprotect = strategy_named("mprotect")
+        assert mprotect.grow_mechanism == "mprotect"
+        assert mprotect.reset_mechanism == "mprotect"
+        uffd = strategy_named("uffd")
+        assert uffd.grow_mechanism == "atomic"
+        assert uffd.fault_mechanism == "uffd"
+
+
+class TestOutOfBoundsSemantics:
+    def oob_address(self, mem):
+        return mem.size_bytes + 128
+
+    @pytest.mark.parametrize("name", ["trap", "mprotect", "uffd"])
+    def test_trapping_strategies_trap(self, name):
+        mem = LinearMemory(Limits(1), strategy_named(name))
+        with pytest.raises(Trap, match="out-of-bounds"):
+            mem.load_u32(self.oob_address(mem))
+        with pytest.raises(Trap, match="out-of-bounds"):
+            mem.store_u32(self.oob_address(mem), 1)
+
+    def test_none_reads_zero_and_absorbs_writes(self):
+        mem = LinearMemory(Limits(1), strategy_named("none"))
+        assert mem.load_u32(self.oob_address(mem)) == 0
+        mem.store_u32(self.oob_address(mem), 7)  # silently absorbed
+        assert mem.load_u32(self.oob_address(mem)) == 0
+
+    def test_clamp_redirects_to_end_of_memory(self):
+        mem = LinearMemory(Limits(1), strategy_named("clamp"))
+        mem.store_u32(mem.size_bytes - 4, 0xAAAAAAAA)
+        value = mem.load_u32(self.oob_address(mem))
+        assert value == 0xAAAAAAAA  # clamped to the last valid slot
+
+    def test_clamp_write_lands_in_bounds(self):
+        mem = LinearMemory(Limits(1), strategy_named("clamp"))
+        mem.store_u32(self.oob_address(mem), 0x12345678)
+        assert mem.load_u32(mem.size_bytes - 4) == 0x12345678
+
+    def test_boundary_access_exact_fit_ok(self):
+        mem = LinearMemory(Limits(1), strategy_named("trap"))
+        mem.store_u64(mem.size_bytes - 8, 1)  # last 8 bytes: fine
+        with pytest.raises(Trap):
+            mem.store_u64(mem.size_bytes - 7, 1)  # one byte over

@@ -1,0 +1,90 @@
+"""Tests for static module metrics and the sweep runner."""
+
+import pytest
+
+from repro.core.profiles import profile_for
+from repro.core.runner import FIELDS, SweepSpec, run_sweep, to_csv
+from repro.wasm.metrics import module_stats
+
+
+class TestModuleStats:
+    @pytest.fixture(scope="class")
+    def gemm_stats(self):
+        module, _ = profile_for("gemm", "mini")
+        return module_stats(module)
+
+    def test_function_inventory(self, gemm_stats):
+        names = {f.name for f in gemm_stats.functions}
+        assert {"init", "kernel", "bench"} <= names
+
+    def test_instruction_counts_consistent(self, gemm_stats):
+        assert gemm_stats.total_instructions == sum(
+            gemm_stats.opcode_histogram.values()
+        )
+
+    def test_kernel_has_nested_loops(self, gemm_stats):
+        kernel = next(f for f in gemm_stats.functions if f.name == "kernel")
+        assert kernel.max_nesting >= 6  # 3 loops, each block+loop
+
+    def test_memory_ops_counted(self, gemm_stats):
+        assert gemm_stats.static_memory_op_fraction > 0.02
+        kernel = next(f for f in gemm_stats.functions if f.name == "kernel")
+        assert kernel.memory_ops > 0
+
+    def test_binary_size_positive(self, gemm_stats):
+        assert gemm_stats.binary_bytes > 100
+        assert gemm_stats.memory_pages >= 1
+
+    def test_top_opcodes(self, gemm_stats):
+        top = dict(gemm_stats.top_opcodes(5))
+        assert "local.get" in top or "i32.const" in top
+
+    def test_bench_calls_init_and_kernel(self, gemm_stats):
+        bench = next(f for f in gemm_stats.functions if f.name == "bench")
+        assert bench.calls == 2
+
+
+class TestSweepSpec:
+    def test_invalid_combinations_skipped(self):
+        spec = SweepSpec(
+            workloads=["gemm"],
+            runtimes=["wavm", "wasm3"],
+            strategies=["none", "trap"],
+            isas=["x86_64", "riscv64"],
+            threads=[1, 4],
+        )
+        configs = list(spec.configurations())
+        # wavm has no riscv backend; wasm3 only traps; riscv has 1 core.
+        assert ("wavm", "none", "x86_64", 1) in configs
+        assert ("wasm3", "trap", "riscv64", 1) in configs
+        assert all(r != "wavm" or i != "riscv64" for r, _, i, _ in configs)
+        assert ("wasm3", "none", "x86_64", 1) not in configs
+        assert ("wasm3", "trap", "riscv64", 4) not in configs
+
+    def test_run_sweep_produces_rows(self):
+        spec = SweepSpec(
+            workloads=["trisolv"],
+            runtimes=["wavm"],
+            strategies=["none", "mprotect"],
+            threads=[1],
+            size="mini",
+            iterations=2,
+        )
+        seen = []
+        rows = run_sweep(spec, progress=seen.append)
+        assert len(rows) == 2
+        assert len(seen) == 2
+        for row in rows:
+            assert set(FIELDS) <= set(row)
+            assert row["median_ms"] > 0
+
+    def test_csv_export(self):
+        spec = SweepSpec(
+            workloads=["trisolv"], runtimes=["wavm"], strategies=["none"],
+            size="mini", iterations=2,
+        )
+        text = to_csv(run_sweep(spec))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,runtime,strategy")
+        assert len(lines) == 2
+        assert "trisolv,wavm,none" in lines[1]

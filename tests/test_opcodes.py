@@ -1,0 +1,86 @@
+"""Tests for the opcode table's internal consistency."""
+
+import pytest
+
+from repro.wasm import opcodes
+
+
+def test_no_duplicate_names_or_codes():
+    names = [info.name for info in opcodes.BY_NAME.values()]
+    codes = [info.code for info in opcodes.BY_CODE.values()]
+    assert len(names) == len(set(names))
+    assert len(codes) == len(set(codes))
+
+
+def test_mvp_coverage():
+    """Spot-check well-known opcode byte assignments against the spec."""
+    expected = {
+        "unreachable": 0x00,
+        "call": 0x10,
+        "call_indirect": 0x11,
+        "drop": 0x1A,
+        "local.get": 0x20,
+        "i32.load": 0x28,
+        "i64.store32": 0x3E,
+        "memory.grow": 0x40,
+        "i32.const": 0x41,
+        "f64.const": 0x44,
+        "i32.add": 0x6A,
+        "i64.rotr": 0x8A,
+        "f32.sqrt": 0x91,
+        "f64.copysign": 0xA6,
+        "i32.wrap_i64": 0xA7,
+        "f64.reinterpret_i64": 0xBF,
+        "i64.extend32_s": 0xC4,
+    }
+    for name, code in expected.items():
+        assert opcodes.info(name).code == code
+
+
+def test_memory_ops_have_access_bytes():
+    for info in opcodes.BY_NAME.values():
+        if info.category in ("load", "store"):
+            assert info.access_bytes in (1, 2, 4, 8), info.name
+            assert info.imm == "memarg"
+        else:
+            assert info.access_bytes == 0, info.name
+
+
+def test_load_signatures():
+    info = opcodes.info("i64.load16_s")
+    assert info.params == ("i32",)
+    assert info.results == ("i64",)
+    assert info.sign == "s"
+
+
+def test_store_signatures_have_no_results():
+    for info in opcodes.BY_NAME.values():
+        if info.category == "store":
+            assert info.results == ()
+            assert info.params[0] == "i32"
+
+
+def test_comparisons_return_i32():
+    for info in opcodes.BY_NAME.values():
+        if info.category == "compare":
+            assert info.results == ("i32",), info.name
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="v128"):
+        opcodes.info("v128.load")
+
+
+def test_category_partition():
+    valid = {
+        "control", "parametric", "variable", "load", "store",
+        "memory", "const", "compare", "arith", "convert",
+    }
+    for info in opcodes.BY_NAME.values():
+        assert info.category in valid, info.name
+
+
+def test_table_size_is_full_mvp():
+    # 13 control + 2 parametric + 5 variable + 25 memory + 4 const +
+    # 123 numeric + 5 sign-extension = 177
+    assert len(opcodes.BY_NAME) == 177

@@ -1,0 +1,113 @@
+"""Tests for statistics helpers and terminal reporting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.reporting import render_bars, render_table
+from repro.stats import geomean, geomean_of_ratios, median, summarize
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=10),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_scale_invariance(self, values, factor):
+        """geomean(k*x) == k * geomean(x) — the Fleming-Wallace property."""
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(factor * geomean(values), rel=1e-9)
+
+
+class TestGeomeanOfRatios:
+    def test_matches_manual(self):
+        measured = {"a": 2.0, "b": 8.0}
+        baseline = {"a": 1.0, "b": 2.0}
+        assert geomean_of_ratios(measured, baseline) == pytest.approx(
+            math.sqrt(2.0 * 4.0)
+        )
+
+    def test_uses_intersection(self):
+        measured = {"a": 2.0, "b": 8.0, "c": 5.0}
+        baseline = {"a": 1.0, "b": 2.0}
+        assert geomean_of_ratios(measured, baseline) == pytest.approx(
+            math.sqrt(8.0)
+        )
+
+    def test_disjoint_rejected(self):
+        with pytest.raises(ValueError, match="common"):
+            geomean_of_ratios({"a": 1.0}, {"b": 1.0})
+
+
+class TestMedianSummary:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_summary(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.median == 2.0
+        assert s.mean == pytest.approx(2.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+
+class TestRenderTable:
+    def test_aligned_columns(self):
+        out = render_table(["name", "x"], [["gemm", 1.5], ["a-long-name", 10.25]])
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_included(self):
+        assert render_table(["h"], [["v"]], title="T").startswith("T")
+
+    def test_number_formatting(self):
+        out = render_table(["x"], [[1234.5], [0.123456], [12.34]])
+        assert "1,234" in out or "1,235" in out
+        assert "0.123" in out
+        assert "12.3" in out
+
+
+class TestRenderBars:
+    def test_scaling(self):
+        out = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_reference_marker(self):
+        out = render_bars(["a", "b"], [0.5, 2.0], width=20, reference=1.0)
+        assert "│" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty_is_ok(self):
+        assert render_bars([], [], title="x") == "x"

@@ -1,0 +1,116 @@
+"""End-to-end functional semantics of the bounds strategies.
+
+Whole Wasm programs that intentionally stray out of bounds, executed
+under every strategy: the trapping strategies must stop the program at
+the faulting access, ``clamp`` must redirect it, and ``none`` must let
+it run to completion reading zeros — §3.1's semantics, observed from
+inside the program rather than via the memory API.
+"""
+
+import pytest
+
+from repro.runtime import Interpreter
+from repro.wasm import Trap
+from repro.wasm.dsl import DslModule
+
+
+def oob_scanner(n_valid=4):
+    """Sums a[0..limit): reads past the end when limit is too large."""
+    dm = DslModule("scanner")
+    a = dm.array_i32("a", n_valid)
+    f = dm.func("fill")
+    i = f.i32()
+    with f.for_(i, 0, n_valid):
+        f.store(a[i], i + 1)
+    g = dm.func("scan", params=[("limit", "i32")], results=["i32"])
+    limit = g.params[0]
+    i, acc = g.i32(), g.i32()
+    with g.for_(i, 0, limit):
+        g.set(acc, acc + a[i])
+    g.ret(acc)
+    return dm.build(), n_valid
+
+
+def oob_writer():
+    """Writes one i32 far beyond the single declared page."""
+    dm = DslModule("writer")
+    a = dm.array_i32("a", 4)
+    f = dm.func("poke", params=[("addr", "i32"), ("value", "i32")])
+    # Raw address write through a[0]'s slot plus an offset expression.
+    f.store(a[f.params[0] % 4], f.params[1])
+    w = dm.func("wild", params=[("value", "i32")])
+    w.fb.emit("i32.const", 32 * 65536)  # far past the declared memory
+    value_idx = 0
+    w.fb.emit("local.get", value_idx)
+    w.fb.emit("i32.store", 2, 0)
+    return dm.build()
+
+
+class TestTrappingStrategies:
+    @pytest.mark.parametrize("strategy", ["trap", "mprotect", "uffd"])
+    def test_oob_read_traps(self, strategy):
+        module, n_valid = oob_scanner()
+        interp = Interpreter(module, strategy=strategy)
+        interp.invoke("fill")
+        # In-bounds reads fine...
+        assert interp.invoke("scan", n_valid) == sum(range(1, n_valid + 1))
+        # ...but scanning past the memory end traps.
+        pages_worth = 64 * 1024 // 4
+        with pytest.raises(Trap, match="out-of-bounds"):
+            interp.invoke("scan", 64 * pages_worth)
+
+    @pytest.mark.parametrize("strategy", ["trap", "mprotect", "uffd"])
+    def test_oob_write_traps(self, strategy):
+        module = oob_writer()
+        interp = Interpreter(module, strategy=strategy)
+        with pytest.raises(Trap, match="out-of-bounds"):
+            interp.invoke("wild", 7)
+
+
+class TestNone:
+    def test_oob_reads_see_zero_and_program_completes(self):
+        module, n_valid = oob_scanner()
+        interp = Interpreter(module, strategy="none")
+        interp.invoke("fill")
+        pages_worth = 64 * 1024 // 4
+        # The whole scan beyond memory contributes only zeros.
+        result = interp.invoke("scan", 2 * pages_worth)
+        assert result == sum(range(1, n_valid + 1))
+
+    def test_oob_write_is_absorbed(self):
+        module = oob_writer()
+        interp = Interpreter(module, strategy="none")
+        interp.invoke("wild", 42)  # no trap, no effect
+
+
+class TestClamp:
+    def test_oob_write_lands_at_memory_end(self):
+        module = oob_writer()
+        interp = Interpreter(module, strategy="clamp")
+        interp.invoke("wild", 0x5A5A5A5A)
+        end = interp.memory.size_bytes
+        assert interp.memory.load_u32(end - 4) == 0x5A5A5A5A
+
+    def test_oob_read_returns_last_slot(self):
+        module, n_valid = oob_scanner()
+        interp = Interpreter(module, strategy="clamp")
+        interp.invoke("fill")
+        end = interp.memory.size_bytes
+        interp.memory.store_u32(end - 4, 1000)
+        pages_worth = 64 * 1024 // 4
+        over = 4  # read four slots past the end -> four clamped reads
+        result = interp.invoke("scan", 16 * pages_worth + over)
+        expected_valid = sum(range(1, n_valid + 1))
+        # All OOB reads observed the clamped last slot.
+        assert result >= expected_valid + over * 1000
+
+
+class TestStrategyAgreementInBounds:
+    def test_all_strategies_agree_on_well_behaved_programs(self):
+        module, n_valid = oob_scanner()
+        results = {}
+        for strategy in ("none", "clamp", "trap", "mprotect", "uffd"):
+            interp = Interpreter(module, strategy=strategy)
+            interp.invoke("fill")
+            results[strategy] = interp.invoke("scan", n_valid)
+        assert len(set(results.values())) == 1

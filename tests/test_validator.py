@@ -1,0 +1,271 @@
+"""Tests for the module validator."""
+
+import pytest
+
+from repro.wasm import ModuleBuilder, ValidationError, validate_module
+from repro.wasm.instructions import Instr
+from repro.wasm.module import Export, Function, Global, Module
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, ValType
+
+I32, I64, F64 = ValType.I32, ValType.I64, ValType.F64
+
+
+def module_with_body(body, params=(), results=(), locals_=(), memory=False):
+    module = Module()
+    module.types.append(FuncType(tuple(params), tuple(results)))
+    module.funcs.append(Function(type_index=0, locals=list(locals_), body=body))
+    if memory:
+        module.memories.append(MemoryType(Limits(1)))
+    return module
+
+
+def assert_invalid(body, match, **kwargs):
+    with pytest.raises(ValidationError, match=match):
+        validate_module(module_with_body(body, **kwargs))
+
+
+class TestStackTyping:
+    def test_valid_arith(self):
+        validate_module(
+            module_with_body(
+                [Instr("i32.const", (1,)), Instr("i32.const", (2,)), Instr("i32.add")],
+                results=[I32],
+            )
+        )
+
+    def test_underflow_detected(self):
+        assert_invalid([Instr("i32.add")], "underflow", results=[I32])
+
+    def test_type_mismatch_detected(self):
+        assert_invalid(
+            [Instr("i32.const", (1,)), Instr("f64.const", (1.0,)), Instr("i32.add")],
+            "expected i32",
+            results=[I32],
+        )
+
+    def test_leftover_values_detected(self):
+        assert_invalid(
+            [Instr("i32.const", (1,)), Instr("i32.const", (2,))],
+            "remain on stack",
+            results=[I32],
+        )
+
+    def test_missing_result_detected(self):
+        assert_invalid([], "underflow", results=[I32])
+
+    def test_select_requires_matching_types(self):
+        assert_invalid(
+            [
+                Instr("i32.const", (1,)),
+                Instr("f64.const", (1.0,)),
+                Instr("i32.const", (0,)),
+                Instr("select"),
+            ],
+            "expected",
+            results=[I32],
+        )
+
+    def test_unreachable_makes_stack_polymorphic(self):
+        validate_module(
+            module_with_body([Instr("unreachable"), Instr("i32.add")], results=[I32])
+        )
+
+
+class TestLocalsGlobals:
+    def test_local_index_checked(self):
+        assert_invalid([Instr("local.get", (0,))], "local index", results=[I32])
+
+    def test_local_type_respected(self):
+        assert_invalid(
+            [Instr("local.get", (0,)), Instr("i64.const", (0,)), Instr("i64.add")],
+            "expected i64",
+            locals_=[I32],
+            results=[I64],
+        )
+
+    def test_global_set_immutable_rejected(self):
+        module = module_with_body(
+            [Instr("i32.const", (1,)), Instr("global.set", (0,))]
+        )
+        module.globals.append(
+            Global(GlobalType(I32, mutable=False), [Instr("i32.const", (0,))])
+        )
+        with pytest.raises(ValidationError, match="immutable"):
+            validate_module(module)
+
+    def test_global_get_type(self):
+        module = module_with_body([Instr("global.get", (0,))])
+        module.types[0] = FuncType((), (I64,))
+        module.globals.append(
+            Global(GlobalType(I64, mutable=True), [Instr("i64.const", (5,))])
+        )
+        validate_module(module)
+
+
+class TestControlFlow:
+    def test_block_result_type(self):
+        validate_module(
+            module_with_body(
+                [Instr("block", (I32,)), Instr("i32.const", (3,)), Instr("end")],
+                results=[I32],
+            )
+        )
+
+    def test_block_missing_result(self):
+        assert_invalid(
+            [Instr("block", (I32,)), Instr("end")], "underflow", results=[I32]
+        )
+
+    def test_branch_depth_checked(self):
+        assert_invalid(
+            [Instr("block", (None,)), Instr("br", (5,)), Instr("end")],
+            "branch depth",
+        )
+
+    def test_br_to_function_level_is_return(self):
+        validate_module(
+            module_with_body([Instr("i32.const", (1,)), Instr("br", (0,))], results=[I32])
+        )
+
+    def test_if_requires_condition(self):
+        assert_invalid([Instr("if", (None,)), Instr("end")], "underflow")
+
+    def test_if_with_result_needs_both_arms(self):
+        validate_module(
+            module_with_body(
+                [
+                    Instr("i32.const", (1,)),
+                    Instr("if", (I32,)),
+                    Instr("i32.const", (1,)),
+                    Instr("else"),
+                    Instr("i32.const", (2,)),
+                    Instr("end"),
+                ],
+                results=[I32],
+            )
+        )
+
+    def test_else_without_if_rejected(self):
+        assert_invalid(
+            [Instr("block", (None,)), Instr("else"), Instr("end")],
+            "else without",
+        )
+
+    def test_unclosed_block_rejected(self):
+        assert_invalid([Instr("block", (None,))], "unclosed")
+
+    def test_br_table_label_types_must_match(self):
+        assert_invalid(
+            [
+                Instr("block", (I32,)),
+                Instr("block", (None,)),
+                Instr("i32.const", (0,)),
+                Instr("br_table", ((0,), 1)),
+                Instr("end"),
+                Instr("unreachable"),
+                Instr("end"),
+            ],
+            "mismatched types",
+            results=[I32],
+        )
+
+    def test_loop_branch_goes_to_start(self):
+        # Branch to a loop needs no values even if the loop has a result.
+        validate_module(
+            module_with_body(
+                [
+                    Instr("loop", (I32,)),
+                    Instr("i32.const", (0,)),
+                    Instr("br_if", (0,)),
+                    Instr("i32.const", (7,)),
+                    Instr("end"),
+                ],
+                results=[I32],
+            )
+        )
+
+
+class TestCalls:
+    def test_call_types_checked(self):
+        module = Module()
+        module.types.append(FuncType((I32,), (I32,)))
+        module.types.append(FuncType((), ()))
+        module.funcs.append(
+            Function(type_index=1, body=[Instr("call", (1,))])
+        )
+        module.funcs.append(Function(type_index=0, body=[Instr("local.get", (0,))]))
+        with pytest.raises(ValidationError, match="underflow"):
+            validate_module(module)
+
+    def test_call_index_checked(self):
+        assert_invalid([Instr("call", (42,))], "out of range")
+
+    def test_call_indirect_requires_table(self):
+        assert_invalid(
+            [Instr("i32.const", (0,)), Instr("call_indirect", (0, 0))],
+            "no table",
+        )
+
+
+class TestMemoryRules:
+    def test_load_requires_memory(self):
+        assert_invalid(
+            [Instr("i32.const", (0,)), Instr("i32.load", (2, 0))],
+            "no memory",
+            results=[I32],
+        )
+
+    def test_alignment_bound(self):
+        assert_invalid(
+            [Instr("i32.const", (0,)), Instr("i32.load", (3, 0))],
+            "alignment",
+            results=[I32],
+            memory=True,
+        )
+
+    def test_memory_grow_requires_memory(self):
+        assert_invalid(
+            [Instr("i32.const", (1,)), Instr("memory.grow")],
+            "no memory",
+            results=[I32],
+        )
+
+
+class TestModuleStructure:
+    def test_two_memories_rejected(self):
+        module = Module()
+        module.memories = [MemoryType(Limits(1)), MemoryType(Limits(1))]
+        with pytest.raises(ValidationError, match="one memory"):
+            validate_module(module)
+
+    def test_duplicate_export_names_rejected(self):
+        module = module_with_body([])
+        module.exports = [Export("f", "func", 0), Export("f", "func", 0)]
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_module(module)
+
+    def test_export_index_checked(self):
+        module = module_with_body([])
+        module.exports = [Export("g", "func", 3)]
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_module(module)
+
+    def test_start_signature_checked(self):
+        module = module_with_body([Instr("i32.const", (1,))], results=[I32])
+        module.start = 0
+        with pytest.raises(ValidationError, match="start"):
+            validate_module(module)
+
+    def test_global_init_type_checked(self):
+        module = Module()
+        module.globals.append(
+            Global(GlobalType(I32, True), [Instr("i64.const", (1,))])
+        )
+        with pytest.raises(ValidationError, match="type"):
+            validate_module(module)
+
+    def test_error_message_names_function(self):
+        module = module_with_body([Instr("i32.add")], results=[I32])
+        module.funcs[0].name = "broken"
+        with pytest.raises(ValidationError, match="broken"):
+            validate_module(module)

@@ -1,0 +1,136 @@
+"""Tests for the protection-interval (VMA) structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oskernel.vma import Prot, ProtectionMap, VmaError
+
+PAGE = 4096
+
+
+class TestBasics:
+    def test_initial_state_is_one_interval(self):
+        pmap = ProtectionMap(16 * PAGE)
+        assert pmap.interval_count == 1
+        assert pmap.prot_at(0) == Prot.NONE
+        assert pmap.prot_at(16 * PAGE - 1) == Prot.NONE
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(VmaError):
+            ProtectionMap(0)
+        with pytest.raises(VmaError):
+            ProtectionMap(-PAGE)
+
+    def test_prot_at_out_of_range(self):
+        pmap = ProtectionMap(PAGE)
+        with pytest.raises(VmaError):
+            pmap.prot_at(PAGE)
+        with pytest.raises(VmaError):
+            pmap.prot_at(-1)
+
+    def test_bad_protect_range_rejected(self):
+        pmap = ProtectionMap(4 * PAGE)
+        with pytest.raises(VmaError):
+            pmap.protect(2 * PAGE, PAGE, Prot.RW)  # start >= end
+        with pytest.raises(VmaError):
+            pmap.protect(0, 5 * PAGE, Prot.RW)  # beyond size
+
+
+class TestSplitMerge:
+    def test_protect_middle_splits_twice(self):
+        pmap = ProtectionMap(10 * PAGE)
+        outcome = pmap.protect(2 * PAGE, 5 * PAGE, Prot.RW)
+        assert outcome.splits == 2
+        assert pmap.interval_count == 3
+        assert pmap.prot_at(PAGE) == Prot.NONE
+        assert pmap.prot_at(3 * PAGE) == Prot.RW
+        assert pmap.prot_at(6 * PAGE) == Prot.NONE
+
+    def test_protect_prefix_splits_once(self):
+        pmap = ProtectionMap(10 * PAGE)
+        outcome = pmap.protect(0, 4 * PAGE, Prot.RW)
+        assert outcome.splits == 1
+        assert pmap.interval_count == 2
+
+    def test_protect_whole_region_no_split(self):
+        pmap = ProtectionMap(10 * PAGE)
+        outcome = pmap.protect(0, 10 * PAGE, Prot.RW)
+        assert outcome.splits == 0
+        assert pmap.interval_count == 1
+
+    def test_restoring_protection_merges_back(self):
+        pmap = ProtectionMap(10 * PAGE)
+        pmap.protect(2 * PAGE, 5 * PAGE, Prot.RW)
+        outcome = pmap.protect(2 * PAGE, 5 * PAGE, Prot.NONE)
+        assert outcome.merges == 2
+        assert pmap.interval_count == 1
+
+    def test_adjacent_equal_regions_merge(self):
+        pmap = ProtectionMap(10 * PAGE)
+        pmap.protect(0, 3 * PAGE, Prot.RW)
+        outcome = pmap.protect(3 * PAGE, 6 * PAGE, Prot.RW)
+        assert pmap.interval_count == 2
+        assert outcome.merges >= 1
+
+    def test_changed_bytes_reports_only_changes(self):
+        pmap = ProtectionMap(10 * PAGE)
+        pmap.protect(0, 4 * PAGE, Prot.RW)
+        outcome = pmap.protect(0, 8 * PAGE, Prot.RW)
+        assert outcome.changed_bytes == 4 * PAGE
+
+    def test_growing_rw_prefix_is_typical_wasm_grow(self):
+        """The runtime pattern: repeatedly extend an RW prefix."""
+        pmap = ProtectionMap(1024 * PAGE)
+        pmap.protect(0, 16 * PAGE, Prot.RW)
+        for end in (32, 64, 128):
+            pmap.protect(0, end * PAGE, Prot.RW)
+            assert pmap.interval_count == 2  # RW prefix + NONE tail
+
+
+class TestAccessibility:
+    def test_accessibility_by_prot(self):
+        pmap = ProtectionMap(4 * PAGE)
+        pmap.protect(0, PAGE, Prot.READ)
+        pmap.protect(PAGE, 2 * PAGE, Prot.RW)
+        assert pmap.is_accessible(0, write=False)
+        assert not pmap.is_accessible(0, write=True)
+        assert pmap.is_accessible(PAGE, write=True)
+        assert not pmap.is_accessible(3 * PAGE, write=False)
+
+
+@st.composite
+def protect_ops(draw):
+    size = 64
+    start = draw(st.integers(min_value=0, max_value=size - 1))
+    end = draw(st.integers(min_value=start + 1, max_value=size))
+    prot = draw(st.sampled_from([Prot.NONE, Prot.READ, Prot.RW]))
+    return (start * PAGE, end * PAGE, prot)
+
+
+class TestProperties:
+    @given(st.lists(protect_ops(), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_page_array(self, ops):
+        """The interval map must agree with a page-by-page model."""
+        size_pages = 64
+        pmap = ProtectionMap(size_pages * PAGE)
+        naive = [Prot.NONE] * size_pages
+        for start, end, prot in ops:
+            pmap.protect(start, end, prot)
+            for page in range(start // PAGE, end // PAGE):
+                naive[page] = prot
+        for page in range(size_pages):
+            assert pmap.prot_at(page * PAGE) == naive[page]
+
+    @given(st.lists(protect_ops(), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_always_sorted_merged_and_covering(self, ops):
+        pmap = ProtectionMap(64 * PAGE)
+        for start, end, prot in ops:
+            pmap.protect(start, end, prot)
+            intervals = pmap.intervals()
+            assert intervals[0][0] == 0
+            assert intervals[-1][1] == 64 * PAGE
+            for (s1, e1, p1), (s2, e2, p2) in zip(intervals, intervals[1:]):
+                assert e1 == s2  # contiguous
+                assert p1 != p2  # fully merged

@@ -1,0 +1,177 @@
+"""Tests for the WASI preview-1 shim."""
+
+import pytest
+
+from repro.runtime import Interpreter
+from repro.runtime.wasi import ERRNO_BADF, ERRNO_SUCCESS, ProcExit, WasiEnvironment
+from repro.wasm import ModuleBuilder
+from repro.wasm.types import ValType
+
+I32, I64 = ValType.I32, ValType.I64
+
+
+def wasi_module(*import_names):
+    """A module importing the named WASI functions, with helpers."""
+    mb = ModuleBuilder("wasi-test")
+    indices = {}
+    signatures = {
+        "args_sizes_get": ([I32, I32], [I32]),
+        "args_get": ([I32, I32], [I32]),
+        "clock_time_get": ([I32, I64, I32], [I32]),
+        "fd_write": ([I32, I32, I32, I32], [I32]),
+        "random_get": ([I32, I32], [I32]),
+        "proc_exit": ([I32], []),
+    }
+    for name in import_names:
+        params, results = signatures[name]
+        indices[name] = mb.import_func(
+            WasiEnvironment.MODULE, name, params, results
+        )
+    return mb, indices
+
+
+def instantiate(mb, argv=None, seed=0):
+    wasi = WasiEnvironment(argv=argv, seed=seed)
+    interp = Interpreter(mb.build(), imports=wasi.imports())
+    wasi.bind(interp)
+    return interp, wasi
+
+
+class TestFdWrite:
+    def make(self, text=b"hello, wasi\n", fd=1):
+        mb, idx = wasi_module("fd_write")
+        mb.add_memory(1)
+        mb.add_data(0, 64, text)          # the string
+        # iovec at 0: base=64, len=len(text)
+        fb = mb.func("say", results=[I32], export=True)
+        fb.emit("i32.const", 0)
+        fb.emit("i32.const", 64)
+        fb.emit("i32.store", 2, 0)
+        fb.emit("i32.const", 4)
+        fb.emit("i32.const", len(text))
+        fb.emit("i32.store", 2, 0)
+        fb.emit("i32.const", fd)
+        fb.emit("i32.const", 0)   # iovs
+        fb.emit("i32.const", 1)   # iovs_len
+        fb.emit("i32.const", 32)  # nwritten
+        fb.emit("call", idx["fd_write"])
+        return mb
+
+    def test_stdout_captured(self):
+        interp, wasi = instantiate(self.make())
+        assert interp.invoke("say") == ERRNO_SUCCESS
+        assert wasi.stdout() == "hello, wasi\n"
+        assert interp.memory.load_u32(32) == 12  # nwritten
+
+    def test_stderr_separate(self):
+        interp, wasi = instantiate(self.make(b"oops", fd=2))
+        interp.invoke("say")
+        assert wasi.stderr() == "oops"
+        assert wasi.stdout() == ""
+
+    def test_bad_fd(self):
+        interp, wasi = instantiate(self.make(fd=7))
+        assert interp.invoke("say") == ERRNO_BADF
+
+
+class TestClock:
+    def make(self):
+        mb, idx = wasi_module("clock_time_get")
+        mb.add_memory(1)
+        fb = mb.func("now", results=[I32], export=True)
+        fb.emit("i32.const", 0)    # CLOCK_REALTIME
+        fb.emit("i64.const", 0)    # precision
+        fb.emit("i32.const", 16)   # out ptr
+        fb.emit("call", idx["clock_time_get"])
+        return mb
+
+    def test_monotonic_and_deterministic(self):
+        interp, _ = instantiate(self.make())
+        interp.invoke("now")
+        first = interp.memory.load_u64(16)
+        interp.invoke("now")
+        second = interp.memory.load_u64(16)
+        assert second > first
+        # A fresh environment replays the same virtual clock.
+        interp2, _ = instantiate(self.make())
+        interp2.invoke("now")
+        assert interp2.memory.load_u64(16) == first
+
+
+class TestArgs:
+    def make(self):
+        mb, idx = wasi_module("args_sizes_get", "args_get")
+        mb.add_memory(1)
+        fb = mb.func("load_args", results=[I32], export=True)
+        fb.emit("i32.const", 0)
+        fb.emit("i32.const", 4)
+        fb.emit("call", idx["args_sizes_get"])
+        fb.emit("drop")
+        fb.emit("i32.const", 16)   # argv pointers
+        fb.emit("i32.const", 128)  # string buffer
+        fb.emit("call", idx["args_get"])
+        return mb
+
+    def test_argv_marshalled(self):
+        interp, _ = instantiate(self.make(), argv=["prog", "--fast"])
+        assert interp.invoke("load_args") == ERRNO_SUCCESS
+        memory = interp.memory
+        assert memory.load_u32(0) == 2           # argc
+        assert memory.load_u32(4) == len("prog") + 1 + len("--fast") + 1
+        first = memory.load_u32(16)
+        raw = bytes(memory.load_bytes(first, 5))
+        assert raw == b"prog\x00"
+
+
+class TestRandom:
+    def make(self):
+        mb, idx = wasi_module("random_get")
+        mb.add_memory(1)
+        fb = mb.func("roll", results=[I32], export=True)
+        fb.emit("i32.const", 0)
+        fb.emit("i32.const", 16)
+        fb.emit("call", idx["random_get"])
+        return mb
+
+    def test_seeded_and_reproducible(self):
+        interp_a, _ = instantiate(self.make(), seed=42)
+        interp_b, _ = instantiate(self.make(), seed=42)
+        interp_c, _ = instantiate(self.make(), seed=43)
+        interp_a.invoke("roll")
+        interp_b.invoke("roll")
+        interp_c.invoke("roll")
+        a = bytes(interp_a.memory.load_bytes(0, 16))
+        b = bytes(interp_b.memory.load_bytes(0, 16))
+        c = bytes(interp_c.memory.load_bytes(0, 16))
+        assert a == b
+        assert a != c
+        assert a != bytes(16)
+
+
+class TestProcExit:
+    def test_exit_raises_with_code(self):
+        mb, idx = wasi_module("proc_exit")
+        mb.add_memory(1)
+        fb = mb.func("die", export=True)
+        fb.emit("i32.const", 3)
+        fb.emit("call", idx["proc_exit"])
+        interp, _ = instantiate(mb)
+        with pytest.raises(ProcExit) as info:
+            interp.invoke("die")
+        assert info.value.code == 3
+
+
+class TestUnbound:
+    def test_unbound_environment_traps_clearly(self):
+        mb, idx = wasi_module("random_get")
+        mb.add_memory(1)
+        fb = mb.func("roll", results=[I32], export=True)
+        fb.emit("i32.const", 0)
+        fb.emit("i32.const", 4)
+        fb.emit("call", idx["random_get"])
+        wasi = WasiEnvironment()
+        interp = Interpreter(mb.build(), imports=wasi.imports())
+        from repro.wasm.errors import Trap
+
+        with pytest.raises(Trap, match="bind"):
+            interp.invoke("roll")

@@ -1,0 +1,220 @@
+"""Tests for the WAT text parser."""
+
+import pytest
+
+from repro.runtime import Interpreter
+from repro.wasm import encode_module, decode_module, validate_module
+from repro.wasm.wat_parser import WatParseError, parse_wat
+
+
+def load(text):
+    module = parse_wat(text)
+    validate_module(module)
+    return module
+
+
+class TestBasics:
+    def test_empty_module(self):
+        module = load("(module)")
+        assert module.funcs == []
+
+    def test_simple_function(self):
+        module = load("""
+            (module
+              (func $add (export "add") (param i32 i32) (result i32)
+                local.get 0
+                local.get 1
+                i32.add))
+        """)
+        assert Interpreter(module).invoke("add", 2, 3) == 5
+
+    def test_comments_stripped(self):
+        module = load("""
+            (module ;; line comment
+              (; block
+                 comment ;)
+              (func (export "f") (result i32)
+                i32.const 7))
+        """)
+        assert Interpreter(module).invoke("f") == 7
+
+    def test_locals_and_loop(self):
+        module = load("""
+            (module
+              (func $sum (export "sum") (param i32) (result i32)
+                (local i32 i32)
+                block
+                  loop
+                    local.get 1
+                    local.get 0
+                    i32.ge_s
+                    br_if 1
+                    local.get 2
+                    local.get 1
+                    i32.add
+                    local.set 2
+                    local.get 1
+                    i32.const 1
+                    i32.add
+                    local.set 1
+                    br 0
+                  end
+                end
+                local.get 2))
+        """)
+        assert Interpreter(module).invoke("sum", 5) == 0 + 1 + 2 + 3 + 4
+
+    def test_block_with_result(self):
+        module = load("""
+            (module
+              (func (export "f") (result i32)
+                block (result i32)
+                  i32.const 9
+                end))
+        """)
+        assert Interpreter(module).invoke("f") == 9
+
+    def test_if_else(self):
+        module = load("""
+            (module
+              (func (export "pick") (param i32) (result i32)
+                local.get 0
+                if (result i32)
+                  i32.const 1
+                else
+                  i32.const 2
+                end))
+        """)
+        interp = Interpreter(module)
+        assert interp.invoke("pick", 5) == 1
+        assert interp.invoke("pick", 0) == 2
+
+
+class TestMemoryAndData:
+    def test_memory_load_store_with_memarg(self):
+        module = load("""
+            (module
+              (memory 1)
+              (func (export "rt") (param i32 i64) (result i64)
+                local.get 0
+                local.get 1
+                i64.store offset=8
+                local.get 0
+                i64.load offset=8))
+        """)
+        assert Interpreter(module).invoke("rt", 0, 123456789) == 123456789
+
+    def test_data_segment(self):
+        module = load("""
+            (module
+              (memory 1)
+              (data (i32.const 4) "AB")
+              (func (export "peek") (result i32)
+                i32.const 4
+                i32.load8_u))
+        """)
+        assert Interpreter(module).invoke("peek") == ord("A")
+
+    def test_memory_limits(self):
+        module = load("(module (memory 2 5))")
+        assert module.memories[0].limits.minimum == 2
+        assert module.memories[0].limits.maximum == 5
+
+
+class TestNamesAndCalls:
+    def test_forward_call_by_name(self):
+        module = load("""
+            (module
+              (func $main (export "main") (result i32)
+                i32.const 20
+                call $helper)
+              (func $helper (param i32) (result i32)
+                local.get 0
+                i32.const 1
+                i32.add))
+        """)
+        assert Interpreter(module).invoke("main") == 21
+
+    def test_globals_by_name(self):
+        module = load("""
+            (module
+              (global $counter (mut i32) (i32.const 10))
+              (func (export "bump") (result i32)
+                global.get $counter
+                i32.const 1
+                i32.add
+                global.set $counter
+                global.get $counter))
+        """)
+        interp = Interpreter(module)
+        assert interp.invoke("bump") == 11
+        assert interp.invoke("bump") == 12
+
+    def test_table_and_elem(self):
+        module = load("""
+            (module
+              (table 2 funcref)
+              (elem (i32.const 0) $a $b)
+              (func $a (result i32) i32.const 10)
+              (func $b (result i32) i32.const 20)
+              (func (export "pick") (param i32) (result i32)
+                local.get 0
+                call_indirect (type 0)))
+        """)
+        interp = Interpreter(module)
+        assert interp.invoke("pick", 0) == 10
+        assert interp.invoke("pick", 1) == 20
+
+    def test_start_function(self):
+        module = load("""
+            (module
+              (global $x (mut i32) (i32.const 0))
+              (start $init)
+              (func $init
+                i32.const 99
+                global.set $x)
+              (func (export "get") (result i32)
+                global.get $x))
+        """)
+        assert Interpreter(module).invoke("get") == 99
+
+
+class TestRoundTrip:
+    def test_parsed_module_encodes_to_valid_binary(self):
+        module = load("""
+            (module
+              (memory 1)
+              (func (export "f") (param i32) (result i32)
+                local.get 0
+                i32.const 3
+                i32.mul))
+        """)
+        again = decode_module(encode_module(module))
+        validate_module(again)
+        assert Interpreter(again).invoke("f", 7) == 21
+
+
+class TestErrors:
+    def test_not_a_module(self):
+        with pytest.raises(WatParseError, match="module"):
+            parse_wat("(func)")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(WatParseError, match="unknown instruction"):
+            parse_wat("(module (func v128.load))")
+
+    def test_folded_form_rejected(self):
+        with pytest.raises(WatParseError, match="folded"):
+            parse_wat("(module (func (result i32) (i32.add (i32.const 1) (i32.const 2))))")
+
+    def test_unterminated_string(self):
+        with pytest.raises(WatParseError, match="unterminated"):
+            parse_wat('(module (data (i32.const 0) "oops))')
+
+    def test_unknown_name(self):
+        with pytest.raises(WatParseError, match="unknown func name"):
+            parse_wat("(module (func call $missing))")
+
+    def test_missing_paren(self):
+        with pytest.raises(WatParseError, match="closing"):
+            parse_wat("(module (func")

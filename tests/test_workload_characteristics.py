@@ -1,0 +1,121 @@
+"""Workload-characterization tests.
+
+The paper is a workload characterization study; these tests pin down
+the *computational character* of every suite member so the proxies
+cannot silently drift away from what they stand in for (e.g. a SPEC
+"pointer-chasing" proxy that stops chasing pointers would pass the
+numeric check but fail here).
+"""
+
+import pytest
+
+from repro.core.profiles import profile_for
+
+
+def profile(name, size="mini"):
+    return profile_for(name, size)[1]
+
+
+def op_share(prof, prefixes):
+    total = prof.total_instrs
+    hits = sum(
+        count for op, count in prof.op_totals.items()
+        if op.startswith(prefixes)
+    )
+    return hits / total
+
+
+class TestPolybenchCharacter:
+    def test_float_kernels_are_f64_dominated(self):
+        for name in ("gemm", "cholesky", "jacobi-2d", "adi"):
+            prof = profile(name)
+            assert op_share(prof, ("f64.",)) > 0.03, name
+            assert op_share(prof, ("f32.",)) == 0.0, name
+
+    def test_integer_kernels_have_no_float_ops(self):
+        for name in ("floyd-warshall", "nussinov"):
+            prof = profile(name)
+            assert op_share(prof, ("f64.", "f32.")) == 0.0, name
+
+    def test_memory_density_spread_exists(self):
+        """Fig. 1 depends on a spread of memory-access densities."""
+        fractions = {
+            name: profile(name).mem_access_fraction
+            for name in ("gemm", "durbin", "floyd-warshall", "gesummv")
+        }
+        assert max(fractions.values()) > 1.25 * min(fractions.values())
+
+    def test_all_kernels_touch_memory(self):
+        for name in ("gemm", "trisolv", "deriche", "seidel-2d"):
+            prof = profile(name)
+            assert prof.mem_loads > 0 and prof.mem_stores > 0
+
+    def test_stencils_read_more_than_they_write(self):
+        for name in ("jacobi-2d", "heat-3d", "seidel-2d", "fdtd-2d"):
+            prof = profile(name)
+            assert prof.mem_loads > 2 * prof.mem_stores, name
+
+    def test_division_heavy_solvers(self):
+        # Every solver divides by pivots/diagonals in its kernel.
+        for name in ("cholesky", "trisolv", "ludcmp", "durbin"):
+            assert profile(name).op_totals.get("f64.div", 0) > 0, name
+
+    def test_sqrt_only_where_expected(self):
+        assert profile("cholesky").op_totals.get("f64.sqrt", 0) > 0
+        assert profile("gramschmidt").op_totals.get("f64.sqrt", 0) > 0
+        assert profile("gemm").op_totals.get("f64.sqrt", 0) == 0
+
+
+class TestSpecProxyCharacter:
+    def test_mcf_is_integer_and_branchy(self):
+        prof = profile("505.mcf")
+        assert op_share(prof, ("f64.", "f32.")) == 0.0
+        # Data-dependent branching: br_if executes frequently.
+        assert prof.op_totals.get("br_if", 0) > 0.02 * prof.total_instrs
+
+    def test_namd_and_nab_are_float_with_sqrt_or_div(self):
+        namd = profile("508.namd")
+        nab = profile("544.nab")
+        assert op_share(namd, ("f64.",)) > 0.10
+        assert namd.op_totals.get("f64.div", 0) > 0
+        assert nab.op_totals.get("f64.sqrt", 0) > 0
+
+    def test_lbm_is_the_most_memory_intense_float_proxy(self):
+        lbm = profile("519.lbm")
+        namd = profile("508.namd")
+        assert lbm.mem_accesses > 2 * namd.mem_accesses
+        assert lbm.mem_loads > 2 * lbm.mem_stores  # stencil reads
+
+    def test_deepsjeng_recurses(self):
+        prof = profile("531.deepsjeng")
+        calls = prof.op_totals.get("call", 0)
+        assert calls > 50  # deep recursive search
+        assert op_share(prof, ("f64.", "f32.")) == 0.0
+
+    def test_xz_walks_hash_chains(self):
+        prof = profile("557.xz")
+        # Chain walking: loads dominate stores heavily.
+        assert prof.mem_loads > 2 * prof.mem_stores
+        assert op_share(prof, ("f64.", "f32.")) == 0.0
+
+    def test_x264_is_branchy_integer_sad(self):
+        prof = profile("525.x264")
+        assert prof.op_totals.get("select", 0) > 0  # |diff| via select
+        assert op_share(prof, ("f64.", "f32.")) == 0.0
+
+
+class TestProfileScaling:
+    def test_work_grows_superlinearly_for_cubic_kernels(self):
+        mini = profile("gemm", "mini")
+        small = profile("gemm", "small")
+        assert small.total_instrs > 8 * mini.total_instrs
+
+    def test_mem_fraction_stable_across_sizes(self):
+        mini = profile("gemm", "mini").mem_access_fraction
+        small = profile("gemm", "small").mem_access_fraction
+        assert abs(mini - small) < 0.05
+
+    def test_grow_events_absent_with_preallocated_memory(self):
+        # DSL modules declare their full memory; instance-level growth
+        # is modelled by the lifecycle, not wasm-level memory.grow.
+        assert profile("gemm").grow_events == []

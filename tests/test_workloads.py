@@ -1,0 +1,75 @@
+"""Every workload is verified element-wise against its NumPy reference.
+
+These are the load-bearing correctness tests of the reproduction: they
+prove that what the timing pipeline profiles is the *real* computation
+the paper benchmarks, not an approximation of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.wasm import validate_module
+from repro.workloads import POLYBENCH, SPEC, WORKLOADS, suite_workloads, workload_named
+from repro.workloads.base import run_and_extract
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+class TestCatalogue:
+    def test_polybench_has_all_30_kernels(self):
+        assert len(POLYBENCH) == 30
+
+    def test_spec_has_the_papers_subset(self):
+        names = {w.name for w in SPEC}
+        assert names == {
+            "505.mcf", "508.namd", "519.lbm", "525.x264",
+            "531.deepsjeng", "544.nab", "557.xz",
+        }
+
+    def test_workload_named(self):
+        assert workload_named("gemm").suite == "polybench"
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_named("nonexistent")
+
+    def test_suite_workloads(self):
+        assert len(suite_workloads("all")) == 37
+        with pytest.raises(ValueError):
+            suite_workloads("mibench")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_module_validates(name):
+    built = WORKLOADS[name].build("mini")
+    validate_module(built.module)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_matches_numpy_reference(name):
+    workload = WORKLOADS[name]
+    got = run_and_extract(workload, "mini")
+    expected = workload.reference("mini")
+    assert set(got) == set(expected)
+    for key in expected:
+        np.testing.assert_allclose(
+            got[key], expected[key], rtol=1e-9, atol=1e-12,
+            err_msg=f"{name}:{key}",
+        )
+
+
+@pytest.mark.parametrize("name", ["gemm", "505.mcf", "jacobi-2d"])
+def test_small_preset_also_matches(name):
+    workload = WORKLOADS[name]
+    got = run_and_extract(workload, "small")
+    expected = workload.reference("small")
+    for key in expected:
+        np.testing.assert_allclose(got[key], expected[key], rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_binary_roundtrip_preserves_behaviour(name):
+    """Encode each workload to .wasm bytes, decode, and it still validates."""
+    from repro.wasm import decode_module, encode_module
+
+    built = WORKLOADS[name].build("mini")
+    again = decode_module(encode_module(built.module))
+    validate_module(again)
