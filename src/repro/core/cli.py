@@ -10,6 +10,17 @@ Usage::
     leaps-bench tiers        # extension: compile-time/code-size/speed
     leaps-bench all          # every figure, quick subsets
 
+Every experiment additionally accepts the measurement-engine knobs::
+
+    --jobs N          # run the sweep across N worker processes
+    --no-cache        # ignore and do not write the measurement cache
+    --cache-dir DIR   # cache base directory (default: .cache/)
+
+Measurements are cached content-addressed under ``.cache/measurements``
+(keyed on module digest + calibration constants), so figures sharing a
+grid — fig3's thread sweep feeds fig4/fig5/fig6 — and re-runs are
+near-free.  ``--jobs N`` output is bit-identical to a serial run.
+
 Results are printed as the figures' rows/series and saved under
 ``results/`` as JSON.
 """

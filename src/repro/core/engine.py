@@ -1,0 +1,489 @@
+"""The measurement engine: parallel sweeps + content-addressed caching.
+
+Regenerating the paper's figures walks a grid of
+(37 workloads × 6 runtimes × 5 strategies × 3 ISAs × {1,4,16} threads);
+the figure experiments also overlap heavily (fig3–fig6 all need the
+same thread-scaling measurements).  This module is the execution layer
+under ``run_sweep``/``measure``:
+
+* **fan-out** — grids run across a ``ProcessPoolExecutor`` with a
+  ``--jobs N`` knob.  Every simulation RNG stream is seeded, so results
+  are bit-identical to a serial run regardless of worker count or
+  scheduling order.
+* **measurement cache** — each finished :class:`RunMeasurement` is
+  stored on disk under a content-addressed key:
+  SHA-256 over (module digest, runtime, strategy, isa, threads, size,
+  iterations, warmup, calibration-constants hash).  Any change to a
+  workload's encoded Wasm or to the calibration tables changes the key
+  and silently invalidates the entry; corrupt files fall back to
+  recompute.  The cache lives beside the profile cache
+  (``.cache/measurements/`` next to ``.cache/profiles/``).
+* **warm workers** — workers recompute their own profile/compile/
+  costing caches from the shared on-disk profile cache instead of
+  shipping modules over pickle, so the pool never serialises on the
+  parent.  Within one process the per-runtime compile and block-costing
+  caches (:mod:`repro.runtimes.base`) make repeated configurations
+  near-free.
+
+Serial (``jobs=1``) execution never touches the pool, so library users
+and tests pay nothing for the machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.harness import RunMeasurement, run_benchmark
+from repro.core.profiles import module_digest
+from repro.oskernel.procstat import UtilisationSample
+
+#: Bump when the cache entry format (not the measured values) changes.
+_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MeasurementRequest:
+    """One cell of a sweep grid."""
+
+    workload: str
+    runtime: str
+    strategy: str
+    isa: str
+    threads: int = 1
+    size: str = "small"
+    iterations: int = 3
+    warmup: int = 1
+
+    def label(self) -> str:
+        return (
+            f"{self.workload} {self.runtime}/{self.strategy}/"
+            f"{self.isa}/t{self.threads}"
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """A measurement plus how the engine produced it."""
+
+    measurement: RunMeasurement
+    cache_hit: bool
+    #: Wall-clock seconds spent producing this result (≈0 for hits).
+    elapsed: float
+
+
+# --------------------------------------------------------------------------
+# Calibration hash: every constant that feeds one measurement's values.
+
+#: RuntimeModel fields that are presentation/availability metadata, not
+#: cost calibration — excluded so registering an extra strategy (the
+#: CHERI extension mutates ``model.strategies``) does not invalidate
+#: unrelated cached measurements.
+_NON_CALIBRATION_FIELDS = {"display", "strategies", "default_strategy"}
+
+
+def _plain(value: object) -> object:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {}
+        for f in dataclasses.fields(value):
+            if f.name.startswith("_") or f.name in _NON_CALIBRATION_FIELDS:
+                continue
+            fields[f.name] = _plain(getattr(value, f.name))
+        return fields
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in sorted(value.items())}
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _calibration_payload(
+    runtime: str, strategy: str, isa: str, workload: str
+) -> object:
+    """The model constants one measurement depends on, canonically.
+
+    Every measurement is priced by: its runtime model (compiler config,
+    scheduling overhead, helper/GC behaviour), its strategy, its ISA
+    cost table and machine spec, the interpreter cost tables, and —
+    through the paper-scale anchor in :func:`run_benchmark` — the
+    native-Clang model on x86-64 plus the workload's paper target.
+    """
+    from repro.compiler import timing
+    from repro.core.config import PAPER_TARGETS
+    from repro.cpu.machine import MACHINE_SPECS
+    from repro.isa import ISAS
+    from repro.runtime.strategies import STRATEGIES
+    from repro.runtimes import runtime_named
+
+    return {
+        "runtime": _plain(runtime_named(runtime)),
+        "strategy": _plain(STRATEGIES[strategy]),
+        "isa": _plain(ISAS[isa]),
+        "machine": _plain(MACHINE_SPECS[isa]),
+        "anchor": {
+            "runtime": _plain(runtime_named("native-clang")),
+            "strategy": _plain(STRATEGIES["none"]),
+            "isa": _plain(ISAS["x86_64"]),
+            "machine": _plain(MACHINE_SPECS["x86_64"]),
+            "target": _plain(PAPER_TARGETS[workload]),
+        },
+        "interp_op_work": _plain(timing._INTERP_OP_WORK),
+        "interp_expensive": _plain(timing._INTERP_EXPENSIVE),
+    }
+
+
+_calibration_memo: Dict[tuple, str] = {}
+
+
+def calibration_hash(
+    runtime: str, strategy: str, isa: str, workload: str
+) -> str:
+    """SHA-256 over a measurement's calibration constants.
+
+    Part of each cache key: editing a cost table, machine spec, runtime
+    model or paper-scale target changes the hash and silently
+    invalidates the affected cached measurements — the cache never
+    needs manual flushing after model work.  Hashes are memoised per
+    configuration at first use.
+    """
+    memo_key = (runtime, strategy, isa, workload)
+    cached = _calibration_memo.get(memo_key)
+    if cached is None:
+        canonical = json.dumps(
+            _calibration_payload(runtime, strategy, isa, workload),
+            sort_keys=True,
+            default=repr,
+        )
+        cached = hashlib.sha256(canonical.encode()).hexdigest()
+        _calibration_memo[memo_key] = cached
+    return cached
+
+
+# --------------------------------------------------------------------------
+# RunMeasurement (de)serialisation for the disk cache.
+
+def measurement_to_json(m: RunMeasurement) -> dict:
+    return {
+        "workload": m.workload,
+        "runtime": m.runtime,
+        "strategy": m.strategy,
+        "isa": m.isa,
+        "threads": m.threads,
+        "size": m.size,
+        "iteration_seconds": m.iteration_seconds,
+        "wall_seconds": m.wall_seconds,
+        "utilisation": dataclasses.asdict(m.utilisation),
+        "mem_avg_bytes": m.mem_avg_bytes,
+        "kernel_stats": m.kernel_stats,
+        "mmap_read_wait": m.mmap_read_wait,
+        "mmap_write_wait": m.mmap_write_wait,
+        "compute_seconds": m.compute_seconds,
+    }
+
+
+def measurement_from_json(raw: dict) -> RunMeasurement:
+    return RunMeasurement(
+        workload=raw["workload"],
+        runtime=raw["runtime"],
+        strategy=raw["strategy"],
+        isa=raw["isa"],
+        threads=raw["threads"],
+        size=raw["size"],
+        iteration_seconds=[float(v) for v in raw["iteration_seconds"]],
+        wall_seconds=raw["wall_seconds"],
+        utilisation=UtilisationSample(**raw["utilisation"]),
+        mem_avg_bytes=raw["mem_avg_bytes"],
+        kernel_stats={str(k): int(v) for k, v in raw["kernel_stats"].items()},
+        mmap_read_wait=raw["mmap_read_wait"],
+        mmap_write_wait=raw["mmap_write_wait"],
+        compute_seconds=raw["compute_seconds"],
+    )
+
+
+def _shutdown_pool(executor: ProcessPoolExecutor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_context():
+    """Prefer ``fork`` workers: they inherit the parent's in-memory
+    profile/compile caches and any extension strategies registered at
+    runtime (newer Pythons default to forkserver, which would not)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: workers rebuild state
+        return multiprocessing.get_context()
+
+
+# --------------------------------------------------------------------------
+# Worker entry point (module-level so it pickles under 'spawn' too).
+
+def _execute(payload: dict) -> dict:
+    """Run one request in a (possibly worker) process."""
+    started = time.perf_counter()
+    measurement = run_benchmark(**payload)
+    return {
+        "measurement": measurement_to_json(measurement),
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+class MeasurementEngine:
+    """Executes measurement requests with caching and optional fan-out."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: bool = True,
+        cache_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache_enabled = cache
+        self._memory: Dict[str, RunMeasurement] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        if cache_dir is not None:
+            self.cache_dir = Path(cache_dir)
+        else:
+            root = os.environ.get("REPRO_MEASUREMENT_CACHE_DIR")
+            self.cache_dir = (
+                Path(root) if root else Path(".cache") / "measurements"
+            )
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(self, request: MeasurementRequest) -> str:
+        """Content-addressed cache key for one request."""
+        payload = {
+            "version": _CACHE_VERSION,
+            "module": module_digest(request.workload, request.size),
+            "runtime": request.runtime,
+            "strategy": request.strategy,
+            "isa": request.isa,
+            "threads": request.threads,
+            "size": request.size,
+            "iterations": request.iterations,
+            "warmup": request.warmup,
+            "calibration": calibration_hash(
+                request.runtime, request.strategy, request.isa, request.workload
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path_for(self, request: MeasurementRequest, key: str) -> Path:
+        stem = f"{request.workload.replace('/', '_')}-{request.size}-{key[:24]}"
+        return self.cache_dir / f"{stem}.json"
+
+    # -- cache I/O -------------------------------------------------------
+
+    def _load(self, request: MeasurementRequest, key: str) -> Optional[RunMeasurement]:
+        if not self.cache_enabled:
+            return None
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path_for(request, key)
+        if not path.exists():
+            return None
+        try:
+            raw = json.loads(path.read_text())
+            if raw.get("key") != key:
+                return None  # digest collision on the shortened filename
+            measurement = measurement_from_json(raw["measurement"])
+        except (ValueError, KeyError, TypeError):
+            return None  # stale/corrupt cache entry: recompute
+        self._memory[key] = measurement
+        return measurement
+
+    def _store(
+        self, request: MeasurementRequest, key: str, measurement: RunMeasurement
+    ) -> None:
+        if not self.cache_enabled:
+            return
+        self._memory[key] = measurement
+        path = self._path_for(request, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(
+                    {
+                        "key": key,
+                        "request": dataclasses.asdict(request),
+                        "measurement": measurement_to_json(measurement),
+                    }
+                )
+            )
+            tmp.replace(path)
+        except OSError:
+            pass  # read-only filesystem: in-memory cache still works
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[MeasurementRequest],
+        progress=None,
+    ) -> List[MeasurementResult]:
+        """Execute requests, returning results in request order.
+
+        Duplicate requests are computed once.  Misses run serially
+        in-process when ``jobs == 1`` and across the process pool
+        otherwise; either way the values are identical.
+        """
+        keys = [self.key_for(req) for req in requests]
+        results: Dict[str, MeasurementResult] = {}
+        misses: List[tuple] = []
+        scheduled = set()
+        for request, key in zip(requests, keys):
+            if key in results or key in scheduled:
+                continue
+            started = time.perf_counter()
+            cached = self._load(request, key)
+            if cached is not None:
+                results[key] = MeasurementResult(
+                    cached, True, time.perf_counter() - started
+                )
+                if progress is not None:
+                    progress(request.label())
+            else:
+                scheduled.add(key)
+                misses.append((request, key))
+
+        # Workload-major order: consecutive requests for one workload
+        # land in the same worker chunk (or run back-to-back serially),
+        # so each process profiles/compiles a module once and re-prices
+        # it from its in-memory caches for the rest of the group.
+        misses.sort(key=lambda item: (item[0].workload, item[0].size))
+
+        if misses:
+            if self.jobs == 1 or len(misses) == 1:
+                for request, key in misses:
+                    outcome = _execute(dataclasses.asdict(request))
+                    self._finish(request, key, outcome, results, progress)
+            else:
+                outcomes = self._pool().map(
+                    _execute,
+                    [dataclasses.asdict(req) for req, _ in misses],
+                    chunksize=1,
+                )
+                for (request, key), outcome in zip(misses, outcomes):
+                    self._finish(request, key, outcome, results, progress)
+
+        return [results[key] for key in keys]
+
+    def _pool(self) -> ProcessPoolExecutor:
+        """The engine's worker pool, created once and reused.
+
+        A figure pipeline issues dozens of small grids; keeping the
+        workers alive across ``run()`` calls lets each accumulate warm
+        profile/compile/costing caches instead of re-deriving them
+        after every fork.
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context()
+            )
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._executor
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (also runs when the engine is GC'd)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+            self._executor = None
+
+    def _finish(self, request, key, outcome, results, progress) -> None:
+        measurement = measurement_from_json(outcome["measurement"])
+        self._store(request, key, measurement)
+        results[key] = MeasurementResult(measurement, False, outcome["elapsed"])
+        if progress is not None:
+            progress(request.label())
+
+    def measure_one(self, request: MeasurementRequest) -> MeasurementResult:
+        return self.run([request])[0]
+
+
+# --------------------------------------------------------------------------
+# Process-wide default engine + CLI plumbing shared by every experiment.
+
+_default_engine: Optional[MeasurementEngine] = None
+
+
+def default_engine() -> MeasurementEngine:
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = MeasurementEngine()
+    return _default_engine
+
+
+def configure(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> MeasurementEngine:
+    """(Re)configure the process-wide engine; returns it."""
+    global _default_engine
+    current = default_engine()
+    base = Path(cache_dir) if cache_dir is not None else None
+    if base is not None:
+        # One base directory for the whole cache family: profiles move
+        # with the measurements so --cache-dir isolates everything.
+        os.environ["REPRO_CACHE_DIR"] = str(base / "profiles")
+    replacement = MeasurementEngine(
+        jobs=current.jobs if jobs is None else jobs,
+        cache=current.cache_enabled if cache is None else cache,
+        cache_dir=base / "measurements" if base is not None else None,
+    )
+    settings = (replacement.jobs, replacement.cache_enabled, replacement.cache_dir)
+    if settings == (current.jobs, current.cache_enabled, current.cache_dir):
+        # Same settings: keep the warm pool and in-memory results
+        # (``leaps-bench all`` reconfigures before every figure).
+        return current
+    current.close()
+    _default_engine = replacement
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide engine (tests)."""
+    global _default_engine
+    if _default_engine is not None:
+        _default_engine.close()
+    _default_engine = None
+
+
+def add_engine_args(parser) -> None:
+    """Attach the engine's CLI knobs to an experiment's parser."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the measurement cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache base directory (default: .cache/)",
+    )
+
+
+def configure_from_args(args) -> MeasurementEngine:
+    """Apply parsed engine CLI knobs to the process-wide engine."""
+    return configure(
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
+    )

@@ -4,11 +4,17 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.harness import RunMeasurement, run_benchmark
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementRequest,
+    add_engine_args,
+    configure_from_args,
+    default_engine,
+)
+from repro.core.harness import RunMeasurement
 from repro.runtime.strategies import STRATEGY_ORDER
 from repro.runtimes import RUNTIMES, runtime_named
 from repro.workloads import suite_workloads
@@ -56,20 +62,33 @@ def measure(
     size: str = "small",
     iterations: int = 3,
     verbose: bool = False,
+    engine: Optional[MeasurementEngine] = None,
 ) -> Dict[str, RunMeasurement]:
-    """Run a set of workloads under one configuration."""
-    out: Dict[str, RunMeasurement] = {}
-    for name in workloads:
-        started = time.time()
-        out[name] = run_benchmark(
-            name, runtime, strategy, isa, threads=threads, size=size,
-            iterations=iterations,
+    """Run a set of workloads under one configuration.
+
+    Execution goes through the measurement engine (``--jobs`` fan-out,
+    content-addressed result cache), so a figure that repeats another
+    figure's grid — fig4/fig5/fig6 re-walk fig3's thread sweep — pays
+    only cache reads.
+    """
+    engine = engine if engine is not None else default_engine()
+    requests = [
+        MeasurementRequest(
+            name, runtime, strategy, isa,
+            threads=threads, size=size, iterations=iterations,
         )
+        for name in workloads
+    ]
+    results = engine.run(requests)
+    out: Dict[str, RunMeasurement] = {}
+    for request, result in zip(requests, results):
+        out[request.workload] = result.measurement
         if verbose:
+            origin = "cache" if result.cache_hit else f"{result.elapsed:.1f}s"
             print(
-                f"    {name:16s} {runtime}/{strategy}/{isa}/t{threads}: "
-                f"{out[name].median_iteration * 1e3:.3f} ms "
-                f"[{time.time() - started:.1f}s]"
+                f"    {request.workload:16s} {runtime}/{strategy}/{isa}/t{threads}: "
+                f"{result.measurement.median_iteration * 1e3:.3f} ms "
+                f"[{origin}]"
             )
     return out
 

@@ -21,6 +21,8 @@ import argparse
 from typing import Dict, List
 
 from repro.core.experiments.common import (
+    add_engine_args,
+    configure_from_args,
     measure,
     medians,
     save_results,
@@ -78,7 +80,9 @@ def main(argv=None) -> List[dict]:
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true", help="all 37 workloads")
     parser.add_argument("--verbose", action="store_true")
+    add_engine_args(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
     rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results("fig1", rows)

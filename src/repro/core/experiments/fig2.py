@@ -14,7 +14,9 @@ from typing import Dict, List
 
 from repro.core.experiments.common import (
     BASELINE,
+    add_engine_args,
     configs_for_isa,
+    configure_from_args,
     measure,
     medians,
     save_results,
@@ -82,7 +84,9 @@ def main(argv=None) -> Dict[str, List[dict]]:
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
+    add_engine_args(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
     isas = list(SUITES_BY_ISA) if args.isa == "all" else [args.isa]
     all_rows: Dict[str, List[dict]] = {}
     for isa in isas:

@@ -18,7 +18,9 @@ import argparse
 from typing import Dict, List
 
 from repro.core.experiments.common import (
+    add_engine_args,
     configs_for_isa,
+    configure_from_args,
     measure,
     medians,
     save_results,
@@ -100,7 +102,9 @@ def main(argv=None) -> List[dict]:
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
+    add_engine_args(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
     rows = run(isa=args.isa, size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results(f"fig3-{args.isa}", rows)

@@ -15,7 +15,9 @@ import argparse
 from typing import List
 
 from repro.core.experiments.common import (
+    add_engine_args,
     configs_for_isa,
+    configure_from_args,
     measure,
     save_results,
     suite_names,
@@ -89,7 +91,9 @@ def main(argv=None) -> List[dict]:
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
+    add_engine_args(parser)
     args = parser.parse_args(argv)
+    configure_from_args(args)
     rows = run(isa=args.isa, size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results(f"fig4-{args.isa}", rows)

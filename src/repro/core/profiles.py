@@ -23,6 +23,7 @@ from repro.wasm.module import Module
 from repro.workloads import workload_named
 
 _memory_cache: Dict[Tuple[str, str], Tuple[Module, ExecutionProfile]] = {}
+_module_cache: Dict[Tuple[str, str], Tuple[Module, str]] = {}
 
 
 def _cache_dir() -> Path:
@@ -62,16 +63,35 @@ def _profile_from_json(raw: dict) -> ExecutionProfile:
     )
 
 
+def module_for(workload_name: str, size: str) -> Tuple[Module, str]:
+    """The (module, content digest) pair for a workload at a size.
+
+    Building and encoding a module is cheap compared to profiling it,
+    but the digest is needed on its own by the measurement cache
+    (:mod:`repro.core.engine`), so it gets its own memo — computing a
+    cache key must never trigger a profiling interpreter run.
+    """
+    key = (workload_name, size)
+    if key not in _module_cache:
+        module = workload_named(workload_name).build(size).module
+        digest = hashlib.sha256(encode_module(module)).hexdigest()
+        _module_cache[key] = (module, digest)
+    return _module_cache[key]
+
+
+def module_digest(workload_name: str, size: str) -> str:
+    """Content digest of a workload's encoded Wasm module."""
+    return module_for(workload_name, size)[1]
+
+
 def profile_for(workload_name: str, size: str) -> Tuple[Module, ExecutionProfile]:
     """The (module, dynamic profile) pair for a workload at a size."""
     key = (workload_name, size)
     if key in _memory_cache:
         return _memory_cache[key]
 
-    workload = workload_named(workload_name)
-    built = workload.build(size)
-    module = built.module
-    digest = hashlib.sha256(encode_module(module)).hexdigest()[:16]
+    module, full_digest = module_for(workload_name, size)
+    digest = full_digest[:16]
     disk_path = _cache_dir() / f"{workload_name.replace('/', '_')}-{size}-{digest}.json"
 
     profile: Optional[ExecutionProfile] = None
@@ -96,3 +116,4 @@ def profile_for(workload_name: str, size: str) -> Tuple[Module, ExecutionProfile
 
 def clear_profile_cache() -> None:
     _memory_cache.clear()
+    _module_cache.clear()

@@ -5,26 +5,46 @@ general tool underneath for ad-hoc studies ("what does `trap` cost on
 Armv8 at 4 threads across the stencils?").  It expands a
 :class:`SweepSpec` into valid configurations (skipping the
 backend/strategy combinations §3.2/§3.4 rule out), runs them through
-the harness, and exports rows as dicts or CSV.
+the measurement engine (parallel and cached — see
+:mod:`repro.core.engine`), and exports rows as dicts or CSV.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.core.harness import RunMeasurement, run_benchmark
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementRequest,
+    MeasurementResult,
+    default_engine,
+)
 from repro.cpu.machine import MACHINE_SPECS
 from repro.runtimes import runtime_named
 
-#: The columns a sweep row always carries.
-FIELDS = [
-    "workload", "runtime", "strategy", "isa", "threads",
-    "median_ms", "utilisation_percent", "ctx_per_sec",
-    "mem_avg_mib", "mmap_write_wait_ms",
-]
+#: Row schema: column name → extractor over a MeasurementResult.  CSV
+#: columns derive from this single table, so adding a column here is
+#: the whole change.
+ROW_SCHEMA: Dict[str, Callable[[MeasurementResult], object]] = {
+    "workload": lambda r: r.measurement.workload,
+    "runtime": lambda r: r.measurement.runtime,
+    "strategy": lambda r: r.measurement.strategy,
+    "isa": lambda r: r.measurement.isa,
+    "threads": lambda r: r.measurement.threads,
+    "median_ms": lambda r: r.measurement.median_iteration * 1e3,
+    "utilisation_percent": lambda r: r.measurement.utilisation.utilisation_percent,
+    "ctx_per_sec": lambda r: r.measurement.utilisation.context_switches_per_sec,
+    "mem_avg_mib": lambda r: r.measurement.mem_avg_bytes / (1 << 20),
+    "mmap_write_wait_ms": lambda r: r.measurement.mmap_write_wait * 1e3,
+    "cache_hit": lambda r: int(r.cache_hit),
+    "elapsed_s": lambda r: round(r.elapsed, 6),
+}
+
+#: The columns a sweep row always carries (derived, not hand-kept).
+FIELDS = list(ROW_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -54,45 +74,53 @@ class SweepSpec:
                         if threads <= cores:
                             yield (runtime, strategy, isa, threads)
 
+    def requests(self) -> List[MeasurementRequest]:
+        """The full grid, workloads outermost.
 
-def row_from(measurement: RunMeasurement) -> Dict[str, object]:
-    return {
-        "workload": measurement.workload,
-        "runtime": measurement.runtime,
-        "strategy": measurement.strategy,
-        "isa": measurement.isa,
-        "threads": measurement.threads,
-        "median_ms": measurement.median_iteration * 1e3,
-        "utilisation_percent": measurement.utilisation.utilisation_percent,
-        "ctx_per_sec": measurement.utilisation.context_switches_per_sec,
-        "mem_avg_mib": measurement.mem_avg_bytes / (1 << 20),
-        "mmap_write_wait_ms": measurement.mmap_write_wait * 1e3,
-    }
+        Workload-major order keeps every configuration of one module
+        adjacent, so the engine's profile/compile caches are warmed
+        once per workload instead of being cycled through the whole
+        workload set per configuration.
+        """
+        return [
+            MeasurementRequest(
+                workload, runtime, strategy, isa,
+                threads=threads, size=self.size, iterations=self.iterations,
+            )
+            for workload in self.workloads
+            for runtime, strategy, isa, threads in self.configurations()
+        ]
+
+
+def row_from(result: MeasurementResult) -> Dict[str, object]:
+    return {name: extract(result) for name, extract in ROW_SCHEMA.items()}
 
 
 def run_sweep(
     spec: SweepSpec,
     progress: Optional[Callable[[str], None]] = None,
+    engine: Optional[MeasurementEngine] = None,
 ) -> List[Dict[str, object]]:
     """Run every valid configuration × workload; returns result rows."""
-    rows: List[Dict[str, object]] = []
-    for runtime, strategy, isa, threads in spec.configurations():
-        for workload in spec.workloads:
-            if progress is not None:
-                progress(f"{workload} {runtime}/{strategy}/{isa}/t{threads}")
-            measurement = run_benchmark(
-                workload, runtime, strategy, isa,
-                threads=threads, size=spec.size, iterations=spec.iterations,
-            )
-            rows.append(row_from(measurement))
-    return rows
+    engine = engine if engine is not None else default_engine()
+    results = engine.run(spec.requests(), progress=progress)
+    return [row_from(result) for result in results]
 
 
 def to_csv(rows: Sequence[Dict[str, object]]) -> str:
-    """Render sweep rows as CSV text."""
+    """Render sweep rows as CSV text.
+
+    Columns are the schema-derived :data:`FIELDS` plus, appended in
+    sorted order, any extra keys present in the rows — nothing a row
+    carries is silently dropped.
+    """
+    extras = sorted(
+        {key for row in rows for key in row} - set(FIELDS)
+    )
+    fieldnames = FIELDS + extras
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
     for row in rows:
-        writer.writerow({key: row.get(key, "") for key in FIELDS})
+        writer.writerow({key: row.get(key, "") for key in fieldnames})
     return buffer.getvalue()

@@ -48,7 +48,16 @@ class RuntimeModel:
     #: compile-speed/code-quality trade-off Titzer [29] tabulates
     #: (LLVM slowest, baseline tiers and interpreters near-free).
     compile_seconds_per_instr: float = 0.0
-    _cache: Dict[Tuple[int, str, str], CompiledModule] = field(
+    _cache: Dict[Tuple[int, str, str], Tuple[CompiledModule, object]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Block-costing results per (module, profile, isa, strategy): the
+    #: costing walk over every block of every function is pure, so one
+    #: run prices the configuration for all subsequent measurements
+    #: (thread sweeps re-price the identical module dozens of times).
+    #: Entries keep a strong reference to the keyed objects so an id()
+    #: can never be recycled onto a different module/profile.
+    _cycles_cache: Dict[Tuple[int, int, str, str], Tuple[float, object, object]] = field(
         default_factory=dict, repr=False
     )
 
@@ -66,8 +75,10 @@ class RuntimeModel:
             raise ValueError(f"runtime {self.name} does not compile code")
         key = (id(module), isa.name, strategy.name)
         if key not in self._cache:
-            self._cache[key] = compile_module(module, isa, self.compiler, strategy)
-        return self._cache[key]
+            self._cache[key] = (
+                compile_module(module, isa, self.compiler, strategy), module,
+            )
+        return self._cache[key][0]
 
     def cycles(
         self,
@@ -79,12 +90,19 @@ class RuntimeModel:
         """Single-thread execution cycles for one run of the workload."""
         if not self.supports(isa.name):
             raise ValueError(f"runtime {self.name} has no {isa.name} backend")
+        key = (id(module), id(profile), isa.name, strategy.name)
+        cached = self._cycles_cache.get(key)
+        if cached is not None:
+            return cached[0]
         if self.kind == "interp":
-            return interpreter_cycles(profile, isa)
-        return (
-            cycles_for_profile(self.compiled(module, isa, strategy), profile)
-            * self.schedule_overhead
-        )
+            result = interpreter_cycles(profile, isa)
+        else:
+            result = (
+                cycles_for_profile(self.compiled(module, isa, strategy), profile)
+                * self.schedule_overhead
+            )
+        self._cycles_cache[key] = (result, module, profile)
+        return result
 
     def compile_seconds(self, module: Module) -> float:
         """Modelled translation time for the whole module."""

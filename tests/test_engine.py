@@ -1,0 +1,195 @@
+"""Tests for the measurement engine: caching, invalidation, fan-out.
+
+Mirrors the structure of ``test_profiles_cache.py`` for the disk-cache
+behaviour, and adds the determinism guarantee the parallel path must
+uphold: ``--jobs 4`` output is bit-identical to ``--jobs 1``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import engine as engine_mod
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementRequest,
+    calibration_hash,
+    measurement_from_json,
+    measurement_to_json,
+)
+from repro.core.profiles import clear_profile_cache
+from repro.core.runner import FIELDS, SweepSpec, run_sweep, to_csv
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "profiles"))
+    monkeypatch.setenv(
+        "REPRO_MEASUREMENT_CACHE_DIR", str(tmp_path / "measurements")
+    )
+    clear_profile_cache()
+    engine_mod.reset_default_engine()
+    yield tmp_path / "measurements"
+    clear_profile_cache()
+    engine_mod.reset_default_engine()
+
+
+REQUEST = MeasurementRequest(
+    "trisolv", "wavm", "mprotect", "x86_64", threads=4, size="mini",
+    iterations=2,
+)
+
+
+class TestMeasurementCache:
+    def test_miss_then_hit(self, isolated_caches):
+        eng = MeasurementEngine()
+        first = eng.measure_one(REQUEST)
+        assert not first.cache_hit
+        files = list(isolated_caches.glob("trisolv-mini-*.json"))
+        assert len(files) == 1
+        second = MeasurementEngine().measure_one(REQUEST)
+        assert second.cache_hit
+        assert second.measurement == first.measurement
+
+    def test_memory_cache_skips_disk(self, isolated_caches):
+        eng = MeasurementEngine()
+        first = eng.measure_one(REQUEST)
+        for path in isolated_caches.glob("*.json"):
+            path.unlink()
+        again = eng.measure_one(REQUEST)
+        assert again.cache_hit
+        assert again.measurement == first.measurement
+
+    def test_cache_disabled(self, isolated_caches):
+        eng = MeasurementEngine(cache=False)
+        eng.measure_one(REQUEST)
+        assert not list(isolated_caches.glob("*.json"))
+        assert not eng.measure_one(REQUEST).cache_hit
+
+    def test_distinct_configurations_distinct_entries(self, isolated_caches):
+        eng = MeasurementEngine()
+        other = dataclasses.replace(REQUEST, strategy="none")
+        assert eng.key_for(REQUEST) != eng.key_for(other)
+        eng.run([REQUEST, other])
+        assert len(list(isolated_caches.glob("*.json"))) == 2
+
+    def test_module_digest_invalidates_key(self, monkeypatch):
+        eng = MeasurementEngine()
+        before = eng.key_for(REQUEST)
+        monkeypatch.setattr(
+            engine_mod, "module_digest", lambda workload, size: "0" * 64
+        )
+        assert eng.key_for(REQUEST) != before
+
+    def test_calibration_hash_invalidates_key(self, monkeypatch):
+        eng = MeasurementEngine()
+        before = eng.key_for(REQUEST)
+        monkeypatch.setattr(
+            engine_mod, "calibration_hash", lambda *a: "f" * 64
+        )
+        assert eng.key_for(REQUEST) != before
+
+    def test_calibration_hash_tracks_constants(self, monkeypatch):
+        from repro.runtimes import runtime_named
+
+        before = calibration_hash("wavm", "mprotect", "x86_64", "trisolv")
+        engine_mod._calibration_memo.clear()
+        monkeypatch.setattr(
+            runtime_named("wavm"), "schedule_overhead", 9.99
+        )
+        after = calibration_hash("wavm", "mprotect", "x86_64", "trisolv")
+        engine_mod._calibration_memo.clear()
+        assert after != before
+
+    def test_corrupt_entry_recomputed(self, isolated_caches):
+        MeasurementEngine().measure_one(REQUEST)
+        path = next(isolated_caches.glob("*.json"))
+        path.write_text("{not json")
+        result = MeasurementEngine().measure_one(REQUEST)
+        assert not result.cache_hit
+        assert result.measurement.median_iteration > 0
+        # The corrupt file was overwritten with a valid entry.
+        assert MeasurementEngine().measure_one(REQUEST).cache_hit
+
+    def test_wrong_key_in_entry_recomputed(self, isolated_caches):
+        MeasurementEngine().measure_one(REQUEST)
+        path = next(isolated_caches.glob("*.json"))
+        raw = json.loads(path.read_text())
+        raw["key"] = "0" * 64
+        path.write_text(json.dumps(raw))
+        assert not MeasurementEngine().measure_one(REQUEST).cache_hit
+
+    def test_round_trip_is_exact(self):
+        result = MeasurementEngine(cache=False).measure_one(REQUEST)
+        encoded = json.dumps(measurement_to_json(result.measurement))
+        decoded = measurement_from_json(json.loads(encoded))
+        assert decoded == result.measurement
+
+
+class TestParallelDeterminism:
+    GRID = [
+        MeasurementRequest(w, r, s, "x86_64", threads=t, size="mini",
+                           iterations=2)
+        for w in ("trisolv", "gemm")
+        for r, s in (("wavm", "mprotect"), ("v8", "none"), ("wasm3", "trap"))
+        for t in (1, 4)
+    ]
+
+    def test_jobs4_bit_identical_to_jobs1(self):
+        serial = MeasurementEngine(jobs=1, cache=False).run(self.GRID)
+        parallel = MeasurementEngine(jobs=4, cache=False).run(self.GRID)
+        for s, p in zip(serial, parallel):
+            assert p.measurement == s.measurement  # floats exact, not approx
+        # The serialised artefacts match byte for byte.
+        serial_blob = json.dumps(
+            [measurement_to_json(r.measurement) for r in serial]
+        )
+        parallel_blob = json.dumps(
+            [measurement_to_json(r.measurement) for r in parallel]
+        )
+        assert parallel_blob == serial_blob
+
+    def test_parallel_populates_shared_cache(self, isolated_caches):
+        MeasurementEngine(jobs=4).run(self.GRID)
+        results = MeasurementEngine(jobs=1).run(self.GRID)
+        assert all(r.cache_hit for r in results)
+
+    def test_duplicate_requests_computed_once(self):
+        eng = MeasurementEngine(cache=False)
+        results = eng.run([REQUEST, REQUEST, REQUEST])
+        assert len(results) == 3
+        assert results[0].measurement == results[1].measurement
+
+
+class TestSweepIntegration:
+    SPEC = SweepSpec(
+        workloads=["trisolv", "gemm"],
+        runtimes=["wavm"],
+        strategies=["none", "mprotect"],
+        size="mini",
+        iterations=2,
+    )
+
+    def test_rows_carry_cache_and_elapsed_columns(self):
+        rows = run_sweep(self.SPEC, engine=MeasurementEngine())
+        assert {"cache_hit", "elapsed_s"} <= set(FIELDS)
+        for row in rows:
+            assert row["cache_hit"] in (0, 1)
+            assert row["elapsed_s"] >= 0
+        again = run_sweep(self.SPEC, engine=MeasurementEngine())
+        assert all(row["cache_hit"] == 1 for row in again)
+
+    def test_requests_are_workload_major(self):
+        requests = self.SPEC.requests()
+        workloads = [r.workload for r in requests]
+        assert workloads == ["trisolv", "trisolv", "gemm", "gemm"]
+
+    def test_csv_includes_extra_row_keys(self):
+        rows = run_sweep(self.SPEC, engine=MeasurementEngine(cache=False))
+        rows[0]["note"] = "ad-hoc"
+        text = to_csv(rows)
+        header = text.splitlines()[0]
+        assert header.startswith("workload,runtime,strategy")
+        assert "cache_hit" in header and "elapsed_s" in header
+        assert header.endswith(",note")
