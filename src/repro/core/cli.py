@@ -9,6 +9,7 @@ Usage::
     leaps-bench cheri        # extension: projected CHERI strategy
     leaps-bench tiers        # extension: compile-time/code-size/speed
     leaps-bench all          # every figure, quick subsets
+    leaps-bench trace record|summarize|export ...   # event tracing
 
 Every experiment additionally accepts the measurement-engine knobs::
 
@@ -40,6 +41,7 @@ from repro.core.experiments import (
     fig6,
     replication,
 )
+from repro.trace import cli as trace_cli
 
 _EXPERIMENTS = {
     "fig1": fig1.main,
@@ -51,6 +53,12 @@ _EXPERIMENTS = {
     "replication": replication.main,
     "cheri": extension_cheri.main,
     "tiers": extension_tiers.main,
+}
+
+#: Non-experiment tools: dispatched like experiments but excluded from
+#: ``all`` (they observe runs rather than produce figure data).
+_TOOLS = {
+    "trace": trace_cli.main,
 }
 
 
@@ -65,13 +73,14 @@ def main(argv=None) -> int:
             print(f"\n=== {name} ===\n")
             entry(rest)
         return 0
-    entry = _EXPERIMENTS.get(command)
+    entry = _EXPERIMENTS.get(command) or _TOOLS.get(command)
     if entry is None:
         print(f"unknown experiment {command!r}; choose from "
-              f"{', '.join(_EXPERIMENTS)} or 'all'", file=sys.stderr)
+              f"{', '.join(list(_EXPERIMENTS) + list(_TOOLS))} or 'all'",
+              file=sys.stderr)
         return 2
-    entry(rest)
-    return 0
+    result = entry(rest)
+    return result if isinstance(result, int) else 0
 
 
 if __name__ == "__main__":

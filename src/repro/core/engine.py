@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.harness import RunMeasurement, run_benchmark
 from repro.core.profiles import module_digest
 from repro.oskernel.procstat import UtilisationSample
+from repro.trace.events import MEASURE_REQUEST
+from repro.trace.tracer import TRACE
 
 #: Bump when the cache entry format (not the measured values) changes.
 _CACHE_VERSION = 1
@@ -354,6 +356,11 @@ class MeasurementEngine:
                 results[key] = MeasurementResult(
                     cached, True, time.perf_counter() - started
                 )
+                if TRACE.enabled:
+                    TRACE.emit(
+                        0.0, MEASURE_REQUEST,
+                        label=request.label(), cache_hit=True,
+                    )
                 if progress is not None:
                     progress(request.label())
             else:
@@ -410,6 +417,10 @@ class MeasurementEngine:
         measurement = measurement_from_json(outcome["measurement"])
         self._store(request, key, measurement)
         results[key] = MeasurementResult(measurement, False, outcome["elapsed"])
+        if TRACE.enabled:
+            TRACE.emit(
+                0.0, MEASURE_REQUEST, label=request.label(), cache_hit=False
+            )
         if progress is not None:
             progress(request.label())
 

@@ -37,6 +37,13 @@ from repro.runtime.strategies import strategy_named
 from repro.runtimes import runtime_named
 from repro.sim.engine import Delay, Engine
 from repro.sim.resources import Gate
+from repro.trace.events import (
+    PHASE_TIMED_BEGIN,
+    PHASE_TIMED_END,
+    RUN_END,
+    RUN_META,
+)
+from repro.trace.tracer import TRACE
 from repro.workloads import workload_named
 
 #: Memory-usage sampling period for the Fig. 6 model.
@@ -98,6 +105,15 @@ def run_benchmark(
     spec = MACHINE_SPECS[isa]
     if threads > spec.cores:
         raise ValueError(f"{threads} workers exceed the {spec.cores}-core machine")
+
+    if TRACE.enabled:
+        # Opens a run segment: all pre-simulation events (compile,
+        # costing) and the whole simulated timeline follow this marker.
+        TRACE.emit(
+            0.0, RUN_META,
+            workload=workload, runtime=runtime, strategy=strategy, isa=isa,
+            threads=threads, size=size, iterations=iterations, warmup=warmup,
+        )
 
     module, profile = profile_for(workload, size)
     cycles = runtime_model.cycles(module, profile, isa_model, strategy_model)
@@ -168,6 +184,10 @@ def run_benchmark(
         state.warmup_remaining -= 1
         if state.warmup_remaining == 0:
             state.start_snapshot = stat.snapshot()
+            if TRACE.enabled:
+                # Emitted immediately after the snapshot, so trace seq
+                # order splits events exactly as the counters saw them.
+                TRACE.emit(engine.now, PHASE_TIMED_BEGIN, thread=thread.name)
             state.gate.open_gate()
         yield from thread.block_on(state.gate.wait())
         for _ in range(iterations):
@@ -176,6 +196,8 @@ def run_benchmark(
         state.measured_remaining -= 1
         if state.measured_remaining == 0:
             state.end_snapshot = stat.snapshot()
+            if TRACE.enabled:
+                TRACE.emit(engine.now, PHASE_TIMED_END, thread=thread.name)
             state.stopped = True
         # Cool-down: keep the core busy until everyone has finished.
         while not state.stopped:
@@ -227,6 +249,8 @@ def run_benchmark(
         write_wait += proc.mmap_lock.write_stats.total_wait_time
 
     all_iterations = [dur for worker_times in results for dur in worker_times]
+    if TRACE.enabled:
+        TRACE.emit(engine.now, RUN_END, wall=utilisation.elapsed)
     return RunMeasurement(
         workload=workload,
         runtime=runtime,

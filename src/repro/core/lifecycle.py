@@ -39,6 +39,16 @@ from repro.oskernel.kernel import Kernel, KernelProcess
 from repro.oskernel.layout import GUARD_REGION_BYTES, PAGE_SIZE, WASM_PAGE_SIZE
 from repro.oskernel.vma import Prot
 from repro.runtime.strategies import BoundsStrategy
+from repro.trace.events import (
+    GC_PAUSE,
+    ITER_BEGIN,
+    ITER_END,
+    STRATEGY_GROW_BEGIN,
+    STRATEGY_GROW_END,
+    STRATEGY_RESET_BEGIN,
+    STRATEGY_RESET_END,
+)
+from repro.trace.tracer import TRACE
 
 #: Cost of the vfork+fexecve process spawn per native iteration; the
 #: paper measures it "on the order of a hundred microseconds" (§3.5).
@@ -117,6 +127,15 @@ class InstanceLifecycle:
         self.area = None
         #: Executed time since the last stop-the-world GC pause.
         self._since_gc = 0.0
+        #: Iterations started (warm-up + timed + cool-down), for tracing.
+        self._iteration = 0
+
+    def _trace(self, name: str, **args) -> None:
+        TRACE.emit(
+            self.thread.engine.now, name,
+            thread=self.thread.name, core=self.thread.core.index,
+            tgid=self.proc.tgid, **args,
+        )
 
     # ------------------------------------------------------------------
     def _run_compute(self, seconds: float) -> Generator:
@@ -137,6 +156,8 @@ class InstanceLifecycle:
             self._since_gc += step
             seconds -= step
             if self._since_gc >= plan.gc_interval:
+                if TRACE.enabled:
+                    self._trace(GC_PAUSE, duration=plan.gc_duration)
                 yield from self.thread.sleep(plan.gc_duration)
                 self._since_gc = 0.0
 
@@ -169,9 +190,17 @@ class InstanceLifecycle:
         time, but still happen on the machine and therefore show up in
         utilisation, context switches and lock contention.
         """
+        index = self._iteration
+        self._iteration += 1
+        if TRACE.enabled:
+            self._trace(ITER_BEGIN, index=index)
         if self.plan.native:
-            return (yield from self._native_iteration())
-        return (yield from self._wasm_iteration())
+            timed = yield from self._native_iteration()
+        else:
+            timed = yield from self._wasm_iteration()
+        if TRACE.enabled:
+            self._trace(ITER_END, index=index, timed=timed)
+        return timed
 
     # ------------------------------------------------------------------
     def _wasm_iteration(self) -> Generator:
@@ -182,6 +211,8 @@ class InstanceLifecycle:
         # so the grow syscall — and any mmap_lock wait it suffers —
         # is part of the measured execution time.
         timed_start = self.thread.engine.now
+        if TRACE.enabled:
+            self._trace(STRATEGY_GROW_BEGIN, mechanism=strategy.grow_mechanism)
         if strategy.grow_mechanism == "mprotect":
             yield from self.kernel.sys_mprotect(
                 self.thread, self.proc, self.area, 0, plan.memory_bytes,
@@ -189,12 +220,16 @@ class InstanceLifecycle:
             )
         elif strategy.grow_mechanism == "atomic":
             yield from self.thread.run(ATOMIC_GROW_SECONDS, USER)
+        if TRACE.enabled:
+            self._trace(STRATEGY_GROW_END, mechanism=strategy.grow_mechanism)
         yield from self._compute_with_faults(self.area)
         timed = self.thread.engine.now - timed_start
         # Reset (untimed): each iteration runs a *fresh* instance, so
         # the arena returns to demand-zero.  mprotect revokes access
         # under the exclusive lock (the paper's contended path);
         # everything else uses madvise(DONTNEED) under the shared lock.
+        if TRACE.enabled:
+            self._trace(STRATEGY_RESET_BEGIN, mechanism=strategy.reset_mechanism)
         if strategy.reset_mechanism == "mprotect":
             yield from self.kernel.sys_mprotect(
                 self.thread, self.proc, self.area, 0, plan.memory_bytes,
@@ -205,6 +240,8 @@ class InstanceLifecycle:
                 self.thread, self.proc, self.area, 0, plan.memory_bytes,
                 thp=True,
             )
+        if TRACE.enabled:
+            self._trace(STRATEGY_RESET_END, mechanism=strategy.reset_mechanism)
         return timed
 
     def _native_iteration(self) -> Generator:

@@ -24,6 +24,8 @@ from repro.core.engine import (
 )
 from repro.cpu.machine import MACHINE_SPECS
 from repro.runtimes import runtime_named
+from repro.trace.events import SWEEP_GRID
+from repro.trace.tracer import TRACE
 
 #: Row schema: column name → extractor over a MeasurementResult.  CSV
 #: columns derive from this single table, so adding a column here is
@@ -103,7 +105,10 @@ def run_sweep(
 ) -> List[Dict[str, object]]:
     """Run every valid configuration × workload; returns result rows."""
     engine = engine if engine is not None else default_engine()
-    results = engine.run(spec.requests(), progress=progress)
+    requests = spec.requests()
+    if TRACE.enabled:
+        TRACE.emit(0.0, SWEEP_GRID, requests=len(requests))
+    results = engine.run(requests, progress=progress)
     return [row_from(result) for result in results]
 
 

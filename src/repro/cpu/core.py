@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
 from repro.sim.engine import Engine, Event, SimError
+from repro.trace.events import CPU_ACCT, SCHED_IRQ, SCHED_SWITCH
+from repro.trace.tracer import TRACE
 
 if TYPE_CHECKING:
     from repro.cpu.thread import SimThread
@@ -128,7 +130,7 @@ class Core:
             )
             self._schedule_slice_end(self._slice)
             yield end_event
-            self.acct.add(kind, slice_len)
+            self._charge(kind, slice_len)
             self._slice = None
             remaining -= slice_len
             if remaining <= 0:
@@ -151,6 +153,11 @@ class Core:
         if not self.ready:
             # Switch to the idle task (counted by /proc/stat's ctxt).
             self.context_switches += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.engine.now, SCHED_SWITCH, core=self.index,
+                    prev=thread.name, next="idle",
+                )
             self._last_installed = None
         self._dispatch_next()
 
@@ -168,7 +175,11 @@ class Core:
         Charged to the ``irq`` bucket immediately; if a segment is in
         flight its completion is delayed by the service time.
         """
-        self.acct.add(IRQ, service_time)
+        self._charge(IRQ, service_time)
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, SCHED_IRQ, core=self.index, service=service_time
+            )
         if self._slice is not None:
             self._slice.extra_irq_time += service_time
             self._epoch += 1
@@ -178,6 +189,20 @@ class Core:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _charge(self, bucket: str, amount: float) -> None:
+        """Add to an accounting bucket, mirrored into the trace.
+
+        Emitting one ``cpu.acct`` event per addition — in the same order
+        the additions happen — lets the trace summarizer rebuild every
+        ``/proc/stat`` snapshot with bit-identical float arithmetic.
+        """
+        self.acct.add(bucket, amount)
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, CPU_ACCT, core=self.index,
+                bucket=bucket, amount=amount,
+            )
+
     def _schedule_slice_end(self, sl: _Slice) -> None:
         end_time = sl.started_at + sl.work + sl.extra_irq_time
         epoch = sl.epoch
@@ -204,7 +229,14 @@ class Core:
         self.current = thread
         if self._last_installed is not thread:
             self.context_switches += 1
+            if TRACE.enabled:
+                TRACE.emit(
+                    self.engine.now, SCHED_SWITCH, core=self.index,
+                    thread=thread.name,
+                    prev=self._last_installed.name if self._last_installed else "idle",
+                    next=thread.name,
+                )
             if self._last_installed is not None and self.switch_cost > 0:
-                self.acct.add(SYS, self.switch_cost)
+                self._charge(SYS, self.switch_cost)
         self._last_installed = thread
         event.succeed()

@@ -47,6 +47,19 @@ from repro.oskernel.layout import KernelCosts
 from repro.oskernel.vma import Prot, ProtectOutcome
 from repro.sim.engine import Engine
 from repro.sim.resources import RWLock
+from repro.trace.events import (
+    FAULT_ANON,
+    FAULT_UFFD,
+    SIGNAL_SIGSEGV,
+    SYSCALL_MADVISE,
+    SYSCALL_MMAP,
+    SYSCALL_MPROTECT,
+    SYSCALL_MUNMAP,
+    SYSCALL_UFFD_REGISTER,
+    TLB_SHOOTDOWN,
+    VMA_MUTATE,
+)
+from repro.trace.tracer import TRACE
 
 
 class SegFault(Exception):
@@ -146,6 +159,20 @@ class Kernel:
         return proc
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _emit(self, name: str, thread: SimThread, proc: KernelProcess, **args) -> None:
+        """Emit a kernel event attributed to the calling thread.
+
+        Callers guard on ``TRACE.enabled`` so the disabled path stays a
+        single attribute check.
+        """
+        TRACE.emit(
+            self.engine.now, name,
+            thread=thread.name, core=thread.core.index, tgid=proc.tgid, **args,
+        )
+
+    # ------------------------------------------------------------------
     # Syscalls
     # ------------------------------------------------------------------
     def sys_mmap_reserve(
@@ -154,25 +181,47 @@ class Kernel:
         """Reserve a PROT_NONE region (the 8 GiB guard reservation)."""
         c = self.costs
         proc.stats["mmap_calls"] += 1
+        entered = self.engine.now
         yield from thread.run(c.syscall_entry + c.vma_find, SYS)
         yield from _lock_write(thread, proc)
         area = proc.aspace.map_area(length, name=name)
+        if TRACE.enabled:
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="map", area=area.name, bytes=area.length, excl=True,
+            )
         yield from thread.run(c.mmap_write_overhead + c.vma_split, SYS)
         proc.mmap_lock.release_write()
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_MMAP, thread, proc,
+                area=area.name, bytes=area.length, dur=self.engine.now - entered,
+            )
         return area
 
     def sys_munmap(self, thread: SimThread, proc: KernelProcess, area: Area) -> Generator:
         c = self.costs
         proc.stats["munmap_calls"] += 1
+        entered = self.engine.now
         yield from thread.run(c.syscall_entry + c.vma_find, SYS)
         yield from _lock_write(thread, proc)
         zapped = proc.aspace.unmap_area(area)
         proc.stats["pages_zapped"] += zapped
+        if TRACE.enabled:
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="unmap", area=area.name, pages=zapped, excl=True,
+            )
         work = c.mmap_write_overhead + c.vma_merge + zapped * c.pte_zap_per_page
         yield from thread.run(work, SYS)
         if zapped:
             yield from self._shootdown(thread, proc)
         proc.mmap_lock.release_write()
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_MUNMAP, thread, proc,
+                area=area.name, zapped=zapped, dur=self.engine.now - entered,
+            )
         return zapped
 
     def sys_mprotect(
@@ -192,9 +241,16 @@ class Kernel:
         """
         c = self.costs
         proc.stats["mprotect_calls"] += 1
+        entered = self.engine.now
         yield from thread.run(c.syscall_entry + c.vma_find, SYS)
         yield from _lock_write(thread, proc)
         outcome: ProtectOutcome = area.prot_map.protect(offset, offset + length, prot)
+        if TRACE.enabled:
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="protect", area=area.name, prot=int(prot),
+                splits=outcome.splits, merges=outcome.merges, excl=True,
+            )
         work = (
             c.mmap_write_overhead
             + outcome.splits * c.vma_split
@@ -206,11 +262,23 @@ class Kernel:
             # core's TLB flushed before the syscall can return.
             zapped = area.zap(offset, length)
             proc.stats["pages_zapped"] += zapped
+            if TRACE.enabled and zapped:
+                self._emit(
+                    VMA_MUTATE, thread, proc,
+                    op="zap", area=area.name, pages=zapped, excl=True,
+                )
             work += _zap_units(zapped, thp) * c.pte_zap_per_page
         yield from thread.run(work, SYS)
         if zapped:
             yield from self._shootdown(thread, proc)
         proc.mmap_lock.release_write()
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_MPROTECT, thread, proc,
+                area=area.name, prot=int(prot), zapped=zapped,
+                splits=outcome.splits, merges=outcome.merges,
+                dur=self.engine.now - entered,
+            )
         return outcome
 
     def sys_madvise_dontneed(
@@ -225,25 +293,44 @@ class Kernel:
         """Zap a range back to demand-zero; shared mmap_lock."""
         c = self.costs
         proc.stats["madvise_calls"] += 1
+        entered = self.engine.now
         yield from thread.run(c.syscall_entry + c.vma_find, SYS)
         token = yield from _lock_read(thread, proc)
         zapped = area.zap(offset, length)
         proc.stats["pages_zapped"] += zapped
+        if TRACE.enabled and zapped:
+            # PTE zap under the *read* lock (page-table locks serialise
+            # the actual PTEs) — not an exclusive VMA mutation.
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="zap", area=area.name, pages=zapped, excl=False,
+            )
         yield from thread.run(_zap_units(zapped, thp) * c.pte_zap_per_page, SYS)
         if zapped:
             yield from self._shootdown(thread, proc)
         proc.mmap_lock.release_read(token)
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_MADVISE, thread, proc,
+                area=area.name, zapped=zapped, dur=self.engine.now - entered,
+            )
         return zapped
 
     def sys_uffd_register(
         self, thread: SimThread, proc: KernelProcess, area: Area
     ) -> Generator:
         c = self.costs
+        entered = self.engine.now
         yield from thread.run(c.syscall_entry + c.vma_find, SYS)
         yield from _lock_write(thread, proc)
         area.uffd_registered = True
         yield from thread.run(c.mmap_write_overhead, SYS)
         proc.mmap_lock.release_write()
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_UFFD_REGISTER, thread, proc,
+                area=area.name, dur=self.engine.now - entered,
+            )
 
     # ------------------------------------------------------------------
     # Fault paths
@@ -263,18 +350,30 @@ class Kernel:
         mapping; the zero-fill cost is per byte either way.
         """
         c = self.costs
+        entered = self.engine.now
         pages = area.populate(offset, length)
         if pages == 0:
             return 0
         faults = _zap_units(pages, thp)
         proc.stats["anon_faults"] += faults
         proc.stats["pages_populated"] += pages
+        if TRACE.enabled:
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="populate", area=area.name, pages=pages, excl=False,
+            )
         yield from thread.run(faults * c.fault_entry, SYS)
         token = yield from _lock_read(thread, proc)
         yield from thread.run(
             faults * c.pte_set_per_page + pages * c.page_zero_per_page, SYS
         )
         proc.mmap_lock.release_read(token)
+        if TRACE.enabled:
+            self._emit(
+                FAULT_ANON, thread, proc,
+                area=area.name, faults=faults, pages=pages,
+                dur=self.engine.now - entered,
+            )
         return pages
 
     def fault_uffd_batch(
@@ -299,12 +398,18 @@ class Kernel:
         c = self.costs
         if not area.uffd_registered:
             raise SegFault(f"uffd fault on unregistered area {area.name!r}")
+        entered = self.engine.now
         pages = area.populate(offset, length)
         if pages == 0:
             return 0
         faults = -(-pages // max(1, range_pages))
         proc.stats["uffd_faults"] += faults
         proc.stats["pages_populated"] += pages
+        if TRACE.enabled:
+            self._emit(
+                VMA_MUTATE, thread, proc,
+                op="populate", area=area.name, pages=pages, excl=False,
+            )
         yield from thread.run(faults * (c.fault_entry + c.signal_deliver), SYS)
         # Userspace handler: bounds check against the atomic size variable.
         yield from thread.run(faults * 0.05e-6, USER)
@@ -315,6 +420,12 @@ class Kernel:
             SYS,
         )
         proc.mmap_lock.release_read(token)
+        if TRACE.enabled:
+            self._emit(
+                FAULT_UFFD, thread, proc,
+                area=area.name, faults=faults, pages=pages,
+                dur=self.engine.now - entered,
+            )
         return pages
 
     def deliver_sigsegv(self, thread: SimThread) -> Generator:
@@ -322,6 +433,11 @@ class Kernel:
         yield from thread.run(
             self.costs.fault_entry + self.costs.signal_deliver, SYS
         )
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, SIGNAL_SIGSEGV,
+                thread=thread.name, core=thread.core.index, tgid=thread.tgid,
+            )
 
     # ------------------------------------------------------------------
     # TLB shootdown
@@ -337,6 +453,8 @@ class Kernel:
             if core.current is not None and core.current.tgid == proc.tgid:
                 indices.add(core.index)
         indices.discard(thread.core.index)
+        if TRACE.enabled:
+            self._emit(TLB_SHOOTDOWN, thread, proc, targets=len(indices))
         for index in indices:
             self.machine.cores[index].post_irq(c.tlb_ipi_service)
         yield from thread.run(

@@ -47,6 +47,32 @@ class UtilisationSample:
     context_switches_per_sec: float
 
 
+def window_sample(start: StatSnapshot, end: StatSnapshot) -> UtilisationSample:
+    """Derive the paper's utilisation metrics between two snapshots.
+
+    Module-level so the trace summarizer can reuse the *identical*
+    arithmetic when it rebuilds snapshots from ``cpu.acct`` events:
+    reconciliation then compares bit-equal floats, not approximations.
+    """
+    elapsed = end.time - start.time
+    if elapsed <= 0:
+        raise ValueError("measurement window must have positive duration")
+    busy = end.busy - start.busy
+    # 100 % == one core fully busy for the whole window (paper's
+    # rescaled Equation 1).
+    scale = 100.0 / elapsed
+    return UtilisationSample(
+        elapsed=elapsed,
+        busy_time=busy,
+        utilisation_percent=busy * scale,
+        user_percent=(end.user - start.user) * scale,
+        sys_percent=(end.sys - start.sys) * scale,
+        irq_percent=(end.irq - start.irq) * scale,
+        context_switches_per_sec=(end.context_switches - start.context_switches)
+        / elapsed,
+    )
+
+
 class ProcStat:
     """Samples machine accounting the way the harness reads /proc/stat."""
 
@@ -70,20 +96,4 @@ class ProcStat:
         )
 
     def window(self, start: StatSnapshot, end: StatSnapshot) -> UtilisationSample:
-        elapsed = end.time - start.time
-        if elapsed <= 0:
-            raise ValueError("measurement window must have positive duration")
-        busy = end.busy - start.busy
-        # 100 % == one core fully busy for the whole window (paper's
-        # rescaled Equation 1).
-        scale = 100.0 / elapsed
-        return UtilisationSample(
-            elapsed=elapsed,
-            busy_time=busy,
-            utilisation_percent=busy * scale,
-            user_percent=(end.user - start.user) * scale,
-            sys_percent=(end.sys - start.sys) * scale,
-            irq_percent=(end.irq - start.irq) * scale,
-            context_switches_per_sec=(end.context_switches - start.context_switches)
-            / elapsed,
-        )
+        return window_sample(start, end)

@@ -10,6 +10,8 @@ from repro.compiler.timing import cycles_for_profile, interpreter_cycles
 from repro.isa.model import IsaModel
 from repro.runtime.profile import ExecutionProfile
 from repro.runtime.strategies import BoundsStrategy
+from repro.trace.events import RUNTIME_COMPILE, RUNTIME_COSTING
+from repro.trace.tracer import TRACE
 from repro.wasm.module import Module
 
 
@@ -74,9 +76,17 @@ class RuntimeModel:
         if self.compiler is None:
             raise ValueError(f"runtime {self.name} does not compile code")
         key = (id(module), isa.name, strategy.name)
-        if key not in self._cache:
+        cached = key in self._cache
+        if not cached:
             self._cache[key] = (
                 compile_module(module, isa, self.compiler, strategy), module,
+            )
+        if TRACE.enabled:
+            # Pre-simulation work: stamped at t=0 of the enclosing run.
+            TRACE.emit(
+                0.0, RUNTIME_COMPILE,
+                runtime=self.name, isa=isa.name, strategy=strategy.name,
+                cached=cached,
             )
         return self._cache[key][0]
 
@@ -93,6 +103,12 @@ class RuntimeModel:
         key = (id(module), id(profile), isa.name, strategy.name)
         cached = self._cycles_cache.get(key)
         if cached is not None:
+            if TRACE.enabled:
+                TRACE.emit(
+                    0.0, RUNTIME_COSTING,
+                    runtime=self.name, isa=isa.name, strategy=strategy.name,
+                    cycles=cached[0], cached=True,
+                )
             return cached[0]
         if self.kind == "interp":
             result = interpreter_cycles(profile, isa)
@@ -102,6 +118,12 @@ class RuntimeModel:
                 * self.schedule_overhead
             )
         self._cycles_cache[key] = (result, module, profile)
+        if TRACE.enabled:
+            TRACE.emit(
+                0.0, RUNTIME_COSTING,
+                runtime=self.name, isa=isa.name, strategy=strategy.name,
+                cycles=result, cached=False,
+            )
         return result
 
     def compile_seconds(self, module: Module) -> float:

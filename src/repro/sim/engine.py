@@ -20,6 +20,9 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.trace.events import SIM_EXIT, SIM_SPAWN
+from repro.trace.tracer import TRACE
+
 
 class SimError(RuntimeError):
     """Raised for misuse of the simulation engine."""
@@ -114,6 +117,8 @@ class Process:
         self.name = name or getattr(body, "__name__", "process")
         self.done_event = Event(engine, name=f"{self.name}.done")
         self._alive = True
+        if TRACE.enabled:
+            TRACE.emit(engine.now, SIM_SPAWN, thread=self.name)
         engine.call_at(engine.now, lambda: self._step(None, None))
 
     @property
@@ -130,6 +135,8 @@ class Process:
                 yielded = self.body.send(value)
         except StopIteration as stop:
             self._alive = False
+            if TRACE.enabled:
+                TRACE.emit(self.engine.now, SIM_EXIT, thread=self.name)
             self.done_event.succeed(stop.value)
             return
         except BaseException as exc:  # surface process crashes loudly

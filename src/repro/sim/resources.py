@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Deque, Generator, Optional
 
 from repro.sim.engine import Delay, Engine, Event, SimError
+from repro.trace.events import LOCK_ACQUIRE, LOCK_RELEASE
+from repro.trace.tracer import TRACE
 
 
 @dataclass
@@ -64,18 +66,32 @@ class Mutex:
             event = self.engine.event(f"{self.name}.wait")
             self._waiters.append(event)
             yield event
-        self.locked = True
+            # Ownership was handed off in release(): ``locked`` never
+            # dropped, so no same-timestamp acquirer could slip in.
+        else:
+            self.locked = True
         self._acquired_at = self.engine.now
-        self.stats.note_wait(self.engine.now - start)
+        waited = self.engine.now - start
+        self.stats.note_wait(waited)
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_ACQUIRE,
+                lock=self.name, mode="mutex", wait=waited, contended=waited > 0,
+            )
 
     def release(self) -> None:
         if not self.locked:
             raise SimError(f"release of unlocked mutex {self.name!r}")
-        self.stats.total_hold_time += self.engine.now - self._acquired_at
+        hold = self.engine.now - self._acquired_at
+        self.stats.total_hold_time += hold
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_RELEASE,
+                lock=self.name, mode="mutex", hold=hold,
+            )
         if self._waiters:
             # Hand off: the lock stays logically held; the next waiter
             # resumes and immediately owns it.
-            self.locked = False
             self._waiters.popleft().succeed()
         else:
             self.locked = False
@@ -113,11 +129,21 @@ class RWLock:
             event = self.engine.event(f"{self.name}.rd.wait")
             self._queue.append((self.READ, event))
             yield event
-        self.active_readers += 1
-        self.read_stats.note_wait(self.engine.now - start)
+            # _wake_next counted this reader as active at wake time
+            # (hand-off), so a same-timestamp writer cannot slip in
+            # between the wake and this resumption.
+        else:
+            self.active_readers += 1
+        waited = self.engine.now - start
+        self.read_stats.note_wait(waited)
         self._next_reader_token += 1
         token = self._next_reader_token
         self._reader_acquired_at[token] = self.engine.now
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_ACQUIRE,
+                lock=self.name, mode="read", wait=waited, contended=waited > 0,
+            )
         return token
 
     def acquire_write(self) -> Generator:
@@ -126,9 +152,18 @@ class RWLock:
             event = self.engine.event(f"{self.name}.wr.wait")
             self._queue.append((self.WRITE, event))
             yield event
-        self.active_writer = True
-        self.write_stats.note_wait(self.engine.now - start)
+            # Ownership was assigned in _wake_next (hand-off), so no
+            # same-timestamp reader or writer can sneak past the queue.
+        else:
+            self.active_writer = True
+        waited = self.engine.now - start
+        self.write_stats.note_wait(waited)
         self._writer_acquired_at = self.engine.now
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_ACQUIRE,
+                lock=self.name, mode="write", wait=waited, contended=waited > 0,
+            )
 
     # -- release -------------------------------------------------------
     def release_read(self, token: int) -> None:
@@ -136,7 +171,13 @@ class RWLock:
             raise SimError(f"release_read on {self.name!r} with no active readers")
         self.active_readers -= 1
         acquired_at = self._reader_acquired_at.pop(token, self.engine.now)
-        self.read_stats.total_hold_time += self.engine.now - acquired_at
+        hold = self.engine.now - acquired_at
+        self.read_stats.total_hold_time += hold
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_RELEASE,
+                lock=self.name, mode="read", hold=hold,
+            )
         if self.active_readers == 0:
             self._wake_next()
 
@@ -144,7 +185,13 @@ class RWLock:
         if not self.active_writer:
             raise SimError(f"release_write on {self.name!r} with no active writer")
         self.active_writer = False
-        self.write_stats.total_hold_time += self.engine.now - self._writer_acquired_at
+        hold = self.engine.now - self._writer_acquired_at
+        self.write_stats.total_hold_time += hold
+        if TRACE.enabled:
+            TRACE.emit(
+                self.engine.now, LOCK_RELEASE,
+                lock=self.name, mode="write", hold=hold,
+            )
         self._wake_next()
 
     # -- internals -----------------------------------------------------
@@ -154,14 +201,20 @@ class RWLock:
     def _wake_next(self) -> None:
         if not self._queue or self.active_writer or self.active_readers:
             return
+        # Grants transfer ownership *now*, before the woken process
+        # resumes: otherwise a same-timestamp fast-path acquirer could
+        # observe the lock free and overlap the woken owner (a race the
+        # trace property suite caught).
         kind, _ = self._queue[0]
         if kind == self.WRITE:
             _, event = self._queue.popleft()
+            self.active_writer = True
             event.succeed()
         else:
             # Grant the whole run of readers at the head of the queue.
             while self._queue and self._queue[0][0] == self.READ:
                 _, event = self._queue.popleft()
+                self.active_readers += 1
                 event.succeed()
 
 

@@ -1,0 +1,78 @@
+"""Export traces to Chrome's ``trace_event`` JSON format.
+
+The output loads directly into ``chrome://tracing`` / Perfetto's legacy
+importer: span events (names ending ``.begin``/``.end``) become B/E
+duration pairs on one track per simulated thread, everything else
+becomes an instant event.  Simulated seconds map to microseconds, the
+process id is the simulated ``tgid``, and thread names are attached via
+metadata events so the UI labels tracks ``worker0``, ``helper1``, etc.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.trace.events import RUN_META, TraceEvent
+
+_BEGIN = ".begin"
+_END = ".end"
+
+
+def to_chrome(events: Sequence[TraceEvent]) -> dict:
+    """Convert events into a ``chrome://tracing``-loadable document."""
+    tids: Dict[str, int] = {}
+    thread_pids: Dict[str, int] = {}
+    out: List[dict] = []
+
+    def tid_for(thread: str, tgid: int) -> int:
+        if thread not in tids:
+            tids[thread] = len(tids) + 1
+            thread_pids[thread] = tgid
+        return tids[thread]
+
+    for event in events:
+        name = event.name
+        if name == RUN_META:
+            # run.meta opens the run segment that run.end closes.
+            phase, name = "B", "run"
+        elif name.endswith(_BEGIN):
+            phase, name = "B", name[: -len(_BEGIN)]
+        elif name.endswith(_END):
+            phase, name = "E", name[: -len(_END)]
+        else:
+            phase = "i"
+        record = {
+            "name": name,
+            "cat": event.cat or "trace",
+            "ph": phase,
+            "ts": event.ts * 1e6,
+            "pid": event.tgid,
+            "tid": tid_for(event.thread or "<global>", event.tgid),
+        }
+        if phase == "i":
+            record["s"] = "t"  # instant scope: thread
+        args = dict(event.args)
+        args["seq"] = event.seq
+        if event.core >= 0:
+            args["core"] = event.core
+        record["args"] = args
+        out.append(record)
+
+    # Thread-name metadata so tracks carry simulated thread names.
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": thread_pids[thread],
+            "tid": tid,
+            "args": {"name": thread},
+        }
+        for thread, tid in tids.items()
+    ]
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(events: Sequence[TraceEvent], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(events), handle)

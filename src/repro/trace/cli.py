@@ -1,0 +1,102 @@
+"""``leaps-bench trace`` — record, summarize, and export event traces.
+
+Usage::
+
+    leaps-bench trace record --workload trisolv --runtime wavm \
+        --strategy mprotect --threads 4 [-o trace.jsonl] [--chrome out.json]
+    leaps-bench trace summarize trace.jsonl [--json]
+    leaps-bench trace export trace.jsonl -o chrome.json
+
+``record`` runs one benchmark configuration with tracing on, streams
+events to a JSONL file, and prints the summarized trace.  ``summarize``
+aggregates an existing trace into per-phase/per-lock/per-strategy
+counters (``--json`` for the machine-readable form).  ``export``
+converts a trace to Chrome's ``trace_event`` format for
+``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="leaps-bench trace",
+        description="record, summarize, and export simulation event traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run one benchmark with tracing on")
+    record.add_argument("--workload", required=True)
+    record.add_argument("--runtime", required=True)
+    record.add_argument("--strategy", required=True)
+    record.add_argument("--isa", default="x86_64")
+    record.add_argument("--threads", type=int, default=1)
+    record.add_argument("--size", default="small")
+    record.add_argument("--iterations", type=int, default=3)
+    record.add_argument("--warmup", type=int, default=1)
+    record.add_argument("-o", "--output", default="trace.jsonl",
+                        help="JSONL trace file to write (default: trace.jsonl)")
+    record.add_argument("--chrome", metavar="PATH",
+                        help="also export Chrome trace_event JSON to PATH")
+
+    summarize = sub.add_parser("summarize", help="aggregate a recorded trace")
+    summarize.add_argument("trace", help="JSONL trace file")
+    summarize.add_argument("--json", action="store_true",
+                           help="print the summary as JSON")
+
+    export = sub.add_parser("export", help="convert a trace to Chrome format")
+    export.add_argument("trace", help="JSONL trace file")
+    export.add_argument("-o", "--output", default="chrome-trace.json")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    # Deferred imports keep `trace --help` fast and the package cycle-free.
+    from repro.trace import chrome, summary
+    from repro.trace.tracer import JsonlSink, read_jsonl, tracing
+
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "record":
+        from repro.core.harness import run_benchmark
+
+        with tracing(JsonlSink(args.output)) as sink:
+            run_benchmark(
+                args.workload, args.runtime, args.strategy, args.isa,
+                threads=args.threads, size=args.size,
+                iterations=args.iterations, warmup=args.warmup,
+            )
+        events = read_jsonl(args.output)
+        print(f"wrote {sink.count} events to {args.output}")
+        if args.chrome:
+            chrome.write_chrome(events, args.chrome)
+            print(f"wrote Chrome trace to {args.chrome}")
+        print(summary.render(summary.summarize(events)))
+        return 0
+
+    events = read_jsonl(args.trace)
+    if args.command == "summarize":
+        aggregated = summary.summarize(events)
+        if args.json:
+            json.dump(aggregated, sys.stdout, indent=2)
+            print()
+        else:
+            print(summary.render(aggregated))
+        problems = summary.check_invariants(events)
+        for problem in problems:
+            print(f"invariant violation: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    # export
+    chrome.write_chrome(events, args.output)
+    print(f"wrote Chrome trace to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

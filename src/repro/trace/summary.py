@@ -1,0 +1,588 @@
+"""Trace aggregation, invariant checking, and measurement reconciliation.
+
+Three consumers share this module:
+
+* ``leaps-bench trace summarize`` renders :func:`summarize` output for
+  humans (and ``--json`` for machines);
+* the golden-trace regression suite asserts :func:`check_invariants`
+  finds nothing and that :func:`golden_counters` matches the committed
+  goldens;
+* the differential tests call :func:`reconcile` to prove the
+  trace-derived totals equal what the sweep/measurement path reports —
+  **bit-exactly** for floats, because snapshots are replayed with the
+  same additions in the same order and pushed through the same
+  :func:`repro.oskernel.procstat.window_sample` arithmetic.
+
+The timed measurement window is delimited by the harness's
+``phase.timed.begin``/``end`` marker events; alignment uses trace
+sequence numbers (not timestamps) so events coinciding with a snapshot
+instant land on the same side of the window as the counters saw them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.oskernel.procstat import StatSnapshot, window_sample
+from repro.trace.events import (
+    CPU_ACCT,
+    FAULT_ANON,
+    FAULT_UFFD,
+    GC_PAUSE,
+    ITER_BEGIN,
+    ITER_END,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    PHASE_TIMED_BEGIN,
+    PHASE_TIMED_END,
+    RUN_END,
+    RUN_META,
+    RUNTIME_COMPILE,
+    RUNTIME_COSTING,
+    SCHED_IRQ,
+    SCHED_SWITCH,
+    STRATEGY_GROW_BEGIN,
+    STRATEGY_GROW_END,
+    STRATEGY_RESET_BEGIN,
+    STRATEGY_RESET_END,
+    SYSCALL_MADVISE,
+    SYSCALL_MMAP,
+    SYSCALL_MPROTECT,
+    SYSCALL_MUNMAP,
+    TLB_SHOOTDOWN,
+    TraceEvent,
+    VMA_MUTATE,
+)
+
+_BUCKETS = ("user", "sys", "irq", "softirq")
+
+#: kernel_stats key → (event name, how to count it).  ``None`` sums 1
+#: per event; a string sums that args key.  This single table is both
+#: the reconciliation contract and the summarizer's fault section.
+KERNEL_STAT_EVENTS: Dict[str, Tuple[str, Optional[str]]] = {
+    "mprotect_calls": (SYSCALL_MPROTECT, None),
+    "madvise_calls": (SYSCALL_MADVISE, None),
+    "mmap_calls": (SYSCALL_MMAP, None),
+    "munmap_calls": (SYSCALL_MUNMAP, None),
+    "anon_faults": (FAULT_ANON, "faults"),
+    "uffd_faults": (FAULT_UFFD, "faults"),
+    "shootdowns": (TLB_SHOOTDOWN, None),
+}
+
+
+# --------------------------------------------------------------------------
+# Window markers and snapshot replay
+# --------------------------------------------------------------------------
+
+def window_markers(
+    events: Sequence[TraceEvent],
+) -> Tuple[Optional[TraceEvent], Optional[TraceEvent]]:
+    """The timed-phase boundary markers (first begin, first end after it)."""
+    begin = end = None
+    for event in events:
+        if begin is None and event.name == PHASE_TIMED_BEGIN:
+            begin = event
+        elif begin is not None and event.name == PHASE_TIMED_END:
+            end = event
+            break
+    return begin, end
+
+
+def replay_stat_snapshot(
+    events: Sequence[TraceEvent], marker: TraceEvent
+) -> StatSnapshot:
+    """Rebuild the ``/proc/stat`` snapshot taken alongside ``marker``.
+
+    Accumulates every ``cpu.acct`` addition before the marker per
+    (core, bucket) in emission order, then combines per-core totals in
+    core-index order — the exact float operations the live snapshot
+    performed, so the result is bit-identical, not approximately equal.
+    """
+    per_core: Dict[Tuple[int, str], float] = {}
+    cores: set = set()
+    switches = 0
+    for event in events:
+        if event.seq >= marker.seq:
+            break
+        if event.name == CPU_ACCT:
+            key = (event.core, event.args["bucket"])
+            per_core[key] = per_core.get(key, 0.0) + event.args["amount"]
+            cores.add(event.core)
+        elif event.name == SCHED_SWITCH:
+            switches += 1
+    totals = dict.fromkeys(_BUCKETS, 0.0)
+    for core in sorted(cores):
+        for bucket in _BUCKETS:
+            totals[bucket] += per_core.get((core, bucket), 0.0)
+    return StatSnapshot(
+        time=marker.ts,
+        user=totals["user"],
+        sys=totals["sys"],
+        irq=totals["irq"],
+        softirq=totals["softirq"],
+        context_switches=switches,
+    )
+
+
+# --------------------------------------------------------------------------
+# Aggregation
+# --------------------------------------------------------------------------
+
+def _lock_table(events: Iterable[TraceEvent]) -> Dict[str, dict]:
+    """Per-lock, per-mode counters in lock first-seen order."""
+    locks: Dict[str, dict] = {}
+    for event in events:
+        if event.name not in (LOCK_ACQUIRE, LOCK_RELEASE):
+            continue
+        name = event.args["lock"]
+        mode = event.args["mode"]
+        table = locks.setdefault(name, {})
+        entry = table.setdefault(
+            mode,
+            {
+                "acquisitions": 0,
+                "contended": 0,
+                "releases": 0,
+                "wait": 0.0,
+                "max_wait": 0.0,
+                "hold": 0.0,
+            },
+        )
+        if event.name == LOCK_ACQUIRE:
+            entry["acquisitions"] += 1
+            wait = event.args["wait"]
+            if event.args["contended"]:
+                entry["contended"] += 1
+                entry["wait"] += wait
+                if wait > entry["max_wait"]:
+                    entry["max_wait"] = wait
+        else:
+            entry["releases"] += 1
+            entry["hold"] += event.args["hold"]
+    return locks
+
+
+def _kernel_counters(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    counters = dict.fromkeys(KERNEL_STAT_EVENTS, 0)
+    counters["pages_populated"] = 0
+    counters["pages_zapped"] = 0
+    for event in events:
+        for stat, (name, arg) in KERNEL_STAT_EVENTS.items():
+            if event.name == name:
+                counters[stat] += 1 if arg is None else event.args[arg]
+        if event.name == VMA_MUTATE:
+            op = event.args["op"]
+            if op == "populate":
+                counters["pages_populated"] += event.args["pages"]
+            elif op in ("zap", "unmap"):
+                counters["pages_zapped"] += event.args["pages"]
+    return counters
+
+
+def summarize(events: Sequence[TraceEvent]) -> dict:
+    """Aggregate a trace into per-phase/per-lock/per-strategy counters."""
+    counts = Counter(event.name for event in events)
+    runs = [dict(event.args) for event in events if event.name == RUN_META]
+    begin, end = window_markers(events)
+    windowed = (
+        [e for e in events if begin.seq < e.seq < end.seq]
+        if begin is not None and end is not None
+        else []
+    )
+
+    strategies: Dict[str, Counter] = {"grow": Counter(), "reset": Counter()}
+    gc_pauses = 0
+    for event in events:
+        if event.name == STRATEGY_GROW_BEGIN:
+            strategies["grow"][event.args["mechanism"]] += 1
+        elif event.name == STRATEGY_RESET_BEGIN:
+            strategies["reset"][event.args["mechanism"]] += 1
+        elif event.name == GC_PAUSE:
+            gc_pauses += 1
+
+    summary = {
+        "events": len(events),
+        "span": (
+            [events[0].ts, max(e.ts for e in events)] if events else [0.0, 0.0]
+        ),
+        "runs": runs,
+        "counts": dict(sorted(counts.items())),
+        "locks": _lock_table(events),
+        "kernel": _kernel_counters(events),
+        "sched": {
+            "context_switches": counts[SCHED_SWITCH],
+            "irqs": counts[SCHED_IRQ],
+        },
+        "strategies": {
+            kind: dict(sorted(table.items()))
+            for kind, table in strategies.items()
+        },
+        "gc_pauses": gc_pauses,
+        "runtime": {
+            "compiles": counts[RUNTIME_COMPILE],
+            "costings": counts[RUNTIME_COSTING],
+        },
+        "iterations": {
+            "started": counts[ITER_BEGIN],
+            "finished": counts[ITER_END],
+        },
+        "window": None,
+    }
+
+    if begin is not None and end is not None:
+        start_snap = replay_stat_snapshot(events, begin)
+        end_snap = replay_stat_snapshot(events, end)
+        sample = window_sample(start_snap, end_snap)
+        summary["window"] = {
+            "begin_ts": begin.ts,
+            "end_ts": end.ts,
+            "elapsed": sample.elapsed,
+            "context_switches": (
+                end_snap.context_switches - start_snap.context_switches
+            ),
+            "context_switches_per_sec": sample.context_switches_per_sec,
+            "utilisation_percent": sample.utilisation_percent,
+            "user_percent": sample.user_percent,
+            "sys_percent": sample.sys_percent,
+            "irq_percent": sample.irq_percent,
+            "locks": _lock_table(windowed),
+            "kernel": _kernel_counters(windowed),
+        }
+    return summary
+
+
+def contention_events(summary: dict, lock_prefix: str = "mmap_lock") -> int:
+    """Contended acquisitions of matching locks inside the timed window.
+
+    This is the headline check for the paper's story: a multithreaded
+    ``mprotect`` run reports a positive count here while the matching
+    ``uffd`` run reports zero.
+    """
+    window = summary.get("window")
+    table = (window or summary)["locks"]
+    total = 0
+    for name, modes in table.items():
+        if name.startswith(lock_prefix):
+            for entry in modes.values():
+                total += entry["contended"]
+    return total
+
+
+# --------------------------------------------------------------------------
+# Structural invariants
+# --------------------------------------------------------------------------
+
+def check_invariants(events: Sequence[TraceEvent]) -> List[str]:
+    """Structural checks any well-formed trace must satisfy.
+
+    Returns human-readable violation strings (empty list == clean):
+
+    * ``seq`` strictly increasing; ``ts`` non-decreasing inside each
+      run segment (``run.meta`` .. ``run.end``);
+    * no negative lock wait or hold times;
+    * lock state machine: balanced acquire/release per (lock, mode),
+      never a writer alongside readers or a second writer, never a
+      release without a holder;
+    * exclusive VMA mutations only while that process's ``mmap_lock``
+      writer is active;
+    * paired begin/end spans (strategy grow/reset, iterations, timed
+      phase markers).
+    """
+    problems: List[str] = []
+    last_seq = 0
+    in_run = False
+    last_ts = 0.0
+    readers: Dict[str, int] = {}
+    writers: Dict[str, int] = {}
+    spans = Counter()
+
+    for event in events:
+        if event.seq <= last_seq:
+            problems.append(
+                f"seq not strictly increasing at {event.name} ({event.seq})"
+            )
+        last_seq = event.seq
+
+        if event.name == RUN_META:
+            in_run = True
+            last_ts = event.ts
+        elif event.name == RUN_END:
+            in_run = False
+        elif in_run:
+            if event.ts < last_ts:
+                problems.append(
+                    f"time went backwards at seq {event.seq} ({event.name}): "
+                    f"{event.ts} < {last_ts}"
+                )
+            last_ts = event.ts
+
+        if event.name == LOCK_ACQUIRE:
+            lock, mode = event.args["lock"], event.args["mode"]
+            if event.args["wait"] < 0:
+                problems.append(f"negative wait on {lock} at seq {event.seq}")
+            if mode == "read":
+                if writers.get(lock):
+                    problems.append(
+                        f"reader acquired {lock} while writer active "
+                        f"(seq {event.seq})"
+                    )
+                readers[lock] = readers.get(lock, 0) + 1
+            elif mode in ("write", "mutex"):
+                if writers.get(lock) or readers.get(lock):
+                    problems.append(
+                        f"exclusive acquire of held {lock} (seq {event.seq})"
+                    )
+                writers[lock] = writers.get(lock, 0) + 1
+        elif event.name == LOCK_RELEASE:
+            lock, mode = event.args["lock"], event.args["mode"]
+            if event.args["hold"] < 0:
+                problems.append(f"negative hold on {lock} at seq {event.seq}")
+            holders = readers if mode == "read" else writers
+            if not holders.get(lock):
+                problems.append(
+                    f"{mode} release of unheld {lock} (seq {event.seq})"
+                )
+            else:
+                holders[lock] -= 1
+        elif event.name == VMA_MUTATE and event.args.get("excl"):
+            lock = f"mmap_lock.{event.tgid}"
+            if not writers.get(lock):
+                problems.append(
+                    f"exclusive VMA mutation ({event.args['op']}) outside "
+                    f"{lock} write hold (seq {event.seq})"
+                )
+
+        # Span pairing.  run.meta/run.end and the timed-phase markers
+        # are *global* brackets (begin and end can come from different
+        # threads: whichever worker crosses the barrier last emits the
+        # marker), so they pair without the thread key.
+        if event.name == RUN_META:
+            spans[("run", "")] += 1
+        elif event.name == RUN_END:
+            spans[("run", "")] -= 1
+        elif event.name == PHASE_TIMED_BEGIN:
+            spans[("phase.timed", "")] += 1
+        elif event.name == PHASE_TIMED_END:
+            spans[("phase.timed", "")] -= 1
+        elif event.name.endswith(".begin"):
+            spans[(event.name[: -len(".begin")], event.thread)] += 1
+        elif event.name.endswith(".end"):
+            spans[(event.name[: -len(".end")], event.thread)] -= 1
+
+    for lock, count in readers.items():
+        if count:
+            problems.append(f"{count} unreleased read hold(s) on {lock}")
+    for lock, count in writers.items():
+        if count:
+            problems.append(f"{count} unreleased exclusive hold(s) on {lock}")
+    for (span, thread), depth in spans.items():
+        if depth:
+            problems.append(
+                f"unbalanced {span} span for {thread or '<global>'} ({depth:+d})"
+            )
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Reconciliation against a RunMeasurement
+# --------------------------------------------------------------------------
+
+def reconcile(events: Sequence[TraceEvent], measurement) -> List[str]:
+    """Cross-check trace-derived totals against a ``RunMeasurement``.
+
+    The measurement argument is a :class:`repro.core.harness.RunMeasurement`
+    (duck-typed to avoid the import).  Returns mismatch descriptions;
+    empty list means the two accounting paths agree exactly.
+    """
+    problems: List[str] = []
+    begin, end = window_markers(events)
+    if begin is None or end is None:
+        return ["trace has no timed-phase markers; was it recorded mid-run?"]
+
+    start_snap = replay_stat_snapshot(events, begin)
+    end_snap = replay_stat_snapshot(events, end)
+    sample = window_sample(start_snap, end_snap)
+    reported = measurement.utilisation
+    for field in (
+        "elapsed",
+        "busy_time",
+        "utilisation_percent",
+        "user_percent",
+        "sys_percent",
+        "irq_percent",
+        "context_switches_per_sec",
+    ):
+        derived = getattr(sample, field)
+        expected = getattr(reported, field)
+        if derived != expected:
+            problems.append(
+                f"utilisation.{field}: trace-derived {derived!r} != "
+                f"measured {expected!r}"
+            )
+
+    counters = _kernel_counters(events)
+    for stat in list(KERNEL_STAT_EVENTS) + ["pages_populated", "pages_zapped"]:
+        expected = measurement.kernel_stats.get(stat, 0)
+        if counters[stat] != expected:
+            problems.append(
+                f"kernel_stats[{stat}]: trace-derived {counters[stat]} != "
+                f"measured {expected}"
+            )
+
+    for mode, attribute in (("read", "mmap_read_wait"), ("write", "mmap_write_wait")):
+        derived = _replayed_wait(events, mode)
+        expected = getattr(measurement, attribute)
+        if derived != expected:
+            problems.append(
+                f"{attribute}: trace-derived {derived!r} != measured {expected!r}"
+            )
+    return problems
+
+
+def _replayed_wait(events: Sequence[TraceEvent], mode: str) -> float:
+    """Total mmap_lock wait for a mode, replayed in LockStats order.
+
+    Per lock, waits accumulate chronologically (only contended
+    acquisitions add, mirroring ``LockStats.note_wait``); locks then
+    combine in first-seen order — the same order the harness sums
+    per-process stats — keeping float addition order identical.
+    """
+    per_lock: Dict[str, float] = {}
+    for event in events:
+        if event.name != LOCK_ACQUIRE or event.args["mode"] != mode:
+            continue
+        if not event.args["lock"].startswith("mmap_lock"):
+            continue
+        lock = event.args["lock"]
+        per_lock.setdefault(lock, 0.0)
+        if event.args["contended"]:
+            per_lock[lock] += event.args["wait"]
+    total = 0.0
+    for value in per_lock.values():  # insertion order == first-seen order
+        total += value
+    return total
+
+
+# --------------------------------------------------------------------------
+# Golden counters + rendering
+# --------------------------------------------------------------------------
+
+def golden_counters(summary: dict) -> dict:
+    """The integer-only, regression-stable subset of a summary.
+
+    Golden files hold only event *counts* — no simulated durations — so
+    they pin the bookkeeping structure of the stack (lock discipline,
+    fault batching, switch counts) without breaking on cost-table
+    recalibration that merely moves timestamps.  ``runtime.compile`` is
+    excluded: the costing cache legitimately skips compilation when a
+    configuration was already priced in this process, so its count
+    reflects host-process cache warmth, not simulated behaviour.
+    """
+    window = summary["window"] or {}
+    counts = {
+        name: count
+        for name, count in summary["counts"].items()
+        if name != RUNTIME_COMPILE
+    }
+
+    def lock_ints(table: dict) -> dict:
+        return {
+            name: {
+                mode: {
+                    "acquisitions": entry["acquisitions"],
+                    "contended": entry["contended"],
+                    "releases": entry["releases"],
+                }
+                for mode, entry in sorted(modes.items())
+            }
+            for name, modes in sorted(table.items())
+        }
+
+    return {
+        "counts": counts,
+        "locks": lock_ints(summary["locks"]),
+        "kernel": summary["kernel"],
+        "strategies": summary["strategies"],
+        "iterations": summary["iterations"],
+        "window": {
+            "context_switches": window.get("context_switches"),
+            "locks": lock_ints(window.get("locks", {})),
+            "kernel": window.get("kernel"),
+        },
+    }
+
+
+def render(summary: dict) -> str:
+    """Human-readable multi-line report for ``trace summarize``."""
+    lines: List[str] = []
+    span = summary["span"]
+    lines.append(
+        f"trace: {summary['events']} events over "
+        f"{span[1] - span[0]:.6f}s simulated"
+    )
+    for run in summary["runs"]:
+        lines.append(
+            "  run: {workload} {runtime}/{strategy}/{isa} t{threads} "
+            "({size}, {iterations}+{warmup} iters)".format(**run)
+        )
+    lines.append("  events by name:")
+    for name, count in summary["counts"].items():
+        lines.append(f"    {name:<24} {count}")
+    lines.append("  locks (whole run):")
+    for name, modes in summary["locks"].items():
+        for mode, entry in sorted(modes.items()):
+            lines.append(
+                f"    {name} [{mode}]: {entry['acquisitions']} acq "
+                f"({entry['contended']} contended, wait {entry['wait'] * 1e3:.3f}ms, "
+                f"max {entry['max_wait'] * 1e3:.3f}ms, "
+                f"hold {entry['hold'] * 1e3:.3f}ms)"
+            )
+    kernel = summary["kernel"]
+    lines.append(
+        "  kernel: {mprotect_calls} mprotect, {madvise_calls} madvise, "
+        "{mmap_calls} mmap, {munmap_calls} munmap, {anon_faults} anon faults, "
+        "{uffd_faults} uffd faults, {shootdowns} shootdowns, "
+        "{pages_populated} pages populated, {pages_zapped} zapped".format(**kernel)
+    )
+    for kind in ("grow", "reset"):
+        table = summary["strategies"][kind]
+        if table:
+            mechanisms = ", ".join(f"{m}×{c}" for m, c in table.items())
+            lines.append(f"  strategy {kind}: {mechanisms}")
+    lines.append(
+        f"  sched: {summary['sched']['context_switches']} context switches, "
+        f"{summary['sched']['irqs']} irqs; gc pauses: {summary['gc_pauses']}"
+    )
+    lines.append(
+        f"  runtime: {summary['runtime']['compiles']} compiles, "
+        f"{summary['runtime']['costings']} costings; iterations: "
+        f"{summary['iterations']['finished']} finished"
+    )
+    window = summary["window"]
+    if window is None:
+        lines.append("  timed window: no phase markers in trace")
+    else:
+        lines.append(
+            f"  timed window [{window['begin_ts']:.6f}s – {window['end_ts']:.6f}s] "
+            f"(elapsed {window['elapsed']:.6f}s):"
+        )
+        lines.append(
+            f"    context switches: {window['context_switches']} "
+            f"({window['context_switches_per_sec']:.1f}/s)"
+        )
+        lines.append(
+            f"    utilisation: {window['utilisation_percent']:.1f}% "
+            f"(user {window['user_percent']:.1f}%, sys {window['sys_percent']:.1f}%, "
+            f"irq {window['irq_percent']:.1f}%)"
+        )
+        for name, modes in window["locks"].items():
+            for mode, entry in sorted(modes.items()):
+                lines.append(
+                    f"    {name} [{mode}]: {entry['acquisitions']} acq "
+                    f"({entry['contended']} contended, "
+                    f"wait {entry['wait'] * 1e3:.3f}ms)"
+                )
+        contended = contention_events(summary)
+        lines.append(f"    mmap_lock contention events: {contended}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Shared pytest plumbing for the test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files instead of comparing to them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--regen-golden")

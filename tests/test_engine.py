@@ -24,6 +24,12 @@ from repro.core.runner import FIELDS, SweepSpec, run_sweep, to_csv
 
 @pytest.fixture(autouse=True)
 def isolated_caches(tmp_path, monkeypatch):
+    """Point every cache at tmp_path; yields the measurements dir.
+
+    Cache-writing tests ALSO pass this directory explicitly as
+    ``cache_dir=`` so they cannot leak a stray ``.cache/measurements``
+    into the working tree even if the env-var plumbing changes.
+    """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "profiles"))
     monkeypatch.setenv(
         "REPRO_MEASUREMENT_CACHE_DIR", str(tmp_path / "measurements")
@@ -43,17 +49,17 @@ REQUEST = MeasurementRequest(
 
 class TestMeasurementCache:
     def test_miss_then_hit(self, isolated_caches):
-        eng = MeasurementEngine()
+        eng = MeasurementEngine(cache_dir=isolated_caches)
         first = eng.measure_one(REQUEST)
         assert not first.cache_hit
         files = list(isolated_caches.glob("trisolv-mini-*.json"))
         assert len(files) == 1
-        second = MeasurementEngine().measure_one(REQUEST)
+        second = MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST)
         assert second.cache_hit
         assert second.measurement == first.measurement
 
     def test_memory_cache_skips_disk(self, isolated_caches):
-        eng = MeasurementEngine()
+        eng = MeasurementEngine(cache_dir=isolated_caches)
         first = eng.measure_one(REQUEST)
         for path in isolated_caches.glob("*.json"):
             path.unlink()
@@ -62,13 +68,13 @@ class TestMeasurementCache:
         assert again.measurement == first.measurement
 
     def test_cache_disabled(self, isolated_caches):
-        eng = MeasurementEngine(cache=False)
+        eng = MeasurementEngine(cache=False, cache_dir=isolated_caches)
         eng.measure_one(REQUEST)
         assert not list(isolated_caches.glob("*.json"))
         assert not eng.measure_one(REQUEST).cache_hit
 
     def test_distinct_configurations_distinct_entries(self, isolated_caches):
-        eng = MeasurementEngine()
+        eng = MeasurementEngine(cache_dir=isolated_caches)
         other = dataclasses.replace(REQUEST, strategy="none")
         assert eng.key_for(REQUEST) != eng.key_for(other)
         eng.run([REQUEST, other])
@@ -103,22 +109,22 @@ class TestMeasurementCache:
         assert after != before
 
     def test_corrupt_entry_recomputed(self, isolated_caches):
-        MeasurementEngine().measure_one(REQUEST)
+        MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST)
         path = next(isolated_caches.glob("*.json"))
         path.write_text("{not json")
-        result = MeasurementEngine().measure_one(REQUEST)
+        result = MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST)
         assert not result.cache_hit
         assert result.measurement.median_iteration > 0
         # The corrupt file was overwritten with a valid entry.
-        assert MeasurementEngine().measure_one(REQUEST).cache_hit
+        assert MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST).cache_hit
 
     def test_wrong_key_in_entry_recomputed(self, isolated_caches):
-        MeasurementEngine().measure_one(REQUEST)
+        MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST)
         path = next(isolated_caches.glob("*.json"))
         raw = json.loads(path.read_text())
         raw["key"] = "0" * 64
         path.write_text(json.dumps(raw))
-        assert not MeasurementEngine().measure_one(REQUEST).cache_hit
+        assert not MeasurementEngine(cache_dir=isolated_caches).measure_one(REQUEST).cache_hit
 
     def test_round_trip_is_exact(self):
         result = MeasurementEngine(cache=False).measure_one(REQUEST)
@@ -151,8 +157,8 @@ class TestParallelDeterminism:
         assert parallel_blob == serial_blob
 
     def test_parallel_populates_shared_cache(self, isolated_caches):
-        MeasurementEngine(jobs=4).run(self.GRID)
-        results = MeasurementEngine(jobs=1).run(self.GRID)
+        MeasurementEngine(jobs=4, cache_dir=isolated_caches).run(self.GRID)
+        results = MeasurementEngine(jobs=1, cache_dir=isolated_caches).run(self.GRID)
         assert all(r.cache_hit for r in results)
 
     def test_duplicate_requests_computed_once(self):
@@ -171,13 +177,13 @@ class TestSweepIntegration:
         iterations=2,
     )
 
-    def test_rows_carry_cache_and_elapsed_columns(self):
-        rows = run_sweep(self.SPEC, engine=MeasurementEngine())
+    def test_rows_carry_cache_and_elapsed_columns(self, isolated_caches):
+        rows = run_sweep(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
         assert {"cache_hit", "elapsed_s"} <= set(FIELDS)
         for row in rows:
             assert row["cache_hit"] in (0, 1)
             assert row["elapsed_s"] >= 0
-        again = run_sweep(self.SPEC, engine=MeasurementEngine())
+        again = run_sweep(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
         assert all(row["cache_hit"] == 1 for row in again)
 
     def test_requests_are_workload_major(self):

@@ -1,0 +1,136 @@
+"""Golden-trace regression suite (satellite 1).
+
+One PolyBench workload (trisolv) crossed with the four wasm
+bounds-checking strategies and two thread counts, each run traced and
+checked three ways:
+
+* structural invariants (every mmap_lock acquire has a release, no
+  negative wait/hold, exclusive VMA mutations only under the writer);
+* strategy-specific lock-discipline assertions (uffd's grow path never
+  touches the kernel, mprotect's takes the writer every iteration);
+* the integer-only :func:`golden_counters` projection against the
+  committed golden file.
+
+The goldens pin event *counts*, not simulated durations, so cost-table
+recalibrations that only move timestamps do not churn them.  After an
+intentional behaviour change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_trace_golden.py --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.harness import run_benchmark
+from repro.trace import summary as trace_summary
+from repro.trace.events import (
+    STRATEGY_GROW_BEGIN,
+    STRATEGY_GROW_END,
+)
+from repro.trace.tracer import tracing
+
+pytestmark = pytest.mark.trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden_traces"
+
+WORKLOAD, RUNTIME, ISA = "trisolv", "wavm", "x86_64"
+ITERATIONS, WARMUP = 2, 1
+GRID = [
+    (strategy, threads)
+    for strategy in ("clamp", "trap", "mprotect", "uffd")
+    for threads in (1, 4)
+]
+
+
+def _traced_run(strategy, threads):
+    with tracing() as sink:
+        run_benchmark(
+            WORKLOAD, RUNTIME, strategy, ISA,
+            threads=threads, size="mini",
+            iterations=ITERATIONS, warmup=WARMUP,
+        )
+    return sink.events
+
+
+def _window_lock_modes(summary):
+    """Mode tables for mmap_lock entries inside the timed window."""
+    merged = {}
+    for name, modes in summary["window"]["locks"].items():
+        if name.startswith("mmap_lock"):
+            for mode, entry in modes.items():
+                bucket = merged.setdefault(
+                    mode, {"acquisitions": 0, "contended": 0}
+                )
+                bucket["acquisitions"] += entry["acquisitions"]
+                bucket["contended"] += entry["contended"]
+    return merged
+
+
+@pytest.mark.parametrize("strategy,threads", GRID)
+def test_golden_trace(strategy, threads, regen_golden):
+    events = _traced_run(strategy, threads)
+    assert trace_summary.check_invariants(events) == []
+
+    summary = trace_summary.summarize(events)
+    counters = trace_summary.golden_counters(summary)
+
+    golden_path = GOLDEN_DIR / f"{WORKLOAD}-{RUNTIME}-{strategy}-t{threads}.json"
+    if regen_golden:
+        golden_path.parent.mkdir(exist_ok=True)
+        golden_path.write_text(json.dumps(counters, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {golden_path.name}")
+    expected = json.loads(golden_path.read_text())
+    assert counters == expected, (
+        f"trace counters diverged from {golden_path.name}; if the change "
+        "is intentional, rerun with --regen-golden"
+    )
+
+
+@pytest.mark.parametrize("strategy,threads", GRID)
+def test_lock_discipline(strategy, threads):
+    events = _traced_run(strategy, threads)
+    summary = trace_summary.summarize(events)
+    modes = _window_lock_modes(summary)
+    write_acq = modes.get("write", {}).get("acquisitions", 0)
+    if strategy == "mprotect":
+        # Grow and reset both take the writer, every timed iteration.
+        assert write_acq >= threads * ITERATIONS
+    else:
+        # clamp/trap reset via madvise (read lock); uffd grows with an
+        # atomic store — the timed window never sees the global writer.
+        assert write_acq == 0
+
+
+def test_mprotect_contends_at_four_threads():
+    summary = trace_summary.summarize(_traced_run("mprotect", 4))
+    assert trace_summary.contention_events(summary) > 0
+
+
+def test_uffd_never_contends_in_timed_window():
+    summary = trace_summary.summarize(_traced_run("uffd", 4))
+    assert trace_summary.contention_events(summary) == 0
+    modes = _window_lock_modes(summary)
+    for entry in modes.values():
+        assert entry["contended"] == 0
+
+
+def test_uffd_grow_is_kernel_free():
+    """Inside every uffd grow span, the growing thread makes no syscalls."""
+    events = _traced_run("uffd", 4)
+    open_since = {}  # thread -> seq of grow begin
+    checked = 0
+    for event in events:
+        if event.name == STRATEGY_GROW_BEGIN:
+            assert event.args["mechanism"] == "atomic"
+            open_since[event.thread] = event.seq
+        elif event.name == STRATEGY_GROW_END:
+            open_since.pop(event.thread, None)
+            checked += 1
+        elif event.thread in open_since and event.name.startswith("syscall."):
+            pytest.fail(
+                f"{event.thread} made {event.name} inside an atomic grow "
+                f"(seq {event.seq})"
+            )
+    assert checked >= 4 * ITERATIONS

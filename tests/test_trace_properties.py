@@ -1,0 +1,154 @@
+"""Property-based trace invariants (satellite 3).
+
+Hypothesis drives arbitrary thread interleavings through (a) the raw
+writer-preferring RWLock and (b) the kernel's VMA operations on one
+shared area, then asserts the recorded traces satisfy the structural
+invariants: no negative lock wait/hold times, writer holds pairwise
+disjoint and excluding readers, and exclusive VMA mutations only ever
+inside an ``mmap_lock`` write hold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.machine import MACHINE_SPECS, Machine
+from repro.cpu.thread import SimThread
+from repro.oskernel.kernel import Kernel
+from repro.oskernel.layout import PAGE_SIZE
+from repro.oskernel.vma import Prot
+from repro.sim.engine import Delay, Engine
+from repro.sim.resources import RWLock
+from repro.trace import summary as trace_summary
+from repro.trace.events import LOCK_ACQUIRE, LOCK_RELEASE
+from repro.trace.tracer import tracing
+
+pytestmark = pytest.mark.trace
+
+# Delays come from a small grid: the point is interleaving diversity,
+# not float fuzzing (which the exact-reconciliation suite covers).
+_DELAYS = st.sampled_from([0.0, 1e-6, 3e-6, 1e-5])
+
+_LOCK_OPS = st.lists(
+    st.tuples(st.booleans(), _DELAYS, _DELAYS),  # (is_write, pre, hold)
+    min_size=1, max_size=6,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_LOCK_OPS, min_size=2, max_size=4))
+def test_rwlock_interleavings_hold_invariants(actors):
+    engine = Engine()
+    lock = RWLock(engine, "mmap_lock.test")
+
+    def actor(ops):
+        for is_write, pre, hold in ops:
+            if pre:
+                yield Delay(pre)
+            if is_write:
+                yield from lock.acquire_write()
+                if hold:
+                    yield Delay(hold)
+                lock.release_write()
+            else:
+                token = yield from lock.acquire_read()
+                if hold:
+                    yield Delay(hold)
+                lock.release_read(token)
+
+    with tracing() as sink:
+        for index, ops in enumerate(actors):
+            engine.process(actor(ops), name=f"actor{index}")
+        engine.run()
+
+    events = sink.events
+    assert trace_summary.check_invariants(events) == []
+
+    # Explicitly reconstruct writer hold intervals: each must close
+    # before the next opens (pairwise disjoint), and arithmetic from
+    # wait/hold args must never go negative.
+    intervals = []
+    open_since = None
+    for event in events:
+        if event.args.get("mode") != "write":
+            continue
+        if event.name == LOCK_ACQUIRE:
+            assert open_since is None
+            assert event.args["wait"] >= 0
+            open_since = event.ts
+        elif event.name == LOCK_RELEASE:
+            assert open_since is not None
+            assert event.args["hold"] >= 0
+            intervals.append((open_since, event.ts))
+            open_since = None
+    assert open_since is None
+    for (_, prev_end), (next_start, _) in zip(intervals, intervals[1:]):
+        assert next_start >= prev_end
+
+
+_AREA_PAGES = 64
+
+_VMA_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["rw", "none", "madvise", "fault"]),
+        st.integers(min_value=0, max_value=_AREA_PAGES - 1),  # offset pages
+        st.integers(min_value=1, max_value=_AREA_PAGES),      # span pages
+        _DELAYS,
+    ),
+    min_size=1, max_size=5,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_VMA_OPS, min_size=2, max_size=4))
+def test_vma_interleavings_never_mutate_outside_lock(actors):
+    """Overlapping VMA ops from many threads on one shared area."""
+    engine = Engine()
+    machine = Machine(engine, MACHINE_SPECS["x86_64"])
+    kernel = Kernel(engine, machine)
+    proc = kernel.create_process("prop")
+    state = {}
+
+    def setup():
+        thread = SimThread(engine, "setup", machine.core(0), tgid=proc.tgid)
+        yield from thread.startup()
+        state["area"] = yield from kernel.sys_mmap_reserve(
+            thread, proc, _AREA_PAGES * PAGE_SIZE, name="prop-arena"
+        )
+        for index, ops in enumerate(actors):
+            engine.process(actor(index, ops), name=f"actor{index}")
+        thread.finish()
+
+    def actor(index, ops):
+        core = machine.core((index + 1) % len(machine.cores))
+        thread = SimThread(engine, f"mutator{index}", core, tgid=proc.tgid)
+        yield from thread.startup()
+        area = state["area"]
+        for kind, offset_pages, span_pages, pre in ops:
+            if pre:
+                yield from thread.sleep(pre)
+            offset = offset_pages * PAGE_SIZE
+            length = min(span_pages, _AREA_PAGES - offset_pages) * PAGE_SIZE
+            if kind == "rw":
+                yield from kernel.sys_mprotect(
+                    thread, proc, area, offset, length, Prot.RW
+                )
+            elif kind == "none":
+                yield from kernel.sys_mprotect(
+                    thread, proc, area, offset, length, Prot.NONE
+                )
+            elif kind == "madvise":
+                yield from kernel.sys_madvise_dontneed(
+                    thread, proc, area, offset, length
+                )
+            else:
+                yield from kernel.fault_anon_batch(
+                    thread, proc, area, offset, length
+                )
+        thread.finish()
+
+    with tracing() as sink:
+        engine.process(setup(), name="setup")
+        engine.run()
+
+    assert trace_summary.check_invariants(sink.events) == []
