@@ -10,6 +10,7 @@ Usage::
     leaps-bench tiers        # extension: compile-time/code-size/speed
     leaps-bench all          # every figure, quick subsets
     leaps-bench trace record|summarize|export ...   # event tracing
+    leaps-bench diffcheck ...    # differential-correctness harness
 
 Every experiment additionally accepts the measurement-engine knobs::
 
@@ -41,6 +42,7 @@ from repro.core.experiments import (
     fig6,
     replication,
 )
+from repro.diffcheck import cli as diffcheck_cli
 from repro.trace import cli as trace_cli
 
 _EXPERIMENTS = {
@@ -59,6 +61,7 @@ _EXPERIMENTS = {
 #: ``all`` (they observe runs rather than produce figure data).
 _TOOLS = {
     "trace": trace_cli.main,
+    "diffcheck": diffcheck_cli.main,
 }
 
 

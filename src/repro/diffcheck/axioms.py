@@ -1,0 +1,180 @@
+"""Executable axioms for the substrate layers under the harness.
+
+The cross-strategy checks in :mod:`repro.diffcheck.reference` compare
+configurations against *each other*, so a bug shared by every strategy
+— all five run the same :class:`LinearMemory` code — is invisible to
+them.  These axioms instead pin each layer against independently
+computed expectations: touched-page sets against a Python page-range,
+spec no-ops against event-log emptiness, the Fleming-Wallace summary
+against its coverage contract.  A regression in any of the latent bugs
+fixed alongside this harness (interior-page touch tracking, zero-delta
+``memory.grow`` events, silent geomean intersection) fails diffcheck
+itself, not only the unit suite.
+"""
+
+from __future__ import annotations
+
+from repro.diffcheck.report import DiffReport
+from repro.oskernel.layout import PAGE_SIZE
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.memory import LinearMemory
+from repro.stats import summary as summary_stats
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.types import Limits, ValType
+
+AXIOM_TOUCH = "axiom.memory.touch-coverage"
+AXIOM_SEGMENT = "axiom.memory.data-segment-touch"
+AXIOM_GROW0 = "axiom.memory.grow-zero-noop"
+AXIOM_GEOMEAN = "axiom.stats.geomean-coverage"
+
+#: (address, size) ranged accesses, chosen to cover aligned spans,
+#: boundary straddles, and >2-page interiors.
+_TOUCH_PROBES = (
+    (0, 4),
+    (PAGE_SIZE - 2, 4),
+    (2 * PAGE_SIZE, 2 * PAGE_SIZE),
+    (100, 3 * PAGE_SIZE + 500),
+    (4093, PAGE_SIZE + 7),
+    (5 * PAGE_SIZE + 17, 4 * PAGE_SIZE),
+)
+
+
+def _expected_pages(address: int, size: int) -> set:
+    """The first-touch page set, computed independently of LinearMemory."""
+    return set(range(address // PAGE_SIZE, (address + size - 1) // PAGE_SIZE + 1))
+
+
+def check_touch_coverage(report: DiffReport) -> None:
+    """Every page under a ranged access is recorded, endpoints included."""
+    for address, size in _TOUCH_PROBES:
+        expected = _expected_pages(address, size)
+        for op in ("store", "load"):
+            mem = LinearMemory(Limits(16))
+            if op == "store":
+                mem.store_bytes(address, bytes(size))
+            else:
+                mem.load_bytes(address, size)
+            report.check(
+                AXIOM_TOUCH,
+                mem.touched_pages == expected,
+                subject={"op": op, "address": address, "size": size},
+                detail="touched-page set differs from the page-range expectation",
+                expected=expected,
+                actual=mem.touched_pages,
+            )
+
+
+def check_data_segment_touch(report: DiffReport) -> None:
+    """Instantiation-time data-segment writes first-touch their pages."""
+    offset, payload = 100, bytes(range(256)) * 36  # 9216 B: pages 0..2
+    mb = ModuleBuilder("axiom-segment")
+    mb.add_memory(1)
+    mb.add_data(0, offset, payload)
+    interp = Interpreter(mb.build(), collect_profile=False, track_pages=True)
+    expected = _expected_pages(offset, len(payload))
+    actual = interp.memory.touched_pages
+    report.check(
+        AXIOM_SEGMENT,
+        expected <= actual,
+        subject={"offset": offset, "size": len(payload)},
+        detail="data-segment initialisation did not touch every covered page",
+        expected=expected,
+        actual=actual,
+    )
+
+
+def check_grow_zero_noop(report: DiffReport) -> None:
+    """``memory.grow 0`` is a size query: no event, no state change."""
+    mem = LinearMemory(Limits(2, 8))
+    returned = mem.grow(0)
+    report.check(
+        AXIOM_GROW0,
+        returned == 2 and mem.events == [] and mem.pages == 2,
+        subject={"layer": "memory", "delta": 0},
+        detail="zero-delta grow must return the old size and record no event",
+        expected={"returned": 2, "events": 0},
+        actual={"returned": returned, "events": len(mem.events)},
+    )
+    mem.grow(1)
+    mem.grow(0)
+    report.check(
+        AXIOM_GROW0,
+        [(e.pages_before, e.pages_after) for e in mem.events] == [(2, 3)],
+        subject={"layer": "memory", "delta": 1},
+        detail="non-zero grows must still record exactly one event each",
+        expected=[(2, 3)],
+        actual=[(e.pages_before, e.pages_after) for e in mem.events],
+    )
+
+    # Through the interpreter: a bench that issues grow 0 then grow 1
+    # must profile exactly one grow event.
+    mb = ModuleBuilder("axiom-grow")
+    mb.add_memory(1, 4)
+    fb = mb.func("bench", results=[ValType.I32], export=True)
+    fb.emit("i32.const", 0)
+    fb.emit("memory.grow", 0)
+    fb.emit("drop")
+    fb.emit("i32.const", 1)
+    fb.emit("memory.grow", 0)
+    interp = Interpreter(mb.build(), collect_profile=True, track_pages=True)
+    interp.invoke("bench")
+    profile = interp.take_profile("axiom-grow", "mini")
+    report.check(
+        AXIOM_GROW0,
+        profile.grow_events == [(1, 2)],
+        subject={"layer": "interpreter"},
+        detail="profiled grow events must exclude the zero-delta grow",
+        expected=[(1, 2)],
+        actual=profile.grow_events,
+    )
+
+
+def check_geomean_coverage(report: DiffReport) -> None:
+    """Suite geomeans must not silently drop partially covered benchmarks."""
+    # Late-bound module attribute so a regressed implementation (or a
+    # test monkeypatching the old behaviour back in) is what runs here.
+    fn = summary_stats.geomean_of_ratios
+    try:
+        fn({"a": 2.0, "b": 8.0}, {"a": 1.0})
+        raised = False
+    except ValueError:
+        raised = True
+    report.check(
+        AXIOM_GEOMEAN,
+        raised,
+        subject={"case": "partial-overlap"},
+        detail="partial benchmark overlap must raise instead of silently intersecting",
+        expected="ValueError",
+        actual="no error" if not raised else "ValueError",
+    )
+    try:
+        value = fn({"a": 2.0, "b": 8.0}, {"a": 1.0}, allow_missing=True)
+        escape_ok = abs(value - 2.0) < 1e-12
+        actual = value
+    except (TypeError, ValueError) as exc:
+        escape_ok, actual = False, repr(exc)
+    report.check(
+        AXIOM_GEOMEAN,
+        escape_ok,
+        subject={"case": "allow-missing"},
+        detail="the allow_missing escape hatch must summarise the intersection",
+        expected=2.0,
+        actual=actual,
+    )
+    full = fn({"a": 2.0, "b": 8.0}, {"a": 1.0, "b": 2.0})
+    report.check(
+        AXIOM_GEOMEAN,
+        abs(full - 8.0 ** 0.5) < 1e-12,
+        subject={"case": "full-overlap"},
+        detail="identical coverage must reproduce the hand-computed geomean",
+        expected=8.0 ** 0.5,
+        actual=full,
+    )
+
+
+def check_axioms(report: DiffReport) -> None:
+    """Run the whole axiom catalogue into ``report``."""
+    check_touch_coverage(report)
+    check_data_segment_touch(report)
+    check_grow_zero_noop(report)
+    check_geomean_coverage(report)

@@ -1,0 +1,198 @@
+"""``leaps-bench diffcheck`` — the differential-correctness harness.
+
+Usage::
+
+    leaps-bench diffcheck                         # everything, mini size
+    leaps-bench diffcheck --jobs 4                # fan phases out
+    leaps-bench diffcheck --phases axioms,fuzz    # subset of phases
+    leaps-bench diffcheck --workload gemm --workload trisolv
+    leaps-bench diffcheck --json report.json      # machine-readable report
+
+Phases (all on by default):
+
+* ``axioms``    — executable axioms over the substrate layers;
+* ``reference`` — every selected workload through the reference
+  interpreter under all five bounds strategies, asserting bit-identical
+  outputs, load/store counts and touched-page sets;
+* ``sweep``     — measured sweep rows checked against the structural
+  invariant catalogue (cost ordering, strategy-independent memory,
+  monotone CPU accounting); reuses the measurement engine's cache and
+  ``--jobs`` fan-out;
+* ``fuzz``      — seeded round-trip fuzzing over the wasm module layer.
+
+Exit status is non-zero when any check reports a divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from repro.core.engine import add_engine_args
+
+    parser = argparse.ArgumentParser(
+        prog="leaps-bench diffcheck",
+        description="differential-correctness harness",
+    )
+    parser.add_argument(
+        "--phases", default="axioms,reference,sweep,fuzz", metavar="LIST",
+        help="comma list of phases to run (default: all)",
+    )
+    parser.add_argument(
+        "--suite", default="all", choices=["all", "polybench", "spec"],
+        help="workload suite for reference/sweep phases (default: all)",
+    )
+    parser.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        help="restrict to specific workload(s); repeatable",
+    )
+    parser.add_argument(
+        "--size", default="mini",
+        help="workload size preset (default: mini)",
+    )
+    parser.add_argument(
+        "--runtimes", default="wavm", metavar="LIST",
+        help="comma list of runtimes for the sweep phase (default: wavm)",
+    )
+    parser.add_argument(
+        "--isa", default="x86_64",
+        help="ISA for the sweep phase (default: x86_64)",
+    )
+    parser.add_argument(
+        "--threads", default="1,4", metavar="LIST",
+        help="comma list of worker counts for the sweep phase (default: 1,4)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=2,
+        help="measured iterations per sweep configuration (default: 2)",
+    )
+    parser.add_argument(
+        "--fuzz-cases", type=int, default=200, metavar="N",
+        help="seeded fuzz cases (default: 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the fuzz phase (default: 0)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable violation report to PATH",
+    )
+    parser.add_argument(
+        "--max-violations", type=int, default=20, metavar="N",
+        help="violation lines to print (the JSON report holds all)",
+    )
+    add_engine_args(parser)
+    return parser
+
+
+def _selected_workloads(args) -> list:
+    from repro.workloads import workload_named
+    from repro.workloads.registry import suite_workloads
+
+    if args.workload:
+        return [workload_named(name).name for name in args.workload]
+    return [w.name for w in suite_workloads(args.suite)]
+
+
+def _sweep_measurements(args, workloads, engine):
+    """Measure the diffcheck grid, reusing the engine cache/fan-out."""
+    from repro.core.engine import MeasurementRequest
+    from repro.runtime.strategies import STRATEGY_ORDER
+    from repro.runtimes import runtime_named
+
+    threads = [int(v) for v in args.threads.split(",") if v]
+    requests = []
+    for runtime in [v for v in args.runtimes.split(",") if v]:
+        model = runtime_named(runtime)
+        if not model.supports(args.isa):
+            continue
+        strategies = [s for s in STRATEGY_ORDER if s in model.strategies]
+        for workload in workloads:
+            for strategy in strategies:
+                for count in threads:
+                    requests.append(
+                        MeasurementRequest(
+                            workload=workload,
+                            runtime=runtime,
+                            strategy=strategy,
+                            isa=args.isa,
+                            threads=count,
+                            size=args.size,
+                            iterations=args.iterations,
+                        )
+                    )
+    results = engine.run(requests)
+    return [result.measurement for result in results]
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    from repro.core.engine import configure_from_args
+    from repro.diffcheck.axioms import check_axioms
+    from repro.diffcheck.fuzz import check_fuzz
+    from repro.diffcheck.invariants import check_invariants
+    from repro.diffcheck.reference import check_reference
+    from repro.diffcheck.report import DiffReport
+    from repro.runtime.strategies import STRATEGY_ORDER
+
+    phases = [p.strip() for p in args.phases.split(",") if p.strip()]
+    unknown = set(phases) - {"axioms", "reference", "sweep", "fuzz"}
+    if unknown:
+        print(f"unknown phases: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    engine = configure_from_args(args)
+    workloads = _selected_workloads(args)
+    report = DiffReport()
+
+    if "axioms" in phases:
+        print("== axioms: substrate-layer contracts")
+        check_axioms(report)
+
+    if "reference" in phases:
+        print(
+            f"== reference: {len(workloads)} workloads x "
+            f"{len(STRATEGY_ORDER)} strategies ({args.size})"
+        )
+        check_reference(
+            workloads, args.size, STRATEGY_ORDER, report, jobs=engine.jobs
+        )
+
+    if "sweep" in phases:
+        measurements = _sweep_measurements(args, workloads, engine)
+        print(f"== sweep: {len(measurements)} measurements under invariants")
+        check_invariants(measurements, report)
+
+    if "fuzz" in phases:
+        print(
+            f"== fuzz: {args.fuzz_cases} cases from seed {args.seed}"
+        )
+        check_fuzz(args.fuzz_cases, args.seed, report, jobs=engine.jobs)
+
+    print()
+    for line in report.summary_lines():
+        print(line)
+    print(
+        f"\n{report.checks_run} checks, "
+        f"{len(report.violations)} divergence(s)"
+    )
+    for violation in report.violations[: args.max_violations]:
+        print("  " + violation.render())
+    if len(report.violations) > args.max_violations:
+        print(f"  ... and {len(report.violations) - args.max_violations} more")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"report written to {args.json}")
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,269 @@
+"""Seeded round-trip fuzzing over the wasm module layer.
+
+Each case derives a random structured program (loops, branches, array
+traffic, plus deliberately trap-prone arithmetic and out-of-bounds
+accesses) from a :class:`random.Random` seed via the typed DSL, then
+drives it through the whole substrate:
+
+    dsl/builder → encoder → decoder → validator → interpreter
+
+asserting that (a) encoding is idempotent across a decode round trip,
+(b) the validator accepts both the built and the decoded module,
+(c) the interpreter observes identical outcomes — returned value or
+trap kind — before and after the round trip, and (d) the bounds
+strategies agree wherever they must: bit-identical results, load/store
+counts and touched pages when no trap occurs; consistent trap
+behaviour when one does (the trapping strategies report the same trap,
+``clamp``/``none`` complete instead of trapping on out-of-bounds).
+
+Unlike the hypothesis suite (tests/test_differential_fuzz.py) this
+runs from explicit integer seeds, so a CI failure is reproducible with
+``leaps-bench diffcheck --seed N`` and cases fan out across worker
+processes deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engine import _pool_context
+from repro.diffcheck.report import DiffReport
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.strategies import STRATEGY_ORDER
+from repro.wasm import decode_module, encode_module, validate_module
+from repro.wasm.dsl import DslModule, Select
+from repro.wasm.errors import Trap, ValidationError, WasmError
+
+CHECK_ENCODE = "fuzz.encode-idempotence"
+CHECK_VALIDATE = "fuzz.validator-acceptance"
+CHECK_ROUNDTRIP = "fuzz.roundtrip-behaviour"
+CHECK_STRATEGY = "fuzz.strategy-equivalence"
+CHECK_TRAPS = "fuzz.trap-strategy-agreement"
+CHECK_HARNESS = "fuzz.harness-error"
+
+#: Strategies whose out-of-bounds behaviour is a trap.
+_TRAPPING = ("trap", "mprotect", "uffd")
+_ARRAY_LEN = 16
+
+
+def build_program(rng: random.Random):
+    """One random program writing into an i32 array, returning a checksum."""
+    dm = DslModule("difffuzz")
+    arr = dm.array_i32("a", _ARRAY_LEN)
+    f = dm.func("run", params=[("seed", "i32")], results=["i32"])
+    seed = f.params[0]
+    i, j = f.i32("i"), f.i32("j")
+    acc = f.i32("acc")
+
+    for _ in range(rng.randint(1, 5)):
+        kind = rng.choice(
+            ["loop", "if", "nested", "while", "store", "oob", "div", "trunc"]
+        )
+        const_a = rng.randint(0, 1000)
+        const_b = rng.randint(1, 7)
+        if kind == "loop":
+            with f.for_(i, 0, rng.randint(1, _ARRAY_LEN)):
+                f.store(arr[i], arr[i] + i * const_b + seed)
+        elif kind == "if":
+            with f.if_((seed & 1).eq(rng.randint(0, 1))) as branch:
+                f.set(acc, acc + const_a)
+                branch.otherwise()
+                f.set(acc, acc - const_a)
+        elif kind == "nested":
+            with f.for_(i, 0, rng.randint(1, 5)):
+                with f.for_(j, 0, rng.randint(1, 5)):
+                    with f.if_(((i + j) % const_b).eq(0)):
+                        f.store(arr[(i + j) % _ARRAY_LEN],
+                                arr[(i + j) % _ARRAY_LEN] ^ const_a)
+        elif kind == "while":
+            f.set(j, const_b)
+            with f.while_(lambda: j < const_a % 50 + 1):
+                f.set(j, j * 2 + 1)
+            f.set(acc, acc + j)
+        elif kind == "store":
+            index = rng.randint(0, _ARRAY_LEN - 1)
+            f.store(arr[index], Select(seed > const_a, acc, i) + const_b)
+        elif kind == "oob":
+            # Reads/writes far beyond the one data page: traps under
+            # the trapping strategies, completes under clamp/none.
+            index = rng.randint(10_000_000, 20_000_000)
+            if rng.random() < 0.5:
+                f.set(acc, acc + arr[index])
+            else:
+                f.store(arr[index], acc + const_a)
+        elif kind == "div":
+            # Traps (integer-divide-by-zero) iff seed % b == c.
+            const_c = rng.randint(0, const_b - 1)
+            f.set(acc, acc + seed // ((seed % const_b) - const_c + 1) % 97)
+            with f.if_((seed % const_b).eq(const_c)):
+                f.set(acc, acc // (seed % const_b - const_c))
+        else:  # trunc: i32.trunc_f64_s traps on out-of-range values
+            f.set(acc, (acc.to_f64() * float(const_a + 2) + 0.5).to_i32())
+
+    with f.for_(i, 0, _ARRAY_LEN):
+        f.set(acc, acc * 31 + arr[i])
+    f.ret(acc)
+    return dm.build()
+
+
+def outcome_of(module, arg: int, strategy: str):
+    """('value', v, loads, stores, pages) or ('trap', kind) for one run."""
+    interp = Interpreter(
+        module, strategy=strategy, validate=False,
+        collect_profile=False, track_pages=True,
+    )
+    try:
+        value = interp.invoke("run", arg)
+    except Trap as exc:
+        return ("trap", exc.kind)
+    memory = interp.memory
+    return (
+        "value", value, memory.load_count, memory.store_count,
+        tuple(sorted(memory.touched_pages)),
+    )
+
+
+def check_case(
+    seed: int, report: Optional[DiffReport] = None
+) -> DiffReport:
+    """Run every layer comparison for one seeded case."""
+    report = report if report is not None else DiffReport()
+    rng = random.Random(seed)
+    subject = {"seed": seed}
+    try:
+        module = build_program(rng)
+        arg = rng.randrange(0, 2**31)
+        subject = {"seed": seed, "arg": arg}
+
+        encoded = encode_module(module)
+        decoded = decode_module(encoded)
+        re_encoded = encode_module(decoded)
+        report.check(
+            CHECK_ENCODE,
+            encoded == re_encoded,
+            subject=subject,
+            detail="encode(decode(encode(m))) differs from encode(m)",
+            expected=len(encoded),
+            actual=len(re_encoded),
+        )
+
+        for label, candidate in (("built", module), ("decoded", decoded)):
+            try:
+                validate_module(candidate)
+                report.check(CHECK_VALIDATE, True)
+            except ValidationError as exc:
+                report.check(
+                    CHECK_VALIDATE, False,
+                    subject=dict(subject, module=label),
+                    detail="validator rejected a well-formed generated module",
+                    actual=repr(exc),
+                )
+
+        direct = outcome_of(module, arg, "trap")
+        roundtrip = outcome_of(decoded, arg, "trap")
+        report.check(
+            CHECK_ROUNDTRIP,
+            direct == roundtrip,
+            subject=subject,
+            detail="behaviour changed across the binary round trip",
+            expected=direct,
+            actual=roundtrip,
+        )
+
+        if direct[0] == "value":
+            # No trap under 'trap': no access was out of bounds, so
+            # every strategy must observe exactly the same execution.
+            for strategy in STRATEGY_ORDER:
+                if strategy == "trap":
+                    continue
+                other = outcome_of(decoded, arg, strategy)
+                report.check(
+                    CHECK_STRATEGY,
+                    other == direct,
+                    subject=dict(subject, strategy=strategy),
+                    detail="strategies diverge on an in-bounds execution",
+                    expected=direct,
+                    actual=other,
+                )
+        elif direct[1] == "out-of-bounds-memory":
+            for strategy in _TRAPPING[1:]:
+                other = outcome_of(decoded, arg, strategy)
+                report.check(
+                    CHECK_TRAPS,
+                    other == direct,
+                    subject=dict(subject, strategy=strategy),
+                    detail="trapping strategies disagree on the trap",
+                    expected=direct,
+                    actual=other,
+                )
+            for strategy in ("clamp", "none"):
+                # clamp/none continue past the OOB access, so later
+                # arithmetic traps are legal; an *out-of-bounds* trap
+                # is not.
+                other = outcome_of(decoded, arg, strategy)
+                report.check(
+                    CHECK_TRAPS,
+                    not (other[0] == "trap" and other[1] == "out-of-bounds-memory"),
+                    subject=dict(subject, strategy=strategy),
+                    detail="non-trapping strategy trapped out-of-bounds",
+                    expected="value or arithmetic trap",
+                    actual=other,
+                )
+        else:
+            # Arithmetic traps are strategy-independent.
+            for strategy in STRATEGY_ORDER:
+                if strategy == "trap":
+                    continue
+                other = outcome_of(decoded, arg, strategy)
+                report.check(
+                    CHECK_TRAPS,
+                    other == direct,
+                    subject=dict(subject, strategy=strategy),
+                    detail="strategies disagree on an arithmetic trap",
+                    expected=direct,
+                    actual=other,
+                )
+    except WasmError as exc:
+        report.check(
+            CHECK_HARNESS, False, subject=subject,
+            detail="substrate raised outside the trap protocol",
+            actual=repr(exc),
+        )
+    return report
+
+
+def _check_chunk_json(payload: Tuple[int, ...]) -> dict:
+    report = DiffReport()
+    for seed in payload:
+        check_case(seed, report)
+    return report.to_json()
+
+
+def check_fuzz(
+    cases: int,
+    base_seed: int,
+    report: DiffReport,
+    jobs: int = 1,
+    progress=None,
+) -> None:
+    """Run ``cases`` seeded cases (seeds base_seed..base_seed+cases-1)."""
+    seeds = list(range(base_seed, base_seed + cases))
+    if jobs <= 1 or len(seeds) <= 1:
+        for seed in seeds:
+            check_case(seed, report)
+            if progress is not None:
+                progress(f"seed {seed}")
+        return
+    chunk = max(1, len(seeds) // (jobs * 4))
+    chunks = [tuple(seeds[i : i + chunk]) for i in range(0, len(seeds), chunk)]
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=_pool_context()
+    ) as pool:
+        for batch, partial in zip(
+            chunks, pool.map(_check_chunk_json, chunks, chunksize=1)
+        ):
+            report.merge_json(partial)
+            if progress is not None:
+                progress(f"seeds {batch[0]}..{batch[-1]}")

@@ -1,0 +1,233 @@
+"""Structural invariants over sweep measurements.
+
+The paper's comparative claims impose cross-configuration structure
+that any correct sweep must exhibit.  This module checks a catalogue
+of such invariants over :class:`~repro.core.harness.RunMeasurement`
+rows and records machine-readable violations:
+
+* **inline-check cost ordering** — per (workload, runtime, ISA, size),
+  the modelled single-thread compute time obeys
+  ``clamp ≥ trap ≥ {mprotect, uffd} ≥ none``: clamp pays two inline
+  ops per access, trap one, the virtual-memory strategies none (only
+  fault/VMA costs, which cannot make them cheaper than ``none``).
+  Checked on ``compute_seconds``, where the chain is deterministic.
+  On *measured* medians system noise can legitimately reorder
+  trap/uffd (uffd's fault costs are one-off, trap's inline checks
+  recur), so the measured chain asserts only the structurally
+  guaranteed pairs at one thread.
+* **strategy-independent memory usage** — bounds checking must not
+  change how many pages a workload populates: ``pages_populated`` is
+  bit-equal across strategies; the sampled ``mem_avg_bytes`` agrees
+  loosely whenever the run is long enough for the 10 ms sampler.
+* **monotone CPU accounting** — aggregate busy time cannot decrease
+  when worker threads are added to the same configuration, and the
+  modelled compute time per iteration is thread-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.harness import RunMeasurement
+from repro.diffcheck.report import DiffReport
+
+CHECK_COMPUTE_ORDER = "sweep.inline-cost-order"
+CHECK_MEDIAN_ORDER = "sweep.measured-cost-order"
+CHECK_PAGES_EQUAL = "sweep.memory-pages-agreement"
+CHECK_MEM_SAMPLED = "sweep.memory-sampled-agreement"
+CHECK_CPU_MONOTONE = "sweep.cpu-monotone-threads"
+CHECK_COMPUTE_CONST = "sweep.compute-thread-independent"
+
+#: Relative slack for comparisons between deterministic model outputs.
+REL_TOL = 1e-9
+#: The sampled memory average uses a 10 ms period; runs shorter than a
+#: few periods alias badly, so the loose check needs this much wall
+#: time (and all-positive samples) before it may judge.
+MEM_MIN_WALL_SECONDS = 0.05
+#: Sampling phase can shift the average by tens of percent on short
+#: runs; the sharp invariant is CHECK_PAGES_EQUAL, this one only has
+#: to catch a strategy allocating a different footprint outright.
+MEM_RATIO_TOL = 1.5
+
+#: compute_seconds pairs: (costlier, cheaper) strategy.
+_COMPUTE_PAIRS = (
+    ("clamp", "trap"),
+    ("trap", "mprotect"),
+    ("trap", "uffd"),
+    ("mprotect", "none"),
+    ("uffd", "none"),
+)
+#: Measured-median pairs that hold regardless of fault amortisation.
+_MEDIAN_PAIRS = (
+    ("clamp", "trap"),
+    ("trap", "none"),
+    ("mprotect", "none"),
+    ("uffd", "none"),
+)
+
+#: id -> human description, for documentation and report consumers.
+INVARIANTS: Dict[str, str] = {
+    CHECK_COMPUTE_ORDER: (
+        "modelled compute time per iteration obeys "
+        "clamp >= trap >= {mprotect, uffd} >= none"
+    ),
+    CHECK_MEDIAN_ORDER: (
+        "measured median iteration time at one thread obeys "
+        "clamp >= trap >= none and {mprotect, uffd} >= none"
+    ),
+    CHECK_PAGES_EQUAL: (
+        "kernel pages_populated is identical across bounds strategies"
+    ),
+    CHECK_MEM_SAMPLED: (
+        "sampled average memory usage agrees across strategies "
+        "(loose; skipped for undersampled runs)"
+    ),
+    CHECK_CPU_MONOTONE: (
+        "aggregate busy CPU time never decreases when threads are added"
+    ),
+    CHECK_COMPUTE_CONST: (
+        "modelled compute time per iteration is thread-independent"
+    ),
+}
+
+
+def _grouped(
+    measurements: Sequence[RunMeasurement], fields: Tuple[str, ...]
+) -> Dict[tuple, List[RunMeasurement]]:
+    groups: Dict[tuple, List[RunMeasurement]] = {}
+    for m in measurements:
+        groups.setdefault(tuple(getattr(m, f) for f in fields), []).append(m)
+    return groups
+
+
+def _subject(fields: Tuple[str, ...], key: tuple, **extra) -> dict:
+    subject = dict(zip(fields, key))
+    subject.update(extra)
+    return subject
+
+
+_CONFIG = ("workload", "runtime", "isa", "size")
+
+
+def _check_order(
+    report: DiffReport,
+    check: str,
+    by_strategy: Dict[str, float],
+    pairs: Sequence[Tuple[str, str]],
+    subject: dict,
+    quantity: str,
+) -> None:
+    for costlier, cheaper in pairs:
+        if costlier not in by_strategy or cheaper not in by_strategy:
+            continue
+        high, low = by_strategy[costlier], by_strategy[cheaper]
+        report.check(
+            check,
+            high >= low * (1.0 - REL_TOL),
+            subject=dict(subject, pair=f"{costlier}>={cheaper}"),
+            detail=f"{quantity} ordering violated",
+            expected=f"{costlier} >= {cheaper}",
+            actual={costlier: high, cheaper: low},
+        )
+
+
+def check_cost_ordering(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    for key, rows in _grouped(measurements, _CONFIG).items():
+        compute = {}
+        for m in rows:
+            compute.setdefault(m.strategy, m.compute_seconds)
+        if len(compute) >= 2:
+            _check_order(
+                report, CHECK_COMPUTE_ORDER, compute, _COMPUTE_PAIRS,
+                _subject(_CONFIG, key), "compute_seconds",
+            )
+        medians = {
+            m.strategy: m.median_iteration for m in rows if m.threads == 1
+        }
+        if len(medians) >= 2:
+            _check_order(
+                report, CHECK_MEDIAN_ORDER, medians, _MEDIAN_PAIRS,
+                _subject(_CONFIG, key, threads=1), "median iteration time",
+            )
+
+
+_MEM_GROUP = ("workload", "runtime", "isa", "threads", "size")
+
+
+def check_memory_agreement(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    for key, rows in _grouped(measurements, _MEM_GROUP).items():
+        if len({m.strategy for m in rows}) < 2:
+            continue
+        pages = {m.strategy: m.kernel_stats.get("pages_populated") for m in rows}
+        distinct = set(pages.values())
+        report.check(
+            CHECK_PAGES_EQUAL,
+            len(distinct) == 1,
+            subject=_subject(_MEM_GROUP, key),
+            detail="populated page counts differ between strategies",
+            expected="one value across strategies",
+            actual=pages,
+        )
+        sampled = {m.strategy: m.mem_avg_bytes for m in rows}
+        undersampled = any(m.wall_seconds < MEM_MIN_WALL_SECONDS for m in rows)
+        if undersampled or any(v <= 0 for v in sampled.values()):
+            report.skip(CHECK_MEM_SAMPLED)
+            continue
+        low, high = min(sampled.values()), max(sampled.values())
+        report.check(
+            CHECK_MEM_SAMPLED,
+            high <= low * MEM_RATIO_TOL,
+            subject=_subject(_MEM_GROUP, key),
+            detail="sampled memory averages spread beyond tolerance",
+            expected=f"max/min <= {MEM_RATIO_TOL}",
+            actual=sampled,
+        )
+
+
+_THREAD_GROUP = ("workload", "runtime", "strategy", "isa", "size")
+
+
+def check_cpu_accounting(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    for key, rows in _grouped(measurements, _THREAD_GROUP).items():
+        by_threads: Dict[int, RunMeasurement] = {}
+        for m in rows:
+            by_threads.setdefault(m.threads, m)
+        if len(by_threads) >= 2:
+            ordered = sorted(by_threads)
+            for lo, hi in zip(ordered, ordered[1:]):
+                busy_lo = by_threads[lo].utilisation.busy_time
+                busy_hi = by_threads[hi].utilisation.busy_time
+                report.check(
+                    CHECK_CPU_MONOTONE,
+                    busy_hi >= busy_lo * (1.0 - REL_TOL),
+                    subject=_subject(_THREAD_GROUP, key, threads=f"{lo}->{hi}"),
+                    detail="busy CPU time decreased as threads were added",
+                    expected=f"busy({hi}) >= busy({lo})",
+                    actual={lo: busy_lo, hi: busy_hi},
+                )
+        computes = {m.threads: m.compute_seconds for m in rows}
+        if len(computes) >= 2:
+            low, high = min(computes.values()), max(computes.values())
+            report.check(
+                CHECK_COMPUTE_CONST,
+                high <= low * (1.0 + REL_TOL),
+                subject=_subject(_THREAD_GROUP, key),
+                detail="modelled compute time varies with thread count",
+                expected="equal across thread counts",
+                actual=computes,
+            )
+
+
+def check_invariants(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    """Run the whole sweep-invariant catalogue into ``report``."""
+    check_cost_ordering(measurements, report)
+    check_memory_agreement(measurements, report)
+    check_cpu_accounting(measurements, report)

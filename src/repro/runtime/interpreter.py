@@ -271,6 +271,7 @@ class Interpreter:
             if offset + len(segment.data) > inst.memory.size_bytes:
                 raise LinkError("data segment out of memory bounds")
             inst.memory.data[offset : offset + len(segment.data)] = segment.data
+            inst.memory.touch_range(offset, len(segment.data))
         return inst
 
     def _eval_const(self, expr: List[Instr], inst: Instance) -> Any:

@@ -79,6 +79,10 @@ class LinearMemory:
         if new_pages > self.max_pages:
             return -1
         old_pages = self.pages
+        if delta_pages == 0:
+            # A zero-delta grow is a pure size query per the spec: no
+            # mapping changes, so nothing for the kernel replay to do.
+            return old_pages
         self.events.append(MemoryEvent("grow", old_pages, new_pages))
         self.pages = new_pages
         self.data.extend(bytes(delta_pages * WASM_PAGE_SIZE))
@@ -110,9 +114,21 @@ class LinearMemory:
     def _touch(self, address: int, size: int) -> None:
         first = address >> 12  # PAGE_SIZE == 4096
         last = (address + size - 1) >> 12
-        self.touched_pages.add(first)
-        if last != first:
-            self.touched_pages.add(last)
+        if first == last:
+            self.touched_pages.add(first)
+        else:
+            # Accesses can span many pages (data-segment initialisation,
+            # WASI writes); every page in the range is first-touched.
+            self.touched_pages.update(range(first, last + 1))
+
+    def touch_range(self, address: int, size: int) -> None:
+        """Record first-touch pages for a raw ranged write.
+
+        Used by instantiation-time writes (data segments) that bypass
+        the checked ``store_bytes`` path.
+        """
+        if self.track_pages and size > 0:
+            self._touch(address, size)
 
     def load_bytes(self, address: int, size: int) -> bytes:
         self.load_count += 1

@@ -25,16 +25,28 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def geomean_of_ratios(
-    measured: Dict[str, float], baseline: Dict[str, float]
+    measured: Dict[str, float],
+    baseline: Dict[str, float],
+    allow_missing: bool = False,
 ) -> float:
     """Fleming-Wallace summary: geomean over per-benchmark ratios.
 
-    Only benchmarks present in both mappings contribute; a missing
-    baseline is an error rather than a silent skip if nothing overlaps.
+    The two mappings must cover the same benchmarks: a benchmark
+    present on only one side would be dropped silently and bias the
+    suite geomean, so partial overlap raises unless ``allow_missing``
+    explicitly opts into intersection semantics.
     """
     common = sorted(set(measured) & set(baseline))
     if not common:
         raise ValueError("no common benchmarks between measurement and baseline")
+    if not allow_missing:
+        unmatched = sorted(set(measured) ^ set(baseline))
+        if unmatched:
+            raise ValueError(
+                "benchmarks present on only one side of the ratio: "
+                f"{', '.join(unmatched)} (pass allow_missing=True to "
+                "summarise the intersection anyway)"
+            )
     return geomean(measured[name] / baseline[name] for name in common)
 
 

@@ -36,6 +36,18 @@ class TestLinearMemory:
         mem.grow(2)
         assert [(e.pages_before, e.pages_after) for e in mem.events] == [(1, 3)]
 
+    def test_grow_zero_records_no_event(self):
+        # memory.grow 0 is a pure size query: nothing for the kernel
+        # replay to do, so it must not appear as VMA work.
+        mem = LinearMemory(Limits(2, 10))
+        assert mem.grow(0) == 2
+        assert mem.events == []
+        assert mem.pages == 2
+        assert len(mem.data) == 2 * WASM_PAGE_SIZE
+        mem.grow(1)
+        assert mem.grow(0) == 3
+        assert [(e.pages_before, e.pages_after) for e in mem.events] == [(2, 3)]
+
     def test_grown_memory_zeroed_and_usable(self):
         mem = LinearMemory(Limits(1, 10))
         mem.grow(1)
@@ -63,6 +75,31 @@ class TestLinearMemory:
         mem = LinearMemory(Limits(1))
         mem.store_u64(4092, 1)  # crosses the 4096 boundary
         assert mem.touched_pages == {0, 1}
+
+    def test_multi_page_access_touches_interior_pages(self):
+        # A ranged write spanning >2 pages (data-segment init, WASI
+        # writes) first-touches every page in the range, not just the
+        # endpoints.
+        mem = LinearMemory(Limits(1))
+        mem.store_bytes(100, bytes(3 * 4096 + 500))
+        assert mem.touched_pages == {0, 1, 2, 3}
+
+    def test_multi_page_load_touches_interior_pages(self):
+        mem = LinearMemory(Limits(1))
+        mem.load_bytes(4096, 4 * 4096)
+        assert mem.touched_pages == {1, 2, 3, 4}
+
+    def test_touch_range_covers_raw_writes(self):
+        mem = LinearMemory(Limits(1))
+        mem.touch_range(8000, 2 * 4096)
+        assert mem.touched_pages == {1, 2, 3}
+        mem.touch_range(0, 0)  # empty range: no pages
+        assert mem.touched_pages == {1, 2, 3}
+
+    def test_touch_range_respects_tracking_flag(self):
+        mem = LinearMemory(Limits(1), track_pages=False)
+        mem.touch_range(0, 3 * 4096)
+        assert mem.touched_pages == set()
 
     def test_reset_tracking(self):
         mem = LinearMemory(Limits(1, 4))

@@ -49,12 +49,22 @@ class TestGeomeanOfRatios:
             math.sqrt(2.0 * 4.0)
         )
 
-    def test_uses_intersection(self):
+    def test_partial_overlap_rejected(self):
         measured = {"a": 2.0, "b": 8.0, "c": 5.0}
         baseline = {"a": 1.0, "b": 2.0}
-        assert geomean_of_ratios(measured, baseline) == pytest.approx(
-            math.sqrt(8.0)
-        )
+        with pytest.raises(ValueError, match="only one side"):
+            geomean_of_ratios(measured, baseline)
+
+    def test_partial_overlap_names_the_culprits(self):
+        with pytest.raises(ValueError, match="c, d"):
+            geomean_of_ratios({"a": 2.0, "c": 5.0}, {"a": 1.0, "d": 3.0})
+
+    def test_allow_missing_uses_intersection(self):
+        measured = {"a": 2.0, "b": 8.0, "c": 5.0}
+        baseline = {"a": 1.0, "b": 2.0}
+        assert geomean_of_ratios(
+            measured, baseline, allow_missing=True
+        ) == pytest.approx(math.sqrt(8.0))
 
     def test_disjoint_rejected(self):
         with pytest.raises(ValueError, match="common"):
