@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Interpreter fast-path benchmark and performance-regression gate.
+
+Measures the wall-clock cost of one ``bench`` invocation per workload
+(mini-size PolyBench) under two dispatch modes:
+
+* ``legacy`` — the pre-rewrite one-closure-per-op interpreter, kept
+  verbatim as the honest baseline;
+* ``fused``  — the pre-decoded, superinstruction-fused fast path.
+
+Each timing takes ``--repeats`` (default 5) invocations on a
+pre-constructed interpreter, so module decode/validation/plan costs are
+excluded and only dispatch throughput is measured.  The *median* of the
+five is reported for information; the gated metric is the *best* of
+the five — on shared CI machines the minimum estimates the noise-free
+floor, while the median still carries scheduler interference.
+
+Noise policy
+------------
+Raw milliseconds are not comparable across machines, so the committed
+baseline (``BENCH_interp.json``) stores *normalized throughput*: wasm
+instructions per second divided by the iterations/second of a fixed
+pure-Python calibration loop.  Each repeat times the calibration loop
+and the invocation back to back in one round (milliseconds apart), so
+host slowdowns hit both sides of the ratio.  Normalized throughput is
+*recorded* per workload but *not gated*: on shared CI hosts its run-to-
+run jitter exceeds any useful threshold.  The gated statistic is the
+median-across-workloads fused/legacy speedup, where both sides execute
+the same instruction stream in the same rounds — empirically stable to
+a few percent when individual workloads swing +/-15%.  The gate
+(``--check``) fails when:
+
+* the median speedup drops below ``--min-speedup`` (default 3.0, the
+  acceptance floor; a machine-independent ratio), or
+* the median speedup regresses more than ``--threshold`` (default
+  15%) below the committed baseline's ``median_speedup``.
+
+To absorb transient spikes the gate re-measures once before failing.
+Update the baseline with ``--update-baseline`` after an intentional
+interpreter change, and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.profiles import module_for  # noqa: E402
+from repro.runtime.interpreter import Interpreter  # noqa: E402
+from repro.runtime.predecode import interpreter_build_digest  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_interp.json"
+WORKLOADS = ("gemm", "2mm", "atax", "trisolv", "jacobi-2d")
+SIZE = "mini"
+_CALIBRATION_ITERS = 200_000
+
+
+def _calibration_loop(n: int) -> int:
+    acc = 0
+    for i in range(n):
+        acc = (acc + i) & 0xFFFFFFFF
+    return acc
+
+
+def _interp_for(module, dispatch: str):
+    interp = Interpreter(
+        module,
+        collect_profile=False,
+        track_pages=False,
+        validate=False,
+        dispatch=dispatch,
+    )
+    interp.invoke("bench")  # warm-up: compiles every function
+    return interp
+
+
+def _measure_rounds(module, repeats: int):
+    """Per-round (calibration_s, legacy_s, fused_s) triples.
+
+    All three timings of a round run back to back so transient host
+    interference is correlated across them.
+    """
+    legacy = _interp_for(module, "legacy")
+    fused = _interp_for(module, "fused")
+    rounds = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _calibration_loop(_CALIBRATION_ITERS)
+        calib_s = time.perf_counter() - start
+        start = time.perf_counter()
+        legacy.invoke("bench")
+        legacy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        fused.invoke("bench")
+        fused_s = time.perf_counter() - start
+        rounds.append((calib_s, legacy_s, fused_s))
+    return rounds
+
+
+def _total_instrs(module) -> int:
+    interp = Interpreter(module, collect_profile=True, track_pages=True)
+    interp.invoke("bench")
+    return interp.take_profile("bench", SIZE).total_instrs
+
+
+def run_benchmark(repeats: int) -> dict:
+    rows = {}
+    for name in WORKLOADS:
+        module, _ = module_for(name, SIZE)
+        total_instrs = _total_instrs(module)
+        rounds = _measure_rounds(module, repeats)
+        legacy_s = min(r[1] for r in rounds)
+        fused_s = min(r[2] for r in rounds)
+        # Gated metric: median per-round ratio (see noise policy).
+        normalized = statistics.median(
+            (total_instrs / f) / (_CALIBRATION_ITERS / c)
+            for c, _, f in rounds
+        )
+        rows[name] = {
+            "total_instrs": total_instrs,
+            "legacy_ms": round(legacy_s * 1e3, 3),
+            "fused_ms": round(fused_s * 1e3, 3),
+            "legacy_median_ms": round(
+                statistics.median(r[1] for r in rounds) * 1e3, 3
+            ),
+            "fused_median_ms": round(
+                statistics.median(r[2] for r in rounds) * 1e3, 3
+            ),
+            "speedup": round(legacy_s / fused_s, 3),
+            "fused_instr_per_s": round(total_instrs / fused_s),
+            "fused_normalized": round(normalized, 4),
+        }
+    speedups = sorted(row["speedup"] for row in rows.values())
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "interpreter_build": interpreter_build_digest()[:16],
+        "size": SIZE,
+        "repeats": repeats,
+        "noise_policy": (
+            "best-of-%d invoke-only timings (medians reported alongside); "
+            "throughput normalized by a pure-Python calibration loop "
+            "measured adjacent to each workload; gate re-measures once "
+            "before failing" % repeats
+        ),
+        "workloads": rows,
+        "median_speedup": speedups[len(speedups) // 2],
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"interpreter build {report['interpreter_build']}  "
+          f"size={report['size']}  repeats={report['repeats']}")
+    header = f"{'workload':12s} {'legacy ms':>10s} {'fused ms':>10s} " \
+             f"{'speedup':>8s} {'norm.tput':>10s}"
+    print(header)
+    for name, row in report["workloads"].items():
+        print(
+            f"{name:12s} {row['legacy_ms']:10.2f} {row['fused_ms']:10.2f} "
+            f"{row['speedup']:7.2f}x {row['fused_normalized']:10.4f}"
+        )
+    print(f"median speedup: {report['median_speedup']:.2f}x")
+
+
+def check(report: dict, threshold: float, min_speedup: float) -> list:
+    """Gate failures (empty list = pass) for one measured report."""
+    failures = []
+    measured = report["median_speedup"]
+    if measured < min_speedup:
+        failures.append(
+            f"median fused/legacy speedup {measured:.2f}x "
+            f"is below the {min_speedup:.1f}x floor"
+        )
+    if not BASELINE_PATH.exists():
+        failures.append(f"missing baseline {BASELINE_PATH.name}")
+        return failures
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["median_speedup"] * (1.0 - threshold)
+    if measured < floor:
+        drop = 1.0 - measured / baseline["median_speedup"]
+        failures.append(
+            f"median speedup {measured:.2f}x is {drop:.0%} below the "
+            f"baseline {baseline['median_speedup']:.2f}x "
+            f"(threshold {threshold:.0%})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"write the measured report to {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed normalized-throughput regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required median fused/legacy speedup (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.repeats)
+    print_report(report)
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH.name}")
+        return 0
+
+    if args.check:
+        failures = check(report, args.threshold, args.min_speedup)
+        if failures:
+            # Noise policy: one re-measure absorbs transient CI spikes.
+            print("gate failed, re-measuring once to rule out noise:")
+            for failure in failures:
+                print(f"  - {failure}")
+            report = run_benchmark(args.repeats)
+            print_report(report)
+            failures = check(report, args.threshold, args.min_speedup)
+        if failures:
+            print("PERF GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.harness import RunMeasurement, run_benchmark
 from repro.core.profiles import module_digest
+from repro.runtime.predecode import interpreter_build_digest
 from repro.oskernel.procstat import UtilisationSample
 from repro.trace.events import MEASURE_REQUEST
 from repro.trace.tracer import TRACE
@@ -269,6 +270,9 @@ class MeasurementEngine:
         payload = {
             "version": _CACHE_VERSION,
             "module": module_digest(request.workload, request.size),
+            # Measurements derive from interpreter-produced profiles, so
+            # the key pins the exact interpreter build that profiled.
+            "interp": interpreter_build_digest()[:16],
             "runtime": request.runtime,
             "strategy": request.strategy,
             "isa": request.isa,

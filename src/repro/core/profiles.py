@@ -101,7 +101,14 @@ def profile_for(workload_name: str, size: str) -> Tuple[Module, ExecutionProfile
         except (ValueError, KeyError):
             profile = None  # stale/corrupt cache entry: recompute
     if profile is None:
-        interp = Interpreter(module, collect_profile=True, track_pages=True)
+        # Passing the module digest lets the interpreter memoise its
+        # pre-decode (fusion) plan next to the profile cache entries.
+        interp = Interpreter(
+            module,
+            collect_profile=True,
+            track_pages=True,
+            module_digest=full_digest,
+        )
         interp.invoke("bench")
         profile = interp.take_profile(workload_name, size)
         try:

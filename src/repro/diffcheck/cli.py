@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -76,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0,
         help="base seed for the fuzz phase (default: 0)",
+    )
+    parser.add_argument(
+        "--no-fuse", action="store_true",
+        help="run interpreters without superinstruction fusion "
+        "(bisection aid: a divergence that disappears here is a "
+        "fused-codegen bug)",
     )
     parser.add_argument(
         "--json", default=None, metavar="PATH",
@@ -138,7 +145,12 @@ def main(argv=None) -> int:
     from repro.diffcheck.invariants import check_invariants
     from repro.diffcheck.reference import check_reference
     from repro.diffcheck.report import DiffReport
+    from repro.runtime.predecode import interpreter_build_digest
     from repro.runtime.strategies import STRATEGY_ORDER
+
+    if args.no_fuse:
+        # Via the environment so ProcessPool workers inherit it too.
+        os.environ["REPRO_DISPATCH"] = "nofuse"
 
     phases = [p.strip() for p in args.phases.split(",") if p.strip()]
     unknown = set(phases) - {"axioms", "reference", "sweep", "fuzz"}
@@ -187,8 +199,15 @@ def main(argv=None) -> int:
         print(f"  ... and {len(report.violations) - args.max_violations} more")
 
     if args.json:
+        # Header first so a report is attributable to the exact
+        # interpreter/pre-decode build (and dispatch mode) that ran it.
+        payload = {
+            "interpreter_build": interpreter_build_digest(),
+            "dispatch": os.environ.get("REPRO_DISPATCH", "fused"),
+            **report.to_json(),
+        }
         with open(args.json, "w") as handle:
-            json.dump(report.to_json(), handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"report written to {args.json}")
 
     return 0 if report.ok else 1

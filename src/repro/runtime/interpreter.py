@@ -19,16 +19,29 @@ analogue of the threaded-code dispatch Wasm3 uses (paper §2.2, ref.
 Value conventions: i32/i64 are canonical *unsigned* Python ints
 (0 ≤ v < 2**N); f32/f64 are Python floats, with f32 results rounded
 through single precision.
+
+Dispatch modes (``dispatch=`` / ``REPRO_DISPATCH``):
+
+* ``fused`` (default) — pre-decoded handler table with superinstruction
+  fusion (:mod:`repro.runtime.predecode`) and struct-based fast memory
+  closures; bit-identical observables to the other modes.
+* ``nofuse`` — fast memory closures but one handler per instruction;
+  the bisection mode behind ``leaps-bench diffcheck --no-fuse``.
+* ``legacy`` — the original one-closure-per-op build, kept verbatim so
+  ``benchmarks/interp_bench.py`` can measure the fast path against the
+  pre-rewrite interpreter on the same machine.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import struct
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.runtime import predecode
 from repro.runtime.memory import LinearMemory
 from repro.runtime.profile import ExecutionProfile
 from repro.runtime.strategies import BoundsStrategy, strategy_named
@@ -202,6 +215,9 @@ class Instance:
 
 _MAX_CALL_DEPTH = 500
 
+#: Valid values for Interpreter(dispatch=...) / $REPRO_DISPATCH.
+DISPATCH_MODES = ("fused", "nofuse", "legacy")
+
 
 class Interpreter:
     """Instantiate and execute one module."""
@@ -214,6 +230,8 @@ class Interpreter:
         validate: bool = True,
         collect_profile: bool = True,
         track_pages: bool = True,
+        dispatch: Optional[str] = None,
+        module_digest: Optional[str] = None,
     ) -> None:
         if validate:
             validate_module(module)
@@ -222,6 +240,22 @@ class Interpreter:
         self.strategy = strategy or strategy_named("trap")
         self.module = module
         self.collect_profile = collect_profile
+        if dispatch is None:
+            dispatch = os.environ.get("REPRO_DISPATCH", "fused")
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
+        self._num_imported = len(module.imports)
+        if dispatch == "legacy":
+            self._plans: Dict[int, predecode.FunctionPlan] = {}
+        else:
+            # Pre-decode every body once at module load; with a module
+            # digest the fused plan is memoised in .cache/profiles/.
+            self._plans = predecode.plans_for_module(
+                module, module_digest=module_digest, fuse=dispatch == "fused"
+            )
+        #: absolute func index -> fusion regions applied to its code.
+        self._fused_regions: Dict[int, List[predecode.FusedRegion]] = {}
         self.instance = self._instantiate(imports or {}, track_pages)
         self._code_cache: Dict[int, List[Callable]] = {}
         self._counts: Dict[int, List[int]] = {}
@@ -270,8 +304,7 @@ class Interpreter:
             offset = self._eval_const(segment.offset, inst)
             if offset + len(segment.data) > inst.memory.size_bytes:
                 raise LinkError("data segment out of memory bounds")
-            inst.memory.data[offset : offset + len(segment.data)] = segment.data
-            inst.memory.touch_range(offset, len(segment.data))
+            inst.memory.init_data(offset, segment.data)
         return inst
 
     def _eval_const(self, expr: List[Instr], inst: Instance) -> Any:
@@ -342,9 +375,20 @@ class Interpreter:
         """Build an ExecutionProfile from counts gathered so far."""
         profile = ExecutionProfile(workload=workload, size=size)
         op_totals: Dict[str, int] = {}
-        for func_index, counts in self._counts.items():
+        for func_index, raw_counts in self._counts.items():
             func = self.module.defined_func(func_index)
-            profile.instr_counts[func_index] = list(counts)
+            counts = list(raw_counts)
+            # Under fused dispatch only a region's head pc is counted.
+            # Interior pcs execute exactly when the head does (they are
+            # never jump targets, and only the region's last op can
+            # trap — and an unfused trap still counts the trapping pc),
+            # so their exact counts are the head's count.
+            for region in self._fused_regions.get(func_index, ()):
+                head_count = counts[region.head]
+                if head_count:
+                    for tail_pc in region.tail_pcs:
+                        counts[tail_pc] = head_count
+            profile.instr_counts[func_index] = counts
             for ins, count in zip(func.body, counts):
                 if count:
                     op_totals[ins.op] = op_totals.get(ins.op, 0) + count
@@ -406,13 +450,52 @@ class Interpreter:
     # ------------------------------------------------------------------
     def _compile(self, func_index: int, func: Function) -> List[Callable]:
         body = func.body
-        matches = _match_control(body)
-        code: List[Callable] = []
-        for pc, ins in enumerate(body):
-            code.append(self._make_closure(pc, ins, matches, len(body)))
+        if self.dispatch == "legacy":
+            matches = _match_control(body)
+            return [
+                self._make_closure(pc, ins, matches, len(body))
+                for pc, ins in enumerate(body)
+            ]
+        plan = self._plans.get(func_index - self._num_imported)
+        if plan is None:  # pragma: no cover - plans cover all defined funcs
+            plan = predecode.plan_function(body, fuse=self.dispatch == "fused")
+        matches = plan.matches
+        code = [
+            self._make_closure(pc, ins, matches, len(body), fast_mem=True)
+            for pc, ins in enumerate(body)
+        ]
+        if self.dispatch == "fused":
+            applied: List[predecode.FusedRegion] = []
+            for region in plan.regions:
+                handler = self._make_fused(region, body)
+                if handler is not None:
+                    code[region.head] = handler
+                    applied.append(region)
+            if applied:
+                self._fused_regions[func_index] = applied
         return code
 
-    def _make_closure(self, pc, ins, matches, body_len):
+    # ------------------------------------------------------------------
+    # Superinstruction handlers (fused dispatch)
+    # ------------------------------------------------------------------
+    def _make_fused(
+        self, region: predecode.FusedRegion, body: Sequence[Instr]
+    ) -> Optional[Callable]:
+        """Compile one region into a single Python handler, or None.
+
+        Returning None leaves the region unfused (every pc dispatches
+        its ordinary closure), which is always semantically safe.
+        """
+        try:
+            return _gen_region(region, body, self.instance.memory, len(body))
+        except Exception:
+            # Falling back to per-op dispatch is always semantically
+            # safe; REPRO_FUSE_STRICT=1 (set in CI) surfaces the bug.
+            if os.environ.get("REPRO_FUSE_STRICT"):
+                raise
+            return None
+
+    def _make_closure(self, pc, ins, matches, body_len, fast_mem=False):
         op = ins.op
         next_pc = pc + 1
         inst = self.instance
@@ -612,9 +695,31 @@ class Interpreter:
 
         # ---- memory ------------------------------------------------------------
         if ins.info.category == "load":
+            if fast_mem:
+                return _make_fast_load(op, ins.args[1], memory, next_pc)
             return _make_load(op, ins.args[1], memory, next_pc)
         if ins.info.category == "store":
+            if fast_mem:
+                return _make_fast_store(op, ins.args[1], memory, next_pc)
             return _make_store(op, ins.args[1], memory, next_pc)
+        if op == "memory.fill":
+            def run_memory_fill(f):
+                stack = f.stack
+                length = stack.pop()
+                value = stack.pop()
+                memory.fill(stack.pop(), value, length)
+                return next_pc
+
+            return run_memory_fill
+        if op == "memory.copy":
+            def run_memory_copy(f):
+                stack = f.stack
+                length = stack.pop()
+                src = stack.pop()
+                memory.copy(stack.pop(), src, length)
+                return next_pc
+
+            return run_memory_copy
         if op == "memory.size":
             def run_memory_size(f):
                 f.stack.append(memory.pages)
@@ -783,6 +888,384 @@ def _make_store(op: str, offset: int, memory: LinearMemory, next_pc: int):
         return next_pc
 
     return run_int_store
+
+
+# ----------------------------------------------------------------------
+# Fast memory closures (fused / nofuse dispatch)
+#
+# Same observables as load_bytes/store_bytes — load/store counters,
+# touched-page sets, strategy-defined OOB behaviour — but the in-bounds
+# path unpacks straight out of the backing bytearray with a
+# pre-compiled struct.Struct, skipping the method call and the
+# intermediate bytes allocation.  The bytearray and touched-page set
+# are captured by identity: grow() extends the bytearray in place and
+# reset_tracking() clears the set in place, so both stay valid for the
+# lifetime of the instance.
+# ----------------------------------------------------------------------
+#: op -> (struct format, post-mask or None).  Masks re-canonicalise
+#: sign-extended sub-width loads to the unsigned value convention.
+_FAST_LOAD = {
+    "i32.load": ("<I", None),
+    "i64.load": ("<Q", None),
+    "f32.load": ("<f", None),
+    "f64.load": ("<d", None),
+    "i32.load8_s": ("<b", M32),
+    "i32.load8_u": ("<B", None),
+    "i32.load16_s": ("<h", M32),
+    "i32.load16_u": ("<H", None),
+    "i64.load8_s": ("<b", M64),
+    "i64.load8_u": ("<B", None),
+    "i64.load16_s": ("<h", M64),
+    "i64.load16_u": ("<H", None),
+    "i64.load32_s": ("<i", M64),
+    "i64.load32_u": ("<I", None),
+}
+
+#: op -> (struct format, pre-mask or None).  Sub-width stores truncate;
+#: full-width values are already canonical for their unsigned format.
+_FAST_STORE = {
+    "i32.store": ("<I", None),
+    "i64.store": ("<Q", None),
+    "f32.store": ("<f", None),
+    "f64.store": ("<d", None),
+    "i32.store8": ("<B", 0xFF),
+    "i32.store16": ("<H", 0xFFFF),
+    "i64.store8": ("<B", 0xFF),
+    "i64.store16": ("<H", 0xFFFF),
+    "i64.store32": ("<I", M32),
+}
+
+
+def _slow_load(memory: LinearMemory, addr: int, size: int, unpack_from):
+    """Out-of-bounds load: defer to the strategy, like load_bytes."""
+    effective = memory._check(addr, size, write=False)
+    if effective < 0:
+        return unpack_from(bytes(size), 0)[0]  # 'none': reads as zeros
+    if memory.track_pages:
+        memory._touch(effective, size)
+    return unpack_from(memory.data, effective)[0]
+
+
+def _value_loader(memory: LinearMemory, op: str) -> Callable[[int], Any]:
+    """Return fn(effective_addr) -> value for one typed load op."""
+    fmt, mask = _FAST_LOAD[op]
+    packer = struct.Struct(fmt)
+    size = packer.size
+    unpack_from = packer.unpack_from
+    data = memory.data
+    touched = memory.touched_pages
+    track = memory.track_pages
+
+    if mask is None:
+        def load(addr):
+            memory.load_count += 1
+            if addr + size <= len(data):
+                if track:
+                    first = addr >> 12
+                    last = (addr + size - 1) >> 12
+                    if first == last:
+                        touched.add(first)
+                    else:
+                        touched.update(range(first, last + 1))
+                return unpack_from(data, addr)[0]
+            return _slow_load(memory, addr, size, unpack_from)
+
+        return load
+
+    def load_signed(addr):
+        memory.load_count += 1
+        if addr + size <= len(data):
+            if track:
+                first = addr >> 12
+                last = (addr + size - 1) >> 12
+                if first == last:
+                    touched.add(first)
+                else:
+                    touched.update(range(first, last + 1))
+            return unpack_from(data, addr)[0] & mask
+        return _slow_load(memory, addr, size, unpack_from) & mask
+
+    return load_signed
+
+
+def _value_storer(memory: LinearMemory, op: str) -> Callable[[int, Any], None]:
+    """Return fn(effective_addr, value) for one typed store op."""
+    fmt, mask = _FAST_STORE[op]
+    packer = struct.Struct(fmt)
+    size = packer.size
+    pack_into = packer.pack_into
+    data = memory.data
+    touched = memory.touched_pages
+    track = memory.track_pages
+
+    def store(addr, value):
+        memory.store_count += 1
+        if mask is not None:
+            value = value & mask
+        if addr + size <= len(data):
+            if track:
+                first = addr >> 12
+                last = (addr + size - 1) >> 12
+                if first == last:
+                    touched.add(first)
+                else:
+                    touched.update(range(first, last + 1))
+            pack_into(data, addr, value)
+            return
+        effective = memory._check(addr, size, write=True)
+        if effective < 0:
+            return  # 'none': write lands in the guard scratch area
+        if track:
+            memory._touch(effective, size)
+        pack_into(data, effective, value)
+
+    return store
+
+
+def _make_fast_load(op: str, offset: int, memory: LinearMemory, next_pc: int):
+    if memory is None:  # pragma: no cover - validation prevents this
+        raise LinkError(f"{op} with no memory")
+    load = _value_loader(memory, op)
+
+    def run_fast_load(f):
+        stack = f.stack
+        stack[-1] = load(stack[-1] + offset)
+        return next_pc
+
+    return run_fast_load
+
+
+def _make_fast_store(op: str, offset: int, memory: LinearMemory, next_pc: int):
+    if memory is None:  # pragma: no cover - validation prevents this
+        raise LinkError(f"{op} with no memory")
+    store = _value_storer(memory, op)
+
+    def run_fast_store(f):
+        stack = f.stack
+        value = stack.pop()
+        store(stack.pop() + offset, value)
+        return next_pc
+
+    return run_fast_store
+
+
+def _const_value(ins: Instr) -> Any:
+    """The canonical runtime value of a *.const instruction."""
+    op = ins.op
+    if op == "i32.const":
+        return ins.args[0] & M32
+    if op == "i64.const":
+        return ins.args[0] & M64
+    if op == "f32.const":
+        return to_f32(float(ins.args[0]))
+    return float(ins.args[0])
+
+
+# ----------------------------------------------------------------------
+# Superinstruction code generator
+# ----------------------------------------------------------------------
+# Each fused region compiles to ONE Python function via symbolic stack
+# evaluation: walking the region's instructions with a compile-time
+# stack of expression strings turns e.g. the 10-op PolyBench address
+# chain ``local.get;const;mul;local.get;add;const;mul;const;add;load``
+# into a single statement.  The hot numeric ops inline as expressions
+# that are textually identical to the corresponding _BINOPS lambdas;
+# everything else calls the table function, so fused semantics are the
+# interpreter's semantics by construction.
+
+#: op -> expression template ({0}=lhs, {1}=rhs); MUST mirror _BINOPS.
+_INLINE_BINOPS: Dict[str, str] = {
+    "i32.add": "(({0} + {1}) & 4294967295)",
+    "i32.sub": "(({0} - {1}) & 4294967295)",
+    "i32.mul": "(({0} * {1}) & 4294967295)",
+    "i32.and": "({0} & {1})",
+    "i32.or": "({0} | {1})",
+    "i32.xor": "({0} ^ {1})",
+    "i32.shl": "(({0} << ({1} & 31)) & 4294967295)",
+    "i32.shr_u": "({0} >> ({1} & 31))",
+    "i64.add": "(({0} + {1}) & 18446744073709551615)",
+    "i64.sub": "(({0} - {1}) & 18446744073709551615)",
+    "i64.mul": "(({0} * {1}) & 18446744073709551615)",
+    "i64.and": "({0} & {1})",
+    "i64.or": "({0} | {1})",
+    "i64.xor": "({0} ^ {1})",
+    "i64.shl": "(({0} << ({1} & 63)) & 18446744073709551615)",
+    "i64.shr_u": "({0} >> ({1} & 63))",
+    "f64.add": "({0} + {1})",
+    "f64.sub": "({0} - {1})",
+    "f64.mul": "({0} * {1})",
+}
+for _ty, _cmps in (
+    ("i32", (("eq", "=="), ("ne", "!="), ("lt_u", "<"), ("gt_u", ">"),
+             ("le_u", "<="), ("ge_u", ">="))),
+    ("i64", (("eq", "=="), ("ne", "!="), ("lt_u", "<"), ("gt_u", ">"),
+             ("le_u", "<="), ("ge_u", ">="))),
+    ("f32", (("eq", "=="), ("ne", "!="), ("lt", "<"), ("gt", ">"),
+             ("le", "<="), ("ge", ">="))),
+    ("f64", (("eq", "=="), ("ne", "!="), ("lt", "<"), ("gt", ">"),
+             ("le", "<="), ("ge", ">="))),
+):
+    for _cmp, _sym in _cmps:
+        _INLINE_BINOPS[f"{_ty}.{_cmp}"] = f"(1 if {{0}} {_sym} {{1}} else 0)"
+
+#: op -> expression template ({0}=operand); MUST mirror _UNOPS.
+_INLINE_UNOPS: Dict[str, str] = {
+    "i32.eqz": "(1 if {0} == 0 else 0)",
+    "i64.eqz": "(1 if {0} == 0 else 0)",
+    "i32.wrap_i64": "({0} & 4294967295)",
+}
+
+
+def _gen_region(
+    region, body: Sequence[Instr], memory: LinearMemory, body_len: int
+) -> Optional[Callable]:
+    """Compile one fused region to a single handler function.
+
+    The symbolic stack ``sym`` holds, for every value the region has
+    (conceptually) pushed, a pure Python expression: a local slot
+    ``L[i]``, an int literal, a bound constant, or a temp assigned by
+    an earlier statement.  Real frame-stack traffic only happens when
+    the region consumes values pushed *before* it (inline ``S.pop()``
+    in exactly the order the unfused interpreter would pop them) and
+    in the final flush that pushes leftover expressions.  Because all
+    expressions are pure, every interleaving matches the unfused one.
+    """
+    head = region.head
+    after = head + region.length
+    ins_list = list(body[head:after])
+    env: Dict[str, Any] = {"_branch": _branch}
+    lines: List[str] = []
+    sym: List[str] = []
+    counts = {"t": 0, "u": 0}
+
+    def bind(value: Any) -> str:
+        name = f"_e{len(env)}"
+        env[name] = value
+        return name
+
+    def emit(stmt: str) -> None:
+        lines.append("    " + stmt)
+
+    def new_temp(expr: str) -> str:
+        name = f"t{counts['t']}"
+        counts["t"] += 1
+        emit(f"{name} = {expr}")
+        return name
+
+    def pop() -> str:
+        if sym:
+            return sym.pop()
+        # Underflow: the region consumes a value pushed before it.
+        name = f"u{counts['u']}"
+        counts["u"] += 1
+        emit(f"{name} = S.pop()")
+        return name
+
+    def flush_locals() -> None:
+        # Materialise pending L[...] reads before a local is written so
+        # they observe the pre-assignment value, as unfused ops did.
+        for idx, expr in enumerate(sym):
+            if "L[" in expr:
+                sym[idx] = new_temp(expr)
+
+    def flush_stack() -> None:
+        if len(sym) == 1:
+            emit(f"S.append({sym[0]})")
+        elif sym:
+            emit(f"S.extend(({', '.join(sym)}))")
+        sym.clear()
+
+    start = 0
+    if ins_list[0].op == "loop":
+        # The loop label must be live before anything else runs; ops
+        # inside the loop cannot pop below it, so no underflow precedes.
+        emit(f"f.labels.append(({head}, len(S), 0))")
+        start = 1
+
+    terminated = False
+    for ins in ins_list[start:]:
+        op = ins.op
+        if op == "local.get":
+            sym.append(f"L[{ins.args[0]}]")
+        elif op == "local.set":
+            flush_locals()
+            value = pop()
+            emit(f"L[{ins.args[0]}] = {value}")
+        elif op == "local.tee":
+            flush_locals()
+            value = pop()
+            sym.append(value)
+            emit(f"L[{ins.args[0]}] = {value}")
+        elif op in ("i32.const", "i64.const"):
+            sym.append(repr(_const_value(ins)))
+        elif op in ("f32.const", "f64.const"):
+            sym.append(bind(_const_value(ins)))
+        elif op == "drop":
+            pop()
+        elif op == "select":
+            cond = pop()
+            second = pop()
+            first = pop()
+            sym.append(new_temp(f"({first} if {cond} else {second})"))
+        elif op in predecode.LOAD_NAMES:
+            addr = pop()
+            loader = bind(_value_loader(memory, op))
+            offset = ins.args[1]
+            expr = f"{loader}({addr} + {offset})" if offset else f"{loader}({addr})"
+            sym.append(expr)  # last op of the region: no temp needed
+        elif op in predecode.STORE_NAMES:
+            value = pop()
+            addr = pop()
+            storer = bind(_value_storer(memory, op))
+            offset = ins.args[1]
+            target = f"{addr} + {offset}" if offset else addr
+            emit(f"{storer}({target}, {value})")
+        elif op == "br":
+            flush_stack()
+            emit(f"return _branch(f, {ins.args[0]})")
+            terminated = True
+        elif op == "br_if":
+            cond = pop()
+            flush_stack()
+            emit(f"if {cond}:")
+            lines.append(f"        return _branch(f, {ins.args[0]})")
+        elif op == "return":
+            flush_stack()
+            emit(f"return {body_len}")
+            terminated = True
+        elif op in _BINOPS:
+            rhs = pop()
+            lhs = pop()
+            template = _INLINE_BINOPS.get(op)
+            if template is not None:
+                expr = template.format(lhs, rhs)
+            else:
+                expr = f"{bind(_BINOPS[op])}({lhs}, {rhs})"
+            sym.append(new_temp(expr))
+        elif op in _UNOPS:
+            operand = pop()
+            template = _INLINE_UNOPS.get(op)
+            if template is not None:
+                expr = template.format(operand)
+            else:
+                expr = f"{bind(_UNOPS[op])}({operand})"
+            sym.append(new_temp(expr))
+        else:  # pragma: no cover - planner only schedules known ops
+            return None
+    if not terminated:
+        flush_stack()
+        emit(f"return {after}")
+
+    # Bind the environment through default parameters: defaults live in
+    # the function object, so handler-time lookups are all LOAD_FAST.
+    params = "".join(f", {name}={name}" for name in env)
+    source = "\n".join(
+        [f"def _fused(f{params}):", "    L = f.locals", "    S = f.stack"]
+        + lines
+    ) + "\n"
+    namespace = dict(env)
+    exec(compile(source, f"<fused:{head}+{region.length}>", "exec"), namespace)
+    return namespace["_fused"]
 
 
 # ----------------------------------------------------------------------

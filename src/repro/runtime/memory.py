@@ -148,6 +148,64 @@ class LinearMemory:
             self._touch(effective, len(raw))
         self.data[effective : effective + len(raw)] = raw
 
+    # ------------------------------------------------------------------
+    # Bulk operations (memory.fill / memory.copy / data-segment init).
+    # One ranged access counts as one load/store: the paper's bounds
+    # check is per memory *instruction*, not per byte, and the bulk op
+    # issues a single range-checked access.
+    # ------------------------------------------------------------------
+    def fill(self, dest: int, value: int, length: int) -> None:
+        """memory.fill: set ``length`` bytes at ``dest`` to ``value``.
+
+        Vectorised through one bytearray slice assignment.  Zero-length
+        fills are still bounds-checked (the spec traps on d > size even
+        when n == 0; our strategies see the same (addr, 0) access).
+        """
+        self.store_count += 1
+        effective = self._check(dest, length, write=True)
+        if effective < 0:
+            return  # 'none': absorbed by the guard mapping
+        # A clamping strategy may relocate the access; never write past
+        # the end of the buffer from a clamped base.
+        n = min(length, self.size_bytes - effective)
+        if n <= 0:
+            return
+        if self.track_pages:
+            self._touch(effective, n)
+        self.data[effective : effective + n] = bytes([value & 0xFF]) * n
+
+    def copy(self, dest: int, src: int, length: int) -> None:
+        """memory.copy: overlap-safe move of ``length`` bytes.
+
+        Both ranges are bounds-checked before any byte moves (spec
+        order); the move itself is one memoryview snapshot plus one
+        slice assignment, so overlapping ranges behave like memmove.
+        """
+        self.load_count += 1
+        self.store_count += 1
+        src_eff = self._check(src, length, write=False)
+        dest_eff = self._check(dest, length, write=True)
+        if src_eff < 0 or dest_eff < 0:
+            return
+        n = min(length, self.size_bytes - src_eff, self.size_bytes - dest_eff)
+        if n <= 0:
+            return
+        if self.track_pages:
+            self._touch(src_eff, n)
+            self._touch(dest_eff, n)
+        chunk = bytes(memoryview(self.data)[src_eff : src_eff + n])
+        self.data[dest_eff : dest_eff + n] = chunk
+
+    def init_data(self, offset: int, payload: bytes) -> None:
+        """Instantiation-time data-segment write (pre-bounds-checked).
+
+        Bypasses the strategy and the load/store counters — segment
+        initialisation is not an executed memory instruction — but
+        records first-touch pages exactly like the checked paths.
+        """
+        self.data[offset : offset + len(payload)] = payload
+        self.touch_range(offset, len(payload))
+
     # -- typed accessors (used by instantiation, host code and tests) ------
     def load_u32(self, address: int) -> int:
         return int.from_bytes(self.load_bytes(address, 4), "little")

@@ -1,0 +1,347 @@
+"""Pre-decode plans for the fast-path interpreter.
+
+A :class:`FunctionPlan` is everything the interpreter needs to turn a
+flat instruction body into a direct-threaded handler table *before*
+execution starts:
+
+* ``matches`` — the block/loop/if → end/else resolution (identical to
+  what the legacy interpreter computed per call);
+* ``targets`` — every pc that can be entered non-sequentially (branch
+  landing sites); fusion must never swallow one of these;
+* ``regions`` — the superinstruction schedule: non-overlapping runs of
+  instructions that one fused handler executes in a single dispatch.
+
+Plans are pure data (deterministic functions of the body), so they are
+serialisable and memoised in the content-addressed profile cache
+(``.cache/profiles/predecode-<module digest>-<build digest>.json``).
+The build digest covers the interpreter/pre-decode/memory sources, so a
+cached plan can never outlive the interpreter build that produced it —
+and ``leaps-bench diffcheck --json`` embeds the same digest so an
+equivalence report is attributable to an exact interpreter build.
+
+Fusion safety rules (checked structurally here, relied on by the
+interpreter's handlers):
+
+1. no interior pc of a region is a jump target;
+2. only the *last* instruction of a region may trap — so the
+   per-pc execution counts of the interior pcs always equal the head
+   pc's count and can be reconstructed exactly at profile time;
+3. regions contain no calls, so no reentrancy can observe the
+   (elided) transient stack states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.wasm import opcodes
+from repro.wasm.instructions import Instr
+
+#: Bump when the plan format or the fusion pattern set changes.
+PREDECODE_VERSION = 2
+
+# ----------------------------------------------------------------------
+# Operator classes (derived from the one opcode table)
+# ----------------------------------------------------------------------
+#: Two-operand numeric operators (the interpreter's _BINOPS domain).
+BINOP_NAMES = frozenset(
+    info.name
+    for info in opcodes.BY_NAME.values()
+    if info.category in ("arith", "compare") and len(info.params) == 2
+)
+
+#: Binary operators that can raise a Trap (divide/remainder family).
+TRAPPING_BINOPS = frozenset(
+    name for name in BINOP_NAMES if ".div_" in name or ".rem_" in name
+)
+
+#: Binary operators guaranteed not to trap (safe mid-region).
+NONTRAP_BINOPS = BINOP_NAMES - TRAPPING_BINOPS
+
+#: Two-operand comparisons (always produce i32, never trap).
+CMP_NAMES = frozenset(
+    info.name
+    for info in opcodes.BY_NAME.values()
+    if info.category == "compare" and len(info.params) == 2
+)
+
+#: One-operand numeric operators (the interpreter's _UNOPS domain).
+UNOP_NAMES = frozenset(
+    info.name
+    for info in opcodes.BY_NAME.values()
+    if info.category in ("arith", "compare", "convert") and len(info.params) == 1
+)
+
+#: Unary operators that can raise a Trap (float->int truncations).
+TRAPPING_UNOPS = frozenset(name for name in UNOP_NAMES if ".trunc_f" in name)
+
+#: Unary operators guaranteed not to trap (safe mid-region).
+NONTRAP_UNOPS = UNOP_NAMES - TRAPPING_UNOPS
+
+CONST_NAMES = frozenset(("i32.const", "i64.const", "f32.const", "f64.const"))
+LOAD_NAMES = frozenset(
+    info.name for info in opcodes.BY_NAME.values() if info.category == "load"
+)
+STORE_NAMES = frozenset(
+    info.name for info in opcodes.BY_NAME.values() if info.category == "store"
+)
+
+
+# ----------------------------------------------------------------------
+# Superinstruction regions
+# ----------------------------------------------------------------------
+# A fusable region is a maximal straight-line run of *pure stack ops*
+# (locals, constants, non-trapping numerics, drop/select), optionally
+# headed by a ``loop`` (its label push is part of the superinstruction)
+# and optionally closed by exactly one *terminator*: a memory access,
+# a trapping numeric op, or a branch (br / br_if / return).  Keeping
+# every trap- or exit-capable op at the very end is what makes the
+# per-pc count reconstruction in ``take_profile`` exact.
+#
+# The interpreter compiles each region to one Python function via
+# symbolic stack evaluation (see ``interpreter._gen_region``), so a
+# whole PolyBench inner-loop statement collapses into a single
+# dispatch.
+
+#: Pure ops: no traps, no control transfer, no memory side effects.
+SAFE_OPS = (
+    frozenset(
+        (
+            "local.get",
+            "local.set",
+            "local.tee",
+            "drop",
+            "select",
+        )
+    )
+    | CONST_NAMES
+    | NONTRAP_BINOPS
+    | NONTRAP_UNOPS
+)
+
+#: Ops that may end a region (trap-capable or control-exiting).
+TERMINATOR_OPS = (
+    LOAD_NAMES
+    | STORE_NAMES
+    | TRAPPING_BINOPS
+    | TRAPPING_UNOPS
+    | frozenset(("br", "br_if", "return"))
+)
+
+
+@dataclass(frozen=True)
+class FusedRegion:
+    """One superinstruction: ``length`` body pcs starting at ``head``."""
+
+    head: int
+    length: int
+    pattern: str
+
+    @property
+    def tail_pcs(self) -> range:
+        return range(self.head + 1, self.head + self.length)
+
+
+@dataclass
+class FunctionPlan:
+    """Pre-decode result for one function body."""
+
+    #: opener pc -> (end_pc, else_pc); else pc -> end_pc.
+    matches: Dict[int, Any] = field(default_factory=dict)
+    #: pcs reachable non-sequentially (branch landing sites).
+    targets: frozenset = frozenset()
+    #: non-overlapping fusion regions, ordered by head pc.
+    regions: List[FusedRegion] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+def match_control(body: Sequence[Instr]) -> Dict[int, Any]:
+    """Map each block/loop/if pc to (end_pc, else_pc); else pc to end_pc."""
+    matches: Dict[int, Any] = {}
+    stack: List[Tuple[int, Optional[int]]] = []
+    for pc, ins in enumerate(body):
+        op = ins.op
+        if op in ("block", "loop", "if"):
+            stack.append((pc, None))
+        elif op == "else":
+            opener, _ = stack.pop()
+            stack.append((opener, pc))
+        elif op == "end":
+            opener, else_pc = stack.pop()
+            matches[opener] = (pc, else_pc)
+            if else_pc is not None:
+                matches[else_pc] = pc
+    return matches
+
+
+def jump_targets(body: Sequence[Instr], matches: Dict[int, Any]) -> frozenset:
+    """Every pc execution can reach other than by falling through.
+
+    Conservative superset: for each structured opener this includes the
+    end, the slot after the end, the loop header itself and both else
+    landing sites — cheap to compute and safe for fusion (a region may
+    *start* at a target, never contain one).
+    """
+    targets = set()
+    for pc, ins in enumerate(body):
+        op = ins.op
+        if op in ("block", "loop", "if"):
+            end_pc, else_pc = matches[pc]
+            targets.add(end_pc)
+            targets.add(end_pc + 1)
+            if op == "loop":
+                targets.add(pc)
+            if else_pc is not None:
+                targets.add(else_pc)
+                targets.add(else_pc + 1)
+    return frozenset(targets)
+
+
+def find_regions(
+    body: Sequence[Instr], targets: frozenset
+) -> List[FusedRegion]:
+    """Maximal-straight-line superinstruction schedule for one body.
+
+    Scans left to right; at each pc tries to grow the longest run of
+    SAFE_OPS (optionally loop-headed, optionally terminator-closed)
+    whose interior never lands on a jump target.  Runs shorter than
+    two instructions gain nothing and are left unfused.
+    """
+    regions: List[FusedRegion] = []
+    ops = [ins.op for ins in body]
+    n = len(ops)
+    pc = 0
+    while pc < n:
+        i = pc
+        if ops[i] == "loop":
+            i += 1
+        while i < n and ops[i] in SAFE_OPS and (i == pc or i not in targets):
+            i += 1
+        if (
+            i < n
+            and i > pc
+            and i not in targets
+            and ops[i] in TERMINATOR_OPS
+        ):
+            i += 1
+        if ops[pc] == "loop" and i == pc + 1:
+            i = pc  # a bare loop opener fuses with nothing
+        if i - pc >= 2:
+            regions.append(FusedRegion(pc, i - pc, "gen"))
+            pc = i
+        else:
+            pc += 1
+    return regions
+
+
+def plan_function(body: Sequence[Instr], fuse: bool = True) -> FunctionPlan:
+    """Pre-decode one function body."""
+    matches = match_control(body)
+    targets = jump_targets(body, matches)
+    regions = find_regions(body, targets) if fuse else []
+    return FunctionPlan(matches=matches, targets=targets, regions=regions)
+
+
+# ----------------------------------------------------------------------
+# Build digest + content-addressed plan cache
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1)
+def interpreter_build_digest() -> str:
+    """SHA-256 over the interpreter build: sources + plan version.
+
+    Identifies the exact semantics+fusion implementation a run used;
+    embedded in diffcheck reports and the plan cache filenames.
+    """
+    from repro.runtime import interpreter, memory  # deferred: circular
+
+    digest = hashlib.sha256()
+    digest.update(f"predecode-v{PREDECODE_VERSION}".encode())
+    for module in (interpreter, memory):
+        digest.update(Path(module.__file__).read_bytes())
+    digest.update(Path(__file__).read_bytes())
+    return digest.hexdigest()
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(".cache") / "profiles"
+
+
+def _plan_to_json(plans: Dict[int, FunctionPlan]) -> dict:
+    return {
+        "version": PREDECODE_VERSION,
+        "funcs": {
+            str(index): {
+                "matches": {
+                    str(pc): value for pc, value in plan.matches.items()
+                },
+                "targets": sorted(plan.targets),
+                "regions": [
+                    [r.head, r.length, r.pattern] for r in plan.regions
+                ],
+            }
+            for index, plan in plans.items()
+        },
+    }
+
+
+def _plan_from_json(raw: dict) -> Dict[int, FunctionPlan]:
+    if raw.get("version") != PREDECODE_VERSION:
+        raise ValueError("plan version mismatch")
+    plans: Dict[int, FunctionPlan] = {}
+    for index, entry in raw["funcs"].items():
+        matches: Dict[int, Any] = {}
+        for pc, value in entry["matches"].items():
+            matches[int(pc)] = tuple(value) if isinstance(value, list) else value
+        plans[int(index)] = FunctionPlan(
+            matches=matches,
+            targets=frozenset(entry["targets"]),
+            regions=[FusedRegion(*r) for r in entry["regions"]],
+        )
+    return plans
+
+
+def plans_for_module(
+    module, module_digest: Optional[str] = None, fuse: bool = True
+) -> Dict[int, FunctionPlan]:
+    """Pre-decode every defined function body of ``module``.
+
+    Keys are positions in ``module.funcs`` (defined-function space).
+    With a ``module_digest`` the fused plan is memoised on disk in the
+    profile cache, keyed on (module content, interpreter build); the
+    un-fused plan is cheap enough to always recompute.
+    """
+    if module_digest and fuse:
+        path = _cache_dir() / (
+            f"predecode-{module_digest[:16]}-"
+            f"{interpreter_build_digest()[:8]}.json"
+        )
+        if path.exists():
+            try:
+                return _plan_from_json(json.loads(path.read_text()))
+            except (ValueError, KeyError, TypeError):
+                pass  # stale/corrupt entry: recompute below
+        plans = {
+            index: plan_function(func.body, fuse=True)
+            for index, func in enumerate(module.funcs)
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(_plan_to_json(plans)))
+        except OSError:
+            pass  # read-only filesystem: plan still usable in-memory
+        return plans
+    return {
+        index: plan_function(func.body, fuse=fuse)
+        for index, func in enumerate(module.funcs)
+    }

@@ -282,6 +282,10 @@ def _decode_expr(body: _Reader) -> List[Instr]:
     depth = 0
     while True:
         code = body.byte()
+        if code == 0xFC:
+            # Miscellaneous prefix: the real opcode is an LEB128
+            # sub-opcode, stored in the table as 0xFC00 | sub.
+            code = 0xFC00 | body.u32()
         try:
             info = opcodes.BY_CODE[code]
         except KeyError:
@@ -325,6 +329,14 @@ def _decode_instr(info: opcodes.OpInfo, body: _Reader) -> Instr:
     if imm == "call_indirect":
         return Instr(info.name, (body.u32(), body.u32()))
     if imm == "memidx":
+        if body.byte() != 0x00:
+            raise DecodeError("non-zero memory index reserved byte")
+        return Instr(info.name)
+    if imm == "memcopy":
+        if body.byte() != 0x00 or body.byte() != 0x00:
+            raise DecodeError("non-zero memory index reserved byte")
+        return Instr(info.name)
+    if imm == "memfill":
         if body.byte() != 0x00:
             raise DecodeError("non-zero memory index reserved byte")
         return Instr(info.name)

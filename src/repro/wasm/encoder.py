@@ -60,7 +60,12 @@ def encode_expr(body: Iterable[Instr]) -> bytes:
 
 def encode_instr(ins: Instr) -> bytes:
     info = ins.info
-    out = bytearray([info.code])
+    if info.code > 0xFF:
+        # 0xFC-prefixed opcode: prefix byte + LEB128 sub-opcode.
+        out = bytearray([info.code >> 8])
+        out += encode_u32(info.code & 0xFF)
+    else:
+        out = bytearray([info.code])
     imm = info.imm
     if imm == "":
         pass
@@ -91,6 +96,10 @@ def encode_instr(ins: Instr) -> bytes:
         out += encode_u32(type_index)
         out += encode_u32(table_index)
     elif imm == "memidx":
+        out.append(0x00)
+    elif imm == "memcopy":
+        out += b"\x00\x00"
+    elif imm == "memfill":
         out.append(0x00)
     else:  # pragma: no cover - table is closed
         raise AssertionError(f"unhandled immediate kind {imm!r}")

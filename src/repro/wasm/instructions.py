@@ -16,6 +16,8 @@ the structure into jump targets when they pre-process a function.
 ``'br_table'``     ``(labels_tuple, default_label)``
 ``'call_indirect'`` ``(type_index, table_index)``
 ``'memidx'``       ``()``
+``'memcopy'``      ``()``
+``'memfill'``      ``()``
 ``''``             ``()``
 =================  ==========================================
 """

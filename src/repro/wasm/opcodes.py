@@ -20,7 +20,13 @@ Immediate kinds:
 ``'br_table'`` label vector + default label
 ``'call_indirect'`` type index + table index
 ``'memidx'``   reserved 0x00 byte (memory.size / memory.grow)
+``'memcopy'``  two reserved 0x00 bytes (memory.copy dst+src indices)
+``'memfill'``  one reserved 0x00 byte (memory.fill memory index)
 =============  ========================================================
+
+Multi-byte opcodes (the 0xFC "miscellaneous" prefix) are stored as
+``0xFC00 | sub_opcode`` in :attr:`OpInfo.code`; the encoder/decoder
+translate to/from the prefix byte + LEB128 sub-opcode wire format.
 """
 
 from __future__ import annotations
@@ -119,6 +125,12 @@ _op("i64.store16", 0x3D, "memarg", (I32, I64), (), "store", 2)
 _op("i64.store32", 0x3E, "memarg", (I32, I64), (), "store", 4)
 _op("memory.size", 0x3F, "memidx", (), (I32,), "memory")
 _op("memory.grow", 0x40, "memidx", (I32,), (I32,), "memory")
+
+# -- memory: bulk operations (0xFC-prefixed, encoded as 0xFC00 | sub) ----------
+# memory.copy carries two reserved memory-index bytes (dst, src) and
+# memory.fill one; both take (dest, val_or_src, len) i32 operands.
+_op("memory.copy", 0xFC0A, "memcopy", (I32, I32, I32), (), "memory")
+_op("memory.fill", 0xFC0B, "memfill", (I32, I32, I32), (), "memory")
 
 # -- constants ------------------------------------------------------------------
 _op("i32.const", 0x41, "i32", (), (I32,), "const")

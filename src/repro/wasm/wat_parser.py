@@ -331,7 +331,7 @@ class _Parser:
                 if type_index is None:
                     raise WatParseError("call_indirect requires (type n)")
                 instrs.append(Instr(token, (type_index, 0)))
-            elif info.imm == "memidx":
+            elif info.imm in ("memidx", "memcopy", "memfill"):
                 instrs.append(Instr(token))
             else:  # pragma: no cover - closed table
                 raise WatParseError(f"unhandled immediate kind {info.imm}")

@@ -1,0 +1,22 @@
+;; i32 arithmetic wraps modulo 2**32.
+(module
+  (func (export "add_wrap") (result i32)
+    i32.const 0xFFFFFFFF
+    i32.const 1
+    i32.add)
+  (func (export "sub_wrap") (result i32)
+    i32.const 0
+    i32.const 1
+    i32.sub)
+  (func (export "mul_wrap") (result i32)
+    i32.const 0x10000
+    i32.const 0x10000
+    i32.mul)
+  (func (export "mixed_chain") (result i32)
+    i32.const 0x7FFFFFFF
+    i32.const 2
+    i32.mul
+    i32.const 3
+    i32.add
+    i32.const 5
+    i32.sub))

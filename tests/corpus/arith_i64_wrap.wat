@@ -1,0 +1,14 @@
+;; i64 arithmetic wraps modulo 2**64.
+(module
+  (func (export "add_wrap") (result i64)
+    i64.const 0xFFFFFFFFFFFFFFFF
+    i64.const 1
+    i64.add)
+  (func (export "sub_wrap") (result i64)
+    i64.const 0
+    i64.const 1
+    i64.sub)
+  (func (export "mul_wrap") (result i64)
+    i64.const 0x100000000
+    i64.const 0x100000000
+    i64.mul))

@@ -1,0 +1,18 @@
+;; Structured control flow: br out of nested blocks with results.
+(module
+  (func (export "br_out") (result i32)
+    block (result i32)
+      block (result i32)
+        i32.const 7
+        br 1
+      end
+      i32.const 1
+      i32.add
+    end)
+  (func (export "br_depth0") (result i32)
+    block (result i32)
+      i32.const 3
+      br 0
+    end
+    i32.const 10
+    i32.add))

@@ -1,0 +1,24 @@
+(module
+  (func $pick (param i32) (result i32)
+    block
+      block
+        block
+          local.get 0
+          br_table 0 1 2
+        end
+        i32.const 10
+        return
+      end
+      i32.const 20
+      return
+    end
+    i32.const 30)
+  (func (export "case0") (result i32)
+    i32.const 0
+    call $pick)
+  (func (export "case1") (result i32)
+    i32.const 1
+    call $pick)
+  (func (export "default") (result i32)
+    i32.const 9
+    call $pick))

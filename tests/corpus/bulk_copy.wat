@@ -1,0 +1,35 @@
+;; memory.copy handles overlap in both directions.
+(module
+  (memory 1)
+  (data (i32.const 0) "abcdefgh")
+  (func (export "copy_fwd_overlap") (result i32)
+    i32.const 2
+    i32.const 0
+    i32.const 6
+    memory.copy
+    i32.const 7
+    i32.load8_u)
+  (func (export "copy_back_overlap") (result i32)
+    i32.const 8
+    i32.const 10
+    i32.const 4
+    memory.copy
+    i32.const 8
+    i32.load8_u)
+  (func (export "copy_disjoint") (result i32)
+    i32.const 100
+    i32.const 0
+    i32.const 8
+    memory.copy
+    i32.const 100
+    i32.load8_u
+    i32.const 107
+    i32.load8_u
+    i32.add)
+  (func (export "copy_oob_src") (result i32)
+    i32.const 0
+    i32.const 65530
+    i32.const 100
+    memory.copy
+    i32.const 0
+    i32.load8_u))

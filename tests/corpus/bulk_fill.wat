@@ -1,0 +1,33 @@
+;; memory.fill: vectorized in the interpreter, one store per instruction.
+(module
+  (memory 1)
+  (func (export "fill_sum") (result i32)
+    i32.const 16
+    i32.const 0xAB
+    i32.const 8
+    memory.fill
+    i32.const 16
+    i32.load8_u
+    i32.const 23
+    i32.load8_u
+    i32.add
+    i32.const 15
+    i32.load8_u
+    i32.add
+    i32.const 24
+    i32.load8_u
+    i32.add)
+  (func (export "fill_zero_len") (result i32)
+    i32.const 0
+    i32.const 0xFF
+    i32.const 0
+    memory.fill
+    i32.const 0
+    i32.load8_u)
+  (func (export "fill_oob") (result i32)
+    i32.const 65530
+    i32.const 1
+    i32.const 100
+    memory.fill
+    i32.const 65530
+    i32.load8_u))

@@ -1,0 +1,17 @@
+(module
+  (table 2 funcref)
+  (elem (i32.const 0) $inc $dec)
+  (func $inc (param i32) (result i32)
+    local.get 0
+    i32.const 1
+    i32.add)
+  (func $dec (param i32) (result i32)
+    local.get 0
+    i32.const 1
+    i32.sub)
+  (func (export "dispatch") (result i32)
+    i32.const 10
+    i32.const 0
+    call_indirect (type 0)
+    i32.const 1
+    call_indirect (type 0)))

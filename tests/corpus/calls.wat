@@ -1,0 +1,19 @@
+(module
+  (func $double (param i32) (result i32)
+    local.get 0
+    i32.const 2
+    i32.mul)
+  (func $apply_twice (param i32) (result i32)
+    local.get 0
+    call $double
+    call $double)
+  (func (export "quad") (result i32)
+    i32.const 5
+    call $apply_twice)
+  (func (export "early_return") (result i32)
+    i32.const 1
+    if
+      i32.const 7
+      return
+    end
+    i32.const 9))

@@ -1,0 +1,16 @@
+(module
+  (func (export "clz0") (result i32)
+    i32.const 0
+    i32.clz)
+  (func (export "ctz0") (result i32)
+    i32.const 0
+    i32.ctz)
+  (func (export "clz1") (result i32)
+    i32.const 0x00F00000
+    i32.clz)
+  (func (export "popcnt") (result i32)
+    i32.const 0xF0F0F0F0
+    i32.popcnt)
+  (func (export "clz64") (result i64)
+    i64.const 1
+    i64.clz))

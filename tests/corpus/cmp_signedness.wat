@@ -1,0 +1,25 @@
+;; Signed vs unsigned comparison around the sign boundary.
+(module
+  (func (export "lt_s") (result i32)
+    i32.const -1
+    i32.const 1
+    i32.lt_s)
+  (func (export "lt_u") (result i32)
+    i32.const -1
+    i32.const 1
+    i32.lt_u)
+  (func (export "ge_s") (result i32)
+    i32.const 0x80000000
+    i32.const 0
+    i32.ge_s)
+  (func (export "ge_u") (result i32)
+    i32.const 0x80000000
+    i32.const 0
+    i32.ge_u)
+  (func (export "eqz") (result i32)
+    i32.const 0
+    i32.eqz)
+  (func (export "i64_cmp") (result i32)
+    i64.const -1
+    i64.const 1
+    i64.gt_u))

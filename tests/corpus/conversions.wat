@@ -1,0 +1,16 @@
+(module
+  (func (export "conv_s") (result f64)
+    i32.const -5
+    f64.convert_i32_s)
+  (func (export "conv_u") (result f64)
+    i32.const -5
+    f64.convert_i32_u)
+  (func (export "conv64") (result f32)
+    i64.const 0xFFFFFFFFFFFFFFFF
+    f32.convert_i64_u)
+  (func (export "demote") (result f32)
+    f64.const 1.0000000001
+    f32.demote_f64)
+  (func (export "promote") (result f64)
+    f32.const 0.1
+    f64.promote_f32))

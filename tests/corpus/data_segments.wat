@@ -1,0 +1,11 @@
+;; Data-segment initialisation is observable but not counted as stores.
+(module
+  (memory 1)
+  (data (i32.const 8) "\01\02\03\04")
+  (data (i32.const 100) "hi")
+  (func (export "read_init") (result i32)
+    i32.const 8
+    i32.load
+    i32.const 100
+    i32.load16_u
+    i32.add))

@@ -1,0 +1,27 @@
+;; Integer division edge cases: traps fire at the same point in every
+;; dispatch mode (a div is only ever the last op of a fused region).
+(module
+  (func (export "div_ok") (result i32)
+    i32.const -7
+    i32.const 2
+    i32.div_s)
+  (func (export "div_by_zero") (result i32)
+    i32.const 1
+    i32.const 0
+    i32.div_s)
+  (func (export "div_overflow") (result i32)
+    i32.const 0x80000000
+    i32.const -1
+    i32.div_s)
+  (func (export "rem_signs") (result i32)
+    i32.const -7
+    i32.const 3
+    i32.rem_s)
+  (func (export "rem_u") (result i32)
+    i32.const 0xFFFFFFFF
+    i32.const 10
+    i32.rem_u)
+  (func (export "rem_by_zero") (result i32)
+    i32.const 5
+    i32.const 0
+    i32.rem_u))

@@ -1,0 +1,14 @@
+;; f32 results round through single precision at every step.
+(module
+  (func (export "add_rounds") (result f32)
+    f32.const 16777216
+    f32.const 1
+    f32.add)
+  (func (export "mul_rounds") (result f32)
+    f32.const 1.1
+    f32.const 1.1
+    f32.mul)
+  (func (export "div") (result f32)
+    f32.const 1
+    f32.const 3
+    f32.div))

@@ -1,0 +1,16 @@
+(module
+  (func (export "sum") (result f64)
+    f64.const 0.1
+    f64.const 0.2
+    f64.add)
+  (func (export "chain") (result f64)
+    f64.const 2.5
+    f64.const 4.0
+    f64.mul
+    f64.const 0.5
+    f64.sub
+    f64.const 3.0
+    f64.div)
+  (func (export "sqrt") (result f64)
+    f64.const 2.0
+    f64.sqrt))

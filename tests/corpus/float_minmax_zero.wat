@@ -1,0 +1,16 @@
+;; min/max distinguish signed zeros; observe bits, not values.
+(module
+  (func (export "min_zeros") (result i64)
+    f64.const -0.0
+    f64.const 0.0
+    f64.min
+    i64.reinterpret_f64)
+  (func (export "max_zeros") (result i64)
+    f64.const -0.0
+    f64.const 0.0
+    f64.max
+    i64.reinterpret_f64)
+  (func (export "copysign") (result f64)
+    f64.const 3.0
+    f64.const -1.0
+    f64.copysign))

@@ -1,0 +1,20 @@
+;; ceil/floor/trunc/nearest preserve negative zero where required.
+(module
+  (func (export "ceil_neg") (result i64)
+    f64.const -0.5
+    f64.ceil
+    i64.reinterpret_f64)
+  (func (export "trunc_neg") (result i64)
+    f64.const -0.5
+    f64.trunc
+    i64.reinterpret_f64)
+  (func (export "nearest_half") (result f64)
+    f64.const 2.5
+    f64.nearest)
+  (func (export "nearest_neg") (result i64)
+    f64.const -0.4
+    f64.nearest
+    i64.reinterpret_f64)
+  (func (export "floor_pos") (result f64)
+    f64.const 3.7
+    f64.floor))

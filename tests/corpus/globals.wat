@@ -1,0 +1,15 @@
+(module
+  (global $count (mut i32) (i32.const 0))
+  (global $base i32 (i32.const 100))
+  (func (export "bump_twice") (result i32)
+    global.get $count
+    i32.const 1
+    i32.add
+    global.set $count
+    global.get $count
+    i32.const 2
+    i32.add
+    global.set $count
+    global.get $count
+    global.get $base
+    i32.add))

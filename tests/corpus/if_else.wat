@@ -1,0 +1,26 @@
+(module
+  (func $abs (param i32) (result i32)
+    local.get 0
+    i32.const 0
+    i32.lt_s
+    if (result i32)
+      i32.const 0
+      local.get 0
+      i32.sub
+    else
+      local.get 0
+    end)
+  (func (export "abs_neg") (result i32)
+    i32.const -5
+    call $abs)
+  (func (export "abs_pos") (result i32)
+    i32.const 5
+    call $abs)
+  (func (export "if_no_else") (result i32)
+    (local i32)
+    i32.const 1
+    if
+      i32.const 42
+      local.set 0
+    end
+    local.get 0))

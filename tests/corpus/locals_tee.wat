@@ -1,0 +1,30 @@
+;; local.tee and read-after-write hazards inside fusable runs.
+(module
+  (func (export "tee_chain") (result i32)
+    (local i32 i32)
+    i32.const 5
+    local.tee 0
+    local.tee 1
+    local.get 0
+    i32.add
+    local.get 1
+    i32.add)
+  (func (export "read_then_write") (result i32)
+    (local i32)
+    i32.const 3
+    local.set 0
+    local.get 0
+    local.get 0
+    i32.const 10
+    local.set 0
+    i32.add
+    local.get 0
+    i32.add)
+  (func (export "tee_self") (result i32)
+    (local i32)
+    i32.const 8
+    local.set 0
+    local.get 0
+    local.tee 0
+    local.get 0
+    i32.add))

@@ -1,0 +1,22 @@
+;; The canonical counted loop: fused loop-header and increment regions.
+(module
+  (func (export "sum100") (result i32)
+    (local i32 i32)
+    block
+      loop
+        local.get 0
+        i32.const 100
+        i32.ge_s
+        br_if 1
+        local.get 1
+        local.get 0
+        i32.add
+        local.set 1
+        local.get 0
+        i32.const 1
+        i32.add
+        local.set 0
+        br 0
+      end
+    end
+    local.get 1))

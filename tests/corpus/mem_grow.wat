@@ -1,0 +1,18 @@
+(module
+  (memory 1 4)
+  (func (export "grow_use") (result i32)
+    memory.size
+    drop
+    i32.const 1
+    memory.grow
+    drop
+    i32.const 70000
+    i32.const 123
+    i32.store
+    i32.const 70000
+    i32.load
+    memory.size
+    i32.add)
+  (func (export "grow_fail") (result i32)
+    i32.const 100
+    memory.grow))

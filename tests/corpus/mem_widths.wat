@@ -1,0 +1,55 @@
+;; Every load/store width, signed and unsigned reads.
+(module
+  (memory 1)
+  (func (export "bytes") (result i32)
+    i32.const 0
+    i32.const 0x89
+    i32.store8
+    i32.const 0
+    i32.load8_s
+    i32.const 0
+    i32.load8_u
+    i32.add)
+  (func (export "halves") (result i32)
+    i32.const 2
+    i32.const 0x8001
+    i32.store16
+    i32.const 2
+    i32.load16_s
+    i32.const 2
+    i32.load16_u
+    i32.add)
+  (func (export "words") (result i32)
+    i32.const 4
+    i32.const 0xDEADBEEF
+    i32.store
+    i32.const 4
+    i32.load)
+  (func (export "longs") (result i64)
+    i32.const 8
+    i64.const -2
+    i64.store
+    i32.const 8
+    i64.load)
+  (func (export "long_sub") (result i64)
+    i32.const 16
+    i64.const 0x8000000080000000
+    i64.store
+    i32.const 16
+    i64.load32_s
+    i32.const 16
+    i64.load32_u
+    i64.add)
+  (func (export "floats") (result f64)
+    i32.const 24
+    f32.const 1.5
+    f32.store
+    i32.const 28
+    f64.const 2.5
+    f64.store
+    i32.const 24
+    f32.load
+    f64.promote_f32
+    i32.const 28
+    f64.load
+    f64.add))

@@ -1,0 +1,21 @@
+;; Static offsets, including the last in-bounds slot and one past it.
+(module
+  (memory 1)
+  (func (export "offset_load") (result i32)
+    i32.const 100
+    i32.const 77
+    i32.store offset=28
+    i32.const 96
+    i32.load offset=32)
+  (func (export "last_byte") (result i32)
+    i32.const 65535
+    i32.load8_u)
+  (func (export "last_word") (result i32)
+    i32.const 0
+    i32.load offset=65532)
+  (func (export "one_past") (result i32)
+    i32.const 1
+    i32.load offset=65532)
+  (func (export "huge_offset") (result i32)
+    i32.const 0
+    i32.load8_u offset=131072))

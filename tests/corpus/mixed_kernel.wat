@@ -1,0 +1,40 @@
+;; A miniature dot-product kernel: loop, address chains, loads, a
+;; multiply-accumulate and a store per iteration.
+(module
+  (memory 1)
+  (func (export "dot8") (result f64)
+    (local i32 f64)
+    block
+      loop
+        local.get 0
+        i32.const 8
+        i32.ge_s
+        br_if 1
+        local.get 0
+        i32.const 8
+        i32.mul
+        local.get 0
+        i32.const 1
+        i32.add
+        f64.convert_i32_s
+        f64.store
+        local.get 1
+        local.get 0
+        i32.const 8
+        i32.mul
+        f64.load
+        local.get 0
+        i32.const 2
+        i32.add
+        f64.convert_i32_s
+        f64.mul
+        f64.add
+        local.set 1
+        local.get 0
+        i32.const 1
+        i32.add
+        local.set 0
+        br 0
+      end
+    end
+    local.get 1))

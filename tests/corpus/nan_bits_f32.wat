@@ -1,0 +1,13 @@
+(module
+  (func (export "zero_div_zero") (result i32)
+    f32.const 0
+    f32.const 0
+    f32.div
+    i32.reinterpret_f32)
+  (func (export "nan_min") (result i32)
+    f32.const 0
+    f32.const 0
+    f32.div
+    f32.const 1
+    f32.min
+    i32.reinterpret_f32))

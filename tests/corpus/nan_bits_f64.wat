@@ -1,0 +1,26 @@
+;; NaN production is canonical: observe the exact bit pattern.
+(module
+  (func (export "zero_div_zero") (result i64)
+    f64.const 0
+    f64.const 0
+    f64.div
+    i64.reinterpret_f64)
+  (func (export "inf_minus_inf") (result i64)
+    f64.const 1
+    f64.const 0
+    f64.div
+    f64.const 1
+    f64.const 0
+    f64.div
+    f64.sub
+    i64.reinterpret_f64)
+  (func (export "sqrt_neg") (result i64)
+    f64.const -4
+    f64.sqrt
+    i64.reinterpret_f64)
+  (func (export "neg_nan") (result i64)
+    f64.const 0
+    f64.const 0
+    f64.div
+    f64.neg
+    i64.reinterpret_f64))

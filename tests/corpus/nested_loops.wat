@@ -1,0 +1,37 @@
+;; Two nested counted loops (the PolyBench shape in miniature).
+(module
+  (func (export "grid") (result i32)
+    (local i32 i32 i32)
+    block
+      loop
+        local.get 0
+        i32.const 5
+        i32.ge_s
+        br_if 1
+        i32.const 0
+        local.set 1
+        block
+          loop
+            local.get 1
+            i32.const 7
+            i32.ge_s
+            br_if 1
+            local.get 2
+            i32.const 1
+            i32.add
+            local.set 2
+            local.get 1
+            i32.const 1
+            i32.add
+            local.set 1
+            br 0
+          end
+        end
+        local.get 0
+        i32.const 1
+        i32.add
+        local.set 0
+        br 0
+      end
+    end
+    local.get 2))

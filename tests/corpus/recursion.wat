@@ -1,0 +1,21 @@
+(module
+  (func $fib (param i32) (result i32)
+    local.get 0
+    i32.const 2
+    i32.lt_s
+    if (result i32)
+      local.get 0
+    else
+      local.get 0
+      i32.const 1
+      i32.sub
+      call $fib
+      local.get 0
+      i32.const 2
+      i32.sub
+      call $fib
+      i32.add
+    end)
+  (func (export "fib10") (result i32)
+    i32.const 10
+    call $fib))

@@ -1,0 +1,13 @@
+(module
+  (func (export "f64_bits") (result i64)
+    f64.const 1.5
+    i64.reinterpret_f64)
+  (func (export "bits_f64") (result f64)
+    i64.const 0x3FF8000000000000
+    f64.reinterpret_i64)
+  (func (export "f32_bits") (result i32)
+    f32.const -2.0
+    i32.reinterpret_f32)
+  (func (export "bits_f32") (result f32)
+    i32.const 0x40490FDB
+    f32.reinterpret_i32))

@@ -1,0 +1,20 @@
+(module
+  (func (export "sel_true") (result i32)
+    i32.const 11
+    i32.const 22
+    i32.const 1
+    select)
+  (func (export "sel_false") (result i32)
+    i32.const 11
+    i32.const 22
+    i32.const 0
+    select)
+  (func (export "dropped") (result i32)
+    i32.const 1
+    i32.const 2
+    drop)
+  (func (export "sel_f64") (result f64)
+    f64.const 1.5
+    f64.const 2.5
+    i32.const 0
+    select))

@@ -1,0 +1,22 @@
+;; Shift counts are taken modulo the bit width.
+(module
+  (func (export "shl_mod") (result i32)
+    i32.const 1
+    i32.const 33
+    i32.shl)
+  (func (export "shr_s_neg") (result i32)
+    i32.const -8
+    i32.const 2
+    i32.shr_s)
+  (func (export "shr_u_neg") (result i32)
+    i32.const -8
+    i32.const 2
+    i32.shr_u)
+  (func (export "rotl") (result i32)
+    i32.const 0x80000001
+    i32.const 1
+    i32.rotl)
+  (func (export "rotr64") (result i64)
+    i64.const 1
+    i64.const 1
+    i64.rotr))

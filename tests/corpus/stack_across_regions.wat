@@ -1,0 +1,37 @@
+;; Values pushed by one fused region are consumed by the next: loads
+;; end a region, so the adds below always pop across region boundaries.
+(module
+  (memory 1)
+  (func (export "stencil") (result f64)
+    (local i32)
+    i32.const 8
+    local.set 0
+    i32.const 8
+    f64.const 1.25
+    f64.store
+    i32.const 16
+    f64.const 2.25
+    f64.store
+    i32.const 24
+    f64.const 4.5
+    f64.store
+    local.get 0
+    f64.load
+    local.get 0
+    f64.load offset=8
+    f64.add
+    local.get 0
+    f64.load offset=16
+    f64.add
+    f64.const 0.5
+    f64.mul)
+  (func (export "deep_stack") (result i32)
+    i32.const 1
+    i32.const 2
+    i32.const 3
+    i32.const 4
+    i32.const 5
+    i32.add
+    i32.add
+    i32.add
+    i32.add))

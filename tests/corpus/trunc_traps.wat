@@ -1,0 +1,16 @@
+;; float->int truncation traps on NaN and out-of-range inputs.
+(module
+  (func (export "trunc_ok") (result i32)
+    f64.const -3.9
+    i32.trunc_f64_s)
+  (func (export "trunc_nan") (result i32)
+    f64.const 0
+    f64.const 0
+    f64.div
+    i32.trunc_f64_s)
+  (func (export "trunc_too_big") (result i32)
+    f64.const 1e10
+    i32.trunc_f64_s)
+  (func (export "trunc_u_neg") (result i32)
+    f64.const -1.5
+    i32.trunc_f64_u))

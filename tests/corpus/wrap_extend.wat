@@ -1,0 +1,20 @@
+;; Width changes: wrap, zero/sign extension, sign-extension operators.
+(module
+  (func (export "wrap") (result i32)
+    i64.const 0x1234567890ABCDEF
+    i32.wrap_i64)
+  (func (export "extend_s") (result i64)
+    i32.const -2
+    i64.extend_i32_s)
+  (func (export "extend_u") (result i64)
+    i32.const -2
+    i64.extend_i32_u)
+  (func (export "extend8") (result i32)
+    i32.const 0x180
+    i32.extend8_s)
+  (func (export "extend16") (result i32)
+    i32.const 0x18000
+    i32.extend16_s)
+  (func (export "extend32_64") (result i64)
+    i64.const 0x80000000
+    i64.extend32_s))

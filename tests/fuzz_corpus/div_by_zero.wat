@@ -1,0 +1,13 @@
+;; Arg-dependent divide-by-zero: traps iff arg == 0; the quotient path
+;; must agree bit-for-bit when it does not trap.
+(module
+  (func (export "run") (param i32) (result i32)
+    i32.const 1000000
+    local.get 0
+    i32.div_u
+    i32.const -1000000
+    local.get 0
+    i32.const 1
+    i32.add
+    i32.div_s
+    i32.add))

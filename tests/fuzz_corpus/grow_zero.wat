@@ -1,0 +1,15 @@
+;; Regression: memory.grow 0 must succeed without emitting a grow
+;; event (fixed in the diffcheck PR) — and must agree across modes.
+(module
+  (memory 1 4)
+  (func (export "run") (param i32) (result i32)
+    i32.const 0
+    memory.grow
+    i32.const 1
+    memory.grow
+    i32.add
+    i32.const 0
+    memory.grow
+    i32.add
+    memory.size
+    i32.add))

@@ -1,0 +1,16 @@
+;; Regression: LinearMemory._touch must record the *interior* pages of
+;; accesses spanning more than two pages (fixed in the diffcheck PR;
+;; memory.fill/copy make such ranges expressible from wasm).
+(module
+  (memory 4)
+  (func (export "run") (param i32) (result i32)
+    i32.const 2048
+    local.get 0
+    i32.const 250000
+    memory.fill
+    i32.const 4096
+    i32.const 2048
+    i32.const 200000
+    memory.copy
+    i32.const 100000
+    i32.load8_u))

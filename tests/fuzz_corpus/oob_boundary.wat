@@ -1,0 +1,14 @@
+;; Out-of-bounds probes at the exact page boundary: the last in-bounds
+;; word, one byte past, and a far miss.  Trapping strategies must
+;; report identical trap kinds; clamp/none must complete identically.
+(module
+  (memory 1)
+  (func (export "run") (param i32) (result i32)
+    i32.const 65532
+    local.get 0
+    i32.store
+    i32.const 65532
+    i32.load
+    i32.const 65533
+    i32.load
+    i32.add))

@@ -1,0 +1,9 @@
+;; Arg-dependent f64->i32 truncation overflow: in range for small
+;; args, traps with integer-overflow for large ones.
+(module
+  (func (export "run") (param i32) (result i32)
+    local.get 0
+    f64.convert_i32_u
+    f64.const 2000000.0
+    f64.mul
+    i32.trunc_f64_s))

@@ -1,0 +1,105 @@
+"""Conformance corpus: all dispatch modes agree on every program.
+
+Each ``tests/corpus/*.wat`` fixture is a small program targeting one
+semantic corner (wrap-around arithmetic, NaN bit patterns, memarg edge
+offsets, br_table, bulk memory ops, …).  The harness runs every
+exported function under all three dispatch modes — ``legacy`` (the
+pre-rewrite per-op closures), ``nofuse`` (fast memory paths, no
+fusion) and ``fused`` (superinstruction codegen) — and requires
+*bit-identical observables*: results (floats compared by bit pattern),
+trap kinds, per-pc execution counts, opcode totals, load/store counts
+and touched-page sets.
+
+Every module also makes a binary encode/decode round trip first, so
+the corpus exercises the wire format (including the 0xFC-prefixed
+bulk-memory opcodes) on the way in.
+"""
+
+import pathlib
+import struct
+
+import pytest
+
+from repro.runtime.interpreter import DISPATCH_MODES, Interpreter
+from repro.wasm import decode_module, encode_module, validate_module
+from repro.wasm.errors import Trap
+from repro.wasm.wat_parser import parse_wat
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.wat"))
+
+
+def _bits(value):
+    """Floats compared by IEEE bit pattern so NaN == NaN, -0.0 != 0.0."""
+    if isinstance(value, float):
+        return ("f64", struct.pack("<d", value))
+    if isinstance(value, tuple):
+        return tuple(_bits(v) for v in value)
+    return value
+
+
+def _run_module(module, dispatch):
+    interp = Interpreter(
+        module, dispatch=dispatch, collect_profile=True, track_pages=True
+    )
+    outcomes = []
+    for export in module.exports:
+        if export.kind != "func":
+            continue
+        try:
+            outcomes.append((export.name, "ok", _bits(interp.invoke(export.name))))
+        except Trap as trap:
+            outcomes.append((export.name, "trap", trap.kind))
+    profile = interp.take_profile("conformance", "corpus")
+    return {
+        "outcomes": outcomes,
+        "instr_counts": dict(profile.instr_counts),
+        "op_totals": dict(profile.op_totals),
+        "total_instrs": profile.total_instrs,
+        "mem_loads": profile.mem_loads,
+        "mem_stores": profile.mem_stores,
+        "pages_touched": profile.pages_touched,
+        "grow_events": list(profile.grow_events),
+        "peak_pages": profile.peak_pages,
+    }
+
+
+def test_corpus_is_populated():
+    # The corpus is meant to grow; losing files should be loud.
+    assert len(CORPUS) >= 30
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_dispatch_modes_agree(path, monkeypatch):
+    monkeypatch.setenv("REPRO_FUSE_STRICT", "1")
+    module = parse_wat(path.read_text())
+    validate_module(module)
+    # Wire round trip: the binary form must reproduce the module.
+    module = decode_module(encode_module(module))
+    validate_module(module)
+
+    reference = _run_module(module, "fused")
+    assert reference["outcomes"], f"{path.name} exports no functions"
+    for mode in DISPATCH_MODES:
+        if mode == "fused":
+            continue
+        observed = _run_module(module, mode)
+        for key, value in reference.items():
+            assert observed[key] == value, (
+                f"{path.name}: {key} differs between fused and {mode}"
+            )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_fusion_actually_applies(path):
+    """The corpus must exercise the fused path, not just fall back."""
+    module = parse_wat(path.read_text())
+    interp = Interpreter(module, dispatch="fused")
+    for export in module.exports:
+        if export.kind == "func":
+            try:
+                interp.invoke(export.name)
+            except Trap:
+                pass
+    total_regions = sum(len(r) for r in interp._fused_regions.values())
+    assert total_regions > 0, f"{path.name} compiled zero fused regions"

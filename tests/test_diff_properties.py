@@ -10,15 +10,18 @@ round trip of an f32-computing module).
 """
 
 import math
+import os
+import random
 import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.runtime.interpreter import Interpreter, to_f32
+from repro.diffcheck import fuzz
+from repro.runtime.interpreter import DISPATCH_MODES, Interpreter, to_f32
 from repro.wasm import decode_module, encode_module, validate_module
 from repro.wasm.builder import ModuleBuilder
-from repro.wasm.errors import DecodeError
+from repro.wasm.errors import DecodeError, Trap
 from repro.wasm.leb128 import (
     decode_signed,
     decode_unsigned,
@@ -154,3 +157,75 @@ class TestF32Canonicalisation:
             assert math.isnan(roundtrip)
         else:
             assert struct.pack("<f", direct) == struct.pack("<f", roundtrip)
+
+
+class TestFusionEquivalence:
+    """Superinstruction fusion is unobservable except in speed.
+
+    For DSL-generated programs (the diffcheck fuzzer's generator, so
+    shrinking happens on the seed), the fused, nofuse and legacy
+    dispatch modes must produce bit-identical return values, memory
+    load/store counts and touched-page sets.  REPRO_FUSE_STRICT turns
+    any silent codegen fallback into a hard failure, so a property
+    violation here cannot hide behind the unfused path.
+    """
+
+    @staticmethod
+    def _observe(module, arg, dispatch):
+        interp = Interpreter(
+            module, dispatch=dispatch, validate=False,
+            collect_profile=False, track_pages=True,
+        )
+        try:
+            value = interp.invoke("run", arg)
+        except Trap as exc:
+            return ("trap", exc.kind)
+        memory = interp.memory
+        return (
+            "value", value, memory.load_count, memory.store_count,
+            tuple(sorted(memory.touched_pages)),
+        )
+
+    @given(st.integers(0, 10**9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_modes_agree(self, seed, arg):
+        module = fuzz.build_program(random.Random(seed))
+        validate_module(module)
+        previous = os.environ.get("REPRO_FUSE_STRICT")
+        os.environ["REPRO_FUSE_STRICT"] = "1"
+        try:
+            reference = self._observe(module, arg, "fused")
+            for mode in DISPATCH_MODES:
+                if mode != "fused":
+                    assert self._observe(module, arg, mode) == reference
+        finally:
+            if previous is None:
+                del os.environ["REPRO_FUSE_STRICT"]
+            else:
+                os.environ["REPRO_FUSE_STRICT"] = previous
+
+    @given(st.integers(0, 10**9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_fusion_preserves_per_pc_counts(self, seed, arg):
+        """Reconstructed per-pc counts match an actually-unfused run."""
+        module = fuzz.build_program(random.Random(seed))
+        profiles = {}
+        for mode in ("fused", "nofuse"):
+            interp = Interpreter(
+                module, dispatch=mode, validate=False,
+                collect_profile=True, track_pages=True,
+            )
+            try:
+                interp.invoke("run", arg)
+            except Trap:
+                pass
+            profile = interp.take_profile("fuzz", "prop")
+            profiles[mode] = (
+                dict(profile.instr_counts),
+                dict(profile.op_totals),
+                profile.total_instrs,
+                profile.mem_loads,
+                profile.mem_stores,
+                profile.pages_touched,
+            )
+        assert profiles["fused"] == profiles["nofuse"]

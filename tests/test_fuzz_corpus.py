@@ -1,0 +1,131 @@
+"""Replay the seeded fuzz regression corpus (tests/fuzz_corpus/).
+
+Every entry is a once-found failure promoted to a permanent
+regression: fuzzer seeds go back through the full ``check_case``
+oracle (and additionally through every dispatch mode), hand-written
+``.wat`` distillations run under the full bounds-strategy x dispatch
+grid.  See tests/fuzz_corpus/README.md for the promotion policy.
+"""
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.diffcheck import fuzz
+from repro.runtime.interpreter import DISPATCH_MODES, Interpreter
+from repro.runtime.strategies import STRATEGY_ORDER
+from repro.wasm import decode_module, encode_module, validate_module
+from repro.wasm.errors import Trap
+from repro.wasm.wat_parser import parse_wat
+
+pytestmark = pytest.mark.diff
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
+MANIFEST = json.loads((CORPUS_DIR / "seeds.json").read_text())
+SEED_CASES = MANIFEST["cases"]
+SEED_ARGS = MANIFEST["args"]
+WAT_CASES = sorted(CORPUS_DIR.glob("*.wat"))
+
+
+def _outcome(module, arg, strategy, dispatch):
+    interp = Interpreter(
+        module, strategy=strategy, dispatch=dispatch,
+        validate=False, collect_profile=False, track_pages=True,
+    )
+    try:
+        value = interp.invoke("run", arg)
+    except Trap as exc:
+        return ("trap", exc.kind)
+    memory = interp.memory
+    if memory is None:
+        return ("value", value, 0, 0, ())
+    return (
+        "value", value, memory.load_count, memory.store_count,
+        tuple(sorted(memory.touched_pages)),
+    )
+
+
+def test_corpus_is_populated():
+    assert len(SEED_CASES) >= 8
+    assert len(WAT_CASES) >= 4
+
+
+@pytest.mark.parametrize(
+    "case", SEED_CASES, ids=lambda c: f"seed{c['seed']}"
+)
+def test_seed_passes_full_oracle(case):
+    """The promoted seed must stay green through every diffcheck layer."""
+    report = fuzz.check_case(case["seed"])
+    assert report.ok, "\n".join(v.render() for v in report.violations)
+
+
+@pytest.mark.parametrize(
+    "case", SEED_CASES, ids=lambda c: f"seed{c['seed']}"
+)
+def test_seed_dispatch_modes_agree(case, monkeypatch):
+    """Dispatch modes agree on the seed's module for every strategy."""
+    monkeypatch.setenv("REPRO_FUSE_STRICT", "1")
+    rng = random.Random(case["seed"])
+    module = fuzz.build_program(rng)
+    validate_module(module)
+    for strategy in STRATEGY_ORDER:
+        for arg in SEED_ARGS:
+            reference = _outcome(module, arg, strategy, "fused")
+            for mode in DISPATCH_MODES:
+                if mode == "fused":
+                    continue
+                observed = _outcome(module, arg, strategy, mode)
+                assert observed == reference, (
+                    f"seed {case['seed']} arg={arg} {strategy}: "
+                    f"{mode} diverges from fused"
+                )
+
+
+@pytest.mark.parametrize("path", WAT_CASES, ids=lambda p: p.stem)
+def test_wat_regression_grid(path, monkeypatch):
+    """Distilled regressions agree across strategies and dispatch modes.
+
+    Within one strategy every dispatch mode must be bit-identical.
+    Across strategies the usual diffcheck contract holds: identical
+    value/loads/stores/pages when nothing traps; when a trapping
+    strategy traps, all trapping strategies report the same kind and
+    clamp/none complete without trapping.
+    """
+    monkeypatch.setenv("REPRO_FUSE_STRICT", "1")
+    module = parse_wat(path.read_text())
+    validate_module(module)
+    module = decode_module(encode_module(module))
+    validate_module(module)
+
+    for arg in SEED_ARGS:
+        by_strategy = {}
+        for strategy in STRATEGY_ORDER:
+            reference = _outcome(module, arg, strategy, "fused")
+            for mode in DISPATCH_MODES:
+                if mode == "fused":
+                    continue
+                observed = _outcome(module, arg, strategy, mode)
+                assert observed == reference, (
+                    f"{path.name} arg={arg} {strategy}: "
+                    f"{mode} diverges from fused"
+                )
+            by_strategy[strategy] = reference
+
+        trapping = {s: by_strategy[s] for s in fuzz._TRAPPING}
+        if any(o[0] == "trap" for o in trapping.values()):
+            kinds = {o[1] for o in trapping.values() if o[0] == "trap"}
+            assert len(kinds) == 1 and all(
+                o[0] == "trap" for o in trapping.values()
+            ), f"{path.name} arg={arg}: trapping strategies disagree"
+            if kinds == {"out-of-bounds memory access"}:
+                for strategy in ("clamp", "none"):
+                    assert by_strategy[strategy][0] == "value", (
+                        f"{path.name} arg={arg}: {strategy} trapped on oob"
+                    )
+        else:
+            outcomes = set(by_strategy.values())
+            assert len(outcomes) == 1, (
+                f"{path.name} arg={arg}: strategies disagree with no trap"
+            )
