@@ -1,0 +1,261 @@
+"""The unified sweep facade: one spec type, two entry points.
+
+Before this module existed the repo had three divergent ways to run a
+measurement grid — ``repro.core.runner.run_sweep`` (row dicts),
+``repro.core.experiments.common.measure`` (one configuration, keyed by
+workload) and the diffcheck CLI's ad-hoc request builder — each with
+its own keyword signature.  They are now thin deprecated shims over
+this module:
+
+* :class:`SweepSpec` — the grid description (workloads × runtimes ×
+  strategies × ISAs × thread counts, plus size/iterations/warmup).
+* :func:`run` — execute the grid, return flat row dicts (CSV-ready,
+  schema in :data:`ROW_SCHEMA`).
+* :func:`measure` — execute the grid, return a
+  :class:`SweepMeasurements` wrapping the full
+  :class:`~repro.core.harness.RunMeasurement` objects with grouping
+  helpers (``per_workload``, ``medians``) for the figure experiments.
+
+Both entry points share the measurement engine (``--jobs`` fan-out +
+content-addressed cache; see :mod:`repro.core.engine`).  Invalid
+combinations (a runtime without the requested ISA backend or strategy,
+thread counts beyond the machine) are skipped by default — pass
+``strict=True`` to raise instead, which is what the legacy shims do to
+preserve their historical error behaviour.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementRequest,
+    MeasurementResult,
+    default_engine,
+)
+from repro.core.harness import RunMeasurement
+from repro.cpu.machine import MACHINE_SPECS
+from repro.runtimes import runtime_named
+from repro.trace.events import SWEEP_GRID
+from repro.trace.tracer import TRACE
+
+__all__ = [
+    "FIELDS",
+    "ROW_SCHEMA",
+    "SweepMeasurements",
+    "SweepSpec",
+    "measure",
+    "row_from",
+    "run",
+    "to_csv",
+]
+
+#: Row schema: column name → extractor over a MeasurementResult.  CSV
+#: columns derive from this single table, so adding a column here is
+#: the whole change.
+ROW_SCHEMA: Dict[str, Callable[[MeasurementResult], object]] = {
+    "workload": lambda r: r.measurement.workload,
+    "runtime": lambda r: r.measurement.runtime,
+    "strategy": lambda r: r.measurement.strategy,
+    "isa": lambda r: r.measurement.isa,
+    "threads": lambda r: r.measurement.threads,
+    "median_ms": lambda r: r.measurement.median_iteration * 1e3,
+    "utilisation_percent": lambda r: r.measurement.utilisation.utilisation_percent,
+    "ctx_per_sec": lambda r: r.measurement.utilisation.context_switches_per_sec,
+    "mem_avg_mib": lambda r: r.measurement.mem_avg_bytes / (1 << 20),
+    "mmap_write_wait_ms": lambda r: r.measurement.mmap_write_wait * 1e3,
+    "checks_emitted": lambda r: r.measurement.bounds_checks.get("emitted", 0),
+    "checks_elided": lambda r: r.measurement.bounds_checks.get("elided", 0),
+    "cache_hit": lambda r: int(r.cache_hit),
+    "elapsed_s": lambda r: round(r.elapsed, 6),
+}
+
+#: The columns a sweep row always carries (derived, not hand-kept).
+FIELDS = list(ROW_SCHEMA)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of benchmark configurations to run."""
+
+    workloads: Sequence[str]
+    runtimes: Sequence[str] = ("wavm",)
+    strategies: Sequence[str] = ("mprotect",)
+    isas: Sequence[str] = ("x86_64",)
+    threads: Sequence[int] = (1,)
+    size: str = "small"
+    iterations: int = 3
+    warmup: int = 1
+
+    def configurations(self) -> Iterator[tuple]:
+        """Valid (runtime, strategy, isa, threads) combinations."""
+        for isa in self.isas:
+            cores = MACHINE_SPECS[isa].cores
+            for runtime in self.runtimes:
+                model = runtime_named(runtime)
+                if not model.supports(isa):
+                    continue
+                for strategy in self.strategies:
+                    if strategy not in model.strategies:
+                        continue
+                    for threads in self.threads:
+                        if threads <= cores:
+                            yield (runtime, strategy, isa, threads)
+
+    def requests(self) -> List[MeasurementRequest]:
+        """The full grid, workloads outermost.
+
+        Workload-major order keeps every configuration of one module
+        adjacent, so the engine's profile/compile caches are warmed
+        once per workload instead of being cycled through the whole
+        workload set per configuration.
+        """
+        return [
+            MeasurementRequest(
+                workload, runtime, strategy, isa,
+                threads=threads, size=self.size, iterations=self.iterations,
+                warmup=self.warmup,
+            )
+            for workload in self.workloads
+            for runtime, strategy, isa, threads in self.configurations()
+        ]
+
+    def validate(self) -> None:
+        """Raise ValueError for any combination the grid would skip."""
+        for isa in self.isas:
+            cores = MACHINE_SPECS[isa].cores
+            for runtime in self.runtimes:
+                model = runtime_named(runtime)
+                if not model.supports(isa):
+                    raise ValueError(
+                        f"runtime {runtime} has no {isa} backend (§3.4)"
+                    )
+                for strategy in self.strategies:
+                    if strategy not in model.strategies:
+                        raise ValueError(
+                            f"runtime {runtime} does not support "
+                            f"strategy {strategy}"
+                        )
+            for threads in self.threads:
+                if threads > cores:
+                    raise ValueError(
+                        f"{threads} workers exceed the {cores}-core machine"
+                    )
+
+
+def row_from(result: MeasurementResult) -> Dict[str, object]:
+    return {name: extract(result) for name, extract in ROW_SCHEMA.items()}
+
+
+@dataclass
+class SweepMeasurements:
+    """The result of :func:`measure`: requests paired with results."""
+
+    spec: SweepSpec
+    requests: List[MeasurementRequest]
+    results: List[MeasurementResult]
+
+    @property
+    def measurements(self) -> List[RunMeasurement]:
+        return [result.measurement for result in self.results]
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [row_from(result) for result in self.results]
+
+    def by_workload(self) -> Dict[str, List[RunMeasurement]]:
+        grouped: Dict[str, List[RunMeasurement]] = {}
+        for result in self.results:
+            grouped.setdefault(result.measurement.workload, []).append(
+                result.measurement
+            )
+        return grouped
+
+    def per_workload(self) -> Dict[str, RunMeasurement]:
+        """Workload → its single measurement (single-config grids)."""
+        out: Dict[str, RunMeasurement] = {}
+        for workload, group in self.by_workload().items():
+            if len(group) != 1:
+                raise ValueError(
+                    f"workload {workload} has {len(group)} measurements; "
+                    "per_workload() needs a single-configuration spec"
+                )
+            out[workload] = group[0]
+        return out
+
+    def medians(self) -> Dict[str, float]:
+        """Workload → median iteration seconds (single-config grids)."""
+        return {
+            name: m.median_iteration for name, m in self.per_workload().items()
+        }
+
+
+def _execute_spec(
+    spec: SweepSpec,
+    engine: Optional[MeasurementEngine],
+    progress,
+    strict: bool,
+) -> SweepMeasurements:
+    if strict:
+        spec.validate()
+    engine = engine if engine is not None else default_engine()
+    requests = spec.requests()
+    if TRACE.enabled:
+        TRACE.emit(0.0, SWEEP_GRID, requests=len(requests))
+    results = engine.run(requests, progress=progress)
+    return SweepMeasurements(spec=spec, requests=requests, results=results)
+
+
+def run(
+    spec: SweepSpec,
+    *,
+    engine: Optional[MeasurementEngine] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    strict: bool = False,
+) -> List[Dict[str, object]]:
+    """Run every valid configuration × workload; returns result rows."""
+    return _execute_spec(spec, engine, progress, strict).rows()
+
+
+def measure(
+    spec: SweepSpec,
+    *,
+    engine: Optional[MeasurementEngine] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    strict: bool = False,
+    verbose: bool = False,
+) -> SweepMeasurements:
+    """Run the grid and keep the full measurement objects."""
+    swept = _execute_spec(spec, engine, progress, strict)
+    if verbose:
+        for request, result in zip(swept.requests, swept.results):
+            origin = "cache" if result.cache_hit else f"{result.elapsed:.1f}s"
+            print(
+                f"    {request.workload:16s} {request.runtime}/"
+                f"{request.strategy}/{request.isa}/t{request.threads}: "
+                f"{result.measurement.median_iteration * 1e3:.3f} ms "
+                f"[{origin}]"
+            )
+    return swept
+
+
+def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render sweep rows as CSV text.
+
+    Columns are the schema-derived :data:`FIELDS` plus, appended in
+    sorted order, any extra keys present in the rows — nothing a row
+    carries is silently dropped.
+    """
+    extras = sorted(
+        {key for row in rows for key in row} - set(FIELDS)
+    )
+    fieldnames = FIELDS + extras
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in fieldnames})
+    return buffer.getvalue()

@@ -1,0 +1,317 @@
+"""Global bounds-check elimination (BCE).
+
+Real engines claw back much of the software bounds-check penalty with
+compiler elimination: WAVM inherits LLVM's range analysis, TurboFan
+types induction variables, Cranelift deduplicates dominated checks.
+This pass models those three mechanisms on the costing IR so the
+clamp/trap strategies stop paying for checks a production compiler
+would never emit.  It runs after LICM and only when the active bounds
+strategy inlines check code (``clamp``/``trap``); the virtual-memory
+strategies never see it, which is what keeps their figures
+byte-identical with BCE on or off.
+
+Two cooperating phases, controlled by two pass names:
+
+``bceloop`` (loop phase, innermost loops first)
+    *Affine accesses* — a ``boundscheck`` whose address is an affine
+    expression over the loop's induction variables (phi defs updated by
+    a loop-invariant stride) with loop-invariant coefficients is
+    provably in-bounds for the whole trip once the extremal iteration
+    is checked.  All such checks in blocks that run every iteration are
+    deleted and replaced by one pooled, max-widened guard in the loop
+    preheader (``srcs=()`` — the guard checks a derived bound, not a
+    live register, so register pressure is untouched).
+
+    *Invariant accesses* — a check whose address register has no
+    definition inside the loop is hoisted to the preheader, one guard
+    per address register, widened to the maximum access size seen.
+    Because inner preheaders are ordinary body blocks of the enclosing
+    loop, hoisted guards cascade outward across loop nests.
+
+``bce`` (dominance phase)
+    A linear sweep over the structural scope paths (:class:`IRBlock.
+    scope_path`): a ``boundscheck`` of base register *r* for *n* bytes
+    is deleted when a previous check of *r* for >= *n* bytes dominates
+    it — same register, established in a block whose scope path is a
+    prefix of the current block's.  This is the cross-block
+    generalisation of the per-block ``checkelim`` CSE flag.
+
+Legality mirrors ``passes.py``: ``growmem`` kills every range fact
+(and disables the loop phase for loops containing one), redefining a
+register kills its fact, facts established outside a loop are dropped
+inside it when the loop redefines the register (multi-def registers),
+and hoisting only draws from blocks guaranteed to execute every
+iteration (the same filter LICM uses).  Stores and calls do *not* kill
+check facts — wasm memory never shrinks — matching ``checkelim``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.compiler.ir import IRFunction, IRInstr
+
+#: Ops through which an address expression stays affine in the
+#: induction variables (with invariant operands where required).
+_AFFINE_OPS = {"iadd", "isub", "imul", "ishl", "move"}
+
+_AFFINE_DEPTH_LIMIT = 8
+
+
+@dataclass
+class BCEStats:
+    """Per-function static elimination counters.
+
+    ``elided_by_block`` maps IR block id -> number of checks deleted
+    from that block; multiplied by the block's dynamic execution count
+    it yields the number of *dynamic* checks the pass removed (see
+    :func:`repro.compiler.timing.check_counts_for_profile`).
+    """
+
+    eliminated_dominated: int = 0
+    eliminated_affine: int = 0
+    eliminated_invariant: int = 0
+    guards_added: int = 0
+    elided_by_block: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def eliminated_total(self) -> int:
+        return (
+            self.eliminated_dominated
+            + self.eliminated_affine
+            + self.eliminated_invariant
+        )
+
+
+def bounds_check_elimination(
+    irf: IRFunction, loops_enabled: bool, stats: BCEStats
+) -> None:
+    """Run BCE on ``irf`` in place, accumulating into ``stats``.
+
+    ``loops_enabled`` turns on the ``bceloop`` phase (affine analysis +
+    invariant hoisting); the dominance sweep always runs.  Loops first,
+    so the dominance phase deduplicates any guards the loop phase
+    stacked up in shared preheaders.
+    """
+    if loops_enabled:
+        _loop_phase(irf, stats)
+    _dominance_phase(irf, stats)
+
+
+def _record_elision(stats: BCEStats, block_id: int) -> None:
+    stats.elided_by_block[block_id] = stats.elided_by_block.get(block_id, 0) + 1
+
+
+def _check_bytes(ins: IRInstr) -> int:
+    return ins.imm if isinstance(ins.imm, int) else 0
+
+
+# ----------------------------------------------------------------------
+# Loop phase: affine elimination + invariant guard hoisting
+# ----------------------------------------------------------------------
+def _loop_phase(irf: IRFunction, stats: BCEStats) -> None:
+    def_counts: Dict[int, int] = {}
+    defs: Dict[int, IRInstr] = {}
+    for ins in irf.instructions():
+        if ins.dest is not None:
+            def_counts[ins.dest] = def_counts.get(ins.dest, 0) + 1
+            defs[ins.dest] = ins
+
+    # Same loop discovery as LICM: id -> (header index, path).
+    loops: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+    for index, block in enumerate(irf.blocks):
+        if block.loop_path and block.loop_path[-1] not in loops:
+            loops[block.loop_path[-1]] = (index, block.loop_path)
+
+    # Innermost first so hoisted guards cascade outward through nests.
+    for loop_id, (header_index, path) in sorted(
+        loops.items(), key=lambda item: -len(item[1][1])
+    ):
+        if header_index == 0:
+            continue  # no preheader to guard from
+        preheader = irf.blocks[header_index - 1]
+        if loop_id in preheader.loop_path:
+            continue  # defensive: preheader must sit outside the loop
+        header = irf.blocks[header_index]
+        member_blocks = [b for b in irf.blocks if loop_id in b.loop_path]
+        if any(
+            ins.op == "growmem" for b in member_blocks for ins in b.instrs
+        ):
+            continue  # memory size changes mid-loop: ranges unprovable
+        defs_in_loop: Set[int] = set()
+        for block in member_blocks:
+            for ins in block.instrs:
+                if ins.dest is not None:
+                    defs_in_loop.add(ins.dest)
+        # Induction variables: header phis advanced by an invariant
+        # stride somewhere in the loop.
+        induction: Set[int] = set()
+        phi_dests = {
+            ins.dest for ins in header.instrs if ins.op == "phi"
+        }
+        for block in member_blocks:
+            for ins in block.instrs:
+                if ins.op not in ("iadd", "isub") or len(ins.srcs) != 2:
+                    continue
+                for position in (0, 1):
+                    base = ins.srcs[position]
+                    step = ins.srcs[1 - position]
+                    if base in phi_dests and (
+                        step not in defs_in_loop
+                        or defs.get(step) is not None
+                        and defs[step].op == "const"
+                    ):
+                        induction.add(base)
+
+        memo: Dict[int, Tuple[bool, bool]] = {}
+
+        def affine(reg: int, depth: int = 0) -> Tuple[bool, bool]:
+            """(is affine in this loop, mentions an induction var)."""
+            if reg in memo:
+                return memo[reg]
+            if reg in induction:
+                result = (True, True)
+            elif reg not in defs_in_loop:
+                result = (True, False)  # invariant operand
+            elif depth >= _AFFINE_DEPTH_LIMIT or def_counts.get(reg, 0) != 1:
+                result = (False, False)
+            else:
+                ins = defs[reg]
+                if ins.op == "const":
+                    result = (True, False)
+                elif ins.op in _AFFINE_OPS:
+                    parts = [affine(s, depth + 1) for s in ins.srcs]
+                    result = (
+                        all(p[0] for p in parts),
+                        any(p[1] for p in parts),
+                    )
+                else:
+                    result = (False, False)
+            memo[reg] = result
+            return result
+
+        # Only blocks guaranteed to run every iteration (LICM's filter).
+        body_blocks = [
+            b for b in member_blocks
+            if b.loop_path == path and b.if_depth == header.if_depth
+        ]
+        invariant_guards: Dict[int, List[int]] = {}  # addr -> [bytes, pc]
+        affine_bytes = -1
+        affine_pc = -1
+        for block in body_blocks:
+            kept: List[IRInstr] = []
+            for ins in block.instrs:
+                if ins.op == "boundscheck" and ins.srcs:
+                    addr = ins.srcs[0]
+                    nbytes = _check_bytes(ins)
+                    if addr not in defs_in_loop:
+                        entry = invariant_guards.get(addr)
+                        if entry is None:
+                            invariant_guards[addr] = [nbytes, ins.wasm_pc]
+                        else:
+                            entry[0] = max(entry[0], nbytes)
+                        stats.eliminated_invariant += 1
+                        _record_elision(stats, block.id)
+                        continue
+                    is_affine, uses_induction = affine(addr)
+                    if is_affine and uses_induction:
+                        affine_bytes = max(affine_bytes, nbytes)
+                        if affine_pc < 0:
+                            affine_pc = ins.wasm_pc
+                        stats.eliminated_affine += 1
+                        _record_elision(stats, block.id)
+                        continue
+                kept.append(ins)
+            block.instrs = kept
+
+        for addr, (nbytes, wasm_pc) in invariant_guards.items():
+            _append_before_terminator(
+                preheader,
+                IRInstr("boundscheck", None, (addr,), nbytes, "i32", wasm_pc),
+            )
+            stats.guards_added += 1
+        if affine_bytes >= 0:
+            # One pooled guard for every affine access in the loop: the
+            # compiler checks the extremal address once per entry.  No
+            # source register — the bound is derived from trip counts,
+            # so the guard must not perturb liveness.
+            _append_before_terminator(
+                preheader,
+                IRInstr("boundscheck", None, (), affine_bytes, "i32", affine_pc),
+            )
+            stats.guards_added += 1
+
+
+def _append_before_terminator(block, ins: IRInstr) -> None:
+    from repro.compiler.ir import TERMINATORS
+
+    if block.instrs and block.instrs[-1].op in TERMINATORS:
+        block.instrs.insert(len(block.instrs) - 1, ins)
+    else:
+        block.instrs.append(ins)
+
+
+# ----------------------------------------------------------------------
+# Dominance phase: scope-path-prefix redundant-check elimination
+# ----------------------------------------------------------------------
+def _dominance_phase(irf: IRFunction, stats: BCEStats) -> None:
+    # Registers defined inside each loop: facts established *outside* a
+    # loop about a register the loop redefines must not survive into it
+    # (the redefinition on iteration k would invalidate the fact for
+    # the early blocks of iteration k+1, which a linear sweep cannot
+    # see).  Facts established inside the loop are fine — the in-sweep
+    # dest kill handles the within-iteration ordering.
+    loop_defs: Dict[int, Set[int]] = {}
+    for block in irf.blocks:
+        for loop_id in block.loop_path:
+            bucket = loop_defs.setdefault(loop_id, set())
+            for ins in block.instrs:
+                if ins.dest is not None:
+                    bucket.add(ins.dest)
+
+    facts: Dict[int, List[List]] = {}  # reg -> [[bytes, scope], ...]
+    for block in irf.blocks:
+        scope = block.scope_path
+        if facts:
+            for reg in list(facts):
+                entries = []
+                for fact in facts[reg]:
+                    fact_scope = fact[1]
+                    if scope[: len(fact_scope)] != fact_scope:
+                        continue  # does not dominate this block
+                    if any(
+                        reg in loop_defs.get(loop_id, ())
+                        and ("loop", loop_id) not in fact_scope
+                        for loop_id in block.loop_path
+                    ):
+                        continue  # crossed into a loop that redefines reg
+                    entries.append(fact)
+                if entries:
+                    facts[reg] = entries
+                else:
+                    del facts[reg]
+        kept: List[IRInstr] = []
+        for ins in block.instrs:
+            if ins.op == "growmem":
+                facts.clear()
+            if ins.dest is not None:
+                facts.pop(ins.dest, None)
+            if ins.op == "boundscheck" and ins.srcs:
+                reg = ins.srcs[0]
+                nbytes = _check_bytes(ins)
+                entries = facts.get(reg)
+                if entries and max(e[0] for e in entries) >= nbytes:
+                    stats.eliminated_dominated += 1
+                    _record_elision(stats, block.id)
+                    continue
+                if entries is None:
+                    entries = facts[reg] = []
+                for fact in entries:
+                    if fact[1] == scope:
+                        fact[0] = max(fact[0], nbytes)
+                        break
+                else:
+                    entries.append([nbytes, scope])
+            kept.append(ins)
+        block.instrs = kept

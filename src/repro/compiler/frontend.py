@@ -113,6 +113,7 @@ class _Lowering:
         self.ctrls: List[_Ctrl] = []
         self.loop_path: Tuple[int, ...] = ()
         self.if_depth = 0
+        self.scope_path: Tuple[Tuple, ...] = ()
         self.unreachable = False
         self.cur: Optional[IRBlock] = None
         self.local_regs: List[int] = []
@@ -135,7 +136,7 @@ class _Lowering:
         return self.vstack.pop()
 
     def fresh_block(self) -> IRBlock:
-        block = self.irf.new_block(self.loop_path, self.if_depth)
+        block = self.irf.new_block(self.loop_path, self.if_depth, self.scope_path)
         self.cur = block
         return block
 
@@ -200,14 +201,22 @@ class _Lowering:
             self.ctrls.append(ctrl)
             self.emit("brif", srcs=(cond,), pc=pc)
             self.if_depth += 1
+            self.scope_path = self.scope_path + (("if", pc, 0),)
             self.fresh_block()
             return
         if ins.op == "block":
+            # No block split: code up to the first branch inside a wasm
+            # `block` keeps the enclosing IR block (and its outer scope
+            # path), which is sound — nothing can skip it.  Blocks
+            # created after any split inside carry the "blk" entry and
+            # therefore stop dominating once the construct ends.
+            self.scope_path = self.scope_path + (("blk", pc),)
             self.ctrls.append(_Ctrl("block", arity, result_regs, len(self.vstack)))
             return
         # loop
         self.loop_path = self.loop_path + (pc,)
-        header = self.irf.new_block(self.loop_path, self.if_depth)
+        self.scope_path = self.scope_path + (("loop", pc),)
+        header = self.irf.new_block(self.loop_path, self.if_depth, self.scope_path)
         header.set_leader(pc)  # executions of the 'loop' opcode == iterations
         self.cur = header
         ctrl = _Ctrl(
@@ -236,6 +245,10 @@ class _Lowering:
             self.emit("br", pc=pc)  # jump over the else arm
         del self.vstack[ctrl.stack_base:]
         self.unreachable = False
+        # Flip the scope entry to the else arm: facts from the then arm
+        # must not dominate into it.
+        entry = self.scope_path[-1]
+        self.scope_path = self.scope_path[:-1] + (("if", entry[1], 1),)
         self.fresh_block()
 
     def _end(self, pc: int) -> None:
@@ -250,6 +263,7 @@ class _Lowering:
             self.loop_path = self.loop_path[:-1]
         elif ctrl.kind == "if":
             self.if_depth -= 1
+        self.scope_path = self.scope_path[:-1]
         self.fresh_block()
         self.vstack.extend(ctrl.result_regs)
 

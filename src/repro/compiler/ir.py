@@ -75,6 +75,16 @@ class IRBlock:
     loop_path: Tuple[int, ...] = ()
     #: if-nesting depth at creation (used to restrict LICM hoisting).
     if_depth: int = 0
+    #: Structural control context at creation: one entry per enclosing
+    #: wasm construct — ``("loop", pc)``, ``("blk", pc)`` or
+    #: ``("if", pc, arm)`` with arm 0/1 for then/else.  For structured
+    #: control flow, a block A laid out before a block B dominates B
+    #: exactly when A's scope path is a prefix of B's: if-arms never
+    #: dominate their join or the other arm, loop bodies never dominate
+    #: post-loop code, while preheaders dominate their loops.  This is
+    #: what the global bounds-check elimination pass keys its
+    #: cross-block facts on.
+    scope_path: Tuple[Tuple, ...] = ()
 
     @property
     def loop_depth(self) -> int:
@@ -97,8 +107,16 @@ class IRFunction:
     num_regs: int = 0
     num_params: int = 0
 
-    def new_block(self, loop_path: Tuple[int, ...] = (), if_depth: int = 0) -> IRBlock:
-        block = IRBlock(id=len(self.blocks), loop_path=loop_path, if_depth=if_depth)
+    def new_block(
+        self,
+        loop_path: Tuple[int, ...] = (),
+        if_depth: int = 0,
+        scope_path: Tuple[Tuple, ...] = (),
+    ) -> IRBlock:
+        block = IRBlock(
+            id=len(self.blocks), loop_path=loop_path, if_depth=if_depth,
+            scope_path=scope_path,
+        )
         self.blocks.append(block)
         return block
 

@@ -8,9 +8,12 @@ This is where bounds-checking strategies become code (§3.1):
 * ``trap`` — compare + branch-to-ud2, macro-fused on x86 and well
   predicted everywhere, which is why it beats ``clamp``;
 * ``none`` / ``mprotect`` / ``uffd`` — no inline code at all (the
-  guard region does the work); runtimes may still pay a fixed number
-  of bookkeeping ops per access (V8's trap-handler metadata and
-  dynamic memory base — ``extra_access_ops``).
+  guard region does the work).
+
+Runtimes may additionally pay a fixed number of bookkeeping ops per
+*access* under any checking strategy (V8's trap-handler metadata and
+dynamic memory base — ``extra_access_ops``).  The charge rides on the
+load/store, not the check, so eliding a check never removes it.
 
 Addressing-mode fusion folds single-use ``base + (index << scale) +
 disp`` chains into the access itself on ISAs that support it, which is
@@ -104,15 +107,13 @@ def _fold_address(
 def _kinds_for(ins: IRInstr, isa: IsaModel, config: SelectionConfig) -> List[str]:
     op = ins.op
     if op == "boundscheck":
-        kinds: List[str] = [OPK.ALU] * config.extra_access_ops
         if config.inline_check == "clamp":
             if isa.has_select:
-                kinds += [OPK.CMP, OPK.CMOV]
-            else:
-                kinds += [OPK.CMP, OPK.ALU, OPK.ALU, OPK.ALU]
-        elif config.inline_check == "trap":
-            kinds += [OPK.CMP_BRANCH]
-        return kinds
+                return [OPK.CMP, OPK.CMOV]
+            return [OPK.CMP, OPK.ALU, OPK.ALU, OPK.ALU]
+        if config.inline_check == "trap":
+            return [OPK.CMP_BRANCH]
+        return []
     if op == "const":
         return [OPK.CONST]
     if op in ("iadd", "isub", "iand", "ior", "ixor", "ibit"):
@@ -146,9 +147,9 @@ def _kinds_for(ins: IRInstr, isa: IsaModel, config: SelectionConfig) -> List[str
             return [OPK.CMOV]
         return [OPK.ALU, OPK.ALU, OPK.ALU]
     if op == "load":
-        return [OPK.LOAD]
+        return [OPK.LOAD] + [OPK.ALU] * config.extra_access_ops
     if op == "store":
-        return [OPK.STORE]
+        return [OPK.STORE] + [OPK.ALU] * config.extra_access_ops
     if op == "gload":
         return [OPK.LOAD]
     if op == "gstore":

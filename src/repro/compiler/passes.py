@@ -12,6 +12,11 @@ V8 TurboFan produce different code shapes from the same IR:
                 the same address register in a block is redundant
 ``licm``        loop-invariant code motion (address components that
                 do not change in the inner loop move to the preheader)
+``bce``         global dominance-based redundant bounds-check
+                elimination across blocks (see ``bce.py``)
+``bceloop``     BCE's loop phase: affine induction-variable analysis
+                and loop-invariant guard hoisting with max-offset
+                widening (requires ``bce``)
 ``strength``    multiply-by-power-of-two → shift
 ``dce``         dead code elimination
 
@@ -44,11 +49,16 @@ _FOLDABLE = {
 }
 
 
-def run_passes(irf: IRFunction, enabled: Set[str]) -> Dict[int, int]:
+def run_passes(
+    irf: IRFunction, enabled: Set[str], bce_stats=None
+) -> Dict[int, int]:
     """Run the enabled passes in canonical order.
 
     Returns the constant-value map (reg -> value) for use by
     instruction selection (immediate folding, strength heuristics).
+    When ``bce``/``bceloop`` are enabled, static elimination counters
+    accumulate into ``bce_stats`` (a :class:`repro.compiler.bce.
+    BCEStats`) if one is given.
     """
     const_map: Dict[int, int] = {}
     if "constfold" in enabled:
@@ -59,6 +69,14 @@ def run_passes(irf: IRFunction, enabled: Set[str]) -> Dict[int, int]:
         local_cse(irf, check_elim="checkelim" in enabled)
     if "licm" in enabled:
         loop_invariant_code_motion(irf)
+    if "bce" in enabled:
+        from repro.compiler.bce import BCEStats, bounds_check_elimination
+
+        bounds_check_elimination(
+            irf,
+            loops_enabled="bceloop" in enabled,
+            stats=bce_stats if bce_stats is not None else BCEStats(),
+        )
     if "strength" in enabled:
         strength_reduce(irf, const_map)
     if "dce" in enabled:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
+from repro.compiler.bce import BCEStats
 from repro.compiler.frontend import lower_module
 from repro.compiler.ir import IRFunction
 from repro.compiler.isel import SelectionConfig, select_function
@@ -15,7 +16,10 @@ from repro.runtime.strategies import BoundsStrategy
 from repro.wasm.module import Module
 
 #: Every pass the pipeline knows about, in run order.
-ALL_PASSES = frozenset({"constfold", "cse", "checkelim", "licm", "strength", "dce"})
+ALL_PASSES = frozenset({
+    "constfold", "cse", "checkelim", "licm", "bce", "bceloop", "strength",
+    "dce",
+})
 
 
 @dataclass(frozen=True)
@@ -28,9 +32,12 @@ class CompilerConfig:
     #: allocator uses effectively (LLVM ≈ 1.0).
     regalloc_quality: float
     addressing_fusion: bool
-    #: Extra bookkeeping ALU ops per memory access when the strategy
-    #: relies on signal-based OOB detection (V8's trap-handler
-    #: metadata + dynamic memory base; 0 elsewhere).
+    #: Extra bookkeeping ALU ops per memory access whenever bounds
+    #: checking is on in any form — signal-based *or* inline (V8's
+    #: trap-handler metadata + dynamic memory base; 0 elsewhere).
+    #: Charged on the access itself, not the check, so bounds-check
+    #: elimination cannot remove it: the sandbox keeps its base/size
+    #: bookkeeping even for accesses whose check was proved redundant.
     signal_strategy_access_ops: int = 0
     #: Extra bookkeeping ops per access regardless of strategy.
     baseline_access_ops: int = 0
@@ -45,6 +52,8 @@ class CompilerConfig:
         unknown = self.passes - ALL_PASSES
         if unknown:
             raise ValueError(f"unknown passes {sorted(unknown)}")
+        if "bceloop" in self.passes and "bce" not in self.passes:
+            raise ValueError("'bceloop' requires 'bce'")
 
 
 @dataclass
@@ -54,6 +63,8 @@ class CompiledFunction:
     machine_ops: Dict[int, List[str]]
     #: block id -> cycles per execution.
     block_cycles: Dict[int, float]
+    #: Static bounds-check elimination counters for this function.
+    bce: BCEStats = field(default_factory=BCEStats)
 
 
 @dataclass
@@ -74,6 +85,23 @@ class CompiledModule:
             for ops in func.machine_ops.values()
         )
 
+    @property
+    def checks_emitted_static(self) -> int:
+        """``boundscheck`` instructions remaining after all passes."""
+        return sum(
+            1
+            for func in self.functions.values()
+            for ins in func.irf.instructions()
+            if ins.op == "boundscheck"
+        )
+
+    @property
+    def checks_elided_static(self) -> int:
+        """Checks deleted by the BCE pass across all functions."""
+        return sum(
+            func.bce.eliminated_total for func in self.functions.values()
+        )
+
 
 def compile_module(
     module: Module,
@@ -84,15 +112,23 @@ def compile_module(
     """Run the full pipeline for every defined function."""
     compiled = CompiledModule(module, isa, config, strategy)
     extra_access_ops = config.baseline_access_ops
-    if strategy.signal_on_oob:
+    if strategy.signal_on_oob or strategy.inline_check:
         extra_access_ops += config.signal_strategy_access_ops
     selection = SelectionConfig(
         inline_check=strategy.inline_check,
         extra_access_ops=extra_access_ops,
         addressing_fusion=config.addressing_fusion,
     )
+    enabled = set(config.passes)
+    if not strategy.inline_check:
+        # BCE only pays off (and only shows up in cost) when check code
+        # is inlined; skipping it entirely for none/mprotect/uffd keeps
+        # their code shape — and therefore their figures — bit-for-bit
+        # independent of whether BCE is enabled.
+        enabled -= {"bce", "bceloop"}
     for func_index, irf in lower_module(module).items():
-        run_passes(irf, set(config.passes))
+        bce_stats = BCEStats()
+        run_passes(irf, enabled, bce_stats=bce_stats)
         machine_ops = select_function(irf, isa, selection)
         if config.stack_checks and irf.blocks:
             # Stack-limit compare+branch in the prologue (entry block).
@@ -108,6 +144,7 @@ def compile_module(
                 cycles *= config.loop_bonus
             block_cycles[block.id] = cycles
         compiled.functions[func_index] = CompiledFunction(
-            irf=irf, machine_ops=machine_ops, block_cycles=block_cycles
+            irf=irf, machine_ops=machine_ops, block_cycles=block_cycles,
+            bce=bce_stats,
         )
     return compiled

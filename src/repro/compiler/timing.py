@@ -34,6 +34,45 @@ def cycles_for_profile(compiled: CompiledModule, profile: ExecutionProfile) -> f
     return total
 
 
+def check_counts_for_profile(
+    compiled: CompiledModule, profile: ExecutionProfile
+) -> Dict[str, int]:
+    """Dynamic bounds-check counts for one run of the profiled workload.
+
+    ``emitted`` counts executions of ``boundscheck`` instructions that
+    survived compilation (including widened guards BCE hoisted into
+    preheaders); ``elided`` counts executions the BCE pass removed,
+    reconstructed from its per-block static elision counters times the
+    blocks' dynamic counts.  Blocks without a countable leader follow
+    the same rule as :func:`cycles_for_profile`: they contribute
+    nothing.
+    """
+    emitted = 0
+    elided = 0
+    for func_index, func in compiled.functions.items():
+        counts = profile.instr_counts.get(func_index)
+        if not counts:
+            continue
+        body_len = len(counts)
+        elided_by_block = func.bce.elided_by_block
+        for block in func.irf.blocks:
+            leader = block.leader_pc
+            if leader < 0 or leader >= body_len:
+                continue
+            count = counts[leader]
+            if not count:
+                continue
+            static_checks = sum(
+                1 for ins in block.instrs if ins.op == "boundscheck"
+            )
+            if static_checks:
+                emitted += count * static_checks
+            removed = elided_by_block.get(block.id)
+            if removed:
+                elided += count * removed
+    return {"emitted": emitted, "elided": elided}
+
+
 #: Per-op overhead charged by the interpreter model on top of dispatch.
 #:
 #: These are calibrated jointly with `IsaModel.interp_dispatch` so that

@@ -1,0 +1,70 @@
+"""Shared CLI flags for everything that runs measurement sweeps.
+
+Every experiment, the diffcheck harness and ``trace record`` take the
+same engine knobs (``--jobs/--no-cache/--cache-dir``) plus the global
+``--no-bce`` toggle.  They used to re-declare the engine flags
+individually (so defaults and help text could drift); now they all
+attach this module's argparse *parent*::
+
+    parser = argparse.ArgumentParser(parents=[cliopts.sweep_parent()])
+    ...
+    args = parser.parse_args(argv)
+    engine = cliopts.configure_sweep(args)
+
+:func:`configure_sweep` applies the parsed knobs to the process-wide
+measurement engine (and the BCE toggle) and returns the engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+
+def add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared sweep flags to an existing parser."""
+    group = parser.add_argument_group("measurement engine")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the measurement cache",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache base directory (default: .cache/)",
+    )
+    group.add_argument(
+        "--no-bce", action="store_true",
+        help="disable the compiler's bounds-check elimination pass "
+        "(cost-only: outputs are identical, clamp/trap get slower)",
+    )
+
+
+def sweep_parent() -> argparse.ArgumentParser:
+    """A fresh parent parser carrying the shared sweep flags.
+
+    Built per call (argparse parents share action objects, so a module
+    singleton would couple every consumer's parser state).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    add_sweep_args(parent)
+    return parent
+
+
+def configure_sweep(args: argparse.Namespace):
+    """Apply parsed sweep flags process-wide; returns the engine.
+
+    Order matters: the BCE toggle resets the default engine (stale
+    calibration memo + warm pool), so it runs before the engine is
+    (re)configured from the remaining flags.
+    """
+    from repro.core.engine import configure
+    from repro.runtimes import set_bce_enabled
+
+    set_bce_enabled(not getattr(args, "no_bce", False))
+    return configure(
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
+    )

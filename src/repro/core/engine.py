@@ -51,7 +51,7 @@ from repro.trace.events import MEASURE_REQUEST
 from repro.trace.tracer import TRACE
 
 #: Bump when the cache entry format (not the measured values) changes.
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2  # v2: bounds_checks counters on each measurement
 
 
 @dataclass(frozen=True)
@@ -192,6 +192,7 @@ def measurement_to_json(m: RunMeasurement) -> dict:
         "mmap_read_wait": m.mmap_read_wait,
         "mmap_write_wait": m.mmap_write_wait,
         "compute_seconds": m.compute_seconds,
+        "bounds_checks": {str(k): int(v) for k, v in m.bounds_checks.items()},
     }
 
 
@@ -211,6 +212,9 @@ def measurement_from_json(raw: dict) -> RunMeasurement:
         mmap_read_wait=raw["mmap_read_wait"],
         mmap_write_wait=raw["mmap_write_wait"],
         compute_seconds=raw["compute_seconds"],
+        bounds_checks={
+            str(k): int(v) for k, v in raw.get("bounds_checks", {}).items()
+        },
     )
 
 
@@ -482,23 +486,30 @@ def reset_default_engine() -> None:
 
 
 def add_engine_args(parser) -> None:
-    """Attach the engine's CLI knobs to an experiment's parser."""
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the sweep (default: 1, serial)",
+    """Deprecated: use :func:`repro.core.cliopts.add_sweep_args`."""
+    import warnings
+
+    warnings.warn(
+        "repro.core.engine.add_engine_args is deprecated; use "
+        "repro.core.cliopts.add_sweep_args (or the sweep_parent parser)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="ignore and do not write the measurement cache",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="cache base directory (default: .cache/)",
-    )
+    from repro.core.cliopts import add_sweep_args
+
+    add_sweep_args(parser)
 
 
 def configure_from_args(args) -> MeasurementEngine:
-    """Apply parsed engine CLI knobs to the process-wide engine."""
-    return configure(
-        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir
+    """Deprecated: use :func:`repro.core.cliopts.configure_sweep`."""
+    import warnings
+
+    warnings.warn(
+        "repro.core.engine.configure_from_args is deprecated; use "
+        "repro.core.cliopts.configure_sweep",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.core.cliopts import configure_sweep
+
+    return configure_sweep(args)

@@ -11,6 +11,8 @@ module                     paper artefact
 ``fig4``                   Fig. 4a-d — average CPU utilisation
 ``fig5``                   Fig. 5a/b — context switches per second
 ``fig6``                   Fig. 6a/b — average memory usage
+``fig_bce``                extension — bounds-check elimination
+                           effect on the inline-check strategies
 ``replication``            §4.4 — replication of prior results
 =========================  ==========================================
 

@@ -7,13 +7,9 @@ import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.engine import (
-    MeasurementEngine,
-    MeasurementRequest,
-    add_engine_args,
-    configure_from_args,
-    default_engine,
-)
+import warnings
+
+from repro.core.engine import MeasurementEngine
 from repro.core.harness import RunMeasurement
 from repro.runtime.strategies import STRATEGY_ORDER
 from repro.runtimes import RUNTIMES, runtime_named
@@ -64,33 +60,35 @@ def measure(
     verbose: bool = False,
     engine: Optional[MeasurementEngine] = None,
 ) -> Dict[str, RunMeasurement]:
-    """Run a set of workloads under one configuration.
+    """Deprecated: use :func:`repro.api.measure` with a ``SweepSpec``.
 
-    Execution goes through the measurement engine (``--jobs`` fan-out,
-    content-addressed result cache), so a figure that repeats another
-    figure's grid — fig4/fig5/fig6 re-walk fig3's thread sweep — pays
-    only cache reads.
+    ``strict=True`` preserves this function's historical behaviour of
+    raising ValueError on unsupported runtime/ISA/strategy/thread
+    combinations (the facade's default is to skip them).
     """
-    engine = engine if engine is not None else default_engine()
-    requests = [
-        MeasurementRequest(
-            name, runtime, strategy, isa,
-            threads=threads, size=size, iterations=iterations,
-        )
-        for name in workloads
-    ]
-    results = engine.run(requests)
-    out: Dict[str, RunMeasurement] = {}
-    for request, result in zip(requests, results):
-        out[request.workload] = result.measurement
-        if verbose:
-            origin = "cache" if result.cache_hit else f"{result.elapsed:.1f}s"
-            print(
-                f"    {request.workload:16s} {runtime}/{strategy}/{isa}/t{threads}: "
-                f"{result.measurement.median_iteration * 1e3:.3f} ms "
-                f"[{origin}]"
-            )
-    return out
+    warnings.warn(
+        "repro.core.experiments.common.measure is deprecated; use "
+        "repro.api.measure(SweepSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    swept = api.measure(
+        api.SweepSpec(
+            workloads=tuple(workloads),
+            runtimes=(runtime,),
+            strategies=(strategy,),
+            isas=(isa,),
+            threads=(threads,),
+            size=size,
+            iterations=iterations,
+        ),
+        engine=engine,
+        strict=True,
+        verbose=verbose,
+    )
+    return swept.per_workload()
 
 
 def medians(measurements: Dict[str, RunMeasurement]) -> Dict[str, float]:

@@ -26,12 +26,10 @@ import argparse
 from dataclasses import replace
 from typing import List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
     BASELINE,
-    add_engine_args,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
@@ -66,19 +64,30 @@ def install() -> None:
 def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[dict]:
     install()
     workloads = suite_names("polybench", quick)
-    baseline = medians(
-        measure(workloads, BASELINE, "none", "x86_64", size=size, verbose=verbose)
-    )
+    baseline = api.measure(
+        api.SweepSpec(
+            workloads, runtimes=(BASELINE,), strategies=("none",),
+            isas=("x86_64",), size=size,
+        ),
+        strict=True, verbose=verbose,
+    ).medians()
     rows: List[dict] = []
     for strategy in ("none", "trap", "mprotect", "uffd", "cheri"):
-        measured = medians(
-            measure(workloads, "wavm", strategy, "x86_64", size=size, verbose=verbose)
-        )
+        measured = api.measure(
+            api.SweepSpec(
+                workloads, runtimes=("wavm",), strategies=(strategy,),
+                isas=("x86_64",), size=size,
+            ),
+            strict=True, verbose=verbose,
+        ).medians()
         single = geomean_of_ratios(measured, baseline)
-        contended = measure(
-            ["trisolv"], "wavm", strategy, "x86_64",
-            threads=16, size=size, verbose=verbose,
-        )["trisolv"]
+        contended = api.measure(
+            api.SweepSpec(
+                ("trisolv",), runtimes=("wavm",), strategies=(strategy,),
+                isas=("x86_64",), threads=(16,), size=size,
+            ),
+            strict=True, verbose=verbose,
+        ).per_workload()["trisolv"]
         rows.append(
             {
                 "strategy": strategy,
@@ -101,13 +110,14 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results("extension-cheri", rows)

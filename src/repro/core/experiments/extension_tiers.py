@@ -18,12 +18,10 @@ from __future__ import annotations
 import argparse
 from typing import List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
     BASELINE,
-    add_engine_args,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
@@ -37,12 +35,20 @@ from repro.stats import geomean_of_ratios
 TIERS = ["wasm3", "v8-liftoff", "v8", "wasmtime", "wavm"]
 
 
+def _medians(workloads, runtime, strategy, size, verbose):
+    return api.measure(
+        api.SweepSpec(
+            workloads, runtimes=(runtime,), strategies=(strategy,),
+            isas=("x86_64",), size=size,
+        ),
+        strict=True, verbose=verbose,
+    ).medians()
+
+
 def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[dict]:
     workloads = suite_names("polybench", quick)
     isa = isa_named("x86_64")
-    baseline = medians(
-        measure(workloads, BASELINE, "none", "x86_64", size=size, verbose=verbose)
-    )
+    baseline = _medians(workloads, BASELINE, "none", size, verbose)
     rows: List[dict] = []
     for runtime_name in TIERS:
         runtime = runtime_named(runtime_name)
@@ -53,9 +59,8 @@ def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[
             module, _ = profile_for(name, size)
             compile_seconds += runtime.compile_seconds(module)
             code_ops += runtime.code_size_ops(module, isa, strategy)
-        measured = medians(
-            measure(workloads, runtime_name, runtime.default_strategy,
-                    "x86_64", size=size, verbose=verbose)
+        measured = _medians(
+            workloads, runtime_name, runtime.default_strategy, size, verbose
         )
         rows.append(
             {
@@ -80,13 +85,14 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results("extension-tiers", rows)

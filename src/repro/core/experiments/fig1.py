@@ -20,11 +20,9 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
-    add_engine_args,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
@@ -33,12 +31,22 @@ from repro.reporting import render_table
 ISA = "x86_64"
 
 
+def _medians(workloads, runtime, strategy, size, verbose):
+    return api.measure(
+        api.SweepSpec(
+            workloads, runtimes=(runtime,), strategies=(strategy,),
+            isas=(ISA,), size=size,
+        ),
+        strict=True, verbose=verbose,
+    ).medians()
+
+
 def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[dict]:
     workloads = suite_names("polybench", quick) + suite_names("spec", quick)
-    native = medians(measure(workloads, "native-clang", "none", ISA, size=size, verbose=verbose))
-    v8_none = medians(measure(workloads, "v8", "none", ISA, size=size, verbose=verbose))
-    v8_default = medians(measure(workloads, "v8", "mprotect", ISA, size=size, verbose=verbose))
-    v8_trap = medians(measure(workloads, "v8", "trap", ISA, size=size, verbose=verbose))
+    native = _medians(workloads, "native-clang", "none", size, verbose)
+    v8_none = _medians(workloads, "v8", "none", size, verbose)
+    v8_default = _medians(workloads, "v8", "mprotect", size, verbose)
+    v8_trap = _medians(workloads, "v8", "trap", size, verbose)
     rows = []
     for name in workloads:
         rows.append(
@@ -76,13 +84,14 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true", help="all 37 workloads")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results("fig1", rows)

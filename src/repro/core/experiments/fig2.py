@@ -12,13 +12,11 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
     BASELINE,
-    add_engine_args,
     configs_for_isa,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
@@ -39,13 +37,21 @@ def run(
     rows: List[dict] = []
     for suite in SUITES_BY_ISA[isa]:
         workloads = suite_names(suite, quick)
-        baseline = medians(
-            measure(workloads, BASELINE, "none", isa, size=size, verbose=verbose)
-        )
+        baseline = api.measure(
+            api.SweepSpec(
+                workloads, runtimes=(BASELINE,), strategies=("none",),
+                isas=(isa,), size=size,
+            ),
+            strict=True, verbose=verbose,
+        ).medians()
         for runtime, strategy in configs_for_isa(isa):
-            measured = medians(
-                measure(workloads, runtime, strategy, isa, size=size, verbose=verbose)
-            )
+            measured = api.measure(
+                api.SweepSpec(
+                    workloads, runtimes=(runtime,), strategies=(strategy,),
+                    isas=(isa,), size=size,
+                ),
+                strict=True, verbose=verbose,
+            ).medians()
             rows.append(
                 {
                     "isa": isa,
@@ -77,16 +83,17 @@ def render(rows: List[dict], isa: str) -> str:
 
 
 def main(argv=None) -> Dict[str, List[dict]]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument(
         "--isa", default="all", choices=["x86_64", "armv8", "riscv64", "all"]
     )
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     isas = list(SUITES_BY_ISA) if args.isa == "all" else [args.isa]
     all_rows: Dict[str, List[dict]] = {}
     for isa in isas:

@@ -17,12 +17,10 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
-    add_engine_args,
     configs_for_isa,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
@@ -45,12 +43,13 @@ def run(
         for runtime, strategy in configs_for_isa(isa):
             base: Dict[str, float] = {}
             for threads in THREAD_STEPS:
-                measured = medians(
-                    measure(
-                        workloads, runtime, strategy, isa,
-                        threads=threads, size=size, verbose=verbose,
-                    )
-                )
+                measured = api.measure(
+                    api.SweepSpec(
+                        workloads, runtimes=(runtime,), strategies=(strategy,),
+                        isas=(isa,), threads=(threads,), size=size,
+                    ),
+                    strict=True, verbose=verbose,
+                ).medians()
                 if threads == 1:
                     base = measured
                 slowdown = geomean(
@@ -97,14 +96,15 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--isa", default="x86_64", choices=["x86_64", "armv8"])
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(isa=args.isa, size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results(f"fig3-{args.isa}", rows)

@@ -14,11 +14,10 @@ from __future__ import annotations
 import argparse
 from typing import List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
-    add_engine_args,
     configs_for_isa,
-    configure_from_args,
-    measure,
     save_results,
     suite_names,
 )
@@ -39,10 +38,13 @@ def run(
         workloads = suite_names(suite, quick)
         for runtime, strategy in configs_for_isa(isa):
             for threads in thread_steps:
-                measurements = measure(
-                    workloads, runtime, strategy, isa,
-                    threads=threads, size=size, verbose=verbose,
-                )
+                measurements = api.measure(
+                    api.SweepSpec(
+                        workloads, runtimes=(runtime,), strategies=(strategy,),
+                        isas=(isa,), threads=(threads,), size=size,
+                    ),
+                    strict=True, verbose=verbose,
+                ).per_workload()
                 utilisation = geomean(
                     m.utilisation.utilisation_percent
                     for m in measurements.values()
@@ -86,14 +88,15 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--isa", default="x86_64", choices=["x86_64", "armv8"])
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(isa=args.isa, size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results(f"fig4-{args.isa}", rows)

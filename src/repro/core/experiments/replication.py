@@ -16,16 +16,24 @@ from __future__ import annotations
 import argparse
 from typing import Dict, List
 
+from repro import api
+from repro.core import cliopts
 from repro.core.experiments.common import (
-    add_engine_args,
-    configure_from_args,
-    measure,
-    medians,
     save_results,
     suite_names,
 )
 from repro.reporting import render_table
 from repro.stats import geomean_of_ratios
+
+
+def _medians(workloads, runtime, strategy, isa, size, verbose):
+    return api.measure(
+        api.SweepSpec(
+            workloads, runtimes=(runtime,), strategies=(strategy,),
+            isas=(isa,), size=size,
+        ),
+        strict=True, verbose=verbose,
+    ).medians()
 
 
 def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[dict]:
@@ -35,8 +43,8 @@ def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[
 
     # Wasm3 vs V8-TurboFan on PolyBench, per ISA (default strategies).
     for isa in ("x86_64", "armv8", "riscv64"):
-        v8 = medians(measure(pbc, "v8", "mprotect", isa, size=size, verbose=verbose))
-        wasm3 = medians(measure(pbc, "wasm3", "trap", isa, size=size, verbose=verbose))
+        v8 = _medians(pbc, "v8", "mprotect", isa, size, verbose)
+        wasm3 = _medians(pbc, "wasm3", "trap", isa, size, verbose)
         rows.append(
             {
                 "claim": f"wasm3-vs-v8-{isa}",
@@ -46,8 +54,8 @@ def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[
         )
 
     # Rossberg: per-benchmark V8 vs native on PolyBench (x86-64).
-    native = medians(measure(pbc, "native-clang", "none", "x86_64", size=size, verbose=verbose))
-    v8 = medians(measure(pbc, "v8", "mprotect", "x86_64", size=size, verbose=verbose))
+    native = _medians(pbc, "native-clang", "none", "x86_64", size, verbose)
+    v8 = _medians(pbc, "v8", "mprotect", "x86_64", size, verbose)
     ratios = {name: v8[name] / native[name] for name in pbc}
     within_10pct = sum(1 for r in ratios.values() if r <= 1.10)
     within_2x = sum(1 for r in ratios.values() if r <= 2.0)
@@ -68,10 +76,8 @@ def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[
 
     # Jangda: SPEC V8 slowdown vs native, x86-64 and Armv8.
     for isa, paper_value in (("x86_64", "1.69x"), ("armv8", "1.76x")):
-        native = medians(
-            measure(spec, "native-clang", "none", isa, size=size, verbose=verbose)
-        )
-        v8 = medians(measure(spec, "v8", "mprotect", isa, size=size, verbose=verbose))
+        native = _medians(spec, "native-clang", "none", isa, size, verbose)
+        v8 = _medians(spec, "v8", "mprotect", isa, size, verbose)
         rows.append(
             {
                 "claim": f"jangda-spec-v8-{isa}",
@@ -81,10 +87,8 @@ def run(size: str = "small", quick: bool = True, verbose: bool = False) -> List[
         )
 
     # Headline §1.3: WAVM overhead on x86-64.
-    pbc_native = medians(
-        measure(pbc, "native-clang", "none", "x86_64", size=size, verbose=verbose)
-    )
-    wavm = medians(measure(pbc, "wavm", "mprotect", "x86_64", size=size, verbose=verbose))
+    pbc_native = _medians(pbc, "native-clang", "none", "x86_64", size, verbose)
+    wavm = _medians(pbc, "wavm", "mprotect", "x86_64", size, verbose)
     rows.append(
         {
             "claim": "wavm-overhead-x86",
@@ -104,13 +108,14 @@ def render(rows: List[dict]) -> str:
 
 
 def main(argv=None) -> List[dict]:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[cliopts.sweep_parent()]
+    )
     parser.add_argument("--size", default="small", choices=["mini", "small", "medium"])
     parser.add_argument("--full", action="store_true")
     parser.add_argument("--verbose", action="store_true")
-    add_engine_args(parser)
     args = parser.parse_args(argv)
-    configure_from_args(args)
+    cliopts.configure_sweep(args)
     rows = run(size=args.size, quick=not args.full, verbose=args.verbose)
     print(render(rows))
     path = save_results("replication", rows)

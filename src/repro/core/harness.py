@@ -71,6 +71,10 @@ class RunMeasurement:
     #: Single-thread modelled compute time per iteration (no system
     #: effects) — the denominator for contention analyses.
     compute_seconds: float
+    #: Dynamic bounds-check counters per iteration: ``emitted`` checks
+    #: executed in compiled code, ``elided`` checks the BCE pass
+    #: removed (both 0 for strategies without inline checks).
+    bounds_checks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def median_iteration(self) -> float:
@@ -117,6 +121,9 @@ def run_benchmark(
 
     module, profile = profile_for(workload, size)
     cycles = runtime_model.cycles(module, profile, isa_model, strategy_model)
+    bounds_checks = runtime_model.check_stats(
+        module, profile, isa_model, strategy_model
+    )
     if scale is not None:
         time_scale = scale.time_scale
         memory_bytes = int(profile.pages_touched * 4096 * scale.page_scale)
@@ -266,6 +273,7 @@ def run_benchmark(
         mmap_read_wait=read_wait,
         mmap_write_wait=write_wait,
         compute_seconds=plan.compute_seconds,
+        bounds_checks=bounds_checks,
     )
 
 

@@ -1,101 +1,29 @@
-"""Sweep runner: drive grids of benchmark configurations.
+"""Deprecated sweep runner — superseded by :mod:`repro.api`.
 
-The figure experiments hard-code the paper's grids; this module is the
-general tool underneath for ad-hoc studies ("what does `trap` cost on
-Armv8 at 4 threads across the stencils?").  It expands a
-:class:`SweepSpec` into valid configurations (skipping the
-backend/strategy combinations §3.2/§3.4 rule out), runs them through
-the measurement engine (parallel and cached — see
-:mod:`repro.core.engine`), and exports rows as dicts or CSV.
+This module used to own the sweep grid machinery; everything moved to
+the :mod:`repro.api` facade (``SweepSpec`` + ``run``/``measure``).
+The names below re-export from there so existing imports keep working;
+:func:`run_sweep` itself is a deprecated shim that forwards to
+:func:`repro.api.run` (identical rows, byte for byte).
 """
 
 from __future__ import annotations
 
-import csv
-import io
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.engine import (
-    MeasurementEngine,
-    MeasurementRequest,
-    MeasurementResult,
-    default_engine,
+from repro.api import (  # noqa: F401  (re-exports for legacy imports)
+    FIELDS,
+    ROW_SCHEMA,
+    SweepSpec,
+    row_from,
+    to_csv,
 )
-from repro.cpu.machine import MACHINE_SPECS
-from repro.runtimes import runtime_named
-from repro.trace.events import SWEEP_GRID
-from repro.trace.tracer import TRACE
+from repro.core.engine import MeasurementEngine
 
-#: Row schema: column name → extractor over a MeasurementResult.  CSV
-#: columns derive from this single table, so adding a column here is
-#: the whole change.
-ROW_SCHEMA: Dict[str, Callable[[MeasurementResult], object]] = {
-    "workload": lambda r: r.measurement.workload,
-    "runtime": lambda r: r.measurement.runtime,
-    "strategy": lambda r: r.measurement.strategy,
-    "isa": lambda r: r.measurement.isa,
-    "threads": lambda r: r.measurement.threads,
-    "median_ms": lambda r: r.measurement.median_iteration * 1e3,
-    "utilisation_percent": lambda r: r.measurement.utilisation.utilisation_percent,
-    "ctx_per_sec": lambda r: r.measurement.utilisation.context_switches_per_sec,
-    "mem_avg_mib": lambda r: r.measurement.mem_avg_bytes / (1 << 20),
-    "mmap_write_wait_ms": lambda r: r.measurement.mmap_write_wait * 1e3,
-    "cache_hit": lambda r: int(r.cache_hit),
-    "elapsed_s": lambda r: round(r.elapsed, 6),
-}
-
-#: The columns a sweep row always carries (derived, not hand-kept).
-FIELDS = list(ROW_SCHEMA)
-
-
-@dataclass(frozen=True)
-class SweepSpec:
-    """A grid of configurations to run."""
-
-    workloads: Sequence[str]
-    runtimes: Sequence[str]
-    strategies: Sequence[str]
-    isas: Sequence[str] = ("x86_64",)
-    threads: Sequence[int] = (1,)
-    size: str = "small"
-    iterations: int = 3
-
-    def configurations(self) -> Iterator[tuple]:
-        """Valid (runtime, strategy, isa, threads) combinations."""
-        for isa in self.isas:
-            cores = MACHINE_SPECS[isa].cores
-            for runtime in self.runtimes:
-                model = runtime_named(runtime)
-                if not model.supports(isa):
-                    continue
-                for strategy in self.strategies:
-                    if strategy not in model.strategies:
-                        continue
-                    for threads in self.threads:
-                        if threads <= cores:
-                            yield (runtime, strategy, isa, threads)
-
-    def requests(self) -> List[MeasurementRequest]:
-        """The full grid, workloads outermost.
-
-        Workload-major order keeps every configuration of one module
-        adjacent, so the engine's profile/compile caches are warmed
-        once per workload instead of being cycled through the whole
-        workload set per configuration.
-        """
-        return [
-            MeasurementRequest(
-                workload, runtime, strategy, isa,
-                threads=threads, size=self.size, iterations=self.iterations,
-            )
-            for workload in self.workloads
-            for runtime, strategy, isa, threads in self.configurations()
-        ]
-
-
-def row_from(result: MeasurementResult) -> Dict[str, object]:
-    return {name: extract(result) for name, extract in ROW_SCHEMA.items()}
+__all__ = [
+    "FIELDS", "ROW_SCHEMA", "SweepSpec", "row_from", "run_sweep", "to_csv",
+]
 
 
 def run_sweep(
@@ -103,29 +31,12 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     engine: Optional[MeasurementEngine] = None,
 ) -> List[Dict[str, object]]:
-    """Run every valid configuration × workload; returns result rows."""
-    engine = engine if engine is not None else default_engine()
-    requests = spec.requests()
-    if TRACE.enabled:
-        TRACE.emit(0.0, SWEEP_GRID, requests=len(requests))
-    results = engine.run(requests, progress=progress)
-    return [row_from(result) for result in results]
-
-
-def to_csv(rows: Sequence[Dict[str, object]]) -> str:
-    """Render sweep rows as CSV text.
-
-    Columns are the schema-derived :data:`FIELDS` plus, appended in
-    sorted order, any extra keys present in the rows — nothing a row
-    carries is silently dropped.
-    """
-    extras = sorted(
-        {key for row in rows for key in row} - set(FIELDS)
+    """Deprecated: use :func:`repro.api.run`."""
+    warnings.warn(
+        "repro.core.runner.run_sweep is deprecated; use repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    fieldnames = FIELDS + extras
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
-    writer.writeheader()
-    for row in rows:
-        writer.writerow({key: row.get(key, "") for key in fieldnames})
-    return buffer.getvalue()
+    from repro import api
+
+    return api.run(spec, progress=progress, engine=engine)

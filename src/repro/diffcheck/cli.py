@@ -18,6 +18,10 @@ Phases (all on by default):
   invariant catalogue (cost ordering, strategy-independent memory,
   monotone CPU accounting); reuses the measurement engine's cache and
   ``--jobs`` fan-out;
+* ``bce``       — the bounds-check elimination pass re-measured with
+  the pass disabled, asserting it is *cost-only*: bit-identical
+  outputs/pages for every strategy, clamp/trap compute time monotone
+  non-increasing with BCE on, and counter conservation;
 * ``fuzz``      — seeded round-trip fuzzing over the wasm module layer.
 
 Exit status is non-zero when any check reports a divergence.
@@ -32,14 +36,15 @@ import sys
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    from repro.core.engine import add_engine_args
+    from repro.core import cliopts
 
     parser = argparse.ArgumentParser(
         prog="leaps-bench diffcheck",
         description="differential-correctness harness",
+        parents=[cliopts.sweep_parent()],
     )
     parser.add_argument(
-        "--phases", default="axioms,reference,sweep,fuzz", metavar="LIST",
+        "--phases", default="axioms,reference,sweep,bce,fuzz", metavar="LIST",
         help="comma list of phases to run (default: all)",
     )
     parser.add_argument(
@@ -92,7 +97,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-violations", type=int, default=20, metavar="N",
         help="violation lines to print (the JSON report holds all)",
     )
-    add_engine_args(parser)
     return parser
 
 
@@ -105,42 +109,29 @@ def _selected_workloads(args) -> list:
     return [w.name for w in suite_workloads(args.suite)]
 
 
-def _sweep_measurements(args, workloads, engine):
-    """Measure the diffcheck grid, reusing the engine cache/fan-out."""
-    from repro.core.engine import MeasurementRequest
+def _sweep_spec(args, workloads):
+    """The diffcheck grid as a facade spec (invalid combos skipped)."""
+    from repro import api
     from repro.runtime.strategies import STRATEGY_ORDER
-    from repro.runtimes import runtime_named
 
-    threads = [int(v) for v in args.threads.split(",") if v]
-    requests = []
-    for runtime in [v for v in args.runtimes.split(",") if v]:
-        model = runtime_named(runtime)
-        if not model.supports(args.isa):
-            continue
-        strategies = [s for s in STRATEGY_ORDER if s in model.strategies]
-        for workload in workloads:
-            for strategy in strategies:
-                for count in threads:
-                    requests.append(
-                        MeasurementRequest(
-                            workload=workload,
-                            runtime=runtime,
-                            strategy=strategy,
-                            isa=args.isa,
-                            threads=count,
-                            size=args.size,
-                            iterations=args.iterations,
-                        )
-                    )
-    results = engine.run(requests)
-    return [result.measurement for result in results]
+    return api.SweepSpec(
+        workloads=tuple(workloads),
+        runtimes=tuple(v for v in args.runtimes.split(",") if v),
+        strategies=tuple(STRATEGY_ORDER),
+        isas=(args.isa,),
+        threads=tuple(int(v) for v in args.threads.split(",") if v),
+        size=args.size,
+        iterations=args.iterations,
+    )
 
 
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
 
-    from repro.core.engine import configure_from_args
+    from repro import api
+    from repro.core import cliopts
     from repro.diffcheck.axioms import check_axioms
+    from repro.diffcheck.bce import check_bce
     from repro.diffcheck.fuzz import check_fuzz
     from repro.diffcheck.invariants import check_invariants
     from repro.diffcheck.reference import check_reference
@@ -153,12 +144,12 @@ def main(argv=None) -> int:
         os.environ["REPRO_DISPATCH"] = "nofuse"
 
     phases = [p.strip() for p in args.phases.split(",") if p.strip()]
-    unknown = set(phases) - {"axioms", "reference", "sweep", "fuzz"}
+    unknown = set(phases) - {"axioms", "reference", "sweep", "bce", "fuzz"}
     if unknown:
         print(f"unknown phases: {', '.join(sorted(unknown))}", file=sys.stderr)
         return 2
 
-    engine = configure_from_args(args)
+    engine = cliopts.configure_sweep(args)
     workloads = _selected_workloads(args)
     report = DiffReport()
 
@@ -176,9 +167,18 @@ def main(argv=None) -> int:
         )
 
     if "sweep" in phases:
-        measurements = _sweep_measurements(args, workloads, engine)
+        measurements = api.measure(
+            _sweep_spec(args, workloads), engine=engine
+        ).measurements
         print(f"== sweep: {len(measurements)} measurements under invariants")
         check_invariants(measurements, report)
+
+    if "bce" in phases:
+        print(
+            f"== bce: {len(workloads)} workloads re-measured with "
+            "bounds-check elimination disabled"
+        )
+        check_bce(workloads, args.size, args.isa, report)
 
     if "fuzz" in phases:
         print(

@@ -6,7 +6,11 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.compiler.pipeline import CompiledModule, CompilerConfig, compile_module
-from repro.compiler.timing import cycles_for_profile, interpreter_cycles
+from repro.compiler.timing import (
+    check_counts_for_profile,
+    cycles_for_profile,
+    interpreter_cycles,
+)
 from repro.isa.model import IsaModel
 from repro.runtime.profile import ExecutionProfile
 from repro.runtime.strategies import BoundsStrategy
@@ -60,6 +64,11 @@ class RuntimeModel:
     #: Entries keep a strong reference to the keyed objects so an id()
     #: can never be recycled onto a different module/profile.
     _cycles_cache: Dict[Tuple[int, int, str, str], Tuple[float, object, object]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Dynamic bounds-check counters per (module, profile, isa,
+    #: strategy), same keying/lifetime discipline as ``_cycles_cache``.
+    _check_cache: Dict[Tuple[int, int, str, str], Tuple[Dict[str, int], object, object]] = field(
         default_factory=dict, repr=False
     )
 
@@ -125,6 +134,35 @@ class RuntimeModel:
                 cycles=result, cached=False,
             )
         return result
+
+    def check_stats(
+        self,
+        module: Module,
+        profile: ExecutionProfile,
+        isa: IsaModel,
+        strategy: BoundsStrategy,
+    ) -> Dict[str, int]:
+        """Dynamic bounds-check counts for one run: emitted vs elided.
+
+        Interpreters check every access inline (nothing elided); code
+        without inline checks (``none`` or the signal-based strategies)
+        emits none.  Otherwise the counts come from the compiled
+        module's surviving ``boundscheck`` ops and the BCE pass's
+        per-block elision counters, priced by the dynamic profile.
+        """
+        if self.kind == "interp":
+            return {"emitted": profile.mem_loads + profile.mem_stores, "elided": 0}
+        if self.compiler is None or not strategy.inline_check:
+            return {"emitted": 0, "elided": 0}
+        key = (id(module), id(profile), isa.name, strategy.name)
+        cached = self._check_cache.get(key)
+        if cached is None:
+            stats = check_counts_for_profile(
+                self.compiled(module, isa, strategy), profile
+            )
+            cached = (stats, module, profile)
+            self._check_cache[key] = cached
+        return dict(cached[0])
 
     def compile_seconds(self, module: Module) -> float:
         """Modelled translation time for the whole module."""

@@ -24,12 +24,21 @@ Calibration notes (targets from the paper, §1.3, §4.1, §4.4):
 
 from __future__ import annotations
 
+import dataclasses
+import os
+
 from repro.compiler.pipeline import ALL_PASSES, CompilerConfig
 from repro.runtimes.base import RuntimeModel
 
+#: Bounds-check elimination per engine: LLVM's range analysis gives
+#: WAVM (and native) the full pass; TurboFan types induction variables,
+#: so V8 gets it too; Cranelift only deduplicates dominated checks (no
+#: loop phase); Liftoff and Wasm3 do no elimination at all.
 _LLVM_PASSES = frozenset(ALL_PASSES)
-_CRANELIFT_PASSES = frozenset({"constfold", "cse", "licm", "dce"})
-_TURBOFAN_PASSES = frozenset({"constfold", "cse", "licm", "dce"})
+_CRANELIFT_PASSES = frozenset({"constfold", "cse", "licm", "dce", "bce"})
+_TURBOFAN_PASSES = frozenset(
+    {"constfold", "cse", "licm", "dce", "bce", "bceloop"}
+)
 
 NATIVE_CLANG = RuntimeModel(
     name="native-clang",
@@ -129,8 +138,10 @@ V8 = RuntimeModel(
         regalloc_quality=0.82,
         addressing_fusion=True,
         # Trap-handler bookkeeping + dynamic memory base: one extra ALU
-        # op per access whenever OOB detection relies on signals
-        # (mprotect/uffd) — the paper's "10 points for V8" (§4.1).
+        # op per access whenever bounds checking is on in any form —
+        # the paper's "10 points for V8" under mprotect/uffd (§4.1).
+        # It rides on the access, so BCE cannot elide it and explicit
+        # checks can never undercut the signal strategies.
         signal_strategy_access_ops=1,
     ),
     schedule_overhead=1.18,
@@ -168,3 +179,68 @@ def runtime_named(name: str) -> RuntimeModel:
         raise ValueError(
             f"unknown runtime {name!r}; choose from {sorted(RUNTIMES)}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Global BCE toggle (`--no-bce` / REPRO_NO_BCE)
+# ----------------------------------------------------------------------
+#: Each model's full pass set as registered above, so the toggle can
+#: restore it after a `--no-bce` run.
+_DEFAULT_PASSES = {
+    model.name: model.compiler.passes
+    for model in RUNTIMES.values()
+    if model.compiler is not None
+}
+
+_bce_enabled = True
+
+
+def bce_enabled() -> bool:
+    return _bce_enabled
+
+
+def set_bce_enabled(enabled: bool, _reset_engine: bool = True) -> None:
+    """Strip (or restore) the BCE passes on every registered runtime.
+
+    Mutates the shared ``RuntimeModel`` instances in place, so every
+    cache that could hold pre-toggle results is dropped: the models'
+    own compile/costing/check caches here, plus the measurement
+    engine's calibration-hash memo and warm worker pool (fork workers
+    inherit the registry state they were spawned with).  The
+    ``REPRO_NO_BCE`` environment flag mirrors the toggle so
+    freshly-spawned (non-fork) pool workers re-apply it at import
+    time.
+    """
+    global _bce_enabled
+    enabled = bool(enabled)
+    if enabled == _bce_enabled:
+        return
+    for model in RUNTIMES.values():
+        if model.compiler is None:
+            continue
+        passes = _DEFAULT_PASSES[model.name]
+        if not enabled:
+            passes = passes - {"bce", "bceloop"}
+        model.compiler = dataclasses.replace(model.compiler, passes=passes)
+        model._cache.clear()
+        model._cycles_cache.clear()
+        model._check_cache.clear()
+    _bce_enabled = enabled
+    if enabled:
+        os.environ.pop("REPRO_NO_BCE", None)
+    else:
+        os.environ["REPRO_NO_BCE"] = "1"
+    if _reset_engine:
+        # Imported lazily — the engine module imports this one.
+        from repro.core import engine as _engine
+
+        _engine._calibration_memo.clear()
+        _engine.reset_default_engine()
+
+
+if os.environ.get("REPRO_NO_BCE"):
+    # Honour the flag in freshly-spawned pool workers: flip the default
+    # through the same path as the CLI toggle.  No engine exists this
+    # early (and importing it here would be circular), so skip the
+    # engine reset.
+    set_bce_enabled(False, _reset_engine=False)

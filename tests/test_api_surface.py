@@ -1,0 +1,172 @@
+"""The ``repro.api`` facade: surface snapshot, equivalence, shims.
+
+The surface snapshot pins the public names and the :class:`SweepSpec`
+field list so an accidental rename or default change fails loudly; the
+equivalence tests prove the facade returns byte-identical rows to the
+deprecated entry points it replaced; the shim tests pin the
+DeprecationWarning contract the CI deprecation gate relies on.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import api
+from repro.core.engine import MeasurementEngine
+from repro.runtimes.registry import bce_enabled, set_bce_enabled
+
+SPEC = api.SweepSpec(
+    workloads=["gemm"],
+    runtimes=("wavm", "v8"),
+    strategies=("mprotect", "trap"),
+    size="mini",
+    iterations=2,
+)
+
+
+def engine():
+    return MeasurementEngine(cache=False)
+
+
+def stable(rows):
+    """Rows minus the wall-clock column (everything else is seeded)."""
+    return [
+        {k: v for k, v in row.items() if k != "elapsed_s"} for row in rows
+    ]
+
+
+class TestSurfaceSnapshot:
+    def test_public_names(self):
+        assert sorted(api.__all__) == [
+            "FIELDS",
+            "ROW_SCHEMA",
+            "SweepMeasurements",
+            "SweepSpec",
+            "measure",
+            "row_from",
+            "run",
+            "to_csv",
+        ]
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_row_fields(self):
+        assert api.FIELDS == [
+            "workload", "runtime", "strategy", "isa", "threads",
+            "median_ms", "utilisation_percent", "ctx_per_sec",
+            "mem_avg_mib", "mmap_write_wait_ms", "checks_emitted",
+            "checks_elided", "cache_hit", "elapsed_s",
+        ]
+        assert list(api.ROW_SCHEMA) == api.FIELDS
+
+    def test_sweep_spec_fields_and_defaults(self):
+        fields = {
+            f.name: f.default for f in dataclasses.fields(api.SweepSpec)
+        }
+        assert fields == {
+            "workloads": dataclasses.MISSING,
+            "runtimes": ("wavm",),
+            "strategies": ("mprotect",),
+            "isas": ("x86_64",),
+            "threads": (1,),
+            "size": "small",
+            "iterations": 3,
+            "warmup": 1,
+        }
+        # Frozen: specs are shareable cache keys, not mutable state.
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SPEC.size = "large"
+
+    def test_sweep_measurements_shape(self):
+        for name in ("rows", "by_workload", "per_workload", "medians"):
+            assert callable(getattr(api.SweepMeasurements, name)), name
+
+    def test_validate_raises_where_configurations_skips(self):
+        bad = api.SweepSpec(workloads=["gemm"], runtimes=("wavm",),
+                            isas=("riscv64",))
+        assert list(bad.configurations()) == []
+        with pytest.raises(ValueError, match="no riscv64 backend"):
+            bad.validate()
+
+
+class TestEquivalence:
+    def test_run_matches_legacy_run_sweep(self):
+        rows = api.run(SPEC, engine=engine())
+        with pytest.warns(DeprecationWarning, match="repro.api.run"):
+            from repro.core.runner import run_sweep
+
+            legacy = run_sweep(SPEC, engine=engine())
+        assert stable(rows) == stable(legacy)
+
+    def test_run_matches_legacy_with_bce_disabled(self):
+        assert bce_enabled()
+        try:
+            set_bce_enabled(False)
+            rows = api.run(SPEC, engine=engine())
+            with pytest.warns(DeprecationWarning):
+                from repro.core.runner import run_sweep
+
+                legacy = run_sweep(SPEC, engine=engine())
+        finally:
+            set_bce_enabled(True)
+        assert stable(rows) == stable(legacy)
+        assert all(row["checks_elided"] == 0 for row in rows)
+
+    def test_measure_matches_legacy_common_measure(self):
+        swept = api.measure(
+            api.SweepSpec(workloads=["gemm"], runtimes=("wavm",),
+                          strategies=("trap",), size="mini", iterations=2),
+            engine=engine(), strict=True,
+        )
+        with pytest.warns(DeprecationWarning, match="repro.api.measure"):
+            from repro.core.experiments import common
+
+            legacy = common.measure(
+                ["gemm"], "wavm", "trap", "x86_64",
+                size="mini", iterations=2, engine=engine(),
+            )
+        from repro.core.engine import measurement_to_json
+
+        ours = swept.per_workload()
+        assert set(ours) == set(legacy)
+        for name in ours:
+            assert measurement_to_json(ours[name]) == measurement_to_json(
+                legacy[name]
+            )
+
+    def test_bce_rows_report_counter_movement(self):
+        rows = api.run(SPEC, engine=engine())
+        trap = {r["runtime"]: r for r in rows if r["strategy"] == "trap"}
+        mprot = {r["runtime"]: r for r in rows if r["strategy"] == "mprotect"}
+        for runtime in ("wavm", "v8"):
+            assert trap[runtime]["checks_elided"] > 0
+            # Signal strategies emit no inline checks to elide.
+            assert mprot[runtime]["checks_emitted"] == 0
+            assert mprot[runtime]["checks_elided"] == 0
+
+
+class TestDeprecatedShims:
+    def test_runner_module_reexports(self):
+        from repro.core import runner
+
+        assert runner.FIELDS is api.FIELDS
+        assert runner.SweepSpec is api.SweepSpec
+        assert runner.to_csv is api.to_csv
+
+    def test_engine_arg_shims_warn(self):
+        import argparse
+
+        from repro.core import engine as engine_mod
+
+        parser = argparse.ArgumentParser()
+        with pytest.warns(DeprecationWarning, match="cliopts"):
+            engine_mod.add_engine_args(parser)
+        args = parser.parse_args([])
+        with pytest.warns(DeprecationWarning, match="cliopts"):
+            engine_mod.configure_from_args(args)
+
+    def test_facade_itself_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run(SPEC, engine=engine())

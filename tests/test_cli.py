@@ -30,3 +30,66 @@ def test_dispatch_runs_experiment(monkeypatch, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Fig. 1" in out
     assert (tmp_path / "fig1.json").exists()
+
+
+class TestExitCodes:
+    """Every failure mode must surface as a non-zero exit status."""
+
+    def test_crashing_experiment_returns_one(self, monkeypatch, capsys):
+        def boom(argv):
+            raise RuntimeError("measurement backend fell over")
+
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        monkeypatch.setitem(cli._EXPERIMENTS, "fig1", boom)
+        assert cli.main(["fig1"]) == 1
+        err = capsys.readouterr().err
+        assert "fig1: error: measurement backend fell over" in err
+
+    def test_repro_debug_reraises(self, monkeypatch):
+        def boom(argv):
+            raise RuntimeError("boom")
+
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        monkeypatch.setitem(cli._EXPERIMENTS, "fig1", boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            cli.main(["fig1"])
+
+    def test_argparse_error_propagates_its_code(self, capsys):
+        assert cli.main(["fig1", "--bogus-flag"]) == 2
+        assert "--bogus-flag" in capsys.readouterr().err
+
+    def test_system_exit_none_is_success(self, monkeypatch):
+        monkeypatch.setitem(
+            cli._EXPERIMENTS, "fig1", lambda argv: (_ for _ in ()).throw(SystemExit)
+        )
+        assert cli.main(["fig1"]) == 0
+
+    def test_system_exit_message_maps_to_one(self, monkeypatch, capsys):
+        def bail(argv):
+            raise SystemExit("could not write results")
+
+        monkeypatch.setitem(cli._EXPERIMENTS, "fig1", bail)
+        assert cli.main(["fig1"]) == 1
+
+    def test_all_reports_worst_failure(self, monkeypatch, capsys):
+        calls = []
+
+        def ok(argv):
+            calls.append("ok")
+            return []
+
+        def boom(argv):
+            calls.append("boom")
+            raise RuntimeError("nope")
+
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        monkeypatch.setattr(cli, "_EXPERIMENTS", {"good": ok, "bad": boom})
+        assert cli.main(["all"]) == 1
+        # The crash must not stop the remaining figures.
+        assert calls == ["ok", "boom"]
+
+    def test_all_green_returns_zero(self, monkeypatch):
+        monkeypatch.setattr(
+            cli, "_EXPERIMENTS", {"a": lambda argv: [], "b": lambda argv: 0}
+        )
+        assert cli.main(["all"]) == 0

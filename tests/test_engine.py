@@ -18,8 +18,8 @@ from repro.core.engine import (
     measurement_from_json,
     measurement_to_json,
 )
+from repro.api import FIELDS, SweepSpec, run, to_csv
 from repro.core.profiles import clear_profile_cache
-from repro.core.runner import FIELDS, SweepSpec, run_sweep, to_csv
 
 
 @pytest.fixture(autouse=True)
@@ -178,12 +178,12 @@ class TestSweepIntegration:
     )
 
     def test_rows_carry_cache_and_elapsed_columns(self, isolated_caches):
-        rows = run_sweep(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
+        rows = run(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
         assert {"cache_hit", "elapsed_s"} <= set(FIELDS)
         for row in rows:
             assert row["cache_hit"] in (0, 1)
             assert row["elapsed_s"] >= 0
-        again = run_sweep(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
+        again = run(self.SPEC, engine=MeasurementEngine(cache_dir=isolated_caches))
         assert all(row["cache_hit"] == 1 for row in again)
 
     def test_requests_are_workload_major(self):
@@ -192,7 +192,7 @@ class TestSweepIntegration:
         assert workloads == ["trisolv", "trisolv", "gemm", "gemm"]
 
     def test_csv_includes_extra_row_keys(self):
-        rows = run_sweep(self.SPEC, engine=MeasurementEngine(cache=False))
+        rows = run(self.SPEC, engine=MeasurementEngine(cache=False))
         rows[0]["note"] = "ad-hoc"
         text = to_csv(rows)
         header = text.splitlines()[0]

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.api import FIELDS, SweepSpec, run, to_csv
 from repro.core.profiles import profile_for
-from repro.core.runner import FIELDS, SweepSpec, run_sweep, to_csv
 from repro.wasm.metrics import module_stats
 
 
@@ -61,7 +61,7 @@ class TestSweepSpec:
         assert ("wasm3", "none", "x86_64", 1) not in configs
         assert ("wasm3", "trap", "riscv64", 4) not in configs
 
-    def test_run_sweep_produces_rows(self):
+    def test_run_produces_rows(self):
         spec = SweepSpec(
             workloads=["trisolv"],
             runtimes=["wavm"],
@@ -71,7 +71,7 @@ class TestSweepSpec:
             iterations=2,
         )
         seen = []
-        rows = run_sweep(spec, progress=seen.append)
+        rows = run(spec, progress=seen.append)
         assert len(rows) == 2
         assert len(seen) == 2
         for row in rows:
@@ -83,7 +83,7 @@ class TestSweepSpec:
             workloads=["trisolv"], runtimes=["wavm"], strategies=["none"],
             size="mini", iterations=2,
         )
-        text = to_csv(run_sweep(spec))
+        text = to_csv(run(spec))
         lines = text.strip().splitlines()
         assert lines[0].startswith("workload,runtime,strategy")
         assert len(lines) == 2

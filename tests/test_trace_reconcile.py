@@ -11,9 +11,9 @@ identical order.
 
 import pytest
 
+from repro.api import SweepSpec, run
 from repro.core.engine import MeasurementEngine
 from repro.core.harness import run_benchmark
-from repro.core.runner import SweepSpec, run_sweep
 from repro.trace import summary as trace_summary
 from repro.trace.tracer import tracing
 
@@ -34,7 +34,7 @@ def sweep_rows(tmp_path_factory):
     engine = MeasurementEngine(
         cache_dir=str(tmp_path_factory.mktemp("cache")), cache=False
     )
-    return run_sweep(SPEC, engine=engine)
+    return run(SPEC, engine=engine)
 
 
 def _traced(row):
