@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Interpreter fast-path benchmark and performance-regression gate.
+"""Interpreter tier benchmark and performance-regression gate.
 
 Measures the wall-clock cost of one ``bench`` invocation per workload
-(mini-size PolyBench) under two dispatch modes:
+(mini-size PolyBench) under all three execution tiers:
 
 * ``legacy`` — the pre-rewrite one-closure-per-op interpreter, kept
   verbatim as the honest baseline;
-* ``fused``  — the pre-decoded, superinstruction-fused fast path.
+* ``fused``  — the pre-decoded, superinstruction-fused fast path;
+* ``opt``    — fused dispatch plus the tier-2 whole-function compiler
+  (:mod:`repro.runtime.vectorize`) for hot functions.
 
 Each timing takes ``--repeats`` (default 5) invocations on a
 pre-constructed interpreter, so module decode/validation/plan costs are
@@ -24,16 +26,22 @@ pure-Python calibration loop.  Each repeat times the calibration loop
 and the invocation back to back in one round (milliseconds apart), so
 host slowdowns hit both sides of the ratio.  Normalized throughput is
 *recorded* per workload but *not gated*: on shared CI hosts its run-to-
-run jitter exceeds any useful threshold.  The gated statistic is the
-median-across-workloads fused/legacy speedup, where both sides execute
-the same instruction stream in the same rounds — empirically stable to
-a few percent when individual workloads swing +/-15%.  The gate
-(``--check``) fails when:
+run jitter exceeds any useful threshold.  The gated statistics are the
+median-across-workloads fused/legacy and opt/legacy speedups, where
+both sides execute the same instruction stream in the same rounds —
+empirically stable to a few percent when individual workloads swing
++/-15%.  The gate (``--check``) fails when:
 
-* the median speedup drops below ``--min-speedup`` (default 3.0, the
-  acceptance floor; a machine-independent ratio), or
-* the median speedup regresses more than ``--threshold`` (default
-  15%) below the committed baseline's ``median_speedup``.
+* the median fused/legacy speedup drops below ``--min-speedup``
+  (default 3.0, the acceptance floor; a machine-independent ratio),
+* the median opt/legacy speedup drops below ``--min-speedup-opt``
+  (default 10.0), or
+* either median regresses more than ``--threshold`` (default 15%)
+  below the committed baseline's ``median_speedup`` /
+  ``median_speedup_opt``.
+
+Gate failures name the violating tier and per-workload ratios so a CI
+log alone identifies the regression.
 
 To absorb transient spikes the gate re-measures once before failing.
 Update the baseline with ``--update-baseline`` after an intentional
@@ -72,38 +80,39 @@ def _calibration_loop(n: int) -> int:
     return acc
 
 
-def _interp_for(module, dispatch: str):
+def _interp_for(module, tier: str, module_digest=None):
     interp = Interpreter(
         module,
         collect_profile=False,
         track_pages=False,
         validate=False,
-        dispatch=dispatch,
+        tier=tier,
+        module_digest=module_digest,
     )
-    interp.invoke("bench")  # warm-up: compiles every function
+    interp.invoke("bench")  # warm-up: compiles (and tiers up) every function
     return interp
 
 
-def _measure_rounds(module, repeats: int):
-    """Per-round (calibration_s, legacy_s, fused_s) triples.
+def _measure_rounds(module, module_digest, repeats: int):
+    """Per-round (calibration_s, legacy_s, fused_s, opt_s) tuples.
 
-    All three timings of a round run back to back so transient host
+    All timings of a round run back to back so transient host
     interference is correlated across them.
     """
-    legacy = _interp_for(module, "legacy")
-    fused = _interp_for(module, "fused")
+    interps = [
+        _interp_for(module, tier, module_digest)
+        for tier in ("legacy", "fused", "opt")
+    ]
     rounds = []
     for _ in range(repeats):
         start = time.perf_counter()
         _calibration_loop(_CALIBRATION_ITERS)
-        calib_s = time.perf_counter() - start
-        start = time.perf_counter()
-        legacy.invoke("bench")
-        legacy_s = time.perf_counter() - start
-        start = time.perf_counter()
-        fused.invoke("bench")
-        fused_s = time.perf_counter() - start
-        rounds.append((calib_s, legacy_s, fused_s))
+        timings = [time.perf_counter() - start]
+        for interp in interps:
+            start = time.perf_counter()
+            interp.invoke("bench")
+            timings.append(time.perf_counter() - start)
+        rounds.append(tuple(timings))
     return rounds
 
 
@@ -116,31 +125,38 @@ def _total_instrs(module) -> int:
 def run_benchmark(repeats: int) -> dict:
     rows = {}
     for name in WORKLOADS:
-        module, _ = module_for(name, SIZE)
+        module, digest = module_for(name, SIZE)
         total_instrs = _total_instrs(module)
-        rounds = _measure_rounds(module, repeats)
+        rounds = _measure_rounds(module, digest, repeats)
         legacy_s = min(r[1] for r in rounds)
         fused_s = min(r[2] for r in rounds)
-        # Gated metric: median per-round ratio (see noise policy).
+        opt_s = min(r[3] for r in rounds)
         normalized = statistics.median(
             (total_instrs / f) / (_CALIBRATION_ITERS / c)
-            for c, _, f in rounds
+            for c, _, f, _ in rounds
         )
         rows[name] = {
             "total_instrs": total_instrs,
             "legacy_ms": round(legacy_s * 1e3, 3),
             "fused_ms": round(fused_s * 1e3, 3),
+            "opt_ms": round(opt_s * 1e3, 3),
             "legacy_median_ms": round(
                 statistics.median(r[1] for r in rounds) * 1e3, 3
             ),
             "fused_median_ms": round(
                 statistics.median(r[2] for r in rounds) * 1e3, 3
             ),
+            "opt_median_ms": round(
+                statistics.median(r[3] for r in rounds) * 1e3, 3
+            ),
             "speedup": round(legacy_s / fused_s, 3),
+            "speedup_opt": round(legacy_s / opt_s, 3),
             "fused_instr_per_s": round(total_instrs / fused_s),
+            "opt_instr_per_s": round(total_instrs / opt_s),
             "fused_normalized": round(normalized, 4),
         }
     speedups = sorted(row["speedup"] for row in rows.values())
+    speedups_opt = sorted(row["speedup_opt"] for row in rows.values())
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": {
@@ -158,6 +174,7 @@ def run_benchmark(repeats: int) -> dict:
         ),
         "workloads": rows,
         "median_speedup": speedups[len(speedups) // 2],
+        "median_speedup_opt": speedups_opt[len(speedups_opt) // 2],
     }
 
 
@@ -165,37 +182,65 @@ def print_report(report: dict) -> None:
     print(f"interpreter build {report['interpreter_build']}  "
           f"size={report['size']}  repeats={report['repeats']}")
     header = f"{'workload':12s} {'legacy ms':>10s} {'fused ms':>10s} " \
-             f"{'speedup':>8s} {'norm.tput':>10s}"
+             f"{'opt ms':>10s} {'fused x':>8s} {'opt x':>8s} {'norm.tput':>10s}"
     print(header)
     for name, row in report["workloads"].items():
         print(
             f"{name:12s} {row['legacy_ms']:10.2f} {row['fused_ms']:10.2f} "
-            f"{row['speedup']:7.2f}x {row['fused_normalized']:10.4f}"
+            f"{row['opt_ms']:10.2f} {row['speedup']:7.2f}x "
+            f"{row['speedup_opt']:7.2f}x {row['fused_normalized']:10.4f}"
         )
-    print(f"median speedup: {report['median_speedup']:.2f}x")
+    print(f"median speedup: fused {report['median_speedup']:.2f}x, "
+          f"opt {report['median_speedup_opt']:.2f}x")
 
 
-def check(report: dict, threshold: float, min_speedup: float) -> list:
-    """Gate failures (empty list = pass) for one measured report."""
+def _per_workload(report: dict, key: str) -> str:
+    ratios = sorted(
+        (row[key], name) for name, row in report["workloads"].items()
+    )
+    return ", ".join(f"{name} {ratio:.2f}x" for ratio, name in ratios)
+
+
+def check(report: dict, threshold: float, min_speedup: float,
+          min_speedup_opt: float) -> list:
+    """Gate failures (empty list = pass) for one measured report.
+
+    Each failure message names the violating tier, the measured ratio,
+    and the per-workload breakdown so CI logs are diagnosable alone.
+    """
     failures = []
-    measured = report["median_speedup"]
-    if measured < min_speedup:
-        failures.append(
-            f"median fused/legacy speedup {measured:.2f}x "
-            f"is below the {min_speedup:.1f}x floor"
-        )
+    gates = [
+        ("fused", "median_speedup", "speedup", min_speedup),
+        ("opt", "median_speedup_opt", "speedup_opt", min_speedup_opt),
+    ]
+    for tier, median_key, row_key, floor_ratio in gates:
+        measured = report[median_key]
+        if measured < floor_ratio:
+            failures.append(
+                f"tier {tier}: median {tier}/legacy speedup {measured:.2f}x "
+                f"is below the {floor_ratio:.1f}x floor "
+                f"(per workload: {_per_workload(report, row_key)})"
+            )
     if not BASELINE_PATH.exists():
         failures.append(f"missing baseline {BASELINE_PATH.name}")
         return failures
     baseline = json.loads(BASELINE_PATH.read_text())
-    floor = baseline["median_speedup"] * (1.0 - threshold)
-    if measured < floor:
-        drop = 1.0 - measured / baseline["median_speedup"]
-        failures.append(
-            f"median speedup {measured:.2f}x is {drop:.0%} below the "
-            f"baseline {baseline['median_speedup']:.2f}x "
-            f"(threshold {threshold:.0%})"
-        )
+    for tier, median_key, row_key, _ in gates:
+        base = baseline.get(median_key)
+        if base is None:
+            failures.append(
+                f"tier {tier}: baseline {BASELINE_PATH.name} has no "
+                f"{median_key}; regenerate it with --update-baseline"
+            )
+            continue
+        measured = report[median_key]
+        if measured < base * (1.0 - threshold):
+            drop = 1.0 - measured / base
+            failures.append(
+                f"tier {tier}: median speedup {measured:.2f}x is {drop:.0%} "
+                f"below the baseline {base:.2f}x (threshold {threshold:.0%}; "
+                f"per workload: {_per_workload(report, row_key)})"
+            )
     return failures
 
 
@@ -218,6 +263,10 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=3.0,
         help="required median fused/legacy speedup (default 3.0)",
     )
+    parser.add_argument(
+        "--min-speedup-opt", type=float, default=10.0,
+        help="required median opt/legacy speedup (default 10.0)",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmark(args.repeats)
@@ -229,7 +278,9 @@ def main(argv=None) -> int:
         return 0
 
     if args.check:
-        failures = check(report, args.threshold, args.min_speedup)
+        failures = check(
+            report, args.threshold, args.min_speedup, args.min_speedup_opt
+        )
         if failures:
             # Noise policy: one re-measure absorbs transient CI spikes.
             print("gate failed, re-measuring once to rule out noise:")
@@ -237,7 +288,9 @@ def main(argv=None) -> int:
                 print(f"  - {failure}")
             report = run_benchmark(args.repeats)
             print_report(report)
-            failures = check(report, args.threshold, args.min_speedup)
+            failures = check(
+                report, args.threshold, args.min_speedup, args.min_speedup_opt
+            )
         if failures:
             print("PERF GATE FAILED:")
             for failure in failures:

@@ -21,12 +21,21 @@ import argparse
 from typing import Optional
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` accepts an int or "auto" (argparse type callback)."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
 def add_sweep_args(parser: argparse.ArgumentParser) -> None:
     """Attach the shared sweep flags to an existing parser."""
     group = parser.add_argument_group("measurement engine")
     group.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the sweep (default: 1, serial)",
+        "--jobs", type=_jobs_arg, default="auto", metavar="N",
+        help="worker processes for the sweep, or 'auto' to size to the "
+        "machine with a serial fallback for single-CPU hosts and small "
+        "grids (default: auto)",
     )
     group.add_argument(
         "--no-cache", action="store_true",

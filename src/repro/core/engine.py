@@ -245,16 +245,38 @@ def _execute(payload: dict) -> dict:
     }
 
 
+def resolve_jobs(jobs) -> int:
+    """Worker count for a ``jobs`` request on *this* machine.
+
+    ``"auto"`` sizes the pool to the host: serial on single-CPU
+    machines (where BENCH_sweep.json showed ``--jobs 4`` cold running
+    ~2x slower than serial — fork + pickle overhead with no parallelism
+    to pay for it), otherwise one worker per CPU capped at 8 (the
+    figure grids rarely have more independent misses than that).
+    """
+    if jobs == "auto":
+        cpus = os.cpu_count() or 1
+        return 1 if cpus < 2 else min(cpus, 8)
+    return max(1, int(jobs))
+
+
+#: With jobs="auto", grids with fewer misses than this run serially:
+#: pool spin-up (fork + import) costs more than it saves.
+_MIN_PARALLEL_MISSES = 4
+
+
 class MeasurementEngine:
     """Executes measurement requests with caching and optional fan-out."""
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs=1,
         cache: bool = True,
         cache_dir: Optional[os.PathLike] = None,
     ) -> None:
-        self.jobs = max(1, int(jobs))
+        #: As requested ("auto" or an int); ``jobs`` is the resolved count.
+        self.jobs_requested = jobs
+        self.jobs = resolve_jobs(jobs)
         self.cache_enabled = cache
         self._memory: Dict[str, RunMeasurement] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
@@ -382,7 +404,14 @@ class MeasurementEngine:
         misses.sort(key=lambda item: (item[0].workload, item[0].size))
 
         if misses:
-            if self.jobs == 1 or len(misses) == 1:
+            serial = self.jobs == 1 or len(misses) == 1
+            if (
+                not serial
+                and self.jobs_requested == "auto"
+                and len(misses) < _MIN_PARALLEL_MISSES
+            ):
+                serial = True  # auto: tiny grid, pool spin-up dominates
+            if serial:
                 for request, key in misses:
                     outcome = _execute(dataclasses.asdict(request))
                     self._finish(request, key, outcome, results, progress)
@@ -450,11 +479,15 @@ def default_engine() -> MeasurementEngine:
 
 
 def configure(
-    jobs: Optional[int] = None,
+    jobs=None,
     cache: Optional[bool] = None,
     cache_dir: Optional[os.PathLike] = None,
 ) -> MeasurementEngine:
-    """(Re)configure the process-wide engine; returns it."""
+    """(Re)configure the process-wide engine; returns it.
+
+    ``jobs`` is an int or ``"auto"`` (size to the machine, serial
+    fallback for small grids); None keeps the current setting.
+    """
     global _default_engine
     current = default_engine()
     base = Path(cache_dir) if cache_dir is not None else None
@@ -463,12 +496,20 @@ def configure(
         # with the measurements so --cache-dir isolates everything.
         os.environ["REPRO_CACHE_DIR"] = str(base / "profiles")
     replacement = MeasurementEngine(
-        jobs=current.jobs if jobs is None else jobs,
+        jobs=current.jobs_requested if jobs is None else jobs,
         cache=current.cache_enabled if cache is None else cache,
         cache_dir=base / "measurements" if base is not None else None,
     )
-    settings = (replacement.jobs, replacement.cache_enabled, replacement.cache_dir)
-    if settings == (current.jobs, current.cache_enabled, current.cache_dir):
+    settings = (
+        replacement.jobs_requested,
+        replacement.cache_enabled,
+        replacement.cache_dir,
+    )
+    if settings == (
+        current.jobs_requested,
+        current.cache_enabled,
+        current.cache_dir,
+    ):
         # Same settings: keep the warm pool and in-memory results
         # (``leaps-bench all`` reconfigures before every figure).
         return current

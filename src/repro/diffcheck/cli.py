@@ -90,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "fused-codegen bug)",
     )
     parser.add_argument(
+        "--tier", default=None, choices=["legacy", "fused", "opt"],
+        help="pin the interpreter execution tier for every phase "
+        "(bisection aid: a divergence that appears only at --tier opt "
+        "is a tier-2 vectorizer bug)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the machine-readable violation report to PATH",
     )
@@ -142,6 +148,8 @@ def main(argv=None) -> int:
     if args.no_fuse:
         # Via the environment so ProcessPool workers inherit it too.
         os.environ["REPRO_DISPATCH"] = "nofuse"
+    if args.tier:
+        os.environ["REPRO_TIER"] = args.tier
 
     phases = [p.strip() for p in args.phases.split(",") if p.strip()]
     unknown = set(phases) - {"axioms", "reference", "sweep", "bce", "fuzz"}
@@ -204,6 +212,7 @@ def main(argv=None) -> int:
         payload = {
             "interpreter_build": interpreter_build_digest(),
             "dispatch": os.environ.get("REPRO_DISPATCH", "fused"),
+            "tier": os.environ.get("REPRO_TIER", "opt"),
             **report.to_json(),
         }
         with open(args.json, "w") as handle:

@@ -30,6 +30,14 @@ Dispatch modes (``dispatch=`` / ``REPRO_DISPATCH``):
 * ``legacy`` — the original one-closure-per-op build, kept verbatim so
   ``benchmarks/interp_bench.py`` can measure the fast path against the
   pre-rewrite interpreter on the same machine.
+
+Execution tiers (``tier=`` / ``REPRO_TIER``, see
+:mod:`repro.runtime.tiering`): ``legacy`` and ``fused`` map onto the
+dispatch modes above; ``opt`` (the default when neither tier nor
+dispatch is requested explicitly) additionally compiles hot functions
+to tier-2 vectorized Python (:mod:`repro.runtime.vectorize`) with
+bit-identical observables.  An explicit ``dispatch`` request without a
+tier disables tier-2 so dispatch comparisons measure dispatch alone.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.runtime import predecode
+from repro.runtime import predecode, tiering
 from repro.runtime.memory import LinearMemory
 from repro.runtime.profile import ExecutionProfile
 from repro.runtime.strategies import BoundsStrategy, strategy_named
@@ -232,6 +240,7 @@ class Interpreter:
         track_pages: bool = True,
         dispatch: Optional[str] = None,
         module_digest: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> None:
         if validate:
             validate_module(module)
@@ -240,11 +249,29 @@ class Interpreter:
         self.strategy = strategy or strategy_named("trap")
         self.module = module
         self.collect_profile = collect_profile
+        # Tier/dispatch resolution.  An *explicit* dispatch request
+        # (param or $REPRO_DISPATCH) without a tier keeps the exact
+        # pre-tiering semantics — no tier-2 — so dispatch-mode
+        # comparisons still measure dispatch alone.  Otherwise the tier
+        # (param, $REPRO_TIER, or the "opt" default) picks the dispatch
+        # mode and, for "opt", arms per-function tier-up.
+        if tier is None:
+            tier = os.environ.get("REPRO_TIER") or None
+        if tier is not None and tier not in tiering.TIERS:
+            raise ValueError(f"unknown tier {tier!r}")
         if dispatch is None:
-            dispatch = os.environ.get("REPRO_DISPATCH", "fused")
+            dispatch = os.environ.get("REPRO_DISPATCH") or None
+        if tier is None and dispatch is None:
+            tier = tiering.DEFAULT_TIER
+        if dispatch is None:
+            dispatch = tiering.dispatch_for_tier(tier)
         if dispatch not in DISPATCH_MODES:
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.dispatch = dispatch
+        self.tier = tier if tier is not None else (
+            "legacy" if dispatch == "legacy" else "fused"
+        )
+        self._module_digest = module_digest
         self._num_imported = len(module.imports)
         if dispatch == "legacy":
             self._plans: Dict[int, predecode.FunctionPlan] = {}
@@ -260,6 +287,11 @@ class Interpreter:
         self._code_cache: Dict[int, List[Callable]] = {}
         self._counts: Dict[int, List[int]] = {}
         self._depth = 0
+        self._tiering = (
+            tiering.TierState(self)
+            if self.tier == "opt" and dispatch == "fused"
+            else None
+        )
         if module.start is not None:
             self.call_function(module.start, [])
 
@@ -431,6 +463,22 @@ class Interpreter:
             # The function body itself is a branch target (depth ==
             # number of open blocks): branching to it returns.
             frame.labels.append((n, 0, len(func_type.results)))
+            state = self._tiering
+            if state is not None:
+                handler = state.handler_for(func_index, func)
+                if handler is not None and (
+                    handler(
+                        frame,
+                        self._counts[func_index]
+                        if self.collect_profile
+                        else None,
+                    )
+                    < 0
+                ):
+                    arity = len(func_type.results)
+                    return frame.stack[-arity:] if arity else []
+                # handler returned 0: entry guard failed (deopt);
+                # the frame is untouched, run the whole call on tier 1.
             pc = 0
             if self.collect_profile:
                 counts = self._counts[func_index]

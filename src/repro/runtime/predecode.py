@@ -260,11 +260,12 @@ def interpreter_build_digest() -> str:
     Identifies the exact semantics+fusion implementation a run used;
     embedded in diffcheck reports and the plan cache filenames.
     """
-    from repro.runtime import interpreter, memory  # deferred: circular
+    # Deferred: circular (interpreter/tiering import this module).
+    from repro.runtime import interpreter, memory, tiering, vectorize
 
     digest = hashlib.sha256()
     digest.update(f"predecode-v{PREDECODE_VERSION}".encode())
-    for module in (interpreter, memory):
+    for module in (interpreter, memory, tiering, vectorize):
         digest.update(Path(module.__file__).read_bytes())
     digest.update(Path(__file__).read_bytes())
     return digest.hexdigest()
@@ -275,6 +276,37 @@ def _cache_dir() -> Path:
     if root:
         return Path(root)
     return Path(".cache") / "profiles"
+
+
+def prune_stale_artifacts(cache_dir: Optional[Path] = None) -> List[str]:
+    """Evict build-keyed cache entries from *other* interpreter builds.
+
+    Pre-decode plans and tier-2 artifacts embed the interpreter-build
+    digest in their filenames, so every source change strands the
+    previous build's files; left alone the cache grows without bound.
+    Removes every ``predecode-*``/``tier2-*`` entry whose build suffix
+    is not the current one and returns the removed filenames.  Profile
+    JSONs (``<workload>-<size>-<digest>.json``) are content-addressed
+    by module digest only and are left untouched.
+    """
+    root = cache_dir if cache_dir is not None else _cache_dir()
+    build = interpreter_build_digest()[:8]
+    removed: List[str] = []
+    try:
+        entries = sorted(root.glob("predecode-*.json")) + sorted(
+            root.glob("tier2-*.json")
+        )
+    except OSError:  # pragma: no cover - unreadable cache dir
+        return removed
+    for path in entries:
+        if path.stem.rsplit("-", 1)[-1] == build:
+            continue
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent eviction
+            continue
+        removed.append(path.name)
+    return removed
 
 
 def _plan_to_json(plans: Dict[int, FunctionPlan]) -> dict:
@@ -338,6 +370,7 @@ def plans_for_module(
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(_plan_to_json(plans)))
+            prune_stale_artifacts()
         except OSError:
             pass  # read-only filesystem: plan still usable in-memory
         return plans

@@ -1,0 +1,178 @@
+"""Execution tiers and per-function tier-up for the interpreter.
+
+The interpreter exposes three tiers (``REPRO_TIER`` / the ``tier``
+constructor parameter):
+
+* ``legacy`` — the original per-op closure dispatch;
+* ``fused``  — pre-decoded superinstruction dispatch (PR 4);
+* ``opt``    — fused dispatch plus the tier-2 whole-function compiler
+  (:mod:`repro.runtime.vectorize`) for functions that get hot.
+
+Tier-up is per function and profile-driven: every invocation adds the
+function's instruction count to its score, and once the score crosses
+``REPRO_TIER_THRESHOLD`` (default 64: one call of any non-trivial
+body, a few dozen calls of a tiny one) the whole module is compiled to
+tier-2 artifacts.  Artifacts are pure data, memoised on disk next to
+the pre-decode plans (``.cache/profiles/tier2-<module>-<build>.json``)
+and keyed on the same interpreter-build digest, so they can never
+outlive the build that produced them.
+
+Tier-2 execution is bit-identical to the other tiers by construction
+(see :mod:`repro.runtime.vectorize`); ``REPRO_TIER_STRICT=1`` (set in
+CI) turns any *unexpected* tier-2 compile/install failure into a hard
+error instead of a silent fall-back to tier 1, mirroring what
+``REPRO_FUSE_STRICT`` does for superinstruction fusion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime import vectorize
+from repro.runtime.predecode import (
+    _cache_dir,
+    interpreter_build_digest,
+    prune_stale_artifacts,
+)
+
+#: Recognised execution tiers, slowest first.
+TIERS = ("legacy", "fused", "opt")
+
+#: Tier used when neither ``tier`` nor ``dispatch`` is requested
+#: explicitly (parameter or environment).
+DEFAULT_TIER = "opt"
+
+
+def tier_threshold() -> int:
+    """Tier-up score threshold (instruction count x invocations)."""
+    try:
+        return int(os.environ.get("REPRO_TIER_THRESHOLD", "64"))
+    except ValueError:
+        return 64
+
+
+def dispatch_for_tier(tier: str) -> str:
+    """The dispatch mode a tier runs on."""
+    return "legacy" if tier == "legacy" else "fused"
+
+
+def artifacts_for_module(module, plans, module_digest=None) -> Dict[int, dict]:
+    """Tier-2 artifacts for every defined function of ``module``.
+
+    Keys are defined-function indices.  With a ``module_digest`` the
+    result is memoised on disk beside the pre-decode plans, keyed on
+    the interpreter-build digest; stale entries from other builds are
+    pruned whenever a fresh file is written.
+    """
+    path = None
+    if module_digest:
+        path = _cache_dir() / (
+            f"tier2-{module_digest[:16]}-{interpreter_build_digest()[:8]}.json"
+        )
+        if path.exists():
+            try:
+                raw = json.loads(path.read_text())
+                if raw.get("version") == vectorize.TIER2_VERSION:
+                    return {int(k): v for k, v in raw["funcs"].items()}
+            except (ValueError, KeyError, TypeError, OSError):
+                pass  # stale/corrupt entry: recompile below
+    num_imported = len(module.imports)
+    artifacts: Dict[int, dict] = {}
+    for index, func in enumerate(module.funcs):
+        ftype = module.func_type(index + num_imported)
+        local_types = [t.value for t in ftype.params] + [
+            t.value for t in func.locals
+        ]
+        plan = plans.get(index)
+        if plan is None:  # pragma: no cover - plans cover defined funcs
+            from repro.runtime.predecode import plan_function
+
+            plan = plan_function(func.body, fuse=False)
+        artifacts[index] = vectorize.compile_function(
+            func.body,
+            plan.matches,
+            local_types,
+            len(ftype.params),
+            len(ftype.results),
+        )
+    if path is not None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(
+                    {
+                        "version": vectorize.TIER2_VERSION,
+                        "funcs": {str(k): v for k, v in artifacts.items()},
+                    }
+                )
+            )
+            prune_stale_artifacts()
+        except OSError:
+            pass  # read-only filesystem: artifacts still usable in-memory
+    return artifacts
+
+
+_MISS = object()
+
+#: Env kinds that require a live linear memory at install time.
+_MEM_KINDS = frozenset(("data", "mem", "touched", "track"))
+
+
+class TierState:
+    """Per-interpreter tier-up bookkeeping.
+
+    Owns the invocation scores, the lazily compiled whole-module
+    artifact set, and the installed (memory-bound) tier-2 handlers.
+    """
+
+    def __init__(self, interp) -> None:
+        self._interp = interp
+        self.threshold = tier_threshold()
+        self.scores: Dict[int, int] = {}
+        #: absolute func index -> handler, or None once known ineligible.
+        self.handlers: Dict[int, Optional[Callable]] = {}
+        self._artifacts: Optional[Dict[int, dict]] = None
+
+    def artifacts(self) -> Dict[int, dict]:
+        if self._artifacts is None:
+            interp = self._interp
+            self._artifacts = artifacts_for_module(
+                interp.module, interp._plans, interp._module_digest
+            )
+        return self._artifacts
+
+    def handler_for(self, func_index: int, func) -> Optional[Callable]:
+        """The tier-2 handler for one function, or None.
+
+        None means "keep dispatching on tier 1" — either the function
+        is not hot enough yet, or it is outside the tier-2 shape.
+        """
+        cached = self.handlers.get(func_index, _MISS)
+        if cached is not _MISS:
+            return cached
+        score = self.scores.get(func_index, 0) + max(1, len(func.body))
+        if score < self.threshold:
+            self.scores[func_index] = score
+            return None
+        handler: Optional[Callable] = None
+        try:
+            artifact = self.artifacts().get(
+                func_index - self._interp._num_imported
+            )
+            if artifact is not None and artifact.get("eligible"):
+                memory = self._interp.instance.memory
+                needs_mem = any(
+                    kind in _MEM_KINDS for _, kind, _ in artifact["env"]
+                )
+                if memory is not None or not needs_mem:
+                    handler = vectorize.install(artifact, memory)
+        except Exception:
+            # Tier 1 is always a correct fallback; strict mode (CI)
+            # surfaces the tier-2 bug instead of hiding it.
+            if os.environ.get("REPRO_TIER_STRICT"):
+                raise
+            handler = None
+        self.handlers[func_index] = handler
+        return handler

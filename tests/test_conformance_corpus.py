@@ -38,9 +38,13 @@ def _bits(value):
     return value
 
 
-def _run_module(module, dispatch):
+def _run_module(module, dispatch=None, tier=None):
     interp = Interpreter(
-        module, dispatch=dispatch, collect_profile=True, track_pages=True
+        module,
+        dispatch=dispatch,
+        tier=tier,
+        collect_profile=True,
+        track_pages=True,
     )
     outcomes = []
     for export in module.exports:
@@ -88,6 +92,54 @@ def test_dispatch_modes_agree(path, monkeypatch):
             assert observed[key] == value, (
                 f"{path.name}: {key} differs between fused and {mode}"
             )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_tiers_agree(path, monkeypatch):
+    """All three execution tiers are bit-identical on the corpus.
+
+    ``REPRO_TIER_THRESHOLD=0`` forces immediate tier-up so the opt
+    tier's whole-function compiler actually runs where it can;
+    ``REPRO_TIER_STRICT=1`` turns unexpected vectorizer failures into
+    hard errors instead of silent tier-1 fallbacks.  Agreement covers
+    outcomes *and* the reconstructed per-pc profile.
+    """
+    monkeypatch.setenv("REPRO_TIER_THRESHOLD", "0")
+    monkeypatch.setenv("REPRO_TIER_STRICT", "1")
+    monkeypatch.setenv("REPRO_FUSE_STRICT", "1")
+    module = parse_wat(path.read_text())
+    validate_module(module)
+    module = decode_module(encode_module(module))
+    validate_module(module)
+
+    reference = _run_module(module, tier="fused")
+    assert reference["outcomes"], f"{path.name} exports no functions"
+    for tier in ("legacy", "opt"):
+        observed = _run_module(module, tier=tier)
+        for key, value in reference.items():
+            assert observed[key] == value, (
+                f"{path.name}: {key} differs between fused and tier {tier}"
+            )
+
+
+def test_tier2_compiles_some_of_the_corpus(monkeypatch):
+    """The opt tier must engage on the corpus, not just bail out."""
+    monkeypatch.setenv("REPRO_TIER_THRESHOLD", "0")
+    monkeypatch.setenv("REPRO_TIER_STRICT", "1")
+    installed = 0
+    for path in CORPUS:
+        module = parse_wat(path.read_text())
+        interp = Interpreter(module, tier="opt")
+        for export in module.exports:
+            if export.kind == "func":
+                try:
+                    interp.invoke(export.name)
+                except Trap:
+                    pass
+        installed += sum(
+            1 for handler in interp._tiering.handlers.values() if handler
+        )
+    assert installed > 0, "tier-2 installed zero handlers across the corpus"
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)

@@ -168,6 +168,64 @@ class TestParallelDeterminism:
         assert results[0].measurement == results[1].measurement
 
 
+class TestAutoJobs:
+    """--jobs auto: size the pool to the machine, serial when it loses.
+
+    Motivated by BENCH_sweep.json: on a 1-cpu host ``--jobs 4`` cold
+    was ~2x slower than serial (2.875s vs 1.416s) — fork + pickle
+    overhead with no parallelism to pay for it.
+    """
+
+    def test_auto_is_serial_on_single_cpu(self, monkeypatch):
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 1)
+        assert engine_mod.resolve_jobs("auto") == 1
+
+    def test_auto_matches_cpus_with_a_cap(self, monkeypatch):
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 4)
+        assert engine_mod.resolve_jobs("auto") == 4
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 32)
+        assert engine_mod.resolve_jobs("auto") == 8
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: None)
+        assert engine_mod.resolve_jobs("auto") == 1
+
+    def test_explicit_jobs_unchanged(self):
+        assert engine_mod.resolve_jobs(1) == 1
+        assert engine_mod.resolve_jobs(4) == 4
+        assert engine_mod.resolve_jobs(0) == 1
+
+    def test_auto_small_grid_never_touches_the_pool(self, monkeypatch):
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 8)
+        eng = MeasurementEngine(jobs="auto", cache=False)
+        assert eng.jobs == 8
+
+        def _no_pool():
+            raise AssertionError("pool spawned for a below-floor grid")
+
+        monkeypatch.setattr(eng, "_pool", _no_pool)
+        grid = [
+            dataclasses.replace(REQUEST, strategy=s)
+            for s in ("none", "trap", "mprotect")
+        ]
+        assert len(grid) < engine_mod._MIN_PARALLEL_MISSES
+        results = eng.run(grid)
+        assert len(results) == 3
+
+    def test_cli_default_is_auto(self):
+        import argparse
+
+        from repro.core import cliopts
+
+        parser = argparse.ArgumentParser(parents=[cliopts.sweep_parent()])
+        assert parser.parse_args([]).jobs == "auto"
+        assert parser.parse_args(["--jobs", "4"]).jobs == 4
+
+    def test_configure_accepts_auto(self, monkeypatch):
+        monkeypatch.setattr(engine_mod.os, "cpu_count", lambda: 1)
+        eng = engine_mod.configure(jobs="auto")
+        assert eng.jobs_requested == "auto"
+        assert eng.jobs == 1
+
+
 class TestSweepIntegration:
     SPEC = SweepSpec(
         workloads=["trisolv", "gemm"],

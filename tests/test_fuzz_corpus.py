@@ -29,9 +29,9 @@ SEED_ARGS = MANIFEST["args"]
 WAT_CASES = sorted(CORPUS_DIR.glob("*.wat"))
 
 
-def _outcome(module, arg, strategy, dispatch):
+def _outcome(module, arg, strategy, dispatch=None, tier=None):
     interp = Interpreter(
-        module, strategy=strategy, dispatch=dispatch,
+        module, strategy=strategy, dispatch=dispatch, tier=tier,
         validate=False, collect_profile=False, track_pages=True,
     )
     try:
@@ -80,6 +80,32 @@ def test_seed_dispatch_modes_agree(case, monkeypatch):
                 assert observed == reference, (
                     f"seed {case['seed']} arg={arg} {strategy}: "
                     f"{mode} diverges from fused"
+                )
+
+
+@pytest.mark.parametrize(
+    "case", SEED_CASES, ids=lambda c: f"seed{c['seed']}"
+)
+def test_seed_tiers_agree(case, monkeypatch):
+    """Execution tiers agree on the seed's module for every strategy.
+
+    Forced immediate tier-up plus strict mode, so any unexpected
+    vectorizer failure on fuzzer-shaped programs is a hard error, and
+    any divergence in value/loads/stores/pages is caught.
+    """
+    monkeypatch.setenv("REPRO_TIER_THRESHOLD", "0")
+    monkeypatch.setenv("REPRO_TIER_STRICT", "1")
+    rng = random.Random(case["seed"])
+    module = fuzz.build_program(rng)
+    validate_module(module)
+    for strategy in STRATEGY_ORDER:
+        for arg in SEED_ARGS:
+            reference = _outcome(module, arg, strategy, tier="fused")
+            for tier in ("legacy", "opt"):
+                observed = _outcome(module, arg, strategy, tier=tier)
+                assert observed == reference, (
+                    f"seed {case['seed']} arg={arg} {strategy}: "
+                    f"tier {tier} diverges from fused"
                 )
 
 
