@@ -12,6 +12,7 @@ Usage::
     leaps-bench all          # every figure, quick subsets
     leaps-bench trace record|summarize|export ...   # event tracing
     leaps-bench diffcheck ...    # differential-correctness harness
+    leaps-bench fuzz ...         # coverage-guided fuzzing campaign
 
 Every experiment additionally accepts the shared sweep knobs
 (:mod:`repro.core.cliopts`)::
@@ -48,6 +49,7 @@ from repro.core.experiments import (
     replication,
 )
 from repro.diffcheck import cli as diffcheck_cli
+from repro.fuzz import cli as fuzz_cli
 from repro.trace import cli as trace_cli
 
 _EXPERIMENTS = {
@@ -68,6 +70,7 @@ _EXPERIMENTS = {
 _TOOLS = {
     "trace": trace_cli.main,
     "diffcheck": diffcheck_cli.main,
+    "fuzz": fuzz_cli.main,
 }
 
 

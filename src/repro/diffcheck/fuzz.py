@@ -20,6 +20,22 @@ Unlike the hypothesis suite (tests/test_differential_fuzz.py) this
 runs from explicit integer seeds, so a CI failure is reproducible with
 ``leaps-bench diffcheck --seed N`` and cases fan out across worker
 processes deterministically.
+
+Determinism contract (``check_fuzz``): for a fixed ``(cases,
+base_seed)`` the case list is always the seeds ``base_seed ..
+base_seed + cases - 1`` in ascending order, partitioned into
+fixed-size batches of :data:`_CHUNK` seeds.  The batch list, the
+per-batch ``progress`` callbacks, and the merged report (check
+counts *and* violation order) are identical for every ``jobs`` value —
+worker processes only change *who* executes a batch, never what the
+batches are or the order their results fold into the report.  The
+batch size is a module constant precisely so it can never be derived
+from the worker count.
+
+The per-module oracle lives in :func:`check_module_case` so other
+harnesses — notably the coverage-guided campaign in :mod:`repro.fuzz`
+— can run arbitrary (module, arg) pairs through the exact same checks
+and report types.
 """
 
 from __future__ import annotations
@@ -131,12 +147,38 @@ def check_case(
     """Run every layer comparison for one seeded case."""
     report = report if report is not None else DiffReport()
     rng = random.Random(seed)
-    subject = {"seed": seed}
     try:
         module = build_program(rng)
         arg = rng.randrange(0, 2**31)
-        subject = {"seed": seed, "arg": arg}
+    except WasmError as exc:
+        report.check(
+            CHECK_HARNESS, False, subject={"seed": seed},
+            detail="substrate raised outside the trap protocol",
+            actual=repr(exc),
+        )
+        return report
+    return check_module_case(
+        module, arg, report, subject={"seed": seed, "arg": arg}
+    )
 
+
+def check_module_case(
+    module,
+    arg: int,
+    report: Optional[DiffReport] = None,
+    subject: Optional[dict] = None,
+) -> DiffReport:
+    """Run every layer comparison for one (module, arg) pair.
+
+    The module must export ``run (param i32) (result i32)``.  Checks:
+    encode idempotence across a decode round trip, validator
+    acceptance of both built and decoded module, behavioural round-trip
+    identity, and the strategy-agreement contracts described in the
+    module docstring.
+    """
+    report = report if report is not None else DiffReport()
+    subject = dict(subject or {})
+    try:
         encoded = encode_module(module)
         decoded = decode_module(encoded)
         re_encoded = encode_module(decoded)
@@ -241,6 +283,14 @@ def _check_chunk_json(payload: Tuple[int, ...]) -> dict:
     return report.to_json()
 
 
+#: Seeds per worker batch.  A fixed constant — never derived from the
+#: worker count — so ``--jobs 1`` and ``--jobs N`` enumerate the exact
+#: same batch list in the same order (see the module docstring's
+#: determinism contract; the old ``len(seeds) // (jobs * 4)`` sizing
+#: made batching, and therefore progress output, depend on ``jobs``).
+_CHUNK = 16
+
+
 def check_fuzz(
     cases: int,
     base_seed: int,
@@ -248,16 +298,22 @@ def check_fuzz(
     jobs: int = 1,
     progress=None,
 ) -> None:
-    """Run ``cases`` seeded cases (seeds base_seed..base_seed+cases-1)."""
+    """Run ``cases`` seeded cases (seeds base_seed..base_seed+cases-1).
+
+    Deterministic for any ``jobs``: identical batches, identical batch
+    order, identical merged report (serial runs fold each batch through
+    the same serialised-report path the pool uses).
+    """
     seeds = list(range(base_seed, base_seed + cases))
-    if jobs <= 1 or len(seeds) <= 1:
-        for seed in seeds:
-            check_case(seed, report)
+    chunks = [
+        tuple(seeds[i : i + _CHUNK]) for i in range(0, len(seeds), _CHUNK)
+    ]
+    if jobs <= 1 or len(chunks) <= 1:
+        for batch in chunks:
+            report.merge_json(_check_chunk_json(batch))
             if progress is not None:
-                progress(f"seed {seed}")
+                progress(f"seeds {batch[0]}..{batch[-1]}")
         return
-    chunk = max(1, len(seeds) // (jobs * 4))
-    chunks = [tuple(seeds[i : i + chunk]) for i in range(0, len(seeds), chunk)]
     with ProcessPoolExecutor(
         max_workers=jobs, mp_context=_pool_context()
     ) as pool:

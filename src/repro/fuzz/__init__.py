@@ -1,0 +1,34 @@
+"""Coverage-guided differential fuzzing campaign.
+
+Builds the campaign the paper's methodology calls for on top of the
+PR 3 seeded differential harness (:mod:`repro.diffcheck.fuzz`):
+
+* :mod:`genome` — generated programs as mutable plain data (total
+  emission: every mutant builds into a valid module);
+* :mod:`mutators` — DSL-level structural mutation plus byte-level
+  havoc and memarg boundary nudges over encoded modules;
+* :mod:`corpus` — coverage-signature dedup and novel-edge-weighted
+  scheduling over :mod:`repro.wasm.coverage`'s edge maps;
+* :mod:`oracles` — tier agreement (legacy/fused/opt), the inline
+  bounds-check cost-ordering invariant re-derived from interpreted
+  profiles, and interior-page span for ranged accesses;
+* :mod:`minimize` — delta-debugging of finds (gene ddmin + constant
+  shrinking, raw-byte ddmin);
+* :mod:`promote` — minimized finds written into ``tests/fuzz_corpus/``
+  as replayable flat WAT plus ``seeds.json`` campaign entries;
+* :mod:`campaign` — the deterministic batch scheduler tying it all
+  together (byte-identical reports for any ``--jobs``);
+* :mod:`cli` — ``leaps-bench fuzz``.
+"""
+
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.genome import Genome, Gene, build_genome_module, genome_from_seed
+
+__all__ = [
+    "CampaignConfig",
+    "run_campaign",
+    "Genome",
+    "Gene",
+    "build_genome_module",
+    "genome_from_seed",
+]

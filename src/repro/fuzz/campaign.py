@@ -1,0 +1,382 @@
+"""The coverage-guided differential fuzzing campaign.
+
+Orchestrates everything in this package into one deterministic run:
+
+1. **Seeding** — the first ``initial`` cases are
+   :func:`repro.fuzz.genome.genome_from_seed` of ``seed, seed+1, …``,
+   so a campaign's starting line is a pure function of its seed.
+2. **Scheduling** — cases execute in fixed batches; after each batch
+   the parent folds results *in batch order* into the report and the
+   :class:`~repro.fuzz.corpus.CorpusScheduler`.  New cases are derived
+   by energy-weighted selection plus mutation (fresh genome / genome
+   mutation / byte havoc, in a fixed probability split drawn from the
+   campaign rng).  Because generation happens in the parent and
+   folding is order-fixed, a ``--cases`` campaign's every decision —
+   and therefore its JSON report — is byte-identical for any
+   ``--jobs`` value.
+3. **Oracles** — genome cases run the full PR 3 differential stack
+   (:func:`repro.diffcheck.fuzz.check_module_case`) plus the tier/perf/
+   page-span oracles (:mod:`repro.fuzz.oracles`) under coverage
+   collection; byte-level mutants are decode/validate/canonical-encode
+   checks only (never executed).  Any non-``WasmError`` escape is
+   itself a find (``fuzz.harness-error``).
+4. **Triage** — failing cases are delta-debugged
+   (:mod:`repro.fuzz.minimize`) against the specific check ids they
+   violated and, when ``promote`` is on, written into the regression
+   corpus (:mod:`repro.fuzz.promote`).
+
+Worker processes only ever execute *fully serialized* cases (JSON
+dicts), so runs distribute over the engine's fork pool without
+entangling scheduling state; monkeypatched single-process runs
+(``jobs=1``) execute everything in-process, which is what lets the
+test suite seed a regression into the runtime and watch the campaign
+catch it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.engine import _pool_context
+from repro.diffcheck.fuzz import check_module_case
+from repro.diffcheck.report import DiffReport
+from repro.fuzz.corpus import CorpusScheduler
+from repro.fuzz.genome import (
+    Genome,
+    build_genome_module,
+    genome_from_json,
+    genome_from_seed,
+    genome_to_json,
+    random_genome,
+)
+from repro.fuzz.minimize import minimize_bytes, minimize_genome
+from repro.fuzz.mutators import mutate_bytes, mutate_genome, mutate_memarg
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.promote import Unpromotable, find_id, promote_find
+from repro.wasm import decode_module, encode_module, validate_module
+from repro.wasm.coverage import COVERAGE, collecting, edges_signature
+from repro.wasm.errors import WasmError
+
+CHECK_HARNESS = "fuzz.harness-error"
+CHECK_BYTES = "fuzz.bytes-canonical-encode"
+
+#: Mutation mix: fresh random genome / genome mutation / byte havoc.
+_P_FRESH = 0.3
+_P_GENOME_MUT = 0.5  # of the remainder
+
+
+@dataclass
+class CampaignConfig:
+    cases: int = 200
+    seed: int = 0
+    jobs: int = 1
+    duration: Optional[float] = None  # seconds; overrides ``cases``
+    batch: int = 8  # fixed fan-out unit, never derived from jobs
+    initial: int = 16
+    corpus_dir: Path = Path("tests/fuzz_corpus")
+    promote: bool = False
+    minimize: bool = True
+    max_finds: int = 10
+    minimize_budget: int = 150
+
+
+# ----------------------------------------------------------------------
+# Worker-side case execution (case dicts are plain JSON for pickling)
+# ----------------------------------------------------------------------
+def _check_bytes_case(data: bytes, report: DiffReport, subject: dict) -> None:
+    """Decode/validate/canonical-encode oracle for byte mutants.
+
+    Mutated binaries are never executed; the contract under test is
+    that the front end either accepts them or rejects them with a
+    ``WasmError``, and that accepted ones reach an encoding fixed
+    point (canonical form re-encodes to itself).
+    """
+    try:
+        module = decode_module(data)
+    except WasmError:
+        return  # clean rejection is a pass (recorded via coverage)
+    try:
+        validate_module(module)
+    except WasmError:
+        return
+    canonical = encode_module(module)
+    recoded = encode_module(decode_module(canonical))
+    report.check(
+        CHECK_BYTES,
+        canonical == recoded,
+        subject=subject,
+        detail="canonical encoding is not a fixed point",
+        expected=len(canonical),
+        actual=len(recoded),
+    )
+
+
+def _run_case_json(case: dict) -> dict:
+    """Execute one serialized case; returns report + coverage payload."""
+    report = DiffReport()
+    subject = {"case": case["label"]}
+    encoded = b""
+    try:
+        with collecting():
+            if case["kind"] == "genome":
+                genome = genome_from_json(case["genome"])
+                module = build_genome_module(genome)
+                encoded = encode_module(module)
+                subject["arg"] = genome.arg
+                check_module_case(module, genome.arg, report, subject=subject)
+                run_oracles(module, genome.arg, report, subject, genome=genome)
+            else:
+                encoded = bytes.fromhex(case["data"])
+                _check_bytes_case(encoded, report, subject)
+            edges = sorted(COVERAGE.edge_keys())
+            signature = COVERAGE.signature()
+    except Exception as exc:  # noqa: BLE001 — escapes are finds
+        report.check(
+            CHECK_HARNESS, False, subject=subject,
+            detail="uncaught exception escaped the substrate",
+            actual=repr(exc),
+        )
+        edges, signature = [], edges_signature(frozenset())
+    return {
+        "label": case["label"],
+        "report": report.to_json(),
+        "edges": [list(edge) for edge in edges],
+        "signature": signature,
+        "encoded": encoded.hex(),
+        "failed_checks": sorted({v.check for v in report.violations}),
+    }
+
+
+# ----------------------------------------------------------------------
+# Case generation (parent-side, deterministic)
+# ----------------------------------------------------------------------
+def _next_case(
+    rng: random.Random, scheduler: CorpusScheduler, counter: int
+) -> dict:
+    if not scheduler.entries or rng.random() < _P_FRESH:
+        genome = random_genome(rng)
+        return {
+            "kind": "genome",
+            "label": f"fresh-{counter}",
+            "genome": genome_to_json(genome),
+        }
+    entry = scheduler.select(rng)
+    parent = entry.case
+    if isinstance(parent, Genome) and rng.random() < _P_GENOME_MUT / (1 - _P_FRESH):
+        mutant = mutate_genome(parent, rng)
+        return {
+            "kind": "genome",
+            "label": f"mut-{counter}",
+            "genome": genome_to_json(mutant),
+        }
+    data = entry.encoded if entry.encoded else (
+        encode_module(build_genome_module(parent))
+        if isinstance(parent, Genome) else b""
+    )
+    if not data:
+        genome = random_genome(rng)
+        return {
+            "kind": "genome",
+            "label": f"fresh-{counter}",
+            "genome": genome_to_json(genome),
+        }
+    mutator = mutate_memarg if rng.random() < 0.5 else mutate_bytes
+    return {
+        "kind": "bytes",
+        "label": f"havoc-{counter}",
+        "data": mutator(data, rng).hex(),
+    }
+
+
+def _case_payload(case: dict):
+    if case["kind"] == "genome":
+        return genome_from_json(case["genome"])
+    return bytes.fromhex(case["data"])
+
+
+# ----------------------------------------------------------------------
+# Triage
+# ----------------------------------------------------------------------
+def _genome_fails(genome: Genome, check_ids: frozenset) -> bool:
+    report = DiffReport()
+    try:
+        module = build_genome_module(genome)
+        subject = {"case": "minimize"}
+        check_module_case(module, genome.arg, report, subject=subject)
+        run_oracles(module, genome.arg, report, subject, genome=genome)
+    except Exception:
+        return CHECK_HARNESS in check_ids
+    return any(v.check in check_ids for v in report.violations)
+
+
+def _bytes_fail(data: bytes, check_ids: frozenset) -> bool:
+    report = DiffReport()
+    try:
+        _check_bytes_case(data, report, {"case": "minimize"})
+    except Exception:
+        return CHECK_HARNESS in check_ids
+    return any(v.check in check_ids for v in report.violations)
+
+
+def _triage(
+    finds: List[dict], config: CampaignConfig
+) -> List[dict]:
+    """Minimize and (optionally) promote each find, in find order."""
+    triaged = []
+    for find in finds[: config.max_finds]:
+        record = {
+            "label": find["case"]["label"],
+            "kind": find["case"]["kind"],
+            "checks": find["failed_checks"],
+        }
+        check_ids = frozenset(find["failed_checks"])
+        if find["case"]["kind"] == "genome":
+            genome = genome_from_json(find["case"]["genome"])
+            if config.minimize and _genome_fails(genome, check_ids):
+                genome = minimize_genome(
+                    genome,
+                    lambda g: _genome_fails(g, check_ids),
+                    budget=config.minimize_budget,
+                )
+            record["genome"] = genome_to_json(genome)
+            record["arg"] = genome.arg
+            if config.promote:
+                try:
+                    module = build_genome_module(genome)
+                    entry = promote_find(
+                        module, genome.arg, sorted(check_ids),
+                        config.corpus_dir, genome=genome,
+                        note=f"campaign seed={config.seed}",
+                    )
+                    record["promoted"] = entry.get("file", entry["id"])
+                except (Unpromotable, WasmError) as exc:
+                    record["promoted"] = None
+                    record["promote_error"] = repr(exc)
+        else:
+            data = bytes.fromhex(find["case"]["data"])
+            if config.minimize and _bytes_fail(data, check_ids):
+                data = minimize_bytes(
+                    data,
+                    lambda b: _bytes_fail(b, check_ids),
+                    budget=config.minimize_budget,
+                )
+            record["bytes"] = data.hex()
+            record["id"] = find_id(data, 0)
+        triaged.append(record)
+    return triaged
+
+
+# ----------------------------------------------------------------------
+# The campaign loop
+# ----------------------------------------------------------------------
+def run_campaign(config: CampaignConfig, progress=None) -> dict:
+    """Run one campaign; returns the deterministic JSON-able result.
+
+    In ``--cases`` mode the returned dict contains no wall-clock or
+    worker-count data, so equal (cases, seed) runs are byte-identical
+    regardless of ``jobs``.
+    """
+    rng = random.Random(config.seed)
+    scheduler = CorpusScheduler()
+    report = DiffReport()
+    finds: List[dict] = []
+    executed = 0
+    counter = 0
+    deadline = (
+        time.monotonic() + config.duration
+        if config.duration is not None else None
+    )
+
+    def make_batch() -> List[dict]:
+        nonlocal counter
+        batch = []
+        while len(batch) < config.batch:
+            if deadline is None and counter >= config.cases:
+                break
+            if counter < config.initial:
+                genome = genome_from_seed(config.seed + counter)
+                case = {
+                    "kind": "genome",
+                    "label": f"seed-{config.seed + counter}",
+                    "genome": genome_to_json(genome),
+                }
+            else:
+                case = _next_case(rng, scheduler, counter)
+            batch.append(case)
+            counter += 1
+        return batch
+
+    def fold(case: dict, result: dict) -> None:
+        nonlocal executed
+        executed += 1
+        report.merge_json(result["report"])
+        edges = frozenset(tuple(edge) for edge in result["edges"])
+        scheduler.consider(
+            _case_payload(case),
+            edges,
+            result["signature"],
+            encoded=bytes.fromhex(result["encoded"]),
+            label=case["label"],
+        )
+        if result["failed_checks"]:
+            finds.append({"case": case, "failed_checks": result["failed_checks"]})
+
+    pool = None
+    try:
+        if config.jobs > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=config.jobs, mp_context=_pool_context()
+            )
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            batch = make_batch()
+            if not batch:
+                break
+            if pool is not None:
+                results = list(pool.map(_run_case_json, batch, chunksize=1))
+            else:
+                results = [_run_case_json(case) for case in batch]
+            for case, result in zip(batch, results):
+                fold(case, result)
+            if progress is not None:
+                stats = scheduler.stats()
+                progress(
+                    f"cases {executed}, edges {stats['edges']}, "
+                    f"corpus {stats['entries']}, finds {len(finds)}"
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    triaged = _triage(finds, config)
+
+    per_map: Dict[str, int] = {}
+    for map_name, _, _ in scheduler.edges:
+        per_map[map_name] = per_map.get(map_name, 0) + 1
+    result = {
+        "campaign": {
+            "cases": executed,
+            "seed": config.seed,
+            "batch": config.batch,
+            "initial": config.initial,
+            "mode": "duration" if config.duration is not None else "cases",
+        },
+        "coverage": {
+            "edges": scheduler.edge_count,
+            "per_map": dict(sorted(per_map.items())),
+            "signature": edges_signature(scheduler.edges),
+        },
+        "corpus": scheduler.stats(),
+        "finds": triaged,
+        "confirmed_divergence": not report.ok,
+        "report": report.to_json(),
+    }
+    if config.duration is not None:
+        result["campaign"]["duration_budget"] = config.duration
+    return result

@@ -1,0 +1,91 @@
+"""Coverage-driven corpus scheduling.
+
+The scheduler keeps one entry per distinct coverage *signature* (a
+hash over the set of edges a case exercised — see
+:func:`repro.wasm.coverage.edges_signature`) and assigns each entry an
+energy of ``1 + number of edges that were globally novel when the
+entry arrived``.  Selection for mutation is energy-weighted, so cases
+that opened new decoder/validator/dispatch territory get mutated more
+often, which is the whole "coverage-guided" part of the campaign.
+
+Everything here is plain deterministic bookkeeping: no clocks, no
+global state, and selection draws only from the rng the caller hands
+in, so a campaign replays exactly from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+Edge = Tuple[str, str, str]  # (map name, prev, current)
+
+
+@dataclass
+class CorpusEntry:
+    """One scheduled case plus its scheduling weight."""
+
+    case: object  # campaign-defined payload (genome or raw bytes)
+    signature: str
+    energy: int
+    encoded: bytes = b""
+    label: str = ""
+
+
+@dataclass
+class CorpusScheduler:
+    entries: List[CorpusEntry] = field(default_factory=list)
+    _signatures: Set[str] = field(default_factory=set)
+    _edges: Set[Edge] = field(default_factory=set)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return frozenset(self._edges)
+
+    def consider(
+        self,
+        case: object,
+        edges: FrozenSet[Edge],
+        signature: str,
+        encoded: bytes = b"",
+        label: str = "",
+    ) -> Optional[CorpusEntry]:
+        """Admit ``case`` if it brings novel edges or a new signature.
+
+        Returns the new entry, or ``None`` when the case is a coverage
+        duplicate (no new edges *and* an already-seen signature).
+        """
+        novel = edges - self._edges
+        if not novel and signature in self._signatures:
+            return None
+        self._edges |= novel
+        self._signatures.add(signature)
+        entry = CorpusEntry(
+            case=case,
+            signature=signature,
+            energy=1 + len(novel),
+            encoded=encoded,
+            label=label,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def select(self, rng: random.Random) -> CorpusEntry:
+        """Energy-weighted pick; caller must ensure the corpus is
+        non-empty."""
+        return rng.choices(
+            self.entries, weights=[e.energy for e in self.entries], k=1
+        )[0]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self.entries),
+            "distinct_signatures": len(self._signatures),
+            "edges": len(self._edges),
+            "total_energy": sum(e.energy for e in self.entries),
+        }

@@ -1,0 +1,144 @@
+"""Delta-debugging minimization of campaign finds.
+
+Classic ddmin over a list of items, specialised two ways:
+
+* :func:`minimize_genome` — shrink a failing genome to the fewest
+  genes (ddmin over the gene list), then shrink each surviving gene's
+  constants and the call argument toward small values, re-checking the
+  predicate after every candidate step.
+* :func:`minimize_bytes` — ddmin over the raw encoded module for
+  decoder/validator finds.
+
+The predicate is "does this candidate still reproduce the failure",
+supplied by the campaign as a closure over the failing check ids, and
+every predicate call is budgeted so a pathological find cannot stall
+the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.fuzz.genome import Genome
+
+T = TypeVar("T")
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.left = limit
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def ddmin(
+    items: Sequence[T],
+    predicate: Callable[[List[T]], bool],
+    budget: int = 200,
+) -> List[T]:
+    """Smallest subsequence of ``items`` still satisfying ``predicate``.
+
+    Assumes ``predicate(list(items))`` is true; never returns a list
+    for which the predicate was observed false.
+    """
+    current = list(items)
+    spend = _Budget(budget)
+    granularity = 2
+    while len(current) >= 2 and granularity <= len(current):
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and spend.spend() and predicate(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                # Re-scan from the top at the same chunk size.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+        if spend.left <= 0:
+            break
+    return current
+
+
+def _shrink_int(
+    value: int, apply: Callable[[int], bool], spend: _Budget
+) -> int:
+    """Greedy shrink toward 0 (then 1) while the failure persists."""
+    for candidate in (0, 1, value // 2, value // 10):
+        if candidate == value:
+            continue
+        if spend.spend() and apply(candidate):
+            value = candidate
+    return value
+
+
+def minimize_genome(
+    genome: Genome,
+    predicate: Callable[[Genome], bool],
+    budget: int = 200,
+) -> Genome:
+    """Smallest genome (genes, then constants) still failing."""
+    spend = _Budget(budget)
+
+    genes = ddmin(
+        list(genome.genes),
+        lambda gs: predicate(Genome(tuple(gs), genome.arg)),
+        budget=budget,
+    )
+    current = Genome(tuple(genes), genome.arg)
+
+    # Shrink the call argument.
+    def apply_arg(v: int) -> bool:
+        nonlocal current
+        candidate = Genome(current.genes, v)
+        if predicate(candidate):
+            current = candidate
+            return True
+        return False
+
+    _shrink_int(current.arg, apply_arg, spend)
+
+    # Shrink each gene's constants field by field.
+    for index in range(len(current.genes)):
+        for field in ("a", "b", "c", "d"):
+            def apply_field(v: int, index=index, field=field) -> bool:
+                nonlocal current
+                candidate_gene = replace(current.genes[index], **{field: v})
+                gs = list(current.genes)
+                gs[index] = candidate_gene
+                candidate = Genome(tuple(gs), current.arg)
+                if predicate(candidate):
+                    current = candidate
+                    return True
+                return False
+
+            _shrink_int(
+                getattr(current.genes[index], field), apply_field, spend
+            )
+        if spend.left <= 0:
+            break
+    return current
+
+
+def minimize_bytes(
+    data: bytes,
+    predicate: Callable[[bytes], bool],
+    budget: int = 200,
+) -> bytes:
+    """ddmin over raw module bytes for decode/validate-level finds."""
+    reduced = ddmin(
+        list(data), lambda bs: predicate(bytes(bs)), budget=budget
+    )
+    return bytes(reduced)

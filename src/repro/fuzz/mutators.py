@@ -1,0 +1,163 @@
+"""Mutation operators for the coverage-guided campaign.
+
+Two levels, matching the two kinds of corpus entries:
+
+* **DSL level** (:func:`mutate_genome`) — structural edits over the
+  gene list: splice genes between positions, drop/duplicate genes,
+  flip a gene's kind, perturb its constants, or perturb the call
+  argument.  Because :func:`repro.fuzz.genome.build_genome_module`
+  normalises every field, any mutant still builds into a valid,
+  executable module, so these mutants run the full differential
+  oracle stack.
+* **Byte level** (:func:`mutate_bytes`, :func:`mutate_memarg`) —
+  havoc-style edits over the encoded wasm binary: bit flips, byte
+  deltas, LEB128 continuation-bit flips, truncation, insertion, and
+  targeted load/store ``(align, offset)`` boundary nudges via a
+  decode→perturb→re-encode pass.  Byte mutants are *not* executed —
+  they exist to push the decoder and validator into their rejection
+  edges — so the only contract is "decoder accepts or raises
+  ``WasmError``, never anything else".
+
+All mutators draw exclusively from the :class:`random.Random` they are
+handed; given the same rng state and input they produce the same
+mutant, which is what makes whole campaigns replayable from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.fuzz.genome import (
+    GENE_KINDS,
+    Gene,
+    Genome,
+    random_gene,
+)
+from repro.wasm import decode_module, encode_module
+from repro.wasm.errors import WasmError
+from repro.wasm.instructions import Instr
+from repro.wasm.opcodes import info as op_info
+
+#: Values that sit on interesting integer boundaries for constants,
+#: loop bounds and memargs alike.
+_BOUNDARY = (
+    0, 1, 2, 15, 16, 17, 127, 128, 255, 256, 4095, 4096, 4097,
+    65535, 65536, 65537, 2**31 - 1, 2**31, 2**32 - 1,
+)
+
+
+# ----------------------------------------------------------------------
+# DSL-level mutation
+# ----------------------------------------------------------------------
+def _perturb_int(value: int, rng: random.Random) -> int:
+    roll = rng.random()
+    if roll < 0.4:
+        return value + rng.choice((-3, -2, -1, 1, 2, 3))
+    if roll < 0.7:
+        return rng.choice(_BOUNDARY)
+    if roll < 0.85:
+        return value * rng.choice((-1, 2, 3))
+    return rng.randint(-(2**16), 2**16)
+
+
+def mutate_genome(genome: Genome, rng: random.Random) -> Genome:
+    """One structural mutation; the result always has >= 1 gene."""
+    genes: List[Gene] = list(genome.genes)
+    arg = genome.arg
+    op = rng.choice(
+        ("splice", "drop", "dup", "kind", "param", "arg", "append")
+    )
+    if op == "splice" and len(genes) >= 2:
+        i, j = rng.sample(range(len(genes)), 2)
+        genes[i], genes[j] = genes[j], genes[i]
+    elif op == "drop" and len(genes) >= 2:
+        genes.pop(rng.randrange(len(genes)))
+    elif op == "dup":
+        i = rng.randrange(len(genes))
+        genes.insert(rng.randint(0, len(genes)), genes[i])
+    elif op == "kind":
+        i = rng.randrange(len(genes))
+        genes[i] = Gene(
+            rng.choice(GENE_KINDS),
+            genes[i].a, genes[i].b, genes[i].c, genes[i].d,
+        )
+    elif op == "arg":
+        arg = _perturb_int(arg, rng) & 0x7FFFFFFF
+    elif op == "append":
+        genes.insert(rng.randint(0, len(genes)), random_gene(rng))
+    else:  # param (also the fallback when drop/splice lack genes)
+        i = rng.randrange(len(genes))
+        g = genes[i]
+        field = rng.choice("abcd")
+        genes[i] = Gene(
+            g.kind,
+            _perturb_int(g.a, rng) if field == "a" else g.a,
+            _perturb_int(g.b, rng) if field == "b" else g.b,
+            _perturb_int(g.c, rng) if field == "c" else g.c,
+            _perturb_int(g.d, rng) if field == "d" else g.d,
+        )
+    return Genome(tuple(genes), arg)
+
+
+# ----------------------------------------------------------------------
+# Byte-level mutation
+# ----------------------------------------------------------------------
+def mutate_bytes(data: bytes, rng: random.Random) -> bytes:
+    """1–3 stacked havoc edits over an encoded module."""
+    buf = bytearray(data)
+    for _ in range(rng.randint(1, 3)):
+        if not buf:
+            break
+        pos = rng.randrange(len(buf))
+        roll = rng.random()
+        if roll < 0.25:  # single-bit flip
+            buf[pos] ^= 1 << rng.randrange(8)
+        elif roll < 0.45:  # LEB128 continuation-bit flip
+            buf[pos] ^= 0x80
+        elif roll < 0.6:  # small delta
+            buf[pos] = (buf[pos] + rng.choice((-2, -1, 1, 2))) & 0xFF
+        elif roll < 0.75:  # boundary overwrite
+            buf[pos] = rng.choice((0x00, 0x01, 0x7F, 0x80, 0xFF))
+        elif roll < 0.9:  # insert a byte
+            buf.insert(pos, rng.randrange(256))
+        else:  # truncate the tail
+            del buf[pos:]
+    return bytes(buf)
+
+
+def mutate_memarg(data: bytes, rng: random.Random) -> bytes:
+    """Perturb one load/store ``(align, offset)`` pair and re-encode.
+
+    Falls back to :func:`mutate_bytes` when the input no longer decodes
+    or contains no memory accesses, so callers can use it
+    unconditionally.
+    """
+    try:
+        module = decode_module(data)
+    except WasmError:
+        return mutate_bytes(data, rng)
+    sites = [
+        (fi, pc)
+        for fi, func in enumerate(module.funcs)
+        for pc, ins in enumerate(func.body)
+        if op_info(ins.op).imm == "memarg"
+    ]
+    if not sites:
+        return mutate_bytes(data, rng)
+    fi, pc = rng.choice(sites)
+    ins = module.funcs[fi].body[pc]
+    align, offset = ins.args
+    if rng.random() < 0.5:
+        # Alignment hints are log2; anything > the access width is
+        # invalid, which is precisely a validator edge worth hitting.
+        align = rng.choice((0, 1, 2, 3, 4, 16, 31))
+    else:
+        offset = rng.choice(_BOUNDARY)
+    body = list(module.funcs[fi].body)
+    body[pc] = Instr(ins.op, (align, offset))
+    module.funcs[fi].body = body
+    try:
+        return encode_module(module)
+    except WasmError:
+        return mutate_bytes(data, rng)

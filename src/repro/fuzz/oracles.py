@@ -1,0 +1,196 @@
+"""Campaign-specific differential oracles.
+
+These extend :func:`repro.diffcheck.fuzz.check_module_case` (encode /
+validate / round-trip / strategy agreement) with the three comparisons
+the ISSUE's campaign adds on top:
+
+* **Tier agreement** — the same (module, arg) must behave identically
+  under the ``legacy``, ``fused`` and ``opt`` execution tiers: same
+  value or trap, same load/store counts, same touched pages, and the
+  same per-pc instruction profile.  ``REPRO_TIER_THRESHOLD`` is forced
+  to 0 for the comparison so the ``opt`` tier actually exercises its
+  tier-2 path on the first call rather than hiding behind the warm-up
+  threshold.
+* **Performance differential** — the diffcheck invariant catalogue's
+  inline-cost ordering (:data:`repro.diffcheck.invariants._COMPUTE_PAIRS`,
+  clamp ≥ trap ≥ {mprotect, uffd} ≥ none) re-derived from *interpreted*
+  profiles: modelled cost is total dynamic instructions plus the
+  strategy's inline bounds-check ops per memory access.  A generated
+  program whose profile violates the ordering is a perf-model bug.
+* **Page span** — ranged accesses (the genome's ``fill`` genes) must
+  touch *every* 4 KiB page they cover, not just the first and last:
+  the regression class PR 3 fixed in ``LinearMemory._touch``.
+
+All checks fold into the standard :class:`DiffReport` so campaign
+reports merge associatively across workers exactly like diffcheck's.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+from repro.diffcheck.invariants import _COMPUTE_PAIRS
+from repro.diffcheck.report import DiffReport
+from repro.fuzz.genome import Genome, fill_pages
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.strategies import STRATEGY_ORDER
+from repro.runtime.tiering import TIERS
+from repro.wasm.errors import Trap
+
+CHECK_TIER = "fuzz.tier-agreement"
+CHECK_TIER_PROFILE = "fuzz.tier-profile-agreement"
+CHECK_PERF = "fuzz.perf-differential"
+CHECK_PAGES = "fuzz.page-span"
+
+#: Inline bounds-check ops the cost model charges per memory access
+#: (mirrors the paper's explicit-check accounting: clamp pays a
+#: compare+select on every access, trap a compare+branch, the
+#: fault-based strategies and none pay nothing inline).
+_INLINE_CHECK_OPS = {"clamp": 2, "trap": 1, "mprotect": 0, "uffd": 0, "none": 0}
+
+
+@contextmanager
+def _forced_tier_up():
+    """Run with REPRO_TIER_THRESHOLD=0 so 'opt' tiers up immediately."""
+    prior = os.environ.get("REPRO_TIER_THRESHOLD")
+    os.environ["REPRO_TIER_THRESHOLD"] = "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_TIER_THRESHOLD"]
+        else:
+            os.environ["REPRO_TIER_THRESHOLD"] = prior
+
+
+def _tier_run(module, arg: int, tier: str):
+    """(outcome tuple, {func: per-pc counts}) under one tier."""
+    interp = Interpreter(
+        module, strategy="trap", validate=False,
+        collect_profile=True, track_pages=True, tier=tier,
+    )
+    try:
+        value = interp.invoke("run", arg)
+    except Trap as exc:
+        return ("trap", exc.kind), _counts_of(interp)
+    memory = interp.memory
+    outcome = (
+        "value", value, memory.load_count, memory.store_count,
+        tuple(sorted(memory.touched_pages)),
+    )
+    return outcome, _counts_of(interp)
+
+
+def _counts_of(interp) -> Dict[int, Tuple[int, ...]]:
+    profile = interp.take_profile()
+    return {fi: tuple(c) for fi, c in profile.instr_counts.items()}
+
+
+def check_tier_agreement(
+    module, arg: int, report: DiffReport, subject: dict
+) -> None:
+    with _forced_tier_up():
+        baseline_tier = "fused"
+        baseline, base_counts = _tier_run(module, arg, baseline_tier)
+        for tier in TIERS:
+            if tier == baseline_tier:
+                continue
+            outcome, counts = _tier_run(module, arg, tier)
+            report.check(
+                CHECK_TIER,
+                outcome == baseline,
+                subject=dict(subject, tier=tier),
+                detail=f"tier '{tier}' diverges from '{baseline_tier}'",
+                expected=baseline,
+                actual=outcome,
+            )
+            report.check(
+                CHECK_TIER_PROFILE,
+                counts == base_counts,
+                subject=dict(subject, tier=tier),
+                detail="per-pc instruction profile differs across tiers",
+                expected=_profile_digest(base_counts),
+                actual=_profile_digest(counts),
+            )
+
+
+def _profile_digest(counts: Dict[int, Tuple[int, ...]]) -> dict:
+    """Small JSON-able summary for violation payloads."""
+    return {
+        str(fi): {"total": sum(c), "nonzero": sum(1 for x in c if x)}
+        for fi, c in sorted(counts.items())
+    }
+
+
+def check_perf_differential(
+    module, arg: int, report: DiffReport, subject: dict
+) -> None:
+    costs: Dict[str, int] = {}
+    for strategy in STRATEGY_ORDER:
+        interp = Interpreter(
+            module, strategy=strategy, validate=False,
+            collect_profile=True, track_pages=False,
+        )
+        try:
+            interp.invoke("run", arg)
+        except Trap:
+            # Trapping runs execute different suffixes per strategy;
+            # the ordering invariant only speaks to complete runs.
+            return
+        profile = interp.take_profile()
+        accesses = interp.memory.load_count + interp.memory.store_count
+        costs[strategy] = (
+            sum(profile.op_totals.values())
+            + _INLINE_CHECK_OPS[strategy] * accesses
+        )
+    for costlier, cheaper in _COMPUTE_PAIRS:
+        report.check(
+            CHECK_PERF,
+            costs[costlier] >= costs[cheaper],
+            subject=dict(subject, pair=f"{costlier}>={cheaper}"),
+            detail="modelled inline-check cost ordering violated",
+            expected=f"{costlier} >= {cheaper}",
+            actual={costlier: costs[costlier], cheaper: costs[cheaper]},
+        )
+
+
+def check_page_span(
+    module, arg: int, genome: Genome, report: DiffReport, subject: dict
+) -> None:
+    expected = fill_pages(genome)
+    if not expected:
+        return
+    interp = Interpreter(
+        module, strategy="trap", validate=False,
+        collect_profile=False, track_pages=True,
+    )
+    try:
+        interp.invoke("run", arg)
+    except Trap:
+        # An earlier gene trapped before the fill ran; span unprovable.
+        return
+    touched = frozenset(interp.memory.touched_pages)
+    report.check(
+        CHECK_PAGES,
+        expected <= touched,
+        subject=subject,
+        detail="ranged access skipped interior pages",
+        expected=sorted(expected),
+        actual=sorted(touched),
+    )
+
+
+def run_oracles(
+    module,
+    arg: int,
+    report: DiffReport,
+    subject: dict,
+    genome: Optional[Genome] = None,
+) -> None:
+    """All campaign oracles for one executable (module, arg) pair."""
+    check_tier_agreement(module, arg, report, subject)
+    check_perf_differential(module, arg, report, subject)
+    if genome is not None:
+        check_page_span(module, arg, genome, report, subject)

@@ -1,0 +1,215 @@
+"""Promotion of minimized finds into the regression corpus.
+
+A confirmed, minimized find graduates from the campaign into
+``tests/fuzz_corpus/`` as (a) a standalone flat-WAT file that
+:func:`repro.wasm.wat_parser.parse_wat` reads back, and (b) an entry
+in the ``"campaign"`` list of ``seeds.json`` recording the invocation
+argument, the violated check ids and (for DSL-level finds) the genome,
+so ``tests/test_fuzz_corpus.py`` replays it forever after.
+
+The WAT emitter here targets the *parser's* grammar exactly — flat
+instructions, ``offset=``/``align=`` memargs (align in bytes), inline
+``(export ...)`` on the function, ``\\xx``-escaped data strings — and
+every promotion is verified by round-tripping the text through
+``parse_wat`` + ``validate_module`` and comparing interpreter
+behaviour against the original module before anything is written.
+Modules using features outside that grammar raise
+:class:`Unpromotable`; the campaign then records a genome-only entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.diffcheck.fuzz import outcome_of
+from repro.fuzz.genome import Genome, genome_to_json
+from repro.wasm import encode_module, validate_module
+from repro.wasm.errors import WasmError
+from repro.wasm.instructions import Instr
+from repro.wasm.module import Module
+from repro.wasm.wat_parser import parse_wat
+
+
+class Unpromotable(Exception):
+    """The module uses a construct the flat-WAT grammar can't express."""
+
+
+def find_id(encoded: bytes, arg: int) -> str:
+    """Stable 12-hex identifier of one (module bytes, arg) find."""
+    digest = hashlib.sha256(encoded + b"\x00" + str(arg).encode()).hexdigest()
+    return digest[:12]
+
+
+# ----------------------------------------------------------------------
+# Flat-WAT emission
+# ----------------------------------------------------------------------
+def _render_instr(ins: Instr) -> str:
+    info = ins.info
+    if info.imm == "":
+        return ins.op
+    if info.imm == "block":
+        result = ins.args[0]
+        return ins.op if result is None else f"{ins.op} (result {result.value})"
+    if info.imm == "u32":
+        return f"{ins.op} {ins.args[0]}"
+    if info.imm == "memarg":
+        align_log2, offset = ins.args
+        return f"{ins.op} offset={offset} align={1 << align_log2}"
+    if info.imm in ("i32", "i64"):
+        return f"{ins.op} {ins.args[0]}"
+    if info.imm in ("f32", "f64"):
+        return f"{ins.op} {ins.args[0]!r}"
+    if info.imm == "br_table":
+        labels, default = ins.args
+        return "br_table " + " ".join(str(l) for l in (*labels, default))
+    if info.imm == "call_indirect":
+        return f"call_indirect (type {ins.args[0]})"
+    if info.imm in ("memidx", "memcopy", "memfill"):
+        return ins.op
+    raise Unpromotable(f"instruction {ins.op} has no flat-WAT form")
+
+
+def _render_data(raw: bytes) -> str:
+    out = []
+    for byte in raw:
+        ch = chr(byte)
+        if ch.isalnum() or ch in " _.,:;-+*/#":
+            out.append(ch)
+        else:
+            out.append(f"\\{byte:02x}")
+    return '"' + "".join(out) + '"'
+
+
+def module_to_flat_wat(module: Module) -> str:
+    """Render ``module`` as text ``parse_wat`` reads back verbatim."""
+    if module.imports:
+        raise Unpromotable("imports are outside the flat-WAT grammar")
+    lines: List[str] = ["(module"]
+    for memory in module.memories:
+        limits = memory.limits
+        maximum = "" if limits.maximum is None else f" {limits.maximum}"
+        lines.append(f"  (memory {limits.minimum}{maximum})")
+    for table in module.tables:
+        limits = table.limits
+        maximum = "" if limits.maximum is None else f" {limits.maximum}"
+        lines.append(f"  (table {limits.minimum}{maximum} funcref)")
+    for glob in module.globals:
+        init = glob.init[0]
+        valtype = glob.type.valtype.value
+        type_text = f"(mut {valtype})" if glob.type.mutable else valtype
+        lines.append(f"  (global {type_text} ({init.op} {init.args[0]!r}))")
+    func_exports = {}
+    for export in module.exports:
+        if export.kind == "func":
+            func_exports.setdefault(export.index, []).append(export.name)
+        elif export.kind == "memory":
+            lines.append(f'  (export "{export.name}" (memory {export.index}))')
+        else:
+            raise Unpromotable(f"{export.kind} exports are not expressible")
+    for index, func in enumerate(module.funcs):
+        func_type = module.types[func.type_index]
+        header = [f"(func $f{index}"]
+        for name in func_exports.get(index, ()):
+            header.append(f'(export "{name}")')
+        if func_type.params:
+            header.append(
+                "(param " + " ".join(t.value for t in func_type.params) + ")"
+            )
+        if func_type.results:
+            header.append(
+                "(result " + " ".join(t.value for t in func_type.results) + ")"
+            )
+        if func.locals:
+            header.append(
+                "(local " + " ".join(t.value for t in func.locals) + ")"
+            )
+        lines.append("  " + " ".join(header))
+        for ins in func.body:
+            lines.append("    " + _render_instr(ins))
+        lines.append("  )")
+    for element in module.elements:
+        offset = element.offset[0]
+        refs = " ".join(str(fi) for fi in element.func_indices)
+        lines.append(f"  (elem ({offset.op} {offset.args[0]}) {refs})")
+    for segment in module.data:
+        offset = segment.offset[0]
+        lines.append(
+            f"  (data ({offset.op} {offset.args[0]}) {_render_data(segment.data)})"
+        )
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+def _verify_roundtrip(module: Module, wat_text: str, arg: int) -> None:
+    """Promotion safety net: the text must rebuild the same behaviour."""
+    try:
+        reparsed = parse_wat(wat_text)
+        validate_module(reparsed)
+    except WasmError as exc:
+        raise Unpromotable(f"emitted WAT does not round-trip: {exc!r}") from exc
+    original = outcome_of(module, arg, "trap")
+    replayed = outcome_of(reparsed, arg, "trap")
+    if original != replayed:
+        raise Unpromotable(
+            f"WAT round trip changed behaviour: {original} != {replayed}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Corpus writing
+# ----------------------------------------------------------------------
+def promote_find(
+    module: Module,
+    arg: int,
+    checks: List[str],
+    corpus_dir: Path,
+    genome: Optional[Genome] = None,
+    note: str = "",
+) -> dict:
+    """Write one minimized find into ``corpus_dir``; returns its entry.
+
+    Idempotent per find id: re-promoting an already-recorded find
+    returns the existing entry without touching the corpus again.
+    """
+    corpus_dir = Path(corpus_dir)
+    encoded = encode_module(module)
+    identifier = find_id(encoded, arg)
+    seeds_path = corpus_dir / "seeds.json"
+    catalogue = (
+        json.loads(seeds_path.read_text()) if seeds_path.exists() else {}
+    )
+    campaign = catalogue.setdefault("campaign", [])
+    for existing in campaign:
+        if existing.get("id") == identifier:
+            return existing
+
+    entry = {
+        "id": identifier,
+        "arg": arg,
+        "checks": sorted(set(checks)),
+        "note": note,
+    }
+    if genome is not None:
+        entry["genome"] = genome_to_json(genome)
+    try:
+        wat_text = module_to_flat_wat(module)
+        _verify_roundtrip(module, wat_text, arg)
+    except Unpromotable:
+        if genome is None:
+            raise
+        # Genome-only entry: replay rebuilds the module from the genome.
+    else:
+        filename = f"campaign_{identifier}.wat"
+        corpus_dir.mkdir(parents=True, exist_ok=True)
+        (corpus_dir / filename).write_text(wat_text)
+        entry["file"] = filename
+
+    campaign.append(entry)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    seeds_path.write_text(json.dumps(catalogue, indent=2) + "\n")
+    return entry

@@ -1,0 +1,133 @@
+"""Lightweight edge-coverage maps for the wasm substrate.
+
+Three deterministic counter maps, keyed on *edges* rather than single
+sites so sequence-shaped behaviour is visible:
+
+* ``decoder``   — consecutive opcode pairs seen by the binary decoder's
+  expression loop, plus ``^error`` edges where a body was rejected;
+* ``validator`` — consecutive instruction pairs fed to the per-body
+  type checker, plus ``^invalid`` edges where validation failed;
+* ``dispatch``  — consecutive handler pairs executed by the
+  interpreter's dispatch loop (under fused dispatch these are region
+  heads, which is exactly what the loop dispatches), plus ``^trap`` /
+  ``^return`` terminal edges and a ``^tier2`` edge for calls completed
+  whole by the optimizing tier.
+
+Every edge is a ``(prev, current)`` pair of opcode/handler names with
+``^``-prefixed pseudo-nodes for entry/exit/error, so maps are plain
+``dict[tuple[str, str], int]`` — deterministic, picklable, and mergeable
+across worker processes by set union / counter addition.
+
+Collection is **off by default** and costs nothing when disabled: the
+decoder, validator and interpreter each test ``COVERAGE.enabled`` once
+per body/call and select an instrumented copy of their loop, so the
+disabled hot paths are byte-for-byte the pre-coverage code.  Enable it
+around a region of interest with::
+
+    from repro.wasm import coverage
+
+    with coverage.collecting() as cov:
+        decode_module(data)
+    edges = cov.edge_keys()
+
+The coverage-guided fuzzing campaign (:mod:`repro.fuzz`) schedules
+corpus energy by the novel edges each case contributes and dedupes
+cases by :meth:`CoverageMap.signature`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+#: Map names, in reporting order.
+MAP_NAMES = ("decoder", "validator", "dispatch")
+
+Edge = Tuple[str, str]
+
+
+class CoverageMap:
+    """Process-local edge counters for decoder/validator/dispatch."""
+
+    __slots__ = ("enabled", "decoder", "validator", "dispatch")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.decoder: Dict[Edge, int] = {}
+        self.validator: Dict[Edge, int] = {}
+        self.dispatch: Dict[Edge, int] = {}
+
+    def maps(self) -> Dict[str, Dict[Edge, int]]:
+        return {
+            "decoder": self.decoder,
+            "validator": self.validator,
+            "dispatch": self.dispatch,
+        }
+
+    def reset(self) -> None:
+        self.decoder.clear()
+        self.validator.clear()
+        self.dispatch.clear()
+
+    # -- read-out --------------------------------------------------------
+    @property
+    def edge_count(self) -> int:
+        """Total number of *distinct* edges across all three maps."""
+        return len(self.decoder) + len(self.validator) + len(self.dispatch)
+
+    def edge_keys(self) -> FrozenSet[Tuple[str, str, str]]:
+        """All distinct edges as ``(map, prev, current)`` triples."""
+        return frozenset(
+            (name, prev, cur)
+            for name, edges in self.maps().items()
+            for prev, cur in edges
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """JSON-stable copy: per map, ``"prev->cur"`` keys sorted."""
+        return {
+            name: {
+                f"{prev}->{cur}": count
+                for (prev, cur), count in sorted(edges.items())
+            }
+            for name, edges in self.maps().items()
+        }
+
+    def signature(self) -> str:
+        """Hash of the distinct-edge *sets* (counts excluded).
+
+        Two executions signature-equal iff they covered exactly the
+        same edges; the corpus scheduler dedupes on this.
+        """
+        return edges_signature(self.edge_keys())
+
+
+def edges_signature(edges) -> str:
+    """Deterministic hex digest of an iterable of edge triples."""
+    digest = hashlib.sha256()
+    for name, prev, cur in sorted(edges):
+        digest.update(f"{name}\x00{prev}\x00{cur}\x01".encode())
+    return digest.hexdigest()
+
+
+#: The process-global map the substrate hooks record into.
+COVERAGE = CoverageMap()
+
+
+@contextmanager
+def collecting(reset: bool = True) -> Iterator[CoverageMap]:
+    """Enable coverage collection for the duration of the block.
+
+    Resets the maps on entry by default so the block observes only its
+    own edges; restores the previous enabled/disabled state on exit
+    (so nested blocks compose).
+    """
+    was_enabled = COVERAGE.enabled
+    if reset:
+        COVERAGE.reset()
+    COVERAGE.enabled = True
+    try:
+        yield COVERAGE
+    finally:
+        COVERAGE.enabled = was_enabled

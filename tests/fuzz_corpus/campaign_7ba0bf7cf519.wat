@@ -1,0 +1,38 @@
+(module
+  (memory 3 19)
+  (export "memory" (memory 0))
+  (func $f0 (export "run") (param i32) (result i32) (local i32 i32 i32)
+    i32.const 67436
+    i32.const 9
+    i32.const 7037
+    memory.fill
+    i32.const 0
+    local.set 1
+    block
+    loop
+    local.get 1
+    i32.const 16
+    i32.ge_s
+    br_if 1
+    local.get 3
+    i32.const 31
+    i32.mul
+    local.get 1
+    i32.const 4
+    i32.mul
+    i32.const 65536
+    i32.add
+    i32.load offset=0 align=4
+    i32.add
+    local.set 3
+    local.get 1
+    i32.const 1
+    i32.add
+    local.set 1
+    br 0
+    end
+    end
+    local.get 3
+    return
+  )
+)

@@ -15,7 +15,7 @@ import random
 import struct
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.diffcheck import fuzz
 from repro.runtime.interpreter import DISPATCH_MODES, Interpreter, to_f32
@@ -229,3 +229,54 @@ class TestFusionEquivalence:
                 profile.pages_touched,
             )
         assert profiles["fused"] == profiles["nofuse"]
+
+
+class TestMutatorRobustness:
+    """Campaign mutators never push the substrate outside WasmError.
+
+    The decoder/validator contract for arbitrary mutated input is
+    total: accept, or reject with a ``WasmError`` subclass.  Any other
+    exception escaping is a harness bug (and the campaign records it
+    as a ``fuzz.harness-error`` find).  DSL-level mutants are stronger
+    still: they must always build into a validator-clean module.
+    """
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_genome_mutants_always_valid(self, seed, mutseed):
+        from repro.fuzz.genome import build_genome_module, genome_from_seed
+        from repro.fuzz.mutators import mutate_genome
+
+        rng = random.Random(mutseed)
+        genome = genome_from_seed(seed)
+        for _ in range(5):
+            genome = mutate_genome(genome, rng)
+            module = build_genome_module(genome)
+            validate_module(module)
+            assert encode_module(module)
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    # Found by this property: a code-section entry whose declared size
+    # ran past end-of-input escaped as IndexError (decoder _Reader
+    # accepted an end beyond len(data)).
+    @example(seed=0, mutseed=894358740)
+    @settings(max_examples=40, deadline=None)
+    def test_byte_mutants_decode_or_wasm_error(self, seed, mutseed):
+        from repro.fuzz.genome import build_genome_module, genome_from_seed
+        from repro.fuzz.mutators import mutate_bytes, mutate_memarg
+        from repro.wasm.errors import WasmError
+
+        rng = random.Random(mutseed)
+        data = encode_module(build_genome_module(genome_from_seed(seed)))
+        for _ in range(8):
+            mutator = mutate_memarg if rng.random() < 0.5 else mutate_bytes
+            data = mutator(data, rng)
+            try:
+                module = decode_module(data)
+            except WasmError:
+                continue
+            try:
+                validate_module(module)
+                encode_module(module)
+            except WasmError:
+                pass

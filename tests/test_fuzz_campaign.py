@@ -1,0 +1,302 @@
+"""The coverage-guided fuzzing campaign (repro.fuzz).
+
+Covers the campaign's own contracts rather than the substrate's:
+deterministic coverage collection, jobs-independent campaign reports,
+minimizer soundness, corpus promotion round trips under all three
+execution tiers, the coverage advantage over same-budget random
+seeding, and the acceptance scenario — a seeded reintroduction of the
+interior-page touch regression is found, minimized and promoted
+automatically.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.diffcheck.fuzz import check_case, check_fuzz, check_module_case
+from repro.diffcheck.report import DiffReport
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+from repro.fuzz.genome import (
+    Gene,
+    Genome,
+    build_genome_module,
+    fill_pages,
+    genome_from_json,
+    genome_from_seed,
+    genome_to_json,
+)
+from repro.fuzz.minimize import ddmin, minimize_bytes, minimize_genome
+from repro.fuzz.mutators import mutate_bytes, mutate_genome, mutate_memarg
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.promote import module_to_flat_wat, promote_find
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.memory import LinearMemory
+from repro.wasm import encode_module, validate_module
+from repro.wasm.coverage import COVERAGE, collecting
+from repro.wasm.errors import Trap
+from repro.wasm.wat_parser import parse_wat
+
+pytestmark = pytest.mark.diff
+
+
+def _run_genome(genome):
+    module = build_genome_module(genome)
+    interp = Interpreter(module, strategy="trap", validate=False)
+    try:
+        return interp.invoke("run", genome.arg)
+    except Trap:
+        return None
+
+
+class TestCoverage:
+    def test_disabled_by_default_and_cost_free(self):
+        genome = genome_from_seed(3)
+        assert not COVERAGE.enabled
+        _run_genome(genome)
+        assert COVERAGE.edge_count == 0
+
+    def test_collection_is_deterministic(self):
+        genome = genome_from_seed(5)
+        snapshots = []
+        for _ in range(2):
+            with collecting():
+                _run_genome(genome)
+                snapshots.append((COVERAGE.snapshot(), COVERAGE.signature()))
+        assert snapshots[0] == snapshots[1]
+        snapshot, _ = snapshots[0]
+        assert snapshot["decoder"] == {}  # nothing decoded in this run
+        assert snapshot["dispatch"], "dispatch edges must be recorded"
+
+    def test_collecting_restores_enabled_state(self):
+        assert not COVERAGE.enabled
+        with collecting():
+            assert COVERAGE.enabled
+        assert not COVERAGE.enabled
+
+
+class TestCheckFuzzDeterminism:
+    def test_jobs_do_not_change_report_or_batches(self):
+        reports, progress = [], []
+        for jobs in (1, 2):
+            report = DiffReport()
+            lines = []
+            check_fuzz(40, 0, report, jobs=jobs, progress=lines.append)
+            reports.append(json.dumps(report.to_json(), sort_keys=True))
+            progress.append(lines)
+        assert reports[0] == reports[1]
+        assert progress[0] == progress[1]
+
+
+class TestMutators:
+    def test_genome_mutants_always_build(self):
+        rng = random.Random(11)
+        genome = genome_from_seed(1)
+        for _ in range(100):
+            genome = mutate_genome(genome, rng)
+            assert genome.genes
+            validate_module(build_genome_module(genome))
+
+    def test_genome_json_roundtrip(self):
+        genome = genome_from_seed(9)
+        assert genome_from_json(genome_to_json(genome)) == genome
+
+
+class TestMinimizer:
+    def test_ddmin_finds_minimal_subset(self):
+        # Failure requires both 3 and 7 to be present.
+        result = ddmin(
+            list(range(10)), lambda items: 3 in items and 7 in items
+        )
+        assert sorted(result) == [3, 7]
+
+    def test_ddmin_never_returns_non_failing(self):
+        result = ddmin([1, 2, 3, 4, 5, 6], lambda items: sum(items) >= 10)
+        assert sum(result) >= 10
+        assert len(result) < 6
+
+    def test_minimize_genome_shrinks_to_responsible_gene(self):
+        noise = tuple(genome_from_seed(2).genes)
+        genome = Genome(noise + (Gene("fill", 9, 1, 100, 9000),), 5)
+
+        def fails(candidate):
+            return any(g.kind == "fill" for g in candidate.genes)
+
+        minimized = minimize_genome(genome, fails)
+        assert fails(minimized)
+        assert len(minimized.genes) == 1
+        assert minimized.genes[0].kind == "fill"
+        # Constants shrink toward small values too.
+        assert abs(minimized.genes[0].c) <= 100
+        assert minimized.arg <= 5
+
+    def test_minimize_bytes_prefix_predicate(self):
+        data = bytes(range(40))
+
+        def fails(candidate):
+            return b"\x05" in candidate and b"\x20" in candidate
+
+        minimized = minimize_bytes(data, fails)
+        assert fails(minimized)
+        assert len(minimized) <= 4
+
+
+class TestPromotion:
+    def test_round_trip_under_all_tiers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_THRESHOLD", "0")
+        monkeypatch.setenv("REPRO_TIER_STRICT", "1")
+        genome = Genome(
+            (Gene("fill", 170, 1, 100, 9000), Gene("loop", 3, 2, 8, 0)), 5
+        )
+        module = build_genome_module(genome)
+        entry = promote_find(
+            module, genome.arg, ["fuzz.page-span"], tmp_path, genome=genome
+        )
+        assert entry["file"].startswith("campaign_")
+        replayed = parse_wat((tmp_path / entry["file"]).read_text())
+        validate_module(replayed)
+
+        def outcome(mod, tier):
+            interp = Interpreter(
+                mod, strategy="trap", validate=False, tier=tier,
+                track_pages=True,
+            )
+            try:
+                value = interp.invoke("run", entry["arg"])
+            except Trap as exc:
+                return ("trap", exc.kind)
+            return (
+                "value", value,
+                interp.memory.load_count, interp.memory.store_count,
+                tuple(sorted(interp.memory.touched_pages)),
+            )
+
+        for tier in ("legacy", "fused", "opt"):
+            assert outcome(replayed, tier) == outcome(module, tier), tier
+        report = check_module_case(replayed, entry["arg"])
+        assert report.ok, "\n".join(v.render() for v in report.violations)
+
+    def test_promotion_is_idempotent(self, tmp_path):
+        genome = genome_from_seed(2)
+        module = build_genome_module(genome)
+        first = promote_find(module, genome.arg, ["fuzz.x"], tmp_path)
+        second = promote_find(module, genome.arg, ["fuzz.x"], tmp_path)
+        assert first["id"] == second["id"]
+        catalogue = json.loads((tmp_path / "seeds.json").read_text())
+        assert len(catalogue["campaign"]) == 1
+
+    def test_flat_wat_preserves_behaviour(self):
+        for seed in range(8):
+            genome = genome_from_seed(seed)
+            module = build_genome_module(genome)
+            replayed = parse_wat(module_to_flat_wat(module))
+            validate_module(replayed)
+            assert encode_module(replayed) is not None
+
+
+class TestCampaign:
+    def test_report_identical_across_jobs(self, tmp_path):
+        payloads = []
+        for jobs in (1, 2):
+            result = run_campaign(CampaignConfig(
+                cases=40, seed=1, jobs=jobs, corpus_dir=tmp_path / str(jobs),
+            ))
+            payloads.append(json.dumps(result, sort_keys=True))
+        assert payloads[0] == payloads[1]
+
+    def test_clean_substrate_produces_no_finds(self, tmp_path):
+        result = run_campaign(CampaignConfig(
+            cases=60, seed=1, jobs=1, corpus_dir=tmp_path,
+        ))
+        assert not result["confirmed_divergence"], result["finds"]
+        assert result["finds"] == []
+        assert result["corpus"]["entries"] >= 8
+
+    def test_beats_random_seeding_on_every_map(self, tmp_path):
+        """Same budget, strictly more distinct edges per coverage map."""
+        budget = 60
+        result = run_campaign(CampaignConfig(
+            cases=budget, seed=1, jobs=1, corpus_dir=tmp_path,
+        ))
+        random_edges = set()
+        for seed in range(1, budget + 1):
+            with collecting():
+                check_case(seed, DiffReport())
+                random_edges |= COVERAGE.edge_keys()
+        random_per_map = {}
+        for map_name, _, _ in random_edges:
+            random_per_map[map_name] = random_per_map.get(map_name, 0) + 1
+        campaign_per_map = result["coverage"]["per_map"]
+        for map_name in ("decoder", "validator", "dispatch"):
+            assert campaign_per_map[map_name] > random_per_map[map_name], (
+                map_name, campaign_per_map, random_per_map
+            )
+
+
+def _buggy_touch(self, address, size):
+    """PR 3's interior-page regression: only first/last page recorded."""
+    if not self.track_pages or size <= 0:
+        return
+    self.touched_pages.add(address >> 12)
+    self.touched_pages.add((address + size - 1) >> 12)
+
+
+class TestSeededRegression:
+    def test_interior_page_bug_found_minimized_promoted(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(LinearMemory, "_touch", _buggy_touch)
+        result = run_campaign(CampaignConfig(
+            cases=60, seed=0, jobs=1, corpus_dir=tmp_path,
+            promote=True, max_finds=3,
+        ))
+        assert result["confirmed_divergence"]
+        span = [
+            f for f in result["finds"] if "fuzz.page-span" in f["checks"]
+        ]
+        assert span, result["finds"]
+        find = span[0]
+        # Minimized to the responsible ranged access alone.
+        genome = genome_from_json(find["genome"])
+        assert len(genome.genes) == 1
+        assert genome.genes[0].kind == "fill"
+        assert len(fill_pages(genome)) >= 3  # has interior pages
+        # Promoted as replayable WAT plus a seeds.json campaign entry.
+        assert find["promoted"], find
+        assert (tmp_path / find["promoted"]).exists()
+        catalogue = json.loads((tmp_path / "seeds.json").read_text())
+        promoted_ids = {e["id"] for e in catalogue["campaign"]}
+        assert find["promoted"].split("_")[1].split(".")[0] in promoted_ids
+
+        # With the real (fixed) runtime the promoted find replays green.
+        monkeypatch.undo()
+        replayed = parse_wat((tmp_path / find["promoted"]).read_text())
+        report = DiffReport()
+        check_module_case(replayed, genome.arg, report)
+        run_oracles(replayed, genome.arg, report, {}, genome=genome)
+        assert report.ok, "\n".join(v.render() for v in report.violations)
+
+
+class TestByteLevelMutants:
+    def test_byte_mutants_hit_decoder_rejection_edges(self):
+        rng = random.Random(3)
+        encoded = encode_module(build_genome_module(genome_from_seed(3)))
+        saw_error_edge = False
+        for _ in range(120):
+            mutant = (
+                mutate_memarg(encoded, rng) if rng.random() < 0.5
+                else mutate_bytes(encoded, rng)
+            )
+            with collecting():
+                from repro.wasm import decode_module
+                from repro.wasm.errors import WasmError
+                try:
+                    decode_module(mutant)
+                except WasmError:
+                    pass
+                if any(
+                    cur == "^error" for _, cur in COVERAGE.decoder
+                ):
+                    saw_error_edge = True
+                    break
+        assert saw_error_edge, "no decoder rejection edge ever recorded"

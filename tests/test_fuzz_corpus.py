@@ -4,7 +4,10 @@ Every entry is a once-found failure promoted to a permanent
 regression: fuzzer seeds go back through the full ``check_case``
 oracle (and additionally through every dispatch mode), hand-written
 ``.wat`` distillations run under the full bounds-strategy x dispatch
-grid.  See tests/fuzz_corpus/README.md for the promotion policy.
+grid, and campaign finds (the ``"campaign"`` list in seeds.json,
+written by ``leaps-bench fuzz --promote``) replay through the
+campaign's own oracle stack.  See tests/fuzz_corpus/README.md for the
+promotion policy.
 """
 
 import json
@@ -26,6 +29,7 @@ CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
 MANIFEST = json.loads((CORPUS_DIR / "seeds.json").read_text())
 SEED_CASES = MANIFEST["cases"]
 SEED_ARGS = MANIFEST["args"]
+CAMPAIGN_CASES = MANIFEST.get("campaign", [])
 WAT_CASES = sorted(CORPUS_DIR.glob("*.wat"))
 
 
@@ -145,7 +149,7 @@ def test_wat_regression_grid(path, monkeypatch):
             assert len(kinds) == 1 and all(
                 o[0] == "trap" for o in trapping.values()
             ), f"{path.name} arg={arg}: trapping strategies disagree"
-            if kinds == {"out-of-bounds memory access"}:
+            if kinds == {"out-of-bounds-memory"}:
                 for strategy in ("clamp", "none"):
                     assert by_strategy[strategy][0] == "value", (
                         f"{path.name} arg={arg}: {strategy} trapped on oob"
@@ -155,3 +159,55 @@ def test_wat_regression_grid(path, monkeypatch):
             assert len(outcomes) == 1, (
                 f"{path.name} arg={arg}: strategies disagree with no trap"
             )
+
+
+@pytest.mark.parametrize("path", WAT_CASES, ids=lambda p: p.stem)
+def test_wat_regression_opt_strict(path, monkeypatch):
+    """Corpus replays under the optimizing tier in strict mode.
+
+    ``REPRO_TIER_STRICT=1`` turns any tier-2 bailout into a hard
+    error and ``REPRO_TIER_THRESHOLD=0`` forces immediate tier-up, so
+    this catches both vectorizer divergence and silent fallback on
+    every distilled regression shape.
+    """
+    monkeypatch.setenv("REPRO_TIER", "opt")
+    monkeypatch.setenv("REPRO_TIER_STRICT", "1")
+    monkeypatch.setenv("REPRO_TIER_THRESHOLD", "0")
+    module = parse_wat(path.read_text())
+    validate_module(module)
+    for strategy in STRATEGY_ORDER:
+        for arg in SEED_ARGS:
+            reference = _outcome(module, arg, strategy, tier="fused")
+            observed = _outcome(module, arg, strategy, tier="opt")
+            assert observed == reference, (
+                f"{path.name} arg={arg} {strategy}: "
+                "opt tier diverges from fused under strict replay"
+            )
+
+
+def test_campaign_entries_replay_clean():
+    """Promoted campaign finds stay green through the campaign oracles.
+
+    A plain loop (not parametrize) so an empty campaign list is simply
+    a no-op rather than a collection error.
+    """
+    from repro.diffcheck.fuzz import check_module_case
+    from repro.fuzz.genome import build_genome_module, genome_from_json
+    from repro.fuzz.oracles import run_oracles
+
+    for entry in CAMPAIGN_CASES:
+        if "file" in entry:
+            module = parse_wat((CORPUS_DIR / entry["file"]).read_text())
+        else:
+            module = build_genome_module(genome_from_json(entry["genome"]))
+        validate_module(module)
+        report = check_module_case(module, entry["arg"])
+        genome = (
+            genome_from_json(entry["genome"]) if "genome" in entry else None
+        )
+        run_oracles(
+            module, entry["arg"], report, {"id": entry["id"]}, genome=genome
+        )
+        assert report.ok, entry["id"] + "\n" + "\n".join(
+            v.render() for v in report.violations
+        )
