@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Sweep-service latency/throughput benchmark (``BENCH_service.json``).
+
+Starts a real ``leaps-bench serve`` daemon as a subprocess, warms its
+caches with one sweep, then drives it with the asyncio load generator
+at several concurrency levels — by default 100, 1 000 and 10 000
+simultaneously open submit-and-wait jobs, the "productionized" claim
+this PR makes.  Per level the committed report records client-observed
+p50/p90/p99/max latency, jobs/s and rows/s, plus the daemon's own
+``/metrics`` counters (row-LRU hits, in-flight coalescing, engine
+cache stats) so a regression in either the HTTP layer or the dedup
+ladder shows up as a number, not a feeling.
+
+Methodology notes:
+
+* The grid is one warm-cached configuration (trisolv/wavm/mprotect,
+  mini), so the benchmark times the *service* — connection handling,
+  request parsing, the row-LRU ladder, response framing — not the
+  simulator.  Cold-measurement time is recorded once under ``warm``.
+* Every job at every level is the same spec, so rows resolve from the
+  row LRU; levels are comparable and re-runs are stable.
+* Latency is measured client-side (first request byte to parsed
+  response) over keep-alive connections, one in-flight job per
+  connection: service-side open jobs == the concurrency level.
+
+Run: ``PYTHONPATH=src python benchmarks/service_bench.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import SweepSpec  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.loadgen import run_load  # noqa: E402
+
+BASELINE = REPO / "BENCH_service.json"
+
+#: One warm-cached cell: the benchmark times the service, not the sim.
+SPEC = SweepSpec(
+    workloads=["trisolv"], runtimes=["wavm"], strategies=["mprotect"],
+    size="mini", iterations=2,
+)
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def start_daemon(cache_dir: Path):
+    """Spawn ``leaps-bench serve --port 0``; returns (proc, host, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.core.cli", "serve",
+            "--port", "0", "--cache-dir", str(cache_dir),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO,
+    )
+    line = proc.stdout.readline()
+    match = _LISTEN_RE.search(line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"daemon did not announce a port: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def run_benchmark(levels, jobs_per_level) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="svc-bench-") as tmp:
+        proc, host, port = start_daemon(Path(tmp))
+        try:
+            with ServiceClient(host, port, timeout=300) as client:
+                # Warm: first job computes the measurement, second is
+                # served whole from the row LRU.
+                started = time.monotonic()
+                first = client.submit(SPEC, wait=True)
+                cold_s = time.monotonic() - started
+                second = client.submit(SPEC, wait=True)
+                warm = {
+                    "cold_job_s": round(cold_s, 4),
+                    "cold_sources": first["sources"],
+                    "warm_sources": second["sources"],
+                }
+
+            results = []
+            for concurrency in levels:
+                total = jobs_per_level(concurrency)
+                report = asyncio.run(
+                    run_load(
+                        host, port, SPEC,
+                        concurrency=concurrency, total_jobs=total,
+                    )
+                )
+                with ServiceClient(host, port, timeout=60) as client:
+                    metrics = client.metrics()
+                report["metrics"] = {
+                    "requests": metrics["requests"],
+                    "row_cache": {
+                        k: metrics["row_cache"][k]
+                        for k in ("hits", "misses", "evictions", "peak")
+                    },
+                    "jobs_completed": metrics["jobs"]["completed"],
+                }
+                results.append(report)
+                print(
+                    f"  c={concurrency:>6}: {report['jobs']} jobs in "
+                    f"{report['wall_s']}s  p50={report['p50_ms']}ms  "
+                    f"p99={report['p99_ms']}ms  "
+                    f"{report['rows_per_s']} rows/s",
+                    flush=True,
+                )
+
+            with ServiceClient(host, port, timeout=60) as client:
+                client.shutdown()
+            proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": {"cpus": os.cpu_count(), "python": sys.version.split()[0]},
+        "spec": SPEC.to_json(),
+        "spec_digest": SPEC.digest(),
+        "methodology": (
+            "one daemon subprocess; warm row-LRU grid; one in-flight "
+            "submit-and-wait job per keep-alive connection, so the "
+            "concurrency level equals the service-side open job count; "
+            "latency measured client-side"
+        ),
+        "warm": warm,
+        "levels": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--levels", type=lambda v: [int(x) for x in v.split(",")],
+        default=None, help="comma-separated concurrency levels",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small levels for smoke use (does not update the baseline)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help=f"report path (default: {BASELINE}; --quick prints only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.levels is not None:
+        levels = args.levels
+    elif args.quick:
+        levels = [10, 50, 100]
+    else:
+        levels = [100, 1000, 10000]
+
+    def jobs_per_level(concurrency: int) -> int:
+        # Enough jobs that every connection cycles a few times at the
+        # small levels; at 10k one job per connection already measures
+        # the full open-connection regime.
+        return max(concurrency, min(4 * concurrency, 4000))
+
+    print(f"service bench: levels {levels}", flush=True)
+    report = run_benchmark(levels, jobs_per_level)
+
+    failures = [lvl for lvl in report["levels"] if lvl["failures"]]
+    if failures:
+        print(f"FAILED levels: {failures}", file=sys.stderr)
+        return 1
+
+    output = args.output
+    if output is None and not args.quick:
+        output = BASELINE
+    text = json.dumps(report, indent=2)
+    if output:
+        Path(output).write_text(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

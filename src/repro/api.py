@@ -27,7 +27,10 @@ preserve their historical error behaviour.
 from __future__ import annotations
 
 import csv
+import dataclasses
+import hashlib
 import io
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
@@ -80,7 +83,14 @@ FIELDS = list(ROW_SCHEMA)
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A grid of benchmark configurations to run."""
+    """A grid of benchmark configurations to run.
+
+    Sequence fields are normalised to tuples on construction, so two
+    equal grids are ``==``, hash alike, and serialise to byte-identical
+    canonical JSON regardless of whether the caller passed lists or
+    tuples — which is what lets :meth:`digest` serve as the sweep
+    service's job-dedup key.
+    """
 
     workloads: Sequence[str]
     runtimes: Sequence[str] = ("wavm",)
@@ -90,6 +100,62 @@ class SweepSpec:
     size: str = "small"
     iterations: int = 3
     warmup: int = 1
+
+    _SEQUENCE_FIELDS = ("workloads", "runtimes", "strategies", "isas", "threads")
+
+    def __post_init__(self) -> None:
+        # Frozen dataclass: normalise caller-supplied lists in place.
+        for name in self._SEQUENCE_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, str):
+                raise TypeError(
+                    f"SweepSpec.{name} wants a sequence of values, "
+                    f"got the bare string {value!r}"
+                )
+            converted = (
+                tuple(int(v) for v in value)
+                if name == "threads"
+                else tuple(str(v) for v in value)
+            )
+            object.__setattr__(self, name, converted)
+
+    # -- canonical (de)serialisation ----------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-data form: lists for sequences, scalars otherwise."""
+        return {
+            "workloads": list(self.workloads),
+            "runtimes": list(self.runtimes),
+            "strategies": list(self.strategies),
+            "isas": list(self.isas),
+            "threads": list(self.threads),
+            "size": self.size,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, object]) -> "SweepSpec":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        if "workloads" not in raw:
+            raise ValueError("SweepSpec JSON needs a 'workloads' list")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepSpec field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**raw)
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON text (sorted keys, no whitespace)."""
+        return json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON — the service's job key."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     def configurations(self) -> Iterator[tuple]:
         """Valid (runtime, strategy, isa, threads) combinations."""

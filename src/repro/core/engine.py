@@ -38,12 +38,13 @@ import multiprocessing
 import os
 import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.harness import RunMeasurement, run_benchmark
+from repro.core.lru import LRUCache
 from repro.core.profiles import module_digest
 from repro.runtime.predecode import interpreter_build_digest
 from repro.oskernel.procstat import UtilisationSample
@@ -75,13 +76,62 @@ class MeasurementRequest:
 
 
 @dataclass(frozen=True)
-class MeasurementResult:
-    """A measurement plus how the engine produced it."""
+class MeasurementError:
+    """A structured per-request failure (the request did not measure)."""
 
-    measurement: RunMeasurement
+    request: MeasurementRequest
+    #: Exception class name of the underlying failure.
+    kind: str
+    message: str
+
+    def label(self) -> str:
+        return f"{self.request.label()}: {self.kind}: {self.message}"
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """A measurement plus how the engine produced it.
+
+    ``measurement`` is None exactly when ``error`` is set: the request
+    failed and the engine was asked (``return_errors=True``) to report
+    the failure per-row instead of raising.
+    """
+
+    measurement: Optional[RunMeasurement]
     cache_hit: bool
     #: Wall-clock seconds spent producing this result (≈0 for hits).
     elapsed: float
+    error: Optional[MeasurementError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepFailure(RuntimeError):
+    """Raised by :meth:`MeasurementEngine.run` after the whole grid ran.
+
+    One poisoned configuration no longer aborts the sweep: every other
+    request still executes (and its result is cached) before this is
+    raised, so a retry after fixing the bad config is all cache hits.
+    ``errors`` lists each failed request; ``results`` is the full
+    result list the caller would have received with
+    ``return_errors=True``.
+    """
+
+    def __init__(
+        self,
+        errors: List[MeasurementError],
+        results: List[MeasurementResult],
+    ) -> None:
+        self.errors = errors
+        self.results = results
+        lines = "; ".join(e.label() for e in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"{len(errors)} of {len(results)} sweep requests failed: "
+            f"{lines}{more}"
+        )
 
 
 # --------------------------------------------------------------------------
@@ -245,6 +295,15 @@ def _execute(payload: dict) -> dict:
     }
 
 
+def _error_outcome(exc: BaseException, elapsed: float) -> dict:
+    """The outcome shape :meth:`MeasurementEngine._finish` expects for a
+    request whose execution raised instead of measuring."""
+    return {
+        "error": {"kind": type(exc).__name__, "message": str(exc)},
+        "elapsed": elapsed,
+    }
+
+
 def resolve_jobs(jobs) -> int:
     """Worker count for a ``jobs`` request on *this* machine.
 
@@ -265,6 +324,19 @@ def resolve_jobs(jobs) -> int:
 _MIN_PARALLEL_MISSES = 4
 
 
+def _memory_cap(explicit: Optional[int]) -> int:
+    """In-process result cache bound: explicit arg, env, or default.
+
+    A full figure grid is ~10k cells; the default keeps roughly half of
+    one resident (a RunMeasurement is a few hundred bytes, so ~2 MiB)
+    while guaranteeing a long-running daemon cannot grow without bound.
+    """
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get("REPRO_MEMORY_CACHE_CAP")
+    return int(raw) if raw else 4096
+
+
 class MeasurementEngine:
     """Executes measurement requests with caching and optional fan-out."""
 
@@ -273,12 +345,17 @@ class MeasurementEngine:
         jobs=1,
         cache: bool = True,
         cache_dir: Optional[os.PathLike] = None,
+        memory_cap: Optional[int] = None,
     ) -> None:
         #: As requested ("auto" or an int); ``jobs`` is the resolved count.
         self.jobs_requested = jobs
         self.jobs = resolve_jobs(jobs)
         self.cache_enabled = cache
-        self._memory: Dict[str, RunMeasurement] = {}
+        #: Bounded in-process result cache (disk entries are unbounded;
+        #: this layer only avoids re-reading them).
+        self._memory: LRUCache[RunMeasurement] = LRUCache(
+            _memory_cap(memory_cap)
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
         if cache_dir is not None:
@@ -319,11 +396,16 @@ class MeasurementEngine:
 
     # -- cache I/O -------------------------------------------------------
 
+    def memory_stats(self) -> Dict[str, int]:
+        """Counter snapshot of the in-process LRU (``/metrics``)."""
+        return self._memory.stats()
+
     def _load(self, request: MeasurementRequest, key: str) -> Optional[RunMeasurement]:
         if not self.cache_enabled:
             return None
-        if key in self._memory:
-            return self._memory[key]
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
         path = self._path_for(request, key)
         if not path.exists():
             return None
@@ -333,8 +415,8 @@ class MeasurementEngine:
                 return None  # digest collision on the shortened filename
             measurement = measurement_from_json(raw["measurement"])
         except (ValueError, KeyError, TypeError):
-            return None  # stale/corrupt cache entry: recompute
-        self._memory[key] = measurement
+            return None  # stale/corrupt/partial cache entry: recompute
+        self._memory.put(key, measurement)
         return measurement
 
     def _store(
@@ -342,7 +424,7 @@ class MeasurementEngine:
     ) -> None:
         if not self.cache_enabled:
             return
-        self._memory[key] = measurement
+        self._memory.put(key, measurement)
         path = self._path_for(request, key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -366,12 +448,31 @@ class MeasurementEngine:
         self,
         requests: Sequence[MeasurementRequest],
         progress=None,
+        *,
+        return_errors: bool = False,
+        on_result: Optional[
+            Callable[[MeasurementRequest, str, MeasurementResult], None]
+        ] = None,
     ) -> List[MeasurementResult]:
         """Execute requests, returning results in request order.
 
         Duplicate requests are computed once.  Misses run serially
         in-process when ``jobs == 1`` and across the process pool
         otherwise; either way the values are identical.
+
+        Fault isolation: a request whose execution raises does not
+        abort the sweep — every other request still runs and every
+        completed result is cached.  With ``return_errors=True``
+        (the service's mode) failures come back as per-row
+        :class:`MeasurementResult`\\ s carrying a
+        :class:`MeasurementError`; otherwise (CLI paths) a
+        :class:`SweepFailure` is raised once the whole grid has been
+        attempted.
+
+        ``on_result`` is invoked once per unique request as it
+        resolves — hit, miss or failure, in completion order, from the
+        calling thread — so a caller can stream rows while the grid is
+        still running.
         """
         keys = [self.key_for(req) for req in requests]
         results: Dict[str, MeasurementResult] = {}
@@ -383,16 +484,10 @@ class MeasurementEngine:
             started = time.perf_counter()
             cached = self._load(request, key)
             if cached is not None:
-                results[key] = MeasurementResult(
+                result = MeasurementResult(
                     cached, True, time.perf_counter() - started
                 )
-                if TRACE.enabled:
-                    TRACE.emit(
-                        0.0, MEASURE_REQUEST,
-                        label=request.label(), cache_hit=True,
-                    )
-                if progress is not None:
-                    progress(request.label())
+                self._resolve(request, key, result, results, progress, on_result)
             else:
                 scheduled.add(key)
                 misses.append((request, key))
@@ -413,18 +508,47 @@ class MeasurementEngine:
                 serial = True  # auto: tiny grid, pool spin-up dominates
             if serial:
                 for request, key in misses:
-                    outcome = _execute(dataclasses.asdict(request))
-                    self._finish(request, key, outcome, results, progress)
+                    started = time.perf_counter()
+                    try:
+                        outcome = _execute(dataclasses.asdict(request))
+                    except Exception as exc:
+                        outcome = _error_outcome(
+                            exc, time.perf_counter() - started
+                        )
+                    self._finish(request, key, outcome, results, progress,
+                                 on_result)
             else:
-                outcomes = self._pool().map(
-                    _execute,
-                    [dataclasses.asdict(req) for req, _ in misses],
-                    chunksize=1,
-                )
-                for (request, key), outcome in zip(misses, outcomes):
-                    self._finish(request, key, outcome, results, progress)
+                pool = self._pool()
+                started = time.perf_counter()
+                futures = {
+                    pool.submit(_execute, dataclasses.asdict(request)):
+                        (request, key)
+                    for request, key in misses
+                }
+                for future in as_completed(futures):
+                    request, key = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:
+                        # One worker exception no longer poisons the
+                        # whole map(): the other futures keep running
+                        # and their results are kept (and cached).
+                        outcome = _error_outcome(
+                            exc, time.perf_counter() - started
+                        )
+                    self._finish(request, key, outcome, results, progress,
+                                 on_result)
 
-        return [results[key] for key in keys]
+        ordered = [results[key] for key in keys]
+        if not return_errors:
+            errors, seen = [], set()
+            for key, result in zip(keys, ordered):
+                if result.error is not None and key not in seen:
+                    seen.add(key)
+                    errors.append(result.error)
+            if errors:
+                raise SweepFailure(errors, ordered)
+        return ordered
 
     def _pool(self) -> ProcessPoolExecutor:
         """The engine's worker pool, created once and reused.
@@ -444,22 +568,64 @@ class MeasurementEngine:
         return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (also runs when the engine is GC'd)."""
+        """Shut the worker pool down (also runs when the engine is GC'd).
+
+        Abandons in-flight work (``cancel_futures``); a long-running
+        service that wants running measurements to complete first calls
+        :meth:`drain` instead.
+        """
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
             self._executor = None
 
-    def _finish(self, request, key, outcome, results, progress) -> None:
-        measurement = measurement_from_json(outcome["measurement"])
-        self._store(request, key, measurement)
-        results[key] = MeasurementResult(measurement, False, outcome["elapsed"])
+    def drain(self) -> None:
+        """Gracefully release the pool: wait for in-flight work first.
+
+        The daemon's shutdown path — submitted measurements finish (and
+        land in the cache) before the workers exit, so a restart does
+        not re-pay for work that was already in progress.
+        """
+        executor = self._executor
+        if executor is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._executor = None
+        executor.shutdown(wait=True, cancel_futures=False)
+
+    def _finish(
+        self, request, key, outcome, results, progress, on_result=None
+    ) -> None:
+        if "error" in outcome:
+            error = MeasurementError(
+                request=request,
+                kind=outcome["error"]["kind"],
+                message=outcome["error"]["message"],
+            )
+            result = MeasurementResult(
+                None, False, outcome["elapsed"], error=error
+            )
+        else:
+            measurement = measurement_from_json(outcome["measurement"])
+            self._store(request, key, measurement)
+            result = MeasurementResult(measurement, False, outcome["elapsed"])
+        self._resolve(request, key, result, results, progress, on_result)
+
+    def _resolve(
+        self, request, key, result, results, progress, on_result
+    ) -> None:
+        results[key] = result
         if TRACE.enabled:
             TRACE.emit(
-                0.0, MEASURE_REQUEST, label=request.label(), cache_hit=False
+                0.0, MEASURE_REQUEST, label=request.label(),
+                cache_hit=result.cache_hit, error=result.error is not None,
             )
         if progress is not None:
             progress(request.label())
+        if on_result is not None:
+            on_result(request, key, result)
 
     def measure_one(self, request: MeasurementRequest) -> MeasurementResult:
         return self.run([request])[0]
@@ -469,6 +635,33 @@ class MeasurementEngine:
 # Process-wide default engine + CLI plumbing shared by every experiment.
 
 _default_engine: Optional[MeasurementEngine] = None
+
+#: REPRO_CACHE_DIR value that preceded our first override (None = the
+#: variable was unset), and whether an override is currently active.
+#: ``configure(cache_dir=...)`` points the profile cache into the
+#: requested base; reconfiguring *without* a cache_dir must restore the
+#: pre-override value, or profile caches silently stay pinned to a
+#: stale directory for the rest of the process.
+_profile_env_prior: Optional[str] = None
+_profile_env_overridden = False
+
+
+def _apply_profile_cache_env(base: Optional[Path]) -> None:
+    global _profile_env_prior, _profile_env_overridden
+    if base is not None:
+        if not _profile_env_overridden:
+            _profile_env_prior = os.environ.get("REPRO_CACHE_DIR")
+            _profile_env_overridden = True
+        # One base directory for the whole cache family: profiles move
+        # with the measurements so --cache-dir isolates everything.
+        os.environ["REPRO_CACHE_DIR"] = str(base / "profiles")
+    elif _profile_env_overridden:
+        if _profile_env_prior is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = _profile_env_prior
+        _profile_env_prior = None
+        _profile_env_overridden = False
 
 
 def default_engine() -> MeasurementEngine:
@@ -491,10 +684,7 @@ def configure(
     global _default_engine
     current = default_engine()
     base = Path(cache_dir) if cache_dir is not None else None
-    if base is not None:
-        # One base directory for the whole cache family: profiles move
-        # with the measurements so --cache-dir isolates everything.
-        os.environ["REPRO_CACHE_DIR"] = str(base / "profiles")
+    _apply_profile_cache_env(base)
     replacement = MeasurementEngine(
         jobs=current.jobs_requested if jobs is None else jobs,
         cache=current.cache_enabled if cache is None else cache,
@@ -519,11 +709,12 @@ def configure(
 
 
 def reset_default_engine() -> None:
-    """Drop the process-wide engine (tests)."""
+    """Drop the process-wide engine (tests); undoes any env override."""
     global _default_engine
     if _default_engine is not None:
         _default_engine.close()
     _default_engine = None
+    _apply_profile_cache_env(None)
 
 
 def add_engine_args(parser) -> None:

@@ -1,0 +1,90 @@
+"""A small instrumented LRU map shared by the engine and the service.
+
+The measurement engine's in-process result cache (`MeasurementEngine._memory`)
+used to be a plain dict: fine for one-shot CLI sweeps, unbounded growth
+for a long-running daemon serving millions of requests.  Both that
+cache and the sweep service's row cache now sit on this class — a
+capacity-bounded ordered map with recency eviction and the counters a
+``/metrics`` endpoint wants (hits, misses, evictions, peak size).
+
+Deliberately not thread-safe by itself: the engine touches it from one
+thread, and the service only touches it from the event loop.  Callers
+that share one across threads (the service's executor bridge does not)
+must lock around it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Bounded mapping with least-recently-used eviction and counters."""
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions", "peak")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str) -> Optional[V]:
+        """Value for ``key`` (refreshing its recency), or None; counted."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: str) -> Optional[V]:
+        """Like :meth:`get` but touches neither recency nor counters."""
+        return self._data.get(key)
+
+    def put(self, key: str, value: V) -> Optional[Tuple[str, V]]:
+        """Insert/refresh ``key``; returns the evicted (key, value) if any."""
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return None
+        self._data[key] = value
+        evicted = None
+        if len(self._data) > self.capacity:
+            self.evictions += 1
+            evicted = self._data.popitem(last=False)
+        if len(self._data) > self.peak:
+            self.peak = len(self._data)
+        return evicted
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot in the shape ``/metrics`` serves."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "peak": self.peak,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,29 @@
+"""``repro.service`` — the sweep engine as a long-running async daemon.
+
+The CLI experiments run one grid and exit; the service keeps the
+measurement engine (process pool + content-addressed cache) resident
+and serves :class:`~repro.api.SweepSpec` jobs over HTTP/JSON to many
+concurrent clients:
+
+* :mod:`repro.service.httpd`  — a minimal stdlib HTTP/1.1 layer over
+  ``asyncio.start_server`` (keep-alive, chunked NDJSON streaming);
+* :mod:`repro.service.jobs`   — the job manager: shards each grid's
+  requests onto the engine via ``run_in_executor``, dedupes in-flight
+  identical requests on the engine's content-addressed keys (N
+  concurrent identical jobs → one execution, N subscribers), fronts
+  the cache with a bounded LRU, and broadcasts per-job row/progress
+  events through the PR 2 trace sinks;
+* :mod:`repro.service.daemon` — the HTTP routes (`/jobs`, `/metrics`,
+  `/healthz`, NDJSON event streams) and graceful shutdown;
+* :mod:`repro.service.client` — a stdlib synchronous client;
+* :mod:`repro.service.loadgen` — the asyncio load generator behind
+  ``leaps-bench loadgen`` and ``BENCH_service.json``.
+
+Start it with ``leaps-bench serve``; see EXPERIMENTS.md § "Sweep
+service".
+"""
+
+from repro.service.daemon import SweepService
+from repro.service.jobs import Job, JobManager
+
+__all__ = ["Job", "JobManager", "SweepService"]

@@ -1,0 +1,132 @@
+"""CLI entry points: ``leaps-bench serve`` and ``leaps-bench loadgen``.
+
+::
+
+    leaps-bench serve [--host H] [--port P] [--row-cache-cap N]
+                      [--jobs N|auto] [--no-cache] [--cache-dir DIR]
+
+    leaps-bench loadgen [--host H] [--port P]
+                        [--workloads w1,w2] [--runtimes r1,r2]
+                        [--strategies s1,s2] [--isas i1] [--threads 1,4]
+                        [--size mini] [--iterations N]
+                        [--concurrency C] [--requests N | --duration S]
+                        [--json FILE]
+
+``serve`` holds the measurement engine resident (process pool +
+content-addressed cache) and prints one ``listening on http://...``
+line once bound (``--port 0`` picks a free port).  ``loadgen`` drives
+a running daemon and prints the latency/throughput report as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.api import SweepSpec
+from repro.core import cliopts
+
+
+def serve_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="leaps-bench serve",
+        description="run the sweep engine as a long-lived HTTP/JSON daemon",
+        parents=[cliopts.sweep_parent()],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8077,
+        help="listen port (0 = pick a free one; default 8077)",
+    )
+    parser.add_argument(
+        "--row-cache-cap", type=int, default=65536, metavar="N",
+        help="bounded row-LRU capacity fronting the measurement cache",
+    )
+    args = parser.parse_args(argv)
+    engine = cliopts.configure_sweep(args)
+
+    from repro.service.daemon import run_service
+
+    def ready(bound) -> None:
+        host, port = bound
+        print(f"leaps-bench serve: listening on http://{host}:{port}",
+              flush=True)
+
+    try:
+        asyncio.run(
+            run_service(
+                args.host, args.port, engine=engine,
+                row_cache_capacity=args.row_cache_cap, ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    print("leaps-bench serve: drained, bye", flush=True)
+    return 0
+
+
+def _csv(value: str):
+    return [item for item in value.split(",") if item]
+
+
+def loadgen_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="leaps-bench loadgen",
+        description="drive a running sweep daemon and report latency",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    parser.add_argument("--workloads", type=_csv, default=["trisolv"])
+    parser.add_argument("--runtimes", type=_csv, default=["wavm"])
+    parser.add_argument("--strategies", type=_csv, default=["mprotect"])
+    parser.add_argument("--isas", type=_csv, default=["x86_64"])
+    parser.add_argument(
+        "--threads", type=lambda v: [int(t) for t in _csv(v)], default=[1]
+    )
+    parser.add_argument("--size", default="mini")
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument(
+        "--concurrency", type=int, default=100, metavar="C",
+        help="open connections == service-side in-flight jobs",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="total jobs to submit (default: one per connection)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="run for S seconds instead of a fixed job count",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    spec = SweepSpec(
+        workloads=args.workloads, runtimes=args.runtimes,
+        strategies=args.strategies, isas=args.isas, threads=args.threads,
+        size=args.size, iterations=args.iterations,
+    )
+
+    from repro.service.loadgen import run_load
+
+    report = asyncio.run(
+        run_load(
+            args.host, args.port, spec,
+            concurrency=args.concurrency,
+            total_jobs=args.requests,
+            duration=args.duration,
+        )
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if report["jobs"] == 0 or report["failures"]:
+        print("loadgen: some requests failed", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,135 @@
+"""A stdlib synchronous client for the sweep service.
+
+Used by tests, the CI smoke job, and anyone who prefers Python over
+``curl``.  One :class:`ServiceClient` wraps one keep-alive
+``http.client`` connection; it is not thread-safe (use one per
+thread).  The asyncio load generator (:mod:`repro.service.loadgen`)
+has its own connection handling for high fan-out.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.api import SweepSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # A dead keep-alive connection (daemon restarted, idle
+                # timeout): reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        decoded = json.loads(data) if data else None
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def jobs(self, limit: int = 100) -> List[dict]:
+        return self._request("GET", f"/jobs?limit={limit}")["jobs"]
+
+    def submit(
+        self, spec: Union[SweepSpec, dict], wait: bool = False
+    ) -> dict:
+        """Submit a job; with ``wait`` the full result, else the 202 ack."""
+        raw = spec.to_json() if isinstance(spec, SweepSpec) else spec
+        suffix = "?wait=1" if wait else ""
+        return self._request("POST", f"/jobs{suffix}", body={"spec": raw})
+
+    def result(self, job_id: str, wait: bool = True) -> dict:
+        verb = "/wait" if wait else ""
+        return self._request("GET", f"/jobs/{job_id}{verb}")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def stream_events(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Yield the job's NDJSON events as dicts (blocks until done).
+
+        Streams over a dedicated connection so the client's keep-alive
+        connection stays usable for other calls mid-stream.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, json.loads(response.read() or b"null")
+                )
+            # http.client undoes the chunked framing; read line-wise.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,287 @@
+"""The sweep daemon: HTTP routes over the job manager.
+
+Endpoints (all JSON; streams are NDJSON):
+
+========================  ==================================================
+``GET  /healthz``          liveness + uptime
+``GET  /metrics``          job/request/cache counters (LRU hit/miss/evict,
+                           in-flight coalescing, engine memory-cache stats)
+``POST /jobs``             submit a SweepSpec job; body is either the spec
+                           itself or ``{"spec": {...}}``.  Returns 202 with
+                           the job id; ``?wait=1`` blocks and returns the
+                           full result; ``?stream=1`` streams the job's
+                           row/progress events as NDJSON instead.
+``GET  /jobs``             recent job summaries
+``GET  /jobs/<id>``        one job (rows included once done)
+``GET  /jobs/<id>/wait``   block until done, return the full result
+``GET  /jobs/<id>/events`` NDJSON event stream (history + live)
+``POST /shutdown``         begin graceful shutdown (drain, then exit)
+========================  ==================================================
+
+The server is a single asyncio loop; measurement work happens on the
+job manager's executor threads and the engine's process pool, so the
+loop only ever parses small JSON bodies and shuffles rows — which is
+what lets one daemon hold thousands of concurrent connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.api import SweepSpec
+from repro.core.engine import MeasurementEngine
+from repro.service.httpd import (
+    HTTPRequest,
+    NDJSONStream,
+    ProtocolError,
+    read_request,
+    send_error,
+    send_json,
+)
+from repro.service.jobs import Job, JobManager
+
+#: Listen backlog: the load generator opens its whole connection pool
+#: at once, so the default of ~100 would refuse bursts.
+_BACKLOG = 4096
+
+
+class SweepService:
+    """One daemon instance: a listener plus a :class:`JobManager`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        engine: Optional[MeasurementEngine] = None,
+        row_cache_capacity: int = 65536,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.manager = JobManager(
+            engine=engine, row_cache_capacity=row_cache_capacity
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=_BACKLOG
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown` (or a signal handler) fires,
+        then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self, drain_timeout: Optional[float] = 60.0) -> None:
+        """Stop accepting, finish in-flight jobs, release the pools."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.drain(timeout=drain_timeout)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    await send_error(writer, exc.status, str(exc), False)
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._route(request, writer)
+                if not keep_alive or not request.keep_alive:
+                    break
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _route(
+        self, request: HTTPRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Dispatch one request; returns whether to keep the connection."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+
+        if path == "/healthz" and method == "GET":
+            await send_json(writer, 200, {
+                "status": "ok",
+                "uptime_s": self.manager.metrics()["uptime_s"],
+            })
+            return True
+
+        if path == "/metrics" and method == "GET":
+            await send_json(writer, 200, self.manager.metrics())
+            return True
+
+        if path == "/jobs" and method == "POST":
+            return await self._submit(request, writer)
+
+        if path == "/jobs" and method == "GET":
+            limit = int(request.query.get("limit", "100"))
+            await send_json(
+                writer, 200, {"jobs": self.manager.job_summaries(limit)}
+            )
+            return True
+
+        if path.startswith("/jobs/"):
+            return await self._job_route(request, writer, path)
+
+        if path == "/shutdown" and method == "POST":
+            await send_json(writer, 200, {"status": "shutting down"}, False)
+            self.request_shutdown()
+            return False
+
+        await send_error(writer, 404, f"no route for {method} {path}")
+        return True
+
+    # -- job endpoints ---------------------------------------------------
+
+    def _parse_spec(self, request: HTTPRequest) -> SweepSpec:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ValueError("body must be a JSON object")
+        raw = payload.get("spec", payload)
+        if not isinstance(raw, dict):
+            raise ValueError("'spec' must be a JSON object")
+        return SweepSpec.from_json(raw)
+
+    async def _submit(
+        self, request: HTTPRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        try:
+            spec = self._parse_spec(request)
+            job = self.manager.submit(spec)
+        except (TypeError, ValueError, ProtocolError, RuntimeError) as exc:
+            self.manager.counters["jobs_rejected"] += 1
+            status = exc.status if isinstance(exc, ProtocolError) else 400
+            await send_error(writer, status, str(exc))
+            return True
+
+        if request.flag("stream"):
+            return await self._stream_events(job, writer)
+        if request.flag("wait"):
+            await job.done.wait()
+            await send_json(writer, 200, job.result())
+            return True
+        await send_json(writer, 202, {
+            "job": job.id,
+            "digest": job.digest,
+            "state": job.state,
+            "links": {
+                "self": f"/jobs/{job.id}",
+                "wait": f"/jobs/{job.id}/wait",
+                "events": f"/jobs/{job.id}/events",
+            },
+        })
+        return True
+
+    async def _job_route(
+        self, request: HTTPRequest, writer: asyncio.StreamWriter, path: str
+    ) -> bool:
+        parts = path.split("/")  # ['', 'jobs', '<id>', maybe-verb]
+        job = self.manager.get(parts[2])
+        if job is None:
+            await send_error(writer, 404, f"unknown job {parts[2]!r}")
+            return True
+        verb = parts[3] if len(parts) > 3 else ""
+
+        if request.method != "GET":
+            await send_error(writer, 405, "job endpoints are GET-only")
+            return True
+        if verb == "":
+            payload = job.result() if job.state != "running" else job.summary()
+            await send_json(writer, 200, payload)
+            return True
+        if verb == "wait":
+            await job.done.wait()
+            await send_json(writer, 200, job.result())
+            return True
+        if verb == "events":
+            return await self._stream_events(job, writer)
+        await send_error(writer, 404, f"unknown job endpoint {verb!r}")
+        return True
+
+    async def _stream_events(
+        self, job: Job, writer: asyncio.StreamWriter
+    ) -> bool:
+        """NDJSON: replayed history, then live events until the job ends."""
+        queue, sink = self.manager.subscribe(job)
+        stream = NDJSONStream(writer)
+        await stream.start()
+        try:
+            while True:
+                # The done-event is always emitted before job.done is
+                # set, so draining until we see a terminal event never
+                # hangs; the extra timeout covers a job that terminated
+                # between replay and attach.
+                if job.done.is_set() and queue.empty():
+                    break
+                try:
+                    event = await asyncio.wait_for(queue.get(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    continue
+                await stream.send(event)
+                if event.get("name") in ("job.done", "job.error"):
+                    break
+            await stream.end()
+        finally:
+            self.manager.unsubscribe(job, sink)
+        return True
+
+
+async def run_service(
+    host: str,
+    port: int,
+    engine: Optional[MeasurementEngine] = None,
+    row_cache_capacity: int = 65536,
+    ready=None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Start a service and serve until shutdown; the CLI entry point.
+
+    ``ready`` is called with the bound (host, port) once listening —
+    the CLI prints the address, tests capture the ephemeral port.
+    """
+    import signal
+
+    service = SweepService(
+        host=host, port=port, engine=engine,
+        row_cache_capacity=row_cache_capacity,
+    )
+    bound = await service.start()
+    if ready is not None:
+        ready(bound)
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+    await service.serve_until_shutdown()

@@ -1,0 +1,212 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams (stdlib only).
+
+The service deliberately does not depend on any web framework: the
+container bakes in numpy + pytest and nothing else, and the protocol
+surface the daemon needs is tiny — JSON request bodies, JSON
+responses, keep-alive, and chunked NDJSON event streams.  This module
+is that surface and nothing more.
+
+Limits are deliberate: request bodies are capped (a SweepSpec is a few
+hundred bytes; a 1 MiB body is a client bug), as are header count and
+line length, so a misbehaving client cannot balloon the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Protocol limits (defense against malformed/hostile clients).
+MAX_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """The peer sent something that is not acceptable HTTP/1.1."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request."""
+
+    method: str
+    #: Path without the query string (e.g. ``/jobs/j00000001``).
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> object:
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(400, f"request body is not JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def flag(self, name: str) -> bool:
+        """Truthiness of a query parameter (``?wait=1``)."""
+        return self.query.get(name, "").lower() in ("1", "true", "yes", "on")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HTTPRequest]:
+    """Parse one request; None on a cleanly closed connection."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise ProtocolError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, "request line too long")
+    if len(line) > MAX_LINE:
+        raise ProtocolError(431, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readuntil(b"\n")
+        if len(line) > MAX_LINE:
+            raise ProtocolError(431, "header line too long")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError(431, "too many headers")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header: {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length: {length!r}")
+        if size < 0 or size > MAX_BODY:
+            raise ProtocolError(413, f"body of {size} bytes exceeds cap")
+        body = await reader.readexactly(size)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise ProtocolError(411, "chunked request bodies are not supported")
+
+    url = urlsplit(target)
+    query = dict(parse_qsl(url.query, keep_blank_values=True))
+    return HTTPRequest(
+        method=method.upper(), path=url.path or "/", query=query,
+        headers=headers, body=body,
+    )
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    411: "Length Required", 413: "Payload Too Large",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _head(
+    status: int, content_type: str, extra: Dict[str, str], keep_alive: bool
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines += [f"{name}: {value}" for name, value in extra.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+) -> None:
+    """One complete JSON response (Content-Length framing)."""
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    writer.write(
+        _head(
+            status, "application/json",
+            {"Content-Length": str(len(body))}, keep_alive,
+        )
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+class NDJSONStream:
+    """A chunked ``application/x-ndjson`` response, one JSON per line.
+
+    Chunked framing keeps the connection reusable after the stream
+    ends — the load generator holds one connection per worker and
+    must not reconnect per job.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.lines = 0
+
+    async def start(self, status: int = 200, keep_alive: bool = True) -> None:
+        self._writer.write(
+            _head(
+                status, "application/x-ndjson",
+                {"Transfer-Encoding": "chunked"}, keep_alive,
+            )
+        )
+        await self._writer.drain()
+
+    async def send(self, payload: object) -> None:
+        line = (json.dumps(payload) + "\n").encode("utf-8")
+        self._writer.write(f"{len(line):x}\r\n".encode("latin-1"))
+        self._writer.write(line + b"\r\n")
+        self.lines += 1
+        await self._writer.drain()
+
+    async def end(self) -> None:
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+@dataclass
+class ErrorBody:
+    """Uniform error payload shape (``{"error": ..., "status": ...}``)."""
+
+    status: int
+    error: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def payload(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"status": self.status, "error": self.error}
+        out.update(self.detail)
+        return out
+
+
+async def send_error(
+    writer: asyncio.StreamWriter,
+    status: int,
+    message: str,
+    keep_alive: bool = True,
+) -> None:
+    await send_json(
+        writer, status, ErrorBody(status, message).payload(), keep_alive
+    )

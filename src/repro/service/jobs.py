@@ -1,0 +1,461 @@
+"""The sweep service's job manager: dedup, sharding, events, metrics.
+
+One :class:`Job` is one submitted :class:`~repro.api.SweepSpec`.  The
+manager expands it into the engine's :class:`MeasurementRequest`\\ s
+and resolves each through a three-level ladder:
+
+1. **row LRU** — a bounded in-loop cache of finished rows keyed by the
+   engine's content-addressed keys (hit/miss/eviction counters served
+   on ``/metrics``);
+2. **in-flight table** — a request some other job is currently
+   computing; this job *subscribes* to the same future instead of
+   executing again, so N concurrent identical jobs cost one
+   execution (the ``coalesced`` counter);
+3. **the engine** — everything else is dispatched as one batch to
+   :meth:`MeasurementEngine.run` on a dedicated executor thread (the
+   engine's process pool provides the parallelism; the single thread
+   keeps its internal caches race-free), with ``return_errors=True``
+   so one poisoned config yields an error row instead of killing the
+   batch, and ``on_result`` bridging each completion back onto the
+   event loop as it happens.
+
+Every row/progress/lifecycle observation is emitted as a PR 2
+:class:`TraceEvent` through a per-job :class:`BroadcastSink`, which is
+what the daemon's NDJSON endpoints stream — the service has no second
+event vocabulary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import SweepSpec, row_from
+from repro.core.engine import (
+    MeasurementEngine,
+    MeasurementRequest,
+    MeasurementResult,
+    default_engine,
+)
+from repro.core.lru import LRUCache
+from repro.trace.events import (
+    JOB_ACCEPTED,
+    JOB_DONE,
+    JOB_ERROR,
+    JOB_PROGRESS,
+    JOB_ROW,
+    event_to_json,
+)
+from repro.trace.tracer import BroadcastSink, Tracer
+
+#: Row provenance values (the ``source`` column on each service row).
+SOURCE_COMPUTED = "computed"      # this job executed the measurement
+SOURCE_ENGINE_CACHE = "engine-cache"  # engine memory/disk cache hit
+SOURCE_LRU = "lru"                # service row-LRU hit
+SOURCE_COALESCED = "coalesced"    # subscribed to another job's execution
+SOURCE_ERROR = "error"
+
+
+def validate_spec_names(spec: SweepSpec) -> None:
+    """Reject unknown workload/runtime/strategy/ISA names with ValueError.
+
+    The grid product itself may legitimately *skip* combinations (a
+    runtime without an ISA backend); a name that exists nowhere is a
+    client error and should 400 at submit instead of failing the job.
+    """
+    from repro.isa import ISAS
+    from repro.runtime.strategies import STRATEGIES
+    from repro.runtimes import runtime_named
+    from repro.workloads import workload_named
+
+    for workload in spec.workloads:
+        workload_named(workload)  # raises ValueError
+    for runtime in spec.runtimes:
+        runtime_named(runtime)  # raises KeyError-ish/ValueError
+    for strategy in spec.strategies:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from "
+                f"{sorted(STRATEGIES)}"
+            )
+    for isa in spec.isas:
+        if isa not in ISAS:
+            raise ValueError(
+                f"unknown ISA {isa!r}; choose from {sorted(ISAS)}"
+            )
+    if spec.iterations < 1 or spec.warmup < 0:
+        raise ValueError("iterations must be >= 1 and warmup >= 0")
+
+
+def error_row(request: MeasurementRequest, result: MeasurementResult) -> dict:
+    """The per-row shape of a failed request (fault isolation)."""
+    assert result.error is not None
+    return {
+        "workload": request.workload,
+        "runtime": request.runtime,
+        "strategy": request.strategy,
+        "isa": request.isa,
+        "threads": request.threads,
+        "error": result.error.message,
+        "error_kind": result.error.kind,
+        "cache_hit": 0,
+        "elapsed_s": round(result.elapsed, 6),
+        "source": SOURCE_ERROR,
+    }
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything observable about it."""
+
+    id: str
+    spec: SweepSpec
+    digest: str
+    created_unix: float
+    #: Monotonic submit instant (latency measurements).
+    _t0: float
+    state: str = "running"  # running | done | failed
+    total: int = 0
+    rows: List[dict] = field(default_factory=list)
+    #: computed/engine-cache/lru/coalesced/error tallies.
+    sources: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    latency_s: Optional[float] = None
+    events: BroadcastSink = field(default_factory=BroadcastSink)
+    tracer: Tracer = field(default_factory=Tracer)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def __post_init__(self) -> None:
+        self.tracer.start(self.events)
+
+    def emit(self, name: str, **args) -> None:
+        self.tracer.emit(time.monotonic() - self._t0, name, **args)
+
+    @property
+    def ok_rows(self) -> int:
+        return sum(1 for row in self.rows if "error" not in row)
+
+    @property
+    def error_rows(self) -> int:
+        return sum(1 for row in self.rows if "error" in row)
+
+    def summary(self) -> dict:
+        return {
+            "job": self.id,
+            "digest": self.digest,
+            "state": self.state,
+            "created_unix": self.created_unix,
+            "spec": self.spec.to_json(),
+            "requests": self.total,
+            "rows": len(self.rows),
+            "errors": self.error_rows,
+            "sources": dict(self.sources),
+            "latency_s": self.latency_s,
+            **({"error": self.error} if self.error else {}),
+        }
+
+    def result(self) -> dict:
+        payload = self.summary()
+        payload["row_data"] = list(self.rows)
+        return payload
+
+
+class JobManager:
+    """Owns the jobs table, the dedup ladder and the engine bridge."""
+
+    def __init__(
+        self,
+        engine: Optional[MeasurementEngine] = None,
+        row_cache_capacity: int = 65536,
+        max_jobs_kept: int = 10000,
+    ) -> None:
+        self.engine = engine if engine is not None else default_engine()
+        self.rows: LRUCache[dict] = LRUCache(row_cache_capacity)
+        self.jobs: Dict[str, Job] = {}
+        self._job_order: List[str] = []
+        self.max_jobs_kept = max_jobs_kept
+        #: engine key -> loop future resolving to (row, result_ok) once
+        #: some job finishes computing that request.
+        self.inflight: Dict[str, asyncio.Future] = {}
+        self.counters = {
+            "jobs_submitted": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "jobs_rejected": 0,
+            "requests_resolved": 0,
+            "computed": 0,
+            "engine_cache_hits": 0,
+            "lru_hits": 0,
+            "coalesced": 0,
+            "errors": 0,
+            "rows_streamed": 0,
+        }
+        self.started_unix = time.time()
+        self._started_mono = time.monotonic()
+        self._seq = 0
+        # Two single threads, deliberately separate: *prep* computes
+        # content keys (pure, memoised module encodes) so identical
+        # jobs can coalesce while a batch is still executing on the
+        # *engine* thread.  All manager state stays loop-only.
+        self._prep = ThreadPoolExecutor(1, thread_name_prefix="svc-prep")
+        self._engine_exec = ThreadPoolExecutor(1, thread_name_prefix="svc-engine")
+        self._active: Dict[str, asyncio.Task] = {}
+        self._draining = False
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: SweepSpec) -> Job:
+        """Register a job and start resolving it; returns immediately."""
+        if self._draining:
+            raise RuntimeError("service is draining; not accepting jobs")
+        validate_spec_names(spec)
+        self._seq += 1
+        job = Job(
+            id=f"j{self._seq:08d}",
+            spec=spec,
+            digest=spec.digest(),
+            created_unix=time.time(),
+            _t0=time.monotonic(),
+        )
+        self.jobs[job.id] = job
+        self._job_order.append(job.id)
+        self._forget_old_jobs()
+        self.counters["jobs_submitted"] += 1
+        job.emit(JOB_ACCEPTED, job=job.id, digest=job.digest)
+        task = asyncio.get_running_loop().create_task(self._run_job(job))
+        self._active[job.id] = task
+        task.add_done_callback(lambda _t: self._active.pop(job.id, None))
+        return job
+
+    def _forget_old_jobs(self) -> None:
+        while len(self._job_order) > self.max_jobs_kept:
+            oldest = self._job_order[0]
+            if oldest in self._active:  # never drop a running job
+                break
+            self._job_order.pop(0)
+            self.jobs.pop(oldest, None)
+
+    # -- the resolution ladder -------------------------------------------
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            requests, keys = await loop.run_in_executor(
+                self._prep, self._prepare, job.spec
+            )
+        except Exception as exc:
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.latency_s = time.monotonic() - job._t0
+            self.counters["jobs_failed"] += 1
+            job.emit(JOB_ERROR, job=job.id, kind=type(exc).__name__,
+                     message=str(exc))
+            job.tracer.stop()
+            job.done.set()
+            return
+
+        job.total = len(requests)
+        job.emit(JOB_PROGRESS, job=job.id, done=0, total=job.total)
+
+        # Partition every request through the ladder.  Plan entries are
+        # (kind, payload): an LRU hit carries its finished row, an owned
+        # or coalesced request carries the future that will resolve it.
+        owned: List[Tuple[MeasurementRequest, str]] = []
+        plan: List[Tuple[str, object]] = []
+        for request, key in zip(requests, keys):
+            row = self.rows.get(key)
+            if row is not None:
+                self.counters["lru_hits"] += 1
+                plan.append(
+                    ("hit", dict(row, cache_hit=1, source=SOURCE_LRU))
+                )
+                continue
+            fut = self.inflight.get(key)
+            if fut is not None:
+                self.counters["coalesced"] += 1
+                plan.append(("coalesced", fut))
+                continue
+            fut = loop.create_future()
+            self.inflight[key] = fut
+            owned.append((request, key))
+            plan.append(("owned", fut))
+
+        if owned:
+            self._dispatch(loop, owned)
+
+        for index, (kind, payload) in enumerate(plan):
+            if kind == "hit":
+                row = payload
+            else:
+                row = dict(await payload)
+                if kind == "coalesced":
+                    # A subscriber did not execute anything: its copy
+                    # reads as served-from-in-flight-work.
+                    row["cache_hit"] = 1
+                    row["source"] = SOURCE_COALESCED
+            job.rows.append(row)
+            job.sources[row["source"]] = job.sources.get(row["source"], 0) + 1
+            self.counters["requests_resolved"] += 1
+            self.counters["rows_streamed"] += 1
+            job.emit(JOB_ROW, job=job.id, index=index, done=len(job.rows),
+                     total=job.total, row=row)
+
+        job.state = "done"
+        job.latency_s = time.monotonic() - job._t0
+        self.counters["jobs_completed"] += 1
+        job.emit(
+            JOB_DONE, job=job.id, rows=len(job.rows),
+            errors=job.error_rows, latency_s=round(job.latency_s, 6),
+            sources=dict(job.sources),
+        )
+        job.tracer.stop()
+        job.done.set()
+
+    def _prepare(self, spec: SweepSpec):
+        """(requests, content keys) for a spec — runs on the prep thread."""
+        requests = spec.requests()
+        keys = [self.engine.key_for(request) for request in requests]
+        return requests, keys
+
+    def _dispatch(
+        self, loop: asyncio.AbstractEventLoop,
+        owned: List[Tuple[MeasurementRequest, str]],
+    ) -> None:
+        """Hand a batch of owned misses to the engine thread."""
+        batch_requests = [request for request, _ in owned]
+        batch_keys = {key for _, key in owned}
+
+        def on_result(request, key, result) -> None:
+            # Engine-thread context: bounce onto the loop.
+            loop.call_soon_threadsafe(self._complete, key, request, result)
+
+        def run_batch() -> None:
+            self.engine.run(
+                batch_requests, return_errors=True, on_result=on_result
+            )
+
+        def batch_finished(fut: asyncio.Future) -> None:
+            if fut.cancelled():
+                exc: BaseException = RuntimeError("engine batch cancelled")
+            else:
+                exc = fut.exception()
+            if exc is None:
+                return
+            # The engine itself failed (not one request): fail every
+            # still-unresolved future of this batch.
+            for key in batch_keys:
+                pending = self.inflight.pop(key, None)
+                if pending is not None and not pending.done():
+                    row = {
+                        "error": str(exc),
+                        "error_kind": type(exc).__name__,
+                        "cache_hit": 0,
+                        "elapsed_s": 0.0,
+                        "source": SOURCE_ERROR,
+                    }
+                    self.counters["errors"] += 1
+                    pending.set_result(row)
+
+        future = loop.run_in_executor(self._engine_exec, run_batch)
+        future.add_done_callback(batch_finished)
+
+    def _complete(
+        self, key: str, request: MeasurementRequest, result: MeasurementResult
+    ) -> None:
+        """One engine request resolved (loop context via threadsafe call)."""
+        if result.error is not None:
+            row = error_row(request, result)
+            self.counters["errors"] += 1
+            # Not cached: a poisoned config is retried by the next job.
+        else:
+            row = row_from(result)
+            row["source"] = (
+                SOURCE_ENGINE_CACHE if result.cache_hit else SOURCE_COMPUTED
+            )
+            if result.cache_hit:
+                self.counters["engine_cache_hits"] += 1
+            else:
+                self.counters["computed"] += 1
+            self.rows.put(key, row)
+        pending = self.inflight.pop(key, None)
+        if pending is not None and not pending.done():
+            pending.set_result(row)
+
+    # -- introspection ---------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def job_summaries(self, limit: int = 100) -> List[dict]:
+        recent = self._job_order[-limit:]
+        return [self.jobs[jid].summary() for jid in reversed(recent)]
+
+    def metrics(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+            "started_unix": self.started_unix,
+            "jobs": {
+                "submitted": self.counters["jobs_submitted"],
+                "completed": self.counters["jobs_completed"],
+                "failed": self.counters["jobs_failed"],
+                "rejected": self.counters["jobs_rejected"],
+                "active": len(self._active),
+                "kept": len(self.jobs),
+            },
+            "requests": {
+                "resolved": self.counters["requests_resolved"],
+                "computed": self.counters["computed"],
+                "engine_cache_hits": self.counters["engine_cache_hits"],
+                "lru_hits": self.counters["lru_hits"],
+                "coalesced": self.counters["coalesced"],
+                "in_flight": len(self.inflight),
+                "errors": self.counters["errors"],
+            },
+            "rows_streamed": self.counters["rows_streamed"],
+            "row_cache": self.rows.stats(),
+            "engine": {
+                "jobs": self.engine.jobs,
+                "jobs_requested": str(self.engine.jobs_requested),
+                "cache_enabled": self.engine.cache_enabled,
+                "memory_cache": self.engine.memory_stats(),
+            },
+        }
+
+    # -- event streaming --------------------------------------------------
+
+    def subscribe(self, job: Job) -> Tuple[asyncio.Queue, object]:
+        """An asyncio queue fed the job's event history + live events.
+
+        Returns (queue, sink); detach the sink via :meth:`unsubscribe`
+        when the client goes away.  All emits happen on the loop
+        thread, so feeding the queue needs no locking.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+
+        class _QueueSink:
+            @staticmethod
+            def append(event) -> None:
+                queue.put_nowait(event_to_json(event))
+
+        sink = _QueueSink()
+        job.events.attach(sink, replay=True)
+        return queue, sink
+
+    def unsubscribe(self, job: Job, sink: object) -> None:
+        job.events.detach(sink)
+
+    # -- shutdown ---------------------------------------------------------
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs, let active ones finish, release pools."""
+        self._draining = True
+        pending = [task for task in self._active.values() if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._engine_exec, self.engine.drain)
+        self._prep.shutdown(wait=False)
+        self._engine_exec.shutdown(wait=True)

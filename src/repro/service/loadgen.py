@@ -1,0 +1,163 @@
+"""Asyncio load generator for the sweep service (``leaps-bench loadgen``).
+
+Opens ``concurrency`` keep-alive connections and drives one
+submit-and-wait job per connection at a time, so the *service-side*
+in-flight job count equals the concurrency level — "10k concurrent
+requests" means ten thousand jobs genuinely open at once, not a
+sequential loop.  Per-job latency is measured client-side from the
+first request byte to the parsed response; the report carries
+p50/p99/mean latency, jobs/s and rows/s, which is what
+``benchmarks/service_bench.py`` records into ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.api import SweepSpec
+
+
+class LoadgenError(RuntimeError):
+    pass
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def _read_response(reader: asyncio.StreamReader) -> dict:
+    """Parse one Content-Length JSON response off a keep-alive stream."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise LoadgenError("connection closed mid-response")
+    parts = status_line.decode("latin-1").split()
+    status = int(parts[1])
+    length = None
+    while True:
+        line = await reader.readline()
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    if length is None:
+        raise LoadgenError("response without Content-Length")
+    body = await reader.readexactly(length)
+    payload = json.loads(body)
+    if status >= 400:
+        raise LoadgenError(f"HTTP {status}: {payload}")
+    return payload
+
+
+async def _connect(host: str, port: int, attempts: int = 20):
+    """Open a connection, backing off briefly when the burst outruns
+    the daemon's accept loop."""
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(0.05 * (attempt + 1))
+
+
+async def run_load(
+    host: str,
+    port: int,
+    spec: SweepSpec,
+    concurrency: int = 100,
+    total_jobs: Optional[int] = None,
+    duration: Optional[float] = None,
+) -> Dict[str, object]:
+    """Drive the service; returns the latency/throughput report.
+
+    Exactly one of ``total_jobs``/``duration`` bounds the run (both
+    set: whichever stops first; neither: one job per connection).
+    """
+    if total_jobs is None and duration is None:
+        total_jobs = concurrency
+    body = json.dumps({"spec": spec.to_json()}).encode()
+    head = (
+        f"POST /jobs?wait=1 HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1")
+    request_bytes = head + body
+
+    issued = 0
+    deadline: Optional[float] = None
+    latencies: List[float] = []
+    rows = 0
+    errors = 0
+    failures: List[str] = []
+
+    def want_more() -> bool:
+        nonlocal issued
+        if deadline is not None and time.monotonic() >= deadline:
+            return False
+        if total_jobs is not None and issued >= total_jobs:
+            return False
+        issued += 1
+        return True
+
+    async def worker() -> None:
+        nonlocal rows, errors
+        reader, writer = await _connect(host, port)
+        try:
+            while want_more():
+                started = time.monotonic()
+                writer.write(request_bytes)
+                await writer.drain()
+                try:
+                    result = await _read_response(reader)
+                except LoadgenError as exc:
+                    errors += 1
+                    if len(failures) < 5:
+                        failures.append(str(exc))
+                    continue
+                latencies.append(time.monotonic() - started)
+                rows += result.get("rows", 0)
+                errors += result.get("errors", 0)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    wall_started = time.monotonic()
+    if duration is not None:
+        deadline = wall_started + duration
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    wall = time.monotonic() - wall_started
+
+    latencies.sort()
+    return {
+        "host": f"{host}:{port}",
+        "spec_digest": spec.digest(),
+        "concurrency": concurrency,
+        "jobs": len(latencies),
+        "rows": rows,
+        "errors": errors,
+        "failures": failures,
+        "wall_s": round(wall, 4),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p90_ms": round(percentile(latencies, 0.90) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round((latencies[-1] if latencies else 0.0) * 1e3, 3),
+        "mean_ms": round(
+            (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0, 3
+        ),
+        "jobs_per_s": round(len(latencies) / wall, 2) if wall else 0.0,
+        "rows_per_s": round(rows / wall, 2) if wall else 0.0,
+    }

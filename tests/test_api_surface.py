@@ -90,6 +90,66 @@ class TestSurfaceSnapshot:
             bad.validate()
 
 
+class TestSpecCanonicalization:
+    """SweepSpec as a value type: hashable, serialisable, digestable.
+
+    The sweep service keys job dedup on :meth:`SweepSpec.digest`, so
+    list-vs-tuple construction differences must vanish at ``__init__``.
+    """
+
+    def test_lists_and_tuples_construct_equal_hashable_specs(self):
+        a = api.SweepSpec(workloads=["gemm"], runtimes=["wavm", "v8"],
+                          threads=[1, 4])
+        b = api.SweepSpec(workloads=("gemm",), runtimes=("wavm", "v8"),
+                          threads=(1, 4))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1  # usable as a dict/set key
+        assert a.workloads == ("gemm",)
+        assert a.threads == (1, 4)
+
+    def test_replace_renormalizes(self):
+        spec = dataclasses.replace(SPEC, strategies=["none"])
+        assert spec.strategies == ("none",)
+        assert isinstance(hash(spec), int)
+
+    def test_bare_string_sequence_rejected(self):
+        with pytest.raises(TypeError, match="bare string"):
+            api.SweepSpec(workloads="gemm")
+        with pytest.raises(TypeError, match="bare string"):
+            api.SweepSpec(workloads=["gemm"], runtimes="wavm")
+
+    def test_json_round_trip(self):
+        raw = SPEC.to_json()
+        assert raw["workloads"] == ["gemm"]
+        assert raw["runtimes"] == ["wavm", "v8"]
+        again = api.SweepSpec.from_json(raw)
+        assert again == SPEC
+        assert again.digest() == SPEC.digest()
+        # And survives an actual JSON encode/decode cycle.
+        import json
+
+        assert api.SweepSpec.from_json(json.loads(json.dumps(raw))) == SPEC
+
+    def test_from_json_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(ValueError, match="unknown SweepSpec field"):
+            api.SweepSpec.from_json({"workloads": ["gemm"], "bogus": 1})
+        with pytest.raises(ValueError, match="workloads"):
+            api.SweepSpec.from_json({"runtimes": ["wavm"]})
+
+    def test_digest_is_stable_and_discriminating(self):
+        assert SPEC.digest() == SPEC.digest()
+        assert len(SPEC.digest()) == 64
+        other = dataclasses.replace(SPEC, iterations=3)
+        assert other.digest() != SPEC.digest()
+        # Canonical JSON is byte-stable: sorted keys, no whitespace.
+        text = SPEC.canonical_json()
+        assert " " not in text
+        import json
+
+        assert list(json.loads(text)) == sorted(json.loads(text))
+
+
 class TestEquivalence:
     def test_run_matches_legacy_run_sweep(self):
         rows = api.run(SPEC, engine=engine())

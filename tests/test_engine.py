@@ -7,6 +7,9 @@ uphold: ``--jobs 4`` output is bit-identical to ``--jobs 1``.
 
 import dataclasses
 import json
+import multiprocessing
+import os
+import sys
 
 import pytest
 
@@ -14,6 +17,7 @@ from repro.core import engine as engine_mod
 from repro.core.engine import (
     MeasurementEngine,
     MeasurementRequest,
+    SweepFailure,
     calibration_hash,
     measurement_from_json,
     measurement_to_json,
@@ -224,6 +228,262 @@ class TestAutoJobs:
         eng = engine_mod.configure(jobs="auto")
         assert eng.jobs_requested == "auto"
         assert eng.jobs == 1
+
+
+def _synthetic_measurement(request: MeasurementRequest, wall: float):
+    """A valid RunMeasurement without paying for a simulator run."""
+    from repro.core.harness import RunMeasurement
+    from repro.oskernel.procstat import UtilisationSample
+
+    return RunMeasurement(
+        workload=request.workload,
+        runtime=request.runtime,
+        strategy=request.strategy,
+        isa=request.isa,
+        threads=request.threads,
+        size=request.size,
+        iteration_seconds=[wall / request.iterations] * request.iterations,
+        wall_seconds=wall,
+        utilisation=UtilisationSample(wall, wall, 100.0, 90.0, 10.0, 0.0, 5.0),
+        mem_avg_bytes=1 << 20,
+        kernel_stats={},
+        mmap_read_wait=0.0,
+        mmap_write_wait=0.0,
+        compute_seconds=wall,
+        bounds_checks={},
+    )
+
+
+class TestFaultIsolation:
+    """One poisoned config must not abort the sweep (serial or pooled)."""
+
+    GOOD = [
+        dataclasses.replace(REQUEST, strategy=s)
+        for s in ("none", "mprotect", "clamp")
+    ]
+    POISON = dataclasses.replace(REQUEST, strategy="trap")
+
+    def _poison_trap(self, monkeypatch):
+        real = engine_mod.run_benchmark
+
+        def fake(**payload):
+            if payload["strategy"] == "trap":
+                raise RuntimeError("simulated poisoned config")
+            return real(**payload)
+
+        monkeypatch.setattr(engine_mod, "run_benchmark", fake)
+
+    def test_serial_failure_reported_after_the_rest_ran(
+        self, isolated_caches, monkeypatch
+    ):
+        self._poison_trap(monkeypatch)
+        eng = MeasurementEngine(jobs=1, cache_dir=isolated_caches)
+        grid = self.GOOD + [self.POISON]
+        with pytest.raises(SweepFailure) as excinfo:
+            eng.run(grid)
+        failure = excinfo.value
+        assert len(failure.errors) == 1
+        assert failure.errors[0].kind == "RuntimeError"
+        assert "poisoned" in failure.errors[0].message
+        assert failure.errors[0].request == self.POISON
+        assert self.POISON.label() in str(failure)
+        # Every other request completed and carries a measurement.
+        assert len(failure.results) == 4
+        assert sum(1 for r in failure.results if r.ok) == 3
+        # ... and was cached: a clean retry of the good cells is free.
+        retry = MeasurementEngine(cache_dir=isolated_caches).run(self.GOOD)
+        assert all(r.cache_hit for r in retry)
+
+    def test_return_errors_yields_per_row_results(
+        self, isolated_caches, monkeypatch
+    ):
+        self._poison_trap(monkeypatch)
+        eng = MeasurementEngine(jobs=1, cache_dir=isolated_caches)
+        results = eng.run(
+            self.GOOD + [self.POISON], return_errors=True
+        )  # must not raise
+        assert [r.ok for r in results] == [True, True, True, False]
+        bad = results[-1]
+        assert bad.measurement is None
+        assert bad.error.kind == "RuntimeError"
+        # Failed requests are never cached — the next run retries them.
+        again = MeasurementEngine(cache_dir=isolated_caches).run(
+            [self.POISON], return_errors=True
+        )
+        assert not again[0].ok and not again[0].cache_hit
+
+    def test_pool_failure_keeps_and_caches_other_results(
+        self, isolated_caches, monkeypatch
+    ):
+        self._poison_trap(monkeypatch)
+        eng = MeasurementEngine(jobs=2, cache_dir=isolated_caches)
+        try:
+            with pytest.raises(SweepFailure) as excinfo:
+                eng.run(self.GOOD + [self.POISON])
+        finally:
+            eng.close()
+        assert [e.request for e in excinfo.value.errors] == [self.POISON]
+        # The siblings' results survived the worker exception and were
+        # written to the shared disk cache.
+        retry = MeasurementEngine(cache_dir=isolated_caches).run(self.GOOD)
+        assert all(r.cache_hit for r in retry)
+
+    def test_on_result_streams_every_outcome(
+        self, isolated_caches, monkeypatch
+    ):
+        self._poison_trap(monkeypatch)
+        eng = MeasurementEngine(jobs=1, cache_dir=isolated_caches)
+        seen = []
+        eng.run(
+            self.GOOD + [self.POISON],
+            return_errors=True,
+            on_result=lambda req, key, res: seen.append((req.strategy, res.ok)),
+        )
+        assert sorted(seen) == [
+            ("clamp", True), ("mprotect", True), ("none", True),
+            ("trap", False),
+        ]
+
+
+class TestConfigureEnvLifecycle:
+    """configure(cache_dir=...) must not leak REPRO_CACHE_DIR overrides."""
+
+    def test_reset_restores_prior_value(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "orig"))
+        engine_mod.configure(cache_dir=tmp_path / "override")
+        assert os.environ["REPRO_CACHE_DIR"] == str(
+            tmp_path / "override" / "profiles"
+        )
+        engine_mod.reset_default_engine()
+        assert os.environ["REPRO_CACHE_DIR"] == str(tmp_path / "orig")
+
+    def test_reset_unsets_when_previously_unset(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        engine_mod.configure(cache_dir=tmp_path / "override")
+        assert "REPRO_CACHE_DIR" in os.environ
+        engine_mod.reset_default_engine()
+        assert "REPRO_CACHE_DIR" not in os.environ
+
+    def test_reconfigure_without_cache_dir_restores(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "orig"))
+        engine_mod.configure(cache_dir=tmp_path / "a")
+        # Re-pointing keeps tracking the ORIGINAL value, not "a".
+        engine_mod.configure(cache_dir=tmp_path / "b")
+        assert os.environ["REPRO_CACHE_DIR"] == str(
+            tmp_path / "b" / "profiles"
+        )
+        engine_mod.configure(jobs=1)  # no cache_dir: override must end
+        assert os.environ["REPRO_CACHE_DIR"] == str(tmp_path / "orig")
+
+
+class TestMemoryCacheBound:
+    """The in-process result cache must never outgrow its cap."""
+
+    def _fake_bench(self, monkeypatch):
+        monkeypatch.setattr(
+            engine_mod, "run_benchmark",
+            lambda **payload: _synthetic_measurement(
+                MeasurementRequest(**payload), wall=1.0
+            ),
+        )
+
+    def test_memory_never_exceeds_cap(self, isolated_caches, monkeypatch):
+        self._fake_bench(monkeypatch)
+        eng = MeasurementEngine(
+            jobs=1, cache_dir=isolated_caches, memory_cap=4
+        )
+        grid = [
+            dataclasses.replace(REQUEST, iterations=n) for n in range(1, 11)
+        ]
+        eng.run(grid)
+        stats = eng.memory_stats()
+        assert len(eng._memory) <= 4
+        assert stats["peak"] <= 4  # held throughout, not just at the end
+        assert stats["evictions"] >= 6
+
+    def test_evicted_entries_fall_back_to_disk(
+        self, isolated_caches, monkeypatch
+    ):
+        self._fake_bench(monkeypatch)
+        eng = MeasurementEngine(
+            jobs=1, cache_dir=isolated_caches, memory_cap=2
+        )
+        grid = [
+            dataclasses.replace(REQUEST, iterations=n) for n in range(1, 6)
+        ]
+        eng.run(grid)
+        # The first request was evicted from memory long ago; the disk
+        # layer still serves it as a hit.
+        result = eng.run([grid[0]])[0]
+        assert result.cache_hit
+
+    def test_cap_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_CACHE_CAP", "7")
+        assert MeasurementEngine()._memory.capacity == 7
+        monkeypatch.delenv("REPRO_MEMORY_CACHE_CAP")
+        assert MeasurementEngine()._memory.capacity == 4096
+        assert MeasurementEngine(memory_cap=3)._memory.capacity == 3
+
+
+def _hammer_cache(cache_dir: str, wall: float, rounds: int) -> None:
+    """Child-process body for the concurrent-writer test.
+
+    Writes its own variant of the same cache entry over and over while
+    verifying that every read parses as ONE complete variant — a torn
+    or interleaved write would fail json parsing or produce a value
+    neither process wrote.  Exit code carries the verdict.
+    """
+    eng = MeasurementEngine(cache_dir=cache_dir)
+    key = eng.key_for(REQUEST)
+    path = eng._path_for(REQUEST, key)
+    mine = _synthetic_measurement(REQUEST, wall=wall)
+    for _ in range(rounds):
+        eng._store(REQUEST, key, mine)
+        try:
+            raw = json.loads(path.read_text())
+            loaded = measurement_from_json(raw["measurement"])
+        except (ValueError, KeyError) as exc:
+            print(f"torn read: {exc}", file=sys.stderr)
+            sys.exit(1)
+        if raw["key"] != key or loaded.wall_seconds not in (1.0, 2.0):
+            print(f"foreign value: {loaded.wall_seconds}", file=sys.stderr)
+            sys.exit(1)
+        # Also exercise the engine's own (corruption-masking) loader
+        # from a cold memory cache, as a second concurrent reader.
+        eng._memory.clear()
+        if eng._load(REQUEST, key) is None:
+            print("entry vanished", file=sys.stderr)
+            sys.exit(1)
+    sys.exit(0)
+
+
+class TestConcurrentCacheWriters:
+    def test_two_processes_no_torn_reads(self, isolated_caches):
+        """Two writers on one key: atomic replace keeps reads whole."""
+        eng = MeasurementEngine(cache_dir=isolated_caches)
+        key = eng.key_for(REQUEST)  # also warms the digest memos pre-fork
+        eng._store(REQUEST, key, _synthetic_measurement(REQUEST, wall=1.0))
+        children = [
+            multiprocessing.Process(
+                target=_hammer_cache,
+                args=(str(isolated_caches), wall, 150),
+            )
+            for wall in (1.0, 2.0)
+        ]
+        for child in children:
+            child.start()
+        for child in children:
+            child.join(timeout=120)
+        assert [child.exitcode for child in children] == [0, 0]
+        # The surviving entry is a complete write from one of the two.
+        final = MeasurementEngine(cache_dir=isolated_caches)._load(
+            REQUEST, key
+        )
+        assert final is not None and final.wall_seconds in (1.0, 2.0)
+        # No stray tmp files were left behind.
+        assert not list(isolated_caches.glob("*.tmp.*"))
 
 
 class TestSweepIntegration:

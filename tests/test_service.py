@@ -1,0 +1,452 @@
+"""Tests for the sweep service: dedup, fault isolation, streaming, HTTP.
+
+The acceptance pair the PR hangs on:
+
+* **dedup** — N identical concurrent jobs trigger exactly ONE engine
+  execution; the other N-1 subscribe to the in-flight future
+  (``coalesced`` counter).
+* **fault isolation** — a grid containing one poisoned configuration
+  still returns a result row for every other configuration, with the
+  failure surfaced as a structured per-row error.
+
+Engine executions are observed by monkeypatching the engine module's
+``_execute`` with a fake that fabricates measurements — the service
+tests exercise scheduling, not the simulator (one end-to-end test runs
+the real thing).  The fake runs in the manager's engine thread (the
+service engine is serial in-process for these grids), so a plain
+counter is race-free.
+"""
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import SweepSpec
+from repro.core import engine as engine_mod
+from repro.core.engine import MeasurementEngine, MeasurementRequest
+from repro.core.lru import LRUCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import SweepService
+from repro.service.httpd import HTTPRequest, ProtocolError
+from repro.service.jobs import JobManager, validate_spec_names
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "profiles"))
+    monkeypatch.setenv(
+        "REPRO_MEASUREMENT_CACHE_DIR", str(tmp_path / "measurements")
+    )
+    engine_mod.reset_default_engine()
+    yield tmp_path
+    engine_mod.reset_default_engine()
+
+
+def fake_measurement(request: MeasurementRequest):
+    """A structurally valid RunMeasurement without running the simulator."""
+    from repro.core.harness import RunMeasurement
+    from repro.oskernel.procstat import UtilisationSample
+
+    return RunMeasurement(
+        workload=request.workload,
+        runtime=request.runtime,
+        strategy=request.strategy,
+        isa=request.isa,
+        threads=request.threads,
+        size=request.size,
+        iteration_seconds=[0.001] * request.iterations,
+        wall_seconds=0.001 * request.iterations,
+        utilisation=UtilisationSample(1.0, 0.5, 50.0, 40.0, 10.0, 0.0, 12.0),
+        mem_avg_bytes=1 << 20,
+        kernel_stats={"mmap": 1},
+        mmap_read_wait=0.0,
+        mmap_write_wait=0.0,
+        compute_seconds=0.001,
+        bounds_checks={"emitted": 10, "elided": 2},
+    )
+
+
+class FakeExecute:
+    """Stands in for ``engine_mod._execute``; counts and can poison."""
+
+    def __init__(self, delay=0.0, poison=None):
+        self.calls = []
+        self.delay = delay
+        #: (field, value) — requests matching it raise.
+        self.poison = poison
+
+    def __call__(self, payload):
+        request = MeasurementRequest(**payload)
+        self.calls.append(request)
+        if self.delay:
+            time.sleep(self.delay)
+        if self.poison and getattr(request, self.poison[0]) == self.poison[1]:
+            raise RuntimeError(f"poisoned config {request.label()}")
+        return {
+            "measurement": engine_mod.measurement_to_json(
+                fake_measurement(request)
+            ),
+            "elapsed": self.delay,
+        }
+
+
+SPEC = SweepSpec(
+    workloads=["trisolv"], runtimes=["wavm"],
+    strategies=["none", "mprotect"], size="mini", iterations=2,
+)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+def make_manager(tmp_path, **kwargs):
+    engine = MeasurementEngine(
+        jobs=1, cache_dir=tmp_path / "measurements"
+    )
+    return JobManager(engine=engine, **kwargs)
+
+
+class TestDedupAndIsolation:
+    def test_n_identical_concurrent_jobs_one_execution(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: N concurrent identical jobs -> 1 engine execution."""
+        fake = FakeExecute(delay=0.05)
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            jobs = [manager.submit(SPEC) for _ in range(5)]
+            await asyncio.gather(*(job.done.wait() for job in jobs))
+            return manager, jobs
+
+        manager, jobs = run_async(scenario())
+        # One execution per unique request cell, not per job.
+        assert len(fake.calls) == len(SPEC.requests()) == 2
+        metrics = manager.metrics()
+        assert metrics["requests"]["coalesced"] == 4 * 2
+        assert metrics["requests"]["computed"] == 2
+        for job in jobs:
+            assert job.state == "done"
+            assert len(job.rows) == 2
+        # Subscribers carry the same measured values as the owner.
+        owner_rows = [dict(r, cache_hit=0, source="x") for r in jobs[0].rows]
+        for job in jobs[1:]:
+            assert [
+                dict(r, cache_hit=0, source="x") for r in job.rows
+            ] == owner_rows
+
+    def test_poisoned_config_isolated_per_row(self, tmp_path, monkeypatch):
+        """Acceptance: one poisoned config, every other row still lands."""
+        fake = FakeExecute(poison=("strategy", "mprotect"))
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+        spec = dataclasses.replace(
+            SPEC, strategies=("none", "mprotect", "trap")
+        )
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(spec)
+            await job.done.wait()
+            return manager, job
+
+        manager, job = run_async(scenario())
+        assert job.state == "done"
+        assert len(job.rows) == 3
+        errors = [row for row in job.rows if "error" in row]
+        oks = [row for row in job.rows if "error" not in row]
+        assert len(errors) == 1 and len(oks) == 2
+        assert errors[0]["strategy"] == "mprotect"
+        assert errors[0]["error_kind"] == "RuntimeError"
+        assert "poisoned" in errors[0]["error"]
+        assert manager.metrics()["requests"]["errors"] == 1
+
+    def test_error_rows_not_cached(self, tmp_path, monkeypatch):
+        fake = FakeExecute(poison=("strategy", "mprotect"))
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            first = manager.submit(SPEC)
+            await first.done.wait()
+            second = manager.submit(SPEC)
+            await second.done.wait()
+            return second
+
+        second = run_async(scenario())
+        sources = {
+            (row["strategy"], row["source"]) for row in second.rows
+        }
+        # The good row came from the LRU; the poisoned one re-executed.
+        assert ("none", "lru") in sources
+        assert ("mprotect", "error") in sources
+        executed = [r for r in fake.calls if r.strategy == "mprotect"]
+        assert len(executed) == 2  # retried, not served from cache
+
+    def test_row_lru_bounded_with_eviction_counters(
+        self, tmp_path, monkeypatch
+    ):
+        fake = FakeExecute()
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+        spec = dataclasses.replace(
+            SPEC, workloads=("trisolv", "gemm", "atax")
+        )
+
+        async def scenario():
+            manager = make_manager(tmp_path, row_cache_capacity=2)
+            job = manager.submit(spec)
+            await job.done.wait()
+            return manager
+
+        manager = run_async(scenario())
+        stats = manager.metrics()["row_cache"]
+        assert stats["capacity"] == 2
+        assert stats["size"] <= 2
+        assert stats["peak"] <= 2
+        assert stats["evictions"] >= 4  # 6 rows through a 2-slot cache
+
+    def test_unknown_names_rejected_at_submit(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown workload"):
+            validate_spec_names(SweepSpec(workloads=["nope"]))
+        with pytest.raises(ValueError, match="unknown strategy"):
+            validate_spec_names(
+                SweepSpec(workloads=["trisolv"], strategies=["nope"])
+            )
+        with pytest.raises(ValueError, match="unknown ISA"):
+            validate_spec_names(
+                SweepSpec(workloads=["trisolv"], isas=["nope"])
+            )
+
+    def test_drain_rejects_new_jobs(self, tmp_path, monkeypatch):
+        fake = FakeExecute()
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)
+            await job.done.wait()
+            await manager.drain(timeout=10)
+            with pytest.raises(RuntimeError, match="draining"):
+                manager.submit(SPEC)
+            return job
+
+        job = run_async(scenario())
+        assert job.state == "done"
+
+
+class TestJobEvents:
+    def test_event_stream_replays_and_terminates(self, tmp_path, monkeypatch):
+        fake = FakeExecute()
+        monkeypatch.setattr(engine_mod, "_execute", fake)
+
+        async def scenario():
+            manager = make_manager(tmp_path)
+            job = manager.submit(SPEC)
+            await job.done.wait()
+            # Late subscriber still sees full history (replay).
+            queue, sink = manager.subscribe(job)
+            events = []
+            while not queue.empty():
+                events.append(queue.get_nowait())
+            manager.unsubscribe(job, sink)
+            return events
+
+        events = run_async(scenario())
+        names = [event["name"] for event in events]
+        assert names[0] == "job.accepted"
+        assert names.count("job.row") == 2
+        assert names[-1] == "job.done"
+        done = events[-1]["args"]
+        assert done["rows"] == 2 and done["errors"] == 0
+        rows = [e["args"]["row"] for e in events if e["name"] == "job.row"]
+        assert {row["strategy"] for row in rows} == {"none", "mprotect"}
+
+
+class HttpService:
+    """Run a SweepService on a private loop thread; sync client access."""
+
+    def __init__(self, tmp_path):
+        self.engine = MeasurementEngine(
+            jobs=1, cache_dir=tmp_path / "measurements"
+        )
+        self.loop = asyncio.new_event_loop()
+        self.service = None
+        self.address = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not start")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def boot():
+            self.service = SweepService(
+                host="127.0.0.1", port=0, engine=self.engine
+            )
+            self.address = await self.service.start()
+            self._ready.set()
+
+        self.loop.run_until_complete(boot())
+        self.loop.run_forever()
+
+    def client(self) -> ServiceClient:
+        host, port = self.address
+        return ServiceClient(host, port, timeout=60)
+
+    def close(self):
+        async def teardown():
+            await self.service.stop(drain_timeout=30)
+
+        future = asyncio.run_coroutine_threadsafe(teardown(), self.loop)
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+@pytest.fixture
+def http_service(tmp_path, monkeypatch):
+    fake = FakeExecute()
+    monkeypatch.setattr(engine_mod, "_execute", fake)
+    service = HttpService(tmp_path)
+    service.fake = fake
+    yield service
+    service.close()
+
+
+class TestHttpEndpoints:
+    def test_submit_wait_and_metrics(self, http_service):
+        with http_service.client() as client:
+            assert client.health()["status"] == "ok"
+            result = client.submit(SPEC, wait=True)
+            assert result["state"] == "done"
+            assert result["rows"] == 2
+            assert len(result["row_data"]) == 2
+            again = client.submit(SPEC.to_json(), wait=True)
+            assert again["sources"] == {"lru": 2}
+            metrics = client.metrics()
+            assert metrics["requests"]["lru_hits"] == 2
+            assert metrics["row_cache"]["hits"] == 2
+            assert metrics["jobs"]["completed"] == 2
+            assert metrics["engine"]["memory_cache"]["capacity"] >= 1
+
+    def test_async_submit_poll_and_events(self, http_service):
+        with http_service.client() as client:
+            ack = client.submit(SPEC)
+            assert ack["job"].startswith("j")
+            result = client.result(ack["job"], wait=True)
+            assert result["state"] == "done"
+            events = list(client.stream_events(ack["job"]))
+            names = [event["name"] for event in events]
+            assert names[0] == "job.accepted"
+            assert names[-1] == "job.done"
+            listing = client.jobs()
+            assert listing[0]["job"] == ack["job"]
+
+    def test_bad_requests_rejected(self, http_service):
+        with http_service.client() as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"workloads": ["no-such-workload"]}, wait=True)
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"bogus_field": 1}, wait=True)
+            assert excinfo.value.status == 400
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/no/such/route")
+            assert excinfo.value.status == 404
+            assert client.metrics()["jobs"]["rejected"] == 2
+
+    def test_concurrent_identical_http_jobs_coalesce(self, http_service):
+        http_service.fake.delay = 0.2
+        results = []
+
+        def submit_one():
+            with http_service.client() as client:
+                results.append(client.submit(SPEC, wait=True))
+
+        threads = [threading.Thread(target=submit_one) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 4
+        assert all(r["rows"] == 2 for r in results)
+        assert len(http_service.fake.calls) == 2  # one execution, 4 clients
+        with http_service.client() as client:
+            assert client.metrics()["requests"]["coalesced"] == 6
+
+
+class TestHttpLayer:
+    """Protocol-level units that need no running daemon."""
+
+    def test_request_flags_and_json(self):
+        request = HTTPRequest(
+            method="POST", path="/jobs", query={"wait": "1"},
+            headers={"connection": "close"},
+            body=json.dumps({"a": 1}).encode(),
+        )
+        assert request.flag("wait") and not request.flag("stream")
+        assert not request.keep_alive
+        assert request.json() == {"a": 1}
+
+    def test_bad_json_raises_protocol_error(self):
+        request = HTTPRequest("POST", "/jobs", {}, {}, b"{nope")
+        with pytest.raises(ProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_lru_cache_unit(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes recency
+        cache.put("c", 3)  # evicts b (least recent)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["peak"] == 2 and stats["size"] == 2
+        assert stats["hits"] == 3 and stats["misses"] == 2
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_real_measurement_through_service(self, tmp_path):
+        """No fakes: a real mini sweep through daemon, client and cache."""
+
+        async def scenario():
+            engine = MeasurementEngine(
+                jobs=1, cache_dir=tmp_path / "measurements"
+            )
+            service = SweepService(host="127.0.0.1", port=0, engine=engine)
+            host, port = await service.start()
+            loop = asyncio.get_running_loop()
+            spec = SweepSpec(
+                workloads=["trisolv"], runtimes=["wavm"],
+                strategies=["none"], size="mini", iterations=2,
+            )
+
+            def do_requests():
+                with ServiceClient(host, port, timeout=300) as client:
+                    first = client.submit(spec, wait=True)
+                    second = client.submit(spec, wait=True)
+                    return first, second
+
+            first, second = await loop.run_in_executor(None, do_requests)
+            await service.stop(drain_timeout=60)
+            return first, second
+
+        first, second = run_async(scenario())
+        assert first["state"] == "done" and first["errors"] == 0
+        row = first["row_data"][0]
+        assert row["workload"] == "trisolv" and row["median_ms"] > 0
+        assert second["sources"] == {"lru": 1}
+        assert second["row_data"][0]["median_ms"] == row["median_ms"]
