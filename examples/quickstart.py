@@ -72,9 +72,10 @@ def main() -> None:
     for runtime_name in ("native-clang", "native-gcc", "wavm", "wasmtime", "v8", "wasm3"):
         runtime = RUNTIMES[runtime_name]
         for strategy_name in runtime.strategies:
-            cycles = runtime.cycles(
-                module, profile, isa, strategy_named(strategy_name)
-            )
+            strategy = strategy_named(strategy_name)
+            if not isa.supports_strategy(strategy):
+                continue  # mte needs Arm's memory-tagging extension
+            cycles = runtime.cycles(module, profile, isa, strategy)
             rows.append((runtime_name, strategy_name, cycles / baseline))
     print()
     print(

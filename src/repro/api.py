@@ -42,6 +42,8 @@ from repro.core.engine import (
 )
 from repro.core.harness import RunMeasurement
 from repro.cpu.machine import MACHINE_SPECS
+from repro.isa import isa_named
+from repro.runtime.strategies import STRATEGIES
 from repro.runtimes import runtime_named
 from repro.trace.events import SWEEP_GRID
 from repro.trace.tracer import TRACE
@@ -168,6 +170,8 @@ class SweepSpec:
                 for strategy in self.strategies:
                     if strategy not in model.strategies:
                         continue
+                    if not _isa_allows(isa, strategy):
+                        continue
                     for threads in self.threads:
                         if threads <= cores:
                             yield (runtime, strategy, isa, threads)
@@ -206,11 +210,31 @@ class SweepSpec:
                             f"runtime {runtime} does not support "
                             f"strategy {strategy}"
                         )
+                    if not _isa_allows(isa, strategy):
+                        raise ValueError(
+                            f"strategy {strategy} requires a hardware "
+                            f"memory-tagging extension (Arm MTE); ISA {isa} "
+                            "has none — request it on armv8 instead"
+                        )
             for threads in self.threads:
                 if threads > cores:
                     raise ValueError(
                         f"{threads} workers exceed the {cores}-core machine"
                     )
+
+
+def _isa_allows(isa: str, strategy: str) -> bool:
+    """Spec-time mirror of the harness's hardware gating.
+
+    Rejecting (skipping) mte-on-x86_64 here means a service job or
+    strict sweep fails at submission with a clear message instead of
+    deep inside a worker process.  Unknown strategy names fall through
+    — the runtime-support check already handles those.
+    """
+    model = STRATEGIES.get(strategy)
+    if model is None:
+        return True
+    return isa_named(isa).supports_strategy(model)
 
 
 def row_from(result: MeasurementResult) -> Dict[str, object]:

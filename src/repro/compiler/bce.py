@@ -85,7 +85,8 @@ class BCEStats:
 
 
 def bounds_check_elimination(
-    irf: IRFunction, loops_enabled: bool, stats: BCEStats
+    irf: IRFunction, loops_enabled: bool, stats: BCEStats,
+    affine_guard_ok: bool = True,
 ) -> None:
     """Run BCE on ``irf`` in place, accumulating into ``stats``.
 
@@ -93,9 +94,17 @@ def bounds_check_elimination(
     invariant hoisting); the dominance sweep always runs.  Loops first,
     so the dominance phase deduplicates any guards the loop phase
     stacked up in shared preheaders.
+
+    ``affine_guard_ok`` gates the affine *pooled-guard* elimination: it
+    replaces every per-access check with one extremal check whose
+    soundness rests on the 8 GiB guard region absorbing the worst-case
+    address of any iteration.  A 64-bit (wasm64) memory has no guard
+    region, so that rewrite is illegal there and callers pass False;
+    invariant hoisting and the dominance sweep re-check the exact same
+    addresses the deleted checks covered, so they stay legal.
     """
     if loops_enabled:
-        _loop_phase(irf, stats)
+        _loop_phase(irf, stats, affine_guard_ok)
     _dominance_phase(irf, stats)
 
 
@@ -110,7 +119,9 @@ def _check_bytes(ins: IRInstr) -> int:
 # ----------------------------------------------------------------------
 # Loop phase: affine elimination + invariant guard hoisting
 # ----------------------------------------------------------------------
-def _loop_phase(irf: IRFunction, stats: BCEStats) -> None:
+def _loop_phase(
+    irf: IRFunction, stats: BCEStats, affine_guard_ok: bool = True
+) -> None:
     def_counts: Dict[int, int] = {}
     defs: Dict[int, IRInstr] = {}
     for ins in irf.instructions():
@@ -215,7 +226,7 @@ def _loop_phase(irf: IRFunction, stats: BCEStats) -> None:
                         _record_elision(stats, block.id)
                         continue
                     is_affine, uses_induction = affine(addr)
-                    if is_affine and uses_induction:
+                    if affine_guard_ok and is_affine and uses_induction:
                         affine_bytes = max(affine_bytes, nbytes)
                         if affine_pc < 0:
                             affine_pc = ins.wasm_pc

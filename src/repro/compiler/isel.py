@@ -7,6 +7,9 @@ This is where bounds-checking strategies become code (§3.1):
   x86, cmp+csel on Armv8, a 3-op branch-free idiom on the C906);
 * ``trap`` — compare + branch-to-ud2, macro-fused on x86 and well
   predicted everywhere, which is why it beats ``clamp``;
+* ``mte`` — a hardware tag compare riding the access itself: it is in
+  the load/store pipe, consumes no address register and does not block
+  addressing-mode fusion, so it undercuts every software check;
 * ``none`` / ``mprotect`` / ``uffd`` — no inline code at all (the
   guard region does the work).
 
@@ -30,11 +33,17 @@ from repro.compiler.ir import IRFunction, IRInstr
 from repro.isa.model import IsaModel, OPK
 
 
+#: Inline checks realised as *software* compare sequences on the raw
+#: index register.  Only these pin the address chain; the MTE tag check
+#: lives in the access's pipe and touches no integer register.
+_SOFTWARE_CHECKS = ("clamp", "trap")
+
+
 @dataclass(frozen=True)
 class SelectionConfig:
     """The knobs a runtime model hands to instruction selection."""
 
-    #: '' | 'clamp' | 'trap' — from the bounds strategy.
+    #: '' | 'clamp' | 'trap' | 'mte' — from the bounds strategy.
     inline_check: str
     #: Extra ALU ops per memory access (runtime bookkeeping).
     extra_access_ops: int
@@ -49,8 +58,9 @@ def select_function(
     use_counts: Dict[int, int] = {}
     defs: Dict[int, IRInstr] = {}
     for ins in irf.instructions():
-        if ins.op == "boundscheck" and not config.inline_check:
-            # The check compiles to nothing, so its address use does not
+        if ins.op == "boundscheck" and config.inline_check not in _SOFTWARE_CHECKS:
+            # The check compiles to nothing (or, for mte, to a tag
+            # compare inside the access), so its address use does not
             # pin the value in a register.
             continue
         for src in ins.srcs:
@@ -65,8 +75,13 @@ def select_function(
     # Inline software checks consume the raw index value, so the
     # address chain cannot be folded into the access — one reason
     # clamp/trap cost so much more than their op counts suggest
-    # (up to 650 % in the paper's worst case, §1).
-    fusion = config.addressing_fusion and isa.addressing_fusion and not config.inline_check
+    # (up to 650 % in the paper's worst case, §1).  The MTE tag check
+    # is not a software check: fusion stays available.
+    fusion = (
+        config.addressing_fusion
+        and isa.addressing_fusion
+        and config.inline_check not in _SOFTWARE_CHECKS
+    )
     if fusion:
         for ins in irf.instructions():
             if ins.op in ("load", "store"):
@@ -113,6 +128,8 @@ def _kinds_for(ins: IRInstr, isa: IsaModel, config: SelectionConfig) -> List[str
             return [OPK.CMP, OPK.ALU, OPK.ALU, OPK.ALU]
         if config.inline_check == "trap":
             return [OPK.CMP_BRANCH]
+        if config.inline_check == "mte":
+            return [OPK.TAGCHECK]
         return []
     if op == "const":
         return [OPK.CONST]

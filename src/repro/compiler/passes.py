@@ -50,7 +50,8 @@ _FOLDABLE = {
 
 
 def run_passes(
-    irf: IRFunction, enabled: Set[str], bce_stats=None
+    irf: IRFunction, enabled: Set[str], bce_stats=None,
+    affine_guard_ok: bool = True,
 ) -> Dict[int, int]:
     """Run the enabled passes in canonical order.
 
@@ -58,7 +59,9 @@ def run_passes(
     instruction selection (immediate folding, strength heuristics).
     When ``bce``/``bceloop`` are enabled, static elimination counters
     accumulate into ``bce_stats`` (a :class:`repro.compiler.bce.
-    BCEStats`) if one is given.
+    BCEStats`) if one is given.  ``affine_guard_ok=False`` disables
+    BCE's guard-region-backed affine pooling (64-bit memories; see
+    :func:`repro.compiler.bce.bounds_check_elimination`).
     """
     const_map: Dict[int, int] = {}
     if "constfold" in enabled:
@@ -76,6 +79,7 @@ def run_passes(
             irf,
             loops_enabled="bceloop" in enabled,
             stats=bce_stats if bce_stats is not None else BCEStats(),
+            affine_guard_ok=affine_guard_ok,
         )
     if "strength" in enabled:
         strength_reduce(irf, const_map)

@@ -103,6 +103,17 @@ class CompiledModule:
         )
 
 
+def _affine_guard_allowed(strategy: BoundsStrategy) -> bool:
+    """BCE's affine pooled guard needs the 32-bit guard region.
+
+    The pooled guard checks one extremal address per loop entry and
+    lets the 8 GiB guard mapping absorb everything in between; with a
+    64-bit (wasm64) memory no guard region exists, so every surviving
+    access must carry its own explicit check.
+    """
+    return strategy.addr_bits == 32
+
+
 def compile_module(
     module: Module,
     isa: IsaModel,
@@ -128,7 +139,10 @@ def compile_module(
         enabled -= {"bce", "bceloop"}
     for func_index, irf in lower_module(module).items():
         bce_stats = BCEStats()
-        run_passes(irf, enabled, bce_stats=bce_stats)
+        run_passes(
+            irf, enabled, bce_stats=bce_stats,
+            affine_guard_ok=_affine_guard_allowed(strategy),
+        )
         machine_ops = select_function(irf, isa, selection)
         if config.stack_checks and irf.blocks:
             # Stack-limit compare+branch in the prologue (entry block).

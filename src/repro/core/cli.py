@@ -6,6 +6,7 @@ Usage::
     leaps-bench fig2 [--isa x86_64|armv8|riscv64|all] ...
     leaps-bench fig3|fig4|fig5|fig6 [--isa x86_64|armv8] ...
     leaps-bench fig-bce      # bounds-check elimination effect
+    leaps-bench fig-cage     # extension: mte/wasm64 vs the paper's five
     leaps-bench replication ...
     leaps-bench cheri        # extension: projected CHERI strategy
     leaps-bench tiers        # extension: compile-time/code-size/speed
@@ -48,6 +49,7 @@ from repro.core.experiments import (
     fig5,
     fig6,
     fig_bce,
+    fig_cage,
     replication,
 )
 from repro.diffcheck import cli as diffcheck_cli
@@ -63,6 +65,7 @@ _EXPERIMENTS = {
     "fig5": fig5.main,
     "fig6": fig6.main,
     "fig-bce": fig_bce.main,
+    "fig-cage": fig_cage.main,
     "replication": replication.main,
     "cheri": extension_cheri.main,
     "tiers": extension_tiers.main,

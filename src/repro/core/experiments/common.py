@@ -11,7 +11,7 @@ import warnings
 
 from repro.core.engine import MeasurementEngine
 from repro.core.harness import RunMeasurement
-from repro.runtime.strategies import STRATEGY_ORDER
+from repro.runtime.strategies import PAPER_STRATEGY_ORDER
 from repro.runtimes import RUNTIMES, runtime_named
 from repro.workloads import suite_workloads
 
@@ -43,7 +43,10 @@ def configs_for_isa(isa: str) -> List[tuple]:
         model = runtime_named(runtime)
         if not model.supports(isa):
             continue
-        for strategy in STRATEGY_ORDER:
+        # The paper's five strategies only: fig2–fig6 reproduce the
+        # published grids, so the hardware-assisted extensions (mte,
+        # wasm64) stay out of them — fig-cage covers those.
+        for strategy in PAPER_STRATEGY_ORDER:
             if strategy in model.strategies:
                 combos.append((runtime, strategy))
     return combos

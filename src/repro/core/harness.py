@@ -106,6 +106,11 @@ def run_benchmark(
         raise ValueError(f"runtime {runtime} has no {isa} backend (§3.4)")
     if strategy not in runtime_model.strategies:
         raise ValueError(f"runtime {runtime} does not support strategy {strategy}")
+    if not isa_model.supports_strategy(strategy_model):
+        raise ValueError(
+            f"strategy {strategy} requires a hardware memory-tagging "
+            f"extension (Arm MTE); ISA {isa} has none — run it on armv8"
+        )
     spec = MACHINE_SPECS[isa]
     if threads > spec.cores:
         raise ValueError(f"{threads} workers exceed the {spec.cores}-core machine")

@@ -13,6 +13,9 @@ trap       nothing                        madvise(DONTNEED)  [read lock]
 mprotect   mprotect(range, RW) [WRITE]    mprotect(range, NONE) [WRITE,
                                           zap + TLB shootdown]
 uffd       atomic size store (no kernel)  madvise(DONTNEED)  [read lock]
+mte        userspace retag (no kernel)    madvise(DONTNEED)  [read lock]
+wasm64     nothing (no guard region to    madvise(DONTNEED)  [read lock]
+           manage; checks are explicit)
 =========  =============================  ===============================
 
 During the run, first-touch faults populate the working set: anonymous
@@ -62,6 +65,16 @@ FAULT_PHASE_FRACTION = 0.4
 
 #: Cost of the uffd strategy's atomic arena-size update.
 ATOMIC_GROW_SECONDS = 40e-9
+
+#: MTE retag throughput: seconds per 16-byte tag granule.  STG/DC GVA
+#: tag at roughly one granule per cycle on current Arm cores (~2.2
+#: GHz), so ~0.45 ns/granule.  Pure userspace work: no syscall, no
+#: VMA mutation, no mmap_lock — which is the whole point of the
+#: strategy under thread scaling.
+MTE_RETAG_SECONDS_PER_GRANULE = 0.45e-9
+
+#: The MTE tag granule in bytes (Arm MTE architectural constant).
+MTE_TAG_GRANULE_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -220,6 +233,16 @@ class InstanceLifecycle:
             )
         elif strategy.grow_mechanism == "atomic":
             yield from self.thread.run(ATOMIC_GROW_SECONDS, USER)
+        elif strategy.grow_mechanism == "retag":
+            # MTE: every new granule gets its allocation tag set in
+            # userspace (STG loop / DC GVA).  Costs CPU time linear in
+            # the grown range but never touches the VMA tree or
+            # mmap_lock, so it cannot collapse under thread scaling.
+            granule = strategy.tag_granule or MTE_TAG_GRANULE_BYTES
+            granules = plan.memory_bytes // granule
+            yield from self.thread.run(
+                granules * MTE_RETAG_SECONDS_PER_GRANULE, USER
+            )
         if TRACE.enabled:
             self._trace(STRATEGY_GROW_END, mechanism=strategy.grow_mechanism)
         yield from self._compute_with_faults(self.area)

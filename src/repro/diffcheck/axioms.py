@@ -15,17 +15,26 @@ itself, not only the unit suite.
 from __future__ import annotations
 
 from repro.diffcheck.report import DiffReport
-from repro.oskernel.layout import PAGE_SIZE
+from repro.oskernel.layout import PAGE_SIZE, WASM_PAGE_SIZE
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.memory import LinearMemory
+from repro.runtime.strategies import strategy_named
 from repro.stats import summary as summary_stats
 from repro.wasm.builder import ModuleBuilder
+from repro.wasm.errors import Trap
 from repro.wasm.types import Limits, ValType
 
 AXIOM_TOUCH = "axiom.memory.touch-coverage"
 AXIOM_SEGMENT = "axiom.memory.data-segment-touch"
 AXIOM_GROW0 = "axiom.memory.grow-zero-noop"
 AXIOM_GEOMEAN = "axiom.stats.geomean-coverage"
+AXIOM_MTE_RETAG = "axiom.memory.mte-retag-granule"
+AXIOM_W64_GUARD = "axiom.memory.wasm64-no-guard"
+AXIOM_W64_BCE = "axiom.compiler.wasm64-no-affine-guard"
+
+#: Arm MTE's architectural tag granule, restated independently of the
+#: strategy table so a mis-registered granule cannot agree with itself.
+_MTE_GRANULE_BYTES = 16
 
 #: (address, size) ranged accesses, chosen to cover aligned spans,
 #: boundary straddles, and >2-page interiors.
@@ -172,9 +181,155 @@ def check_geomean_coverage(report: DiffReport) -> None:
     )
 
 
+def check_mte_retag_granule(report: DiffReport) -> None:
+    """Grow under MTE retags exactly one 16-byte granule per 16 bytes.
+
+    The expectation is computed from the architectural constant, not
+    from the strategy table, so a wrong-granule registration (or a
+    regression that stops recording retag work) diverges here.
+    """
+    mem = LinearMemory(Limits(2, 16), strategy_named("mte"))
+    mem.grow(3)
+    expected = 3 * WASM_PAGE_SIZE // _MTE_GRANULE_BYTES
+    actual = [event.granules for event in mem.events]
+    report.check(
+        AXIOM_MTE_RETAG,
+        actual == [expected],
+        subject={"strategy": "mte", "delta_pages": 3},
+        detail="grow event granule count differs from bytes/16",
+        expected=[expected],
+        actual=actual,
+    )
+    for name in ("trap", "mprotect"):
+        mem = LinearMemory(Limits(1, 8), strategy_named(name))
+        mem.grow(2)
+        granules = [event.granules for event in mem.events]
+        report.check(
+            AXIOM_MTE_RETAG,
+            granules == [0],
+            subject={"strategy": name, "delta_pages": 2},
+            detail="untagged strategy recorded retag work",
+            expected=[0],
+            actual=granules,
+        )
+
+
+def check_wasm64_no_guard(report: DiffReport) -> None:
+    """A 64-bit memory has no guard region: far accesses must trap and
+    guard-dependent strategies must be rejected at construction."""
+    mem = LinearMemory(Limits(1), strategy_named("wasm64"))
+    try:
+        mem.load_bytes((1 << 32) + 8, 4)
+        outcome = "no trap"
+    except Trap as exc:
+        outcome = exc.kind
+    report.check(
+        AXIOM_W64_GUARD,
+        outcome == "out-of-bounds-memory",
+        subject={"case": "beyond-4GiB-access"},
+        detail="wasm64 access beyond 4 GiB did not trap out-of-bounds",
+        expected="out-of-bounds-memory",
+        actual=outcome,
+    )
+    for name in ("none", "mprotect", "uffd"):
+        try:
+            LinearMemory(Limits(1), strategy_named(name), memory64=True)
+            rejected = False
+        except ValueError:
+            rejected = True
+        report.check(
+            AXIOM_W64_GUARD,
+            rejected,
+            subject={"case": "guard-strategy-rejection", "strategy": name},
+            detail="guard-region strategy accepted for a 64-bit memory",
+            expected="ValueError",
+            actual="accepted" if not rejected else "ValueError",
+        )
+
+
+def _loop_module():
+    """A module whose inner loop produces affine bounds checks."""
+    from repro.wasm.dsl import DslModule
+
+    dm = DslModule("axiom-w64-bce")
+    arr = dm.array_i32("a", 64)
+    f = dm.func("run", params=[("seed", "i32")], results=["i32"])
+    i = f.i32("i")
+    acc = f.i32("acc")
+    with f.for_(i, 0, 64):
+        f.store(arr[i], arr[i] + i)
+    with f.for_(i, 0, 64):
+        f.set(acc, acc + arr[i])
+    f.ret(acc)
+    return dm.build()
+
+
+def check_wasm64_bce_legality(report: DiffReport) -> None:
+    """BCE must not pool affine guards for a 64-bit memory.
+
+    The pooled extremal guard is sound only because the 8 GiB guard
+    region absorbs every intermediate address; with wasm64 each access
+    keeps its own check.  Compiled through the live pipeline (late
+    bound), so a regression — or a monkeypatch re-enabling the elision
+    — is what actually runs here.
+    """
+    from repro.compiler import pipeline as pipeline_mod
+    from repro.isa import isa_named
+
+    module = _loop_module()
+    config = pipeline_mod.CompilerConfig(
+        name="axiom-w64-bce",
+        passes=frozenset(
+            {"constfold", "cse", "checkelim", "licm", "bce", "bceloop",
+             "strength", "dce"}
+        ),
+        regalloc_quality=1.0,
+        addressing_fusion=True,
+    )
+    isa = isa_named("x86_64")
+    affine = {}
+    emitted = {}
+    for name in ("trap", "wasm64"):
+        compiled = pipeline_mod.compile_module(
+            module, isa, config, strategy_named(name)
+        )
+        affine[name] = sum(
+            func.bce.eliminated_affine for func in compiled.functions.values()
+        )
+        emitted[name] = compiled.checks_emitted_static
+    report.check(
+        AXIOM_W64_BCE,
+        affine["trap"] > 0,
+        subject={"strategy": "trap"},
+        detail="loop module produced no affine eliminations under trap "
+               "(axiom module no longer exercises the loop phase)",
+        expected="> 0",
+        actual=affine["trap"],
+    )
+    report.check(
+        AXIOM_W64_BCE,
+        affine["wasm64"] == 0,
+        subject={"strategy": "wasm64"},
+        detail="BCE pooled affine guards for a 64-bit memory",
+        expected=0,
+        actual=affine["wasm64"],
+    )
+    report.check(
+        AXIOM_W64_BCE,
+        emitted["wasm64"] >= emitted["trap"],
+        subject={"comparison": "emitted-checks"},
+        detail="wasm64 emitted fewer static checks than trap",
+        expected=f">= {emitted['trap']}",
+        actual=emitted["wasm64"],
+    )
+
+
 def check_axioms(report: DiffReport) -> None:
     """Run the whole axiom catalogue into ``report``."""
     check_touch_coverage(report)
     check_data_segment_touch(report)
     check_grow_zero_noop(report)
     check_geomean_coverage(report)
+    check_mte_retag_granule(report)
+    check_wasm64_no_guard(report)
+    check_wasm64_bce_legality(report)

@@ -9,7 +9,8 @@ the default (pass enabled) run:
   check sequence (``none``/``mprotect``/``uffd``) the pass is stripped
   before compilation, so the entire serialised measurement must be
   byte-identical with BCE on and off;
-* **monotone on the inline path** — for ``clamp``/``trap`` the
+* **monotone on the inline path** — for the strategies that emit
+  per-access check code (``clamp``/``trap``/``mte``/``wasm64``) the
   modelled compute time with BCE on is less than or equal to the time
   with it off (eliding checks cannot add cycles);
 * **footprint preserved** — eliding a check never changes which pages
@@ -28,7 +29,8 @@ from typing import Sequence
 from repro.core.engine import measurement_to_json
 from repro.core.harness import RunMeasurement, run_benchmark
 from repro.diffcheck.report import DiffReport
-from repro.runtime.strategies import STRATEGY_ORDER
+from repro.isa import isa_named
+from repro.runtime.strategies import STRATEGY_ORDER, strategy_named
 from repro.runtimes import bce_enabled, runtime_named, set_bce_enabled
 
 CHECK_IDENTICAL = "bce.cost-only-identical"
@@ -69,6 +71,10 @@ def check_bce(
                 for strategy in STRATEGY_ORDER:
                     if strategy not in model.strategies:
                         continue
+                    if not isa_named(isa).supports_strategy(
+                        strategy_named(strategy)
+                    ):
+                        continue  # mte needs the tagging extension
                     set_bce_enabled(True)
                     on = _measure(workload, runtime, strategy, isa, size)
                     set_bce_enabled(False)
@@ -91,7 +97,9 @@ def _compare(
         "workload": workload, "runtime": runtime,
         "strategy": strategy, "isa": isa,
     }
-    inline = strategy in ("clamp", "trap")
+    # Classify by the strategy's declared code shape, not a name list:
+    # mte and wasm64 also emit per-access checks BCE can elide.
+    inline = bool(strategy_named(strategy).inline_check)
 
     if not inline:
         on_blob = measurement_to_json(on)

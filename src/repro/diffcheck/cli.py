@@ -12,8 +12,9 @@ Phases (all on by default):
 
 * ``axioms``    — executable axioms over the substrate layers;
 * ``reference`` — every selected workload through the reference
-  interpreter under all five bounds strategies, asserting bit-identical
-  outputs, load/store counts and touched-page sets;
+  interpreter under all seven bounds strategies (the paper's five plus
+  mte/wasm64), asserting bit-identical outputs, load/store counts and
+  touched-page sets;
 * ``sweep``     — measured sweep rows checked against the structural
   invariant catalogue (cost ordering, strategy-independent memory,
   monotone CPU accounting); reuses the measurement engine's cache and

@@ -60,7 +60,7 @@ CHECK_TRAPS = "fuzz.trap-strategy-agreement"
 CHECK_HARNESS = "fuzz.harness-error"
 
 #: Strategies whose out-of-bounds behaviour is a trap.
-_TRAPPING = ("trap", "mprotect", "uffd")
+_TRAPPING = ("trap", "mprotect", "uffd", "mte", "wasm64")
 _ARRAY_LEN = 16
 
 

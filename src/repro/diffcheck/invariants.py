@@ -37,6 +37,8 @@ CHECK_PAGES_EQUAL = "sweep.memory-pages-agreement"
 CHECK_MEM_SAMPLED = "sweep.memory-sampled-agreement"
 CHECK_CPU_MONOTONE = "sweep.cpu-monotone-threads"
 CHECK_COMPUTE_CONST = "sweep.compute-thread-independent"
+CHECK_MTE_SCALING = "sweep.mte-scaling-flatness"
+CHECK_MTE_NO_VMA = "sweep.mte-no-vma-traffic"
 
 #: Relative slack for comparisons between deterministic model outputs.
 REL_TOL = 1e-9
@@ -49,13 +51,25 @@ MEM_MIN_WALL_SECONDS = 0.05
 #: to catch a strategy allocating a different footprint outright.
 MEM_RATIO_TOL = 1.5
 
-#: compute_seconds pairs: (costlier, cheaper) strategy.
+#: compute_seconds pairs: (costlier, cheaper) strategy.  The mte rows
+#: encode the ISSUE's one-thread cost ordering: the hardware tag check
+#: (a fraction of a cycle, riding the access pipe, fusion preserved)
+#: sits strictly between the software checks and the check-free
+#: virtual-memory strategies.  wasm64 emits trap-shaped checks but
+#: cannot pool affine guards, so it can never model cheaper than trap.
 _COMPUTE_PAIRS = (
     ("clamp", "trap"),
     ("trap", "mprotect"),
     ("trap", "uffd"),
     ("mprotect", "none"),
     ("uffd", "none"),
+    ("clamp", "mte"),
+    ("trap", "mte"),
+    ("mte", "mprotect"),
+    ("mte", "uffd"),
+    ("mte", "none"),
+    ("wasm64", "trap"),
+    ("wasm64", "none"),
 )
 #: Measured-median pairs that hold regardless of fault amortisation.
 _MEDIAN_PAIRS = (
@@ -63,7 +77,14 @@ _MEDIAN_PAIRS = (
     ("trap", "none"),
     ("mprotect", "none"),
     ("uffd", "none"),
+    ("mte", "none"),
+    ("wasm64", "none"),
 )
+
+#: Headroom for the mte thread-scaling comparison: the simulation is
+#: deterministic, but fault batching quantises the read-lock traffic,
+#: so allow a few percent before calling the flatness claim violated.
+MTE_SCALING_TOL = 1.05
 
 #: id -> human description, for documentation and report consumers.
 INVARIANTS: Dict[str, str] = {
@@ -87,6 +108,14 @@ INVARIANTS: Dict[str, str] = {
     ),
     CHECK_COMPUTE_CONST: (
         "modelled compute time per iteration is thread-independent"
+    ),
+    CHECK_MTE_SCALING: (
+        "mte's median-iteration slowdown under thread scaling never "
+        "exceeds mprotect's (no mmap_lock collapse without VMA traffic)"
+    ),
+    CHECK_MTE_NO_VMA: (
+        "mte runs perform exactly one mprotect per worker (arena setup) "
+        "— grow retags in userspace, so no per-iteration VMA mutations"
     ),
 }
 
@@ -224,6 +253,69 @@ def check_cpu_accounting(
             )
 
 
+def check_mte_scaling(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    """MTE must dodge the mmap_lock collapse mprotect suffers.
+
+    Per configuration group, compare the median-iteration slowdown
+    between the lowest and highest thread counts both strategies were
+    measured at: mte grows its memory with userspace retag stores, so
+    adding workers cannot serialise it on the exclusive mmap_lock the
+    way per-iteration ``mprotect`` calls do.
+    """
+    for key, rows in _grouped(measurements, _CONFIG).items():
+        medians: Dict[str, Dict[int, float]] = {}
+        for m in rows:
+            medians.setdefault(m.strategy, {}).setdefault(
+                m.threads, m.median_iteration
+            )
+        mte = medians.get("mte", {})
+        mprotect = medians.get("mprotect", {})
+        common = sorted(set(mte) & set(mprotect))
+        if len(common) < 2:
+            continue
+        lo, hi = common[0], common[-1]
+        mte_slowdown = mte[hi] / mte[lo]
+        mprotect_slowdown = mprotect[hi] / mprotect[lo]
+        report.check(
+            CHECK_MTE_SCALING,
+            mte_slowdown <= mprotect_slowdown * MTE_SCALING_TOL,
+            subject=_subject(_CONFIG, key, threads=f"{lo}->{hi}"),
+            detail="mte degraded under thread scaling at least as "
+                   "badly as mprotect",
+            expected=f"slowdown(mte) <= slowdown(mprotect) * {MTE_SCALING_TOL}",
+            actual={"mte": mte_slowdown, "mprotect": mprotect_slowdown},
+        )
+
+
+def check_mte_vma_quiescence(
+    measurements: Sequence[RunMeasurement], report: DiffReport
+) -> None:
+    """An mte run's only mprotect calls are the per-worker arena setups.
+
+    Iteration count and memory size must not move the number: grow is
+    a userspace retag, reset is madvise — neither mutates VMAs, so any
+    extra call means the strategy leaked kernel memory-management
+    traffic it is defined not to have.
+    """
+    for m in measurements:
+        if m.strategy != "mte":
+            continue
+        calls = m.kernel_stats.get("mprotect_calls", 0)
+        report.check(
+            CHECK_MTE_NO_VMA,
+            calls == m.threads,
+            subject={
+                "workload": m.workload, "runtime": m.runtime,
+                "isa": m.isa, "threads": m.threads, "size": m.size,
+            },
+            detail="mte run performed VMA mutations beyond arena setup",
+            expected=m.threads,
+            actual=calls,
+        )
+
+
 def check_invariants(
     measurements: Sequence[RunMeasurement], report: DiffReport
 ) -> None:
@@ -231,3 +323,5 @@ def check_invariants(
     check_cost_ordering(measurements, report)
     check_memory_agreement(measurements, report)
     check_cpu_accounting(measurements, report)
+    check_mte_scaling(measurements, report)
+    check_mte_vma_quiescence(measurements, report)

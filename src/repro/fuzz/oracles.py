@@ -46,9 +46,13 @@ CHECK_PAGES = "fuzz.page-span"
 
 #: Inline bounds-check ops the cost model charges per memory access
 #: (mirrors the paper's explicit-check accounting: clamp pays a
-#: compare+select on every access, trap a compare+branch, the
-#: fault-based strategies and none pay nothing inline).
-_INLINE_CHECK_OPS = {"clamp": 2, "trap": 1, "mprotect": 0, "uffd": 0, "none": 0}
+#: compare+select on every access, trap a compare+branch, mte one tag
+#: check, wasm64 an explicit compare+branch with no guard region to
+#: lean on, the fault-based strategies and none pay nothing inline).
+_INLINE_CHECK_OPS = {
+    "clamp": 2, "trap": 1, "mprotect": 0, "uffd": 0, "none": 0,
+    "mte": 1, "wasm64": 1,
+}
 
 
 @contextmanager

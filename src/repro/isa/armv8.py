@@ -29,6 +29,11 @@ ARMV8 = IsaModel(
         # No macro-fusion: cmp+b.cc are two issued ops.
         OPK.CMP_BRANCH: 0.85,
         OPK.CMOV: 1.45,  # csel, same dependency-chain position as cmov
+        # MTE synchronous tag check: the compare happens in the
+        # load/store pipe against the allocation tag, so the marginal
+        # cost is a fraction of a cycle — cheaper than any software
+        # check, dearer than no check at all (CAGE §5).
+        OPK.TAGCHECK: 0.25,
         OPK.CALL: 4.5,
         OPK.CALL_IND: 8.0,
         OPK.CONVERT: 1.4,
@@ -41,4 +46,7 @@ ARMV8 = IsaModel(
     int_regs=28,
     float_regs=32,
     interp_dispatch=2.1,
+    # The one ISA in the matrix with a memory-tagging extension; the
+    # 'mte' strategy is Arm-only and must be rejected elsewhere.
+    memory_tagging=True,
 )

@@ -36,6 +36,8 @@ class OPK:
     MOVE = "move"            # register move (spill-free shuffle)
     SPILL = "spill"          # one stack spill or reload
     NOP = "nop"              # folded away entirely
+    TAGCHECK = "tagcheck"    # hardware tag compare riding a load/store
+                             # (Arm MTE synchronous check)
 
 
 @dataclass(frozen=True)
@@ -55,9 +57,22 @@ class IsaModel:
     #: Interpreter dispatch cost (cycles per bytecode op) for the
     #: threaded-interpreter (Wasm3) model on this CPU.
     interp_dispatch: float
+    #: Does the CPU implement a memory-tagging extension (Arm MTE)?
+    #: Strategies with a tag granule are only runnable where this is
+    #: True; everywhere else they must be rejected up-front.
+    memory_tagging: bool = False
 
     def cost(self, kind: str) -> float:
         try:
             return self.costs[kind]
         except KeyError:
             raise KeyError(f"ISA {self.name} has no cost for op kind {kind!r}") from None
+
+    def supports_strategy(self, strategy) -> bool:
+        """Whether this CPU can run ``strategy`` at all.
+
+        The only hardware-gated axis today is memory tagging: an MTE
+        strategy needs the tagging extension; everything else is pure
+        software and runs anywhere.
+        """
+        return self.memory_tagging or not strategy.requires_memory_tagging

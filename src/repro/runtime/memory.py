@@ -37,6 +37,11 @@ class MemoryEvent:
     kind: str  # 'grow'
     pages_before: int
     pages_after: int
+    #: Memory-tagging granules retagged by this event (MTE strategies
+    #: only; 0 when the strategy has no tag granule).  Grow under MTE
+    #: must tag every new granule before the bytes become addressable,
+    #: and this is the count the kernel replay charges for.
+    granules: int = 0
 
 
 class LinearMemory:
@@ -47,11 +52,22 @@ class LinearMemory:
         limits: Limits,
         strategy: Optional[BoundsStrategy] = None,
         track_pages: bool = True,
+        memory64: bool = False,
     ) -> None:
         if limits.minimum > MAX_WASM_PAGES:
             raise Trap("memory-too-large", f"{limits.minimum} pages exceeds 2**16")
         self.limits = limits
         self.strategy = strategy or strategy_named("trap")
+        #: 64-bit memory (wasm64): indices are u64, so no guard region
+        #: can cover the addressable range.  Implied by a 64-bit
+        #: strategy; may also be requested explicitly.
+        self.memory64 = bool(memory64) or self.strategy.addr_bits == 64
+        if self.memory64 and self.strategy.uses_guard_region:
+            raise ValueError(
+                f"strategy {self.strategy.name!r} relies on the 8 GiB guard "
+                "region, which cannot cover a 64-bit (wasm64) memory; use an "
+                "explicit-check strategy (trap/clamp/wasm64) or mte instead"
+            )
         self.pages = limits.minimum
         self.data = bytearray(self.pages * WASM_PAGE_SIZE)
         self.track_pages = track_pages
@@ -83,7 +99,11 @@ class LinearMemory:
             # A zero-delta grow is a pure size query per the spec: no
             # mapping changes, so nothing for the kernel replay to do.
             return old_pages
-        self.events.append(MemoryEvent("grow", old_pages, new_pages))
+        granule = self.strategy.tag_granule
+        granules = (delta_pages * WASM_PAGE_SIZE) // granule if granule else 0
+        self.events.append(
+            MemoryEvent("grow", old_pages, new_pages, granules=granules)
+        )
         self.pages = new_pages
         self.data.extend(bytes(delta_pages * WASM_PAGE_SIZE))
         return old_pages
@@ -102,7 +122,10 @@ class LinearMemory:
         """Bounds-check an access; returns the effective address to use."""
         if address + size <= self.size_bytes:
             return address
-        if address + size > GUARD_REGION_BYTES:  # pragma: no cover - u32+u32 bound
+        if not self.memory64 and address + size > GUARD_REGION_BYTES:
+            # u32 base + u32 offset caps at 8 GiB; a 64-bit memory has
+            # no such architectural ceiling, so its strategy (always an
+            # explicit check) decides below instead.
             raise Trap("out-of-bounds-memory", "beyond the 8 GiB guard region")
         clamped = self.strategy.on_out_of_bounds(
             address, size, self.size_bytes, write

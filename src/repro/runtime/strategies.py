@@ -1,11 +1,12 @@
-"""The five bounds-checking strategies (§3.1 of the paper).
+"""The bounds-checking strategies (§3.1 of the paper, plus extensions).
 
 Each strategy bundles three things:
 
 1. **functional semantics** for an out-of-bounds access
    (:meth:`BoundsStrategy.on_out_of_bounds`) — what the program observes;
 2. **inline code shape** (:attr:`inline_check`) — what the compiler must
-   emit before every memory access (nothing, a clamp, or a trap check);
+   emit before every memory access (nothing, a clamp, a trap check, or
+   a hardware tag check);
 3. **memory-management behaviour** (:attr:`grow_mechanism`,
    :attr:`fault_mechanism`, :attr:`reset_mechanism`) — which simulated
    kernel operations instance setup, ``memory.grow``, demand paging and
@@ -24,7 +25,21 @@ mprotect   none          region PROT_NONE; grow/reset via mprotect
 uffd       none          region registered with userfaultfd; grow is
                          an atomic size update; faults are SIGBUS +
                          UFFDIO_ZEROPAGE; OOB = SIGBUS
+mte        tag check     Arm MTE: the load/store pipe compares the
+                         pointer's logical tag against the allocation
+                         tag, so the check rides the access itself;
+                         grow retags the new 16-byte granules in
+                         userspace (no VMA traffic, no mmap_lock);
+                         OOB = tag-check fault (SIGSEGV)
+wasm64     cmp+branch    64-bit memory: no 8 GiB guard region exists,
+                         so explicit checks are mandatory and the
+                         guard-page strategies are rejected outright;
+                         grow is bookkeeping, reset via madvise
 =========  ============  ===========================================
+
+The first five rows are the paper's strategy axis
+(:data:`PAPER_STRATEGY_ORDER`); ``mte`` models CAGE-style hardware tag
+checking and ``wasm64`` the eWAPA 64-bit-memory regime (see PAPERS.md).
 """
 
 from __future__ import annotations
@@ -39,9 +54,11 @@ class BoundsStrategy:
     """One bounds-checking configuration."""
 
     name: str
-    #: Inline code the compiler emits per access: '' | 'clamp' | 'trap'.
+    #: Inline code the compiler emits per access:
+    #: '' | 'clamp' | 'trap' | 'mte'.
     inline_check: str
-    #: How memory.grow is implemented: 'noop' | 'mprotect' | 'atomic'.
+    #: How memory.grow is implemented:
+    #: 'noop' | 'mprotect' | 'atomic' | 'retag'.
     grow_mechanism: str
     #: How first-touch faults are serviced: 'anon' | 'uffd'.
     fault_mechanism: str
@@ -49,6 +66,30 @@ class BoundsStrategy:
     reset_mechanism: str
     #: Whether an OOB access is caught by a signal (vs inline code).
     signal_on_oob: bool
+    #: Index width of the linear memory this strategy addresses.  32-bit
+    #: memories can lean on the 8 GiB guard region; 64-bit memories
+    #: (wasm64) cannot, so explicit checks become mandatory.
+    addr_bits: int = 32
+    #: Hardware memory-tagging granule in bytes (0 = no tagging).  A
+    #: non-zero granule means every ``memory.grow`` must retag the new
+    #: bytes granule-by-granule in userspace (Arm MTE: 16 bytes).
+    tag_granule: int = 0
+
+    @property
+    def requires_memory_tagging(self) -> bool:
+        """True when the ISA must provide a tagging extension (Arm MTE)."""
+        return self.tag_granule > 0
+
+    @property
+    def uses_guard_region(self) -> bool:
+        """True when OOB soundness rests on the 8 GiB guard mapping.
+
+        Exactly the strategies with no inline check and no hardware
+        tagging — the ones a 64-bit memory must reject, because a
+        32-bit base + 32-bit offset bound is what makes the guard
+        region cover every reachable address.
+        """
+        return self.addr_bits == 32 and not self.inline_check and not self.tag_granule
 
     def on_out_of_bounds(self, address: int, size: int, mem_size: int, write: bool):
         """Functional semantics of an out-of-bounds access.
@@ -109,16 +150,44 @@ STRATEGIES: dict[str, BoundsStrategy] = {
         reset_mechanism="madvise",
         signal_on_oob=True,
     ),
+    "mte": BoundsStrategy(
+        name="mte",
+        inline_check="mte",
+        grow_mechanism="retag",
+        fault_mechanism="anon",
+        reset_mechanism="madvise",
+        signal_on_oob=True,
+        tag_granule=16,
+    ),
+    "wasm64": BoundsStrategy(
+        name="wasm64",
+        inline_check="trap",
+        grow_mechanism="noop",
+        fault_mechanism="anon",
+        reset_mechanism="madvise",
+        signal_on_oob=False,
+        addr_bits=64,
+    ),
 }
 
-#: The order figures present strategies in.
-STRATEGY_ORDER = ["none", "clamp", "trap", "mprotect", "uffd"]
+#: The order figures present strategies in.  The paper's five come
+#: first, then the hardware-assisted extensions.
+STRATEGY_ORDER = ["none", "clamp", "trap", "mprotect", "uffd", "mte", "wasm64"]
+
+#: Exactly the paper's §3.1 strategy axis — fig2–fig6 grids iterate
+#: this so adding an extension strategy never changes their data.
+PAPER_STRATEGY_ORDER = ["none", "clamp", "trap", "mprotect", "uffd"]
 
 
 def strategy_named(name: str) -> BoundsStrategy:
     try:
         return STRATEGIES[name]
     except KeyError:
+        # List the documented order first, then any runtime-registered
+        # extensions (e.g. the projected 'cheri' strategy) so the
+        # message always matches what the figures and docs show.
+        extras = sorted(set(STRATEGIES) - set(STRATEGY_ORDER))
         raise ValueError(
-            f"unknown bounds strategy {name!r}; choose from {sorted(STRATEGIES)}"
+            f"unknown bounds strategy {name!r}; choose from "
+            f"{STRATEGY_ORDER + extras}"
         ) from None

@@ -46,8 +46,13 @@ class RuntimeModel:
     #: Native code runs one *process* per benchmark copy (vfork+fexecve
     #: in the paper's harness); Wasm runtimes run isolates in threads.
     process_per_instance: bool = False
-    #: Which strategies this runtime can be configured with ('*' = all).
-    strategies: Tuple[str, ...] = ("none", "clamp", "trap", "mprotect", "uffd")
+    #: Which strategies this runtime can be configured with.  Compiling
+    #: runtimes take the full axis — the paper's five plus the
+    #: hardware-assisted extensions (mte is additionally ISA-gated at
+    #: run time: it needs the memory-tagging extension, i.e. armv8).
+    strategies: Tuple[str, ...] = (
+        "none", "clamp", "trap", "mprotect", "uffd", "mte", "wasm64"
+    )
     #: Default strategy (the paper: WAVM/Wasmtime/V8 default to mprotect).
     default_strategy: str = "mprotect"
     #: Translation cost per static wasm instruction, in seconds — the

@@ -89,6 +89,23 @@ class TestSurfaceSnapshot:
         with pytest.raises(ValueError, match="no riscv64 backend"):
             bad.validate()
 
+    def test_mte_on_untagged_isa_rejected_at_spec_time(self):
+        # The harness would raise deep inside a worker; the spec must
+        # fail at submission with the same hardware-gating message.
+        bad = api.SweepSpec(workloads=["gemm"], runtimes=("wavm",),
+                            strategies=("mte",), isas=("x86_64",))
+        assert list(bad.configurations()) == []
+        with pytest.raises(ValueError, match="memory-tagging.*armv8"):
+            bad.validate()
+
+    def test_mte_on_armv8_is_valid(self):
+        spec = api.SweepSpec(workloads=["gemm"], runtimes=("wavm",),
+                             strategies=("mte", "wasm64"), isas=("armv8",))
+        spec.validate()
+        combos = list(spec.configurations())
+        assert ("wavm", "mte", "armv8", 1) in combos
+        assert ("wavm", "wasm64", "armv8", 1) in combos
+
 
 class TestSpecCanonicalization:
     """SweepSpec as a value type: hashable, serialisable, digestable.

@@ -17,8 +17,11 @@ from repro.diffcheck import fuzz as fuzz_mod
 from repro.diffcheck.axioms import (
     AXIOM_GEOMEAN,
     AXIOM_GROW0,
+    AXIOM_MTE_RETAG,
     AXIOM_SEGMENT,
     AXIOM_TOUCH,
+    AXIOM_W64_BCE,
+    AXIOM_W64_GUARD,
     check_axioms,
 )
 from repro.diffcheck.fuzz import build_program, check_case, check_fuzz, outcome_of
@@ -28,6 +31,8 @@ from repro.diffcheck.invariants import (
     CHECK_CPU_MONOTONE,
     CHECK_MEDIAN_ORDER,
     CHECK_MEM_SAMPLED,
+    CHECK_MTE_NO_VMA,
+    CHECK_MTE_SCALING,
     CHECK_PAGES_EQUAL,
     INVARIANTS,
     check_invariants,
@@ -150,6 +155,72 @@ class TestAxioms:
         assert not report.ok
         assert AXIOM_GEOMEAN in _failed_checks(report)
 
+    def test_wrong_retag_granule_detected(self, monkeypatch):
+        # Re-introduce the bug the granule axiom exists for: an mte
+        # registration that retags whole 4 KiB pages instead of the
+        # architectural 16-byte granules — grow then under-counts the
+        # STG work by 256x and the strategy looks nearly free.
+        from dataclasses import replace
+
+        from repro.runtime.strategies import STRATEGIES, strategy_named
+
+        monkeypatch.setitem(
+            STRATEGIES, "mte", replace(strategy_named("mte"), tag_granule=4096)
+        )
+        report = _axiom_report()
+        assert not report.ok
+        assert AXIOM_MTE_RETAG in _failed_checks(report)
+
+    def test_retag_accounting_dropped_detected(self, monkeypatch):
+        # A grow that forgets to record retag work entirely.
+        def buggy_grow(self, delta_pages):
+            if delta_pages < 0:
+                return -1
+            new_pages = self.pages + delta_pages
+            if new_pages > self.max_pages:
+                return -1
+            old_pages = self.pages
+            if delta_pages == 0:
+                return old_pages
+            self.events.append(MemoryEvent("grow", old_pages, new_pages))
+            self.pages = new_pages
+            self.data.extend(bytes(delta_pages * 65536))
+            return old_pages
+
+        monkeypatch.setattr(LinearMemory, "grow", buggy_grow)
+        report = _axiom_report()
+        assert not report.ok
+        assert AXIOM_MTE_RETAG in _failed_checks(report)
+
+    def test_wasm64_guard_elision_detected(self, monkeypatch):
+        # Re-enable the affine pooled guard for 64-bit memories — the
+        # elision is only sound when the 8 GiB guard region absorbs
+        # the unchecked intermediate accesses, so the BCE-legality
+        # axiom must flag it.
+        from repro.compiler import pipeline as pipeline_mod
+
+        monkeypatch.setattr(
+            pipeline_mod, "_affine_guard_allowed", lambda strategy: True
+        )
+        report = _axiom_report()
+        assert not report.ok
+        assert AXIOM_W64_BCE in _failed_checks(report)
+
+    def test_wasm64_guard_absorption_detected(self, monkeypatch):
+        # A memory layer that forgets memory64 and lets the guard
+        # region swallow far accesses under wasm64.
+        real_init = LinearMemory.__init__
+
+        def buggy_init(self, limits, strategy=None, track_pages=True,
+                       memory64=False):
+            real_init(self, limits, strategy, track_pages, memory64=False)
+            self.memory64 = False  # guard-region semantics for everyone
+
+        monkeypatch.setattr(LinearMemory, "__init__", buggy_init)
+        report = _axiom_report()
+        assert not report.ok
+        assert AXIOM_W64_GUARD in _failed_checks(report)
+
 
 # ---------------------------------------------------------------------------
 # Reference phase
@@ -166,7 +237,7 @@ class TestReference:
     def test_single_workload_all_strategies_agree(self):
         report = check_workload("gemm", "mini")
         assert report.ok, [v.render() for v in report.violations]
-        assert report.counts[CHECK_OUTPUT].passed == 4  # vs 4 non-base strategies
+        assert report.counts[CHECK_OUTPUT].passed == 6  # vs 6 non-base strategies
 
     def test_fanout_matches_serial(self):
         serial, parallel = DiffReport(), DiffReport()
@@ -213,7 +284,11 @@ def _measurement(
     mem=1000.0,
     wall=1.0,
     workload="gemm",
+    mprotect_calls=None,
 ) -> RunMeasurement:
+    kernel_stats = {"pages_populated": pages}
+    if mprotect_calls is not None:
+        kernel_stats["mprotect_calls"] = mprotect_calls
     return RunMeasurement(
         workload=workload, runtime="wavm", strategy=strategy, isa="x86_64",
         threads=threads, size="mini",
@@ -225,7 +300,7 @@ def _measurement(
             context_switches_per_sec=100.0,
         ),
         mem_avg_bytes=mem,
-        kernel_stats={"pages_populated": pages},
+        kernel_stats=kernel_stats,
         mmap_read_wait=0.0, mmap_write_wait=0.0,
         compute_seconds=compute,
     )
@@ -312,6 +387,56 @@ class TestInvariants:
         report = DiffReport()
         check_invariants(rows, report)
         assert CHECK_COMPUTE_CONST in _failed_checks(report)
+
+    def test_mte_scaling_collapse_detected(self):
+        # mte degrading under threads like mprotect (mmap_lock convoy
+        # shape) violates the flatness invariant; the reverse grid,
+        # with mprotect collapsing and mte flat, is the expected shape.
+        bad = [
+            _measurement(strategy="mprotect", threads=1, median=2.0),
+            _measurement(strategy="mprotect", threads=16, median=2.2,
+                         busy=64.0),
+            _measurement(strategy="mte", threads=1, median=1.9,
+                         compute=1.05, mprotect_calls=1),
+            _measurement(strategy="mte", threads=16, median=4.0,
+                         compute=1.05, busy=64.0, mprotect_calls=16),
+        ]
+        report = DiffReport()
+        check_invariants(bad, report)
+        assert CHECK_MTE_SCALING in _failed_checks(report)
+
+        good = [
+            _measurement(strategy="mprotect", threads=1, median=2.0),
+            _measurement(strategy="mprotect", threads=16, median=4.0,
+                         busy=64.0),
+            _measurement(strategy="mte", threads=1, median=1.9,
+                         compute=1.05, mprotect_calls=1),
+            _measurement(strategy="mte", threads=16, median=1.9,
+                         compute=1.05, busy=64.0, mprotect_calls=16),
+        ]
+        report = DiffReport()
+        check_invariants(good, report)
+        assert CHECK_MTE_SCALING not in _failed_checks(report)
+
+    def test_mte_vma_traffic_detected(self):
+        # An mte row whose kernel stats show mprotect calls beyond the
+        # one-per-worker arena setup leaked VMA traffic.
+        rows = [
+            _measurement(strategy="mte", threads=4, compute=1.05,
+                         median=2.1, mprotect_calls=12, busy=16.0),
+        ]
+        report = DiffReport()
+        check_invariants(rows, report)
+        assert CHECK_MTE_NO_VMA in _failed_checks(report)
+
+        rows = [
+            _measurement(strategy="mte", threads=4, compute=1.05,
+                         median=2.1, mprotect_calls=4, busy=16.0),
+        ]
+        report = DiffReport()
+        check_invariants(rows, report)
+        assert CHECK_MTE_NO_VMA not in _failed_checks(report)
+        assert report.counts[CHECK_MTE_NO_VMA].passed == 1
 
 
 # ---------------------------------------------------------------------------

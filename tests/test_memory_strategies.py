@@ -4,7 +4,7 @@ import pytest
 
 from repro.oskernel.layout import WASM_PAGE_SIZE
 from repro.runtime import LinearMemory, STRATEGIES, strategy_named
-from repro.runtime.strategies import STRATEGY_ORDER
+from repro.runtime.strategies import PAPER_STRATEGY_ORDER, STRATEGY_ORDER
 from repro.wasm.errors import Trap
 from repro.wasm.types import Limits
 
@@ -117,14 +117,27 @@ class TestLinearMemory:
 
 
 class TestStrategyCatalogue:
-    def test_all_five_strategies_present(self):
-        # The paper's five; extensions (e.g. the projected CHERI
-        # strategy) may register additional entries at runtime.
+    def test_all_seven_strategies_present(self):
+        # The paper's five plus the hardware-assisted extensions;
+        # further extensions (e.g. the projected CHERI strategy) may
+        # register additional entries at runtime.
         assert {"none", "clamp", "trap", "mprotect", "uffd"} <= set(STRATEGIES)
-        assert STRATEGY_ORDER == ["none", "clamp", "trap", "mprotect", "uffd"]
+        assert STRATEGY_ORDER == [
+            "none", "clamp", "trap", "mprotect", "uffd", "mte", "wasm64"
+        ]
+        assert PAPER_STRATEGY_ORDER == [
+            "none", "clamp", "trap", "mprotect", "uffd"
+        ]
+        assert set(PAPER_STRATEGY_ORDER) < set(STRATEGY_ORDER)
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError, match="unknown bounds strategy"):
+            strategy_named("mpk")
+
+    def test_unknown_strategy_message_lists_presentation_order(self):
+        # The message shows STRATEGY_ORDER (what figures/docs print),
+        # not an alphabetical sort of the registry.
+        with pytest.raises(ValueError, match=r"'none', 'clamp', 'trap'"):
             strategy_named("mpk")
 
     def test_inline_code_shapes(self):
@@ -133,6 +146,8 @@ class TestStrategyCatalogue:
         assert strategy_named("trap").inline_check == "trap"
         assert strategy_named("mprotect").inline_check == ""
         assert strategy_named("uffd").inline_check == ""
+        assert strategy_named("mte").inline_check == "mte"
+        assert strategy_named("wasm64").inline_check == "trap"
 
     def test_kernel_mechanisms_match_paper(self):
         mprotect = strategy_named("mprotect")
@@ -142,12 +157,34 @@ class TestStrategyCatalogue:
         assert uffd.grow_mechanism == "atomic"
         assert uffd.fault_mechanism == "uffd"
 
+    def test_mte_retags_with_no_vma_traffic(self):
+        mte = strategy_named("mte")
+        assert mte.grow_mechanism == "retag"
+        assert mte.tag_granule == 16
+        assert mte.requires_memory_tagging
+        assert not mte.uses_guard_region  # tag checks, not a guard map
+        assert mte.reset_mechanism == "madvise"
+
+    def test_wasm64_is_explicit_check_without_guard(self):
+        wasm64 = strategy_named("wasm64")
+        assert wasm64.addr_bits == 64
+        assert not wasm64.uses_guard_region
+        assert not wasm64.requires_memory_tagging
+        assert wasm64.grow_mechanism == "noop"
+
+    def test_guard_region_classification(self):
+        # Exactly the strategies whose OOB soundness needs the 8 GiB
+        # guard mapping — the set a 64-bit memory must reject.
+        users = {n for n in STRATEGY_ORDER
+                 if strategy_named(n).uses_guard_region}
+        assert users == {"none", "mprotect", "uffd"}
+
 
 class TestOutOfBoundsSemantics:
     def oob_address(self, mem):
         return mem.size_bytes + 128
 
-    @pytest.mark.parametrize("name", ["trap", "mprotect", "uffd"])
+    @pytest.mark.parametrize("name", ["trap", "mprotect", "uffd", "mte", "wasm64"])
     def test_trapping_strategies_trap(self, name):
         mem = LinearMemory(Limits(1), strategy_named(name))
         with pytest.raises(Trap, match="out-of-bounds"):
@@ -177,3 +214,68 @@ class TestOutOfBoundsSemantics:
         mem.store_u64(mem.size_bytes - 8, 1)  # last 8 bytes: fine
         with pytest.raises(Trap):
             mem.store_u64(mem.size_bytes - 7, 1)  # one byte over
+
+
+class TestMteRetagAccounting:
+    def test_grow_records_granule_count(self):
+        mem = LinearMemory(Limits(1, 16), strategy_named("mte"))
+        mem.grow(3)
+        (event,) = mem.events
+        assert event.granules == 3 * WASM_PAGE_SIZE // 16
+
+    def test_multiple_grows_accumulate_per_event(self):
+        mem = LinearMemory(Limits(1, 16), strategy_named("mte"))
+        mem.grow(1)
+        mem.grow(4)
+        assert [e.granules for e in mem.events] == [
+            WASM_PAGE_SIZE // 16, 4 * WASM_PAGE_SIZE // 16
+        ]
+
+    @pytest.mark.parametrize("name", PAPER_STRATEGY_ORDER + ["wasm64"])
+    def test_untagged_strategies_record_zero_granules(self, name):
+        mem = LinearMemory(Limits(1, 16), strategy_named(name))
+        mem.grow(2)
+        assert [e.granules for e in mem.events] == [0]
+
+    def test_grow_zero_retags_nothing(self):
+        mem = LinearMemory(Limits(2, 16), strategy_named("mte"))
+        assert mem.grow(0) == 2
+        assert mem.events == []
+
+
+class TestWasm64Memory:
+    def test_strategy_implies_memory64(self):
+        mem = LinearMemory(Limits(1), strategy_named("wasm64"))
+        assert mem.memory64
+
+    @pytest.mark.parametrize("name", ["none", "mprotect", "uffd"])
+    def test_guard_region_strategies_rejected(self, name):
+        with pytest.raises(ValueError, match="guard"):
+            LinearMemory(Limits(1), strategy_named(name), memory64=True)
+
+    @pytest.mark.parametrize("name", ["clamp", "trap", "mte"])
+    def test_explicit_check_strategies_accepted(self, name):
+        mem = LinearMemory(Limits(1), strategy_named(name), memory64=True)
+        assert mem.memory64
+
+    def test_access_beyond_4gib_traps(self):
+        # Under a 32-bit memory this address would land inside the
+        # 8 GiB guard region; a 64-bit memory has no guard to absorb
+        # it, so the explicit check must fire.
+        mem = LinearMemory(Limits(1), strategy_named("wasm64"))
+        with pytest.raises(Trap, match="out-of-bounds"):
+            mem.load_u64((1 << 32) + 64)
+
+    def test_clamp64_redirects_far_access(self):
+        # clamp on a 64-bit memory clamps exactly like on 32-bit —
+        # even for addresses past where the guard region would end.
+        mem = LinearMemory(Limits(1), strategy_named("clamp"), memory64=True)
+        mem.store_u32(mem.size_bytes - 4, 0xBEEF)
+        assert mem.load_u32((1 << 35) + 8) == 0xBEEF
+
+    def test_in_bounds_behaviour_unchanged(self):
+        mem = LinearMemory(Limits(1), strategy_named("wasm64"))
+        mem.store_u64(128, 0x1122334455667788)
+        assert mem.load_u64(128) == 0x1122334455667788
+        assert mem.grow(1) == 1
+        assert mem.load_u64(WASM_PAGE_SIZE + 8) == 0

@@ -1,0 +1,185 @@
+"""Property tests for the hardware-assisted bounds strategies.
+
+Hypothesis-driven invariants that hold for *any* program/configuration
+in the drawn space, not just the fixtures the example tests pin down:
+
+* the MTE tag check is charged exactly once per memory access — the
+  compiled-cycle delta between ``mte`` and a no-inline-check strategy
+  is linear in the access count with slope ``cost(TAGCHECK)``;
+* an ``mte`` run performs no VMA work during the timed phase — no
+  mprotect syscalls, no VMA mutations — and its kernel mprotect count
+  is exactly the one per-worker setup call;
+* a ``wasm64`` access beyond 4 GiB traps out-of-bounds identically
+  under every interpreter tier (legacy/fused/opt).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.pipeline import CompilerConfig, compile_module
+from repro.core.harness import run_benchmark
+from repro.isa import isa_named
+from repro.isa.model import OPK
+from repro.runtime import Interpreter
+from repro.runtime.strategies import strategy_named
+from repro.trace.events import PHASE_TIMED_BEGIN, SYSCALL_MPROTECT, VMA_MUTATE
+from repro.trace.tracer import tracing
+from repro.wasm.dsl import DslModule
+from repro.wasm.errors import Trap
+
+pytestmark = pytest.mark.strategy
+
+#: Pass-free configuration: nothing elides or reshapes checks, so the
+#: per-access charge is exactly visible in the static cycle counts.
+_BARE = CompilerConfig(
+    name="prop-bare",
+    passes=frozenset(),
+    regalloc_quality=1.0,
+    addressing_fusion=False,
+)
+
+
+def _straightline_stores(n: int):
+    """A function body with ``n`` stores at distinct constant indices."""
+    dm = DslModule("prop")
+    arr = dm.array_i32("a", n)
+    f = dm.func("run")
+    for index in range(n):
+        f.store(arr[index], index + 1)
+    return dm.build()
+
+
+def _static_cycles(compiled) -> float:
+    return sum(
+        cycles
+        for func in compiled.functions.values()
+        for cycles in func.block_cycles.values()
+    )
+
+
+class TestTagCheckCostLinearity:
+    @given(n=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_mte_delta_is_one_tagcheck_per_access(self, n):
+        module = _straightline_stores(n)
+        isa = isa_named("armv8")
+        mte = compile_module(module, isa, _BARE, strategy_named("mte"))
+        base = compile_module(module, isa, _BARE, strategy_named("mprotect"))
+        delta = _static_cycles(mte) - _static_cycles(base)
+        assert delta == pytest.approx(n * isa.cost(OPK.TAGCHECK))
+        assert mte.checks_emitted_static == n
+
+    @given(n=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_tagcheck_is_cheaper_than_software_checks(self, n):
+        module = _straightline_stores(n)
+        isa = isa_named("armv8")
+        mte = _static_cycles(
+            compile_module(module, isa, _BARE, strategy_named("mte"))
+        )
+        trap = _static_cycles(
+            compile_module(module, isa, _BARE, strategy_named("trap"))
+        )
+        clamp = _static_cycles(
+            compile_module(module, isa, _BARE, strategy_named("clamp"))
+        )
+        assert mte <= trap <= clamp
+
+
+class TestMteVmaQuiescence:
+    @given(
+        threads=st.sampled_from([1, 2, 4]),
+        workload=st.sampled_from(["trisolv", "durbin"]),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_no_vma_traffic_in_timed_phase(self, threads, workload):
+        with tracing() as sink:
+            measurement = run_benchmark(
+                workload, "wavm", "mte", "armv8",
+                threads=threads, size="mini", iterations=2,
+            )
+        begin = next(
+            e.seq for e in sink.events if e.name == PHASE_TIMED_BEGIN
+        )
+        # No mprotect syscalls and no exclusive (write-mmap_lock) VMA
+        # mutations once the timed phase starts.  Shared zaps from the
+        # madvise teardown are allowed: every guard-region strategy
+        # does those, and they take only the read lock.
+        timed_vma = [
+            e.name for e in sink.events
+            if e.seq > begin
+            and (
+                e.name == SYSCALL_MPROTECT
+                or (e.name == VMA_MUTATE and e.args.get("excl"))
+            )
+        ]
+        assert timed_vma == []
+        # The only mprotect calls are the one RW enable per worker's
+        # setup — grow retags in userspace instead of calling back
+        # into the kernel.
+        assert measurement.kernel_stats.get("mprotect_calls") == threads
+
+    def test_mprotect_strategy_does_take_the_vma_path(self):
+        # Contrast case: the invariant above is meaningful because the
+        # mprotect strategy *does* mutate VMAs inside the timed phase.
+        with tracing() as sink:
+            run_benchmark(
+                "trisolv", "wavm", "mprotect", "armv8",
+                threads=1, size="mini", iterations=2,
+            )
+        begin = next(
+            e.seq for e in sink.events if e.name == PHASE_TIMED_BEGIN
+        )
+        timed_vma = [
+            e for e in sink.events
+            if e.seq > begin
+            and (
+                e.name == SYSCALL_MPROTECT
+                or (e.name == VMA_MUTATE and e.args.get("excl"))
+            )
+        ]
+        assert timed_vma
+
+
+def _far_store_module(base: int, offset: int):
+    """One store whose effective address is base (u32) + offset."""
+    dm = DslModule("far")
+    dm.array_i32("a", 4)
+    f = dm.func("run", params=[("value", "i32")], results=["i32"])
+    f.fb.emit("i32.const", base)
+    f.fb.emit("local.get", 0)
+    f.fb.emit("i32.store", 2, offset)
+    f.fb.emit("i32.const", 0)
+    f.fb.emit("return")
+    return dm.build()
+
+
+class TestWasm64FarAccesses:
+    @given(
+        base=st.integers(min_value=(1 << 31), max_value=(1 << 32) - 16),
+        offset=st.integers(min_value=1 << 31, max_value=(1 << 32) - 16),
+        tier=st.sampled_from(["legacy", "fused", "opt"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_beyond_4gib_traps_in_every_tier(self, base, offset, tier):
+        # base + offset lands in [4 GiB, 8 GiB): inside the 32-bit
+        # guard region, but far past what a 64-bit memory may absorb.
+        module = _far_store_module(base, offset)
+        interp = Interpreter(
+            module, strategy="wasm64", validate=False, tier=tier,
+        )
+        with pytest.raises(Trap) as excinfo:
+            interp.invoke("run", 7)
+        assert excinfo.value.kind == "out-of-bounds-memory"
+
+    @given(tier=st.sampled_from(["legacy", "fused", "opt"]))
+    @settings(max_examples=3, deadline=None)
+    def test_none_absorbs_what_wasm64_traps(self, tier):
+        # The same address under the guard-region baseline completes:
+        # the divergence is strategy semantics, not interpreter tiers.
+        module = _far_store_module((1 << 32) - 64, 1 << 31)
+        interp = Interpreter(
+            module, strategy="none", validate=False, tier=tier,
+        )
+        assert interp.invoke("run", 7) == 0

@@ -10,6 +10,7 @@ inside the program rather than via the memory API.
 import pytest
 
 from repro.runtime import Interpreter
+from repro.runtime.strategies import STRATEGY_ORDER
 from repro.wasm import Trap
 from repro.wasm.dsl import DslModule
 
@@ -47,7 +48,9 @@ def oob_writer():
 
 
 class TestTrappingStrategies:
-    @pytest.mark.parametrize("strategy", ["trap", "mprotect", "uffd"])
+    @pytest.mark.parametrize(
+        "strategy", ["trap", "mprotect", "uffd", "mte", "wasm64"]
+    )
     def test_oob_read_traps(self, strategy):
         module, n_valid = oob_scanner()
         interp = Interpreter(module, strategy=strategy)
@@ -59,7 +62,9 @@ class TestTrappingStrategies:
         with pytest.raises(Trap, match="out-of-bounds"):
             interp.invoke("scan", 64 * pages_worth)
 
-    @pytest.mark.parametrize("strategy", ["trap", "mprotect", "uffd"])
+    @pytest.mark.parametrize(
+        "strategy", ["trap", "mprotect", "uffd", "mte", "wasm64"]
+    )
     def test_oob_write_traps(self, strategy):
         module = oob_writer()
         interp = Interpreter(module, strategy=strategy)
@@ -109,8 +114,25 @@ class TestStrategyAgreementInBounds:
     def test_all_strategies_agree_on_well_behaved_programs(self):
         module, n_valid = oob_scanner()
         results = {}
-        for strategy in ("none", "clamp", "trap", "mprotect", "uffd"):
+        for strategy in STRATEGY_ORDER:
             interp = Interpreter(module, strategy=strategy)
             interp.invoke("fill")
             results[strategy] = interp.invoke("scan", n_valid)
+        assert len(results) == 7
         assert len(set(results.values())) == 1
+
+    def test_all_strategies_agree_on_counters_and_pages(self):
+        # Bit-identity goes beyond the return value: the load/store
+        # counters and first-touched page set must match across all
+        # seven strategies for an in-bounds program.
+        module, n_valid = oob_scanner()
+        observed = {}
+        for strategy in STRATEGY_ORDER:
+            interp = Interpreter(module, strategy=strategy)
+            interp.invoke("fill")
+            interp.invoke("scan", n_valid)
+            mem = interp.memory
+            observed[strategy] = (
+                mem.load_count, mem.store_count, frozenset(mem.touched_pages)
+            )
+        assert len(set(observed.values())) == 1
