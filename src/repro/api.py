@@ -47,6 +47,7 @@ from repro.runtime.strategies import STRATEGIES
 from repro.runtimes import runtime_named
 from repro.trace.events import SWEEP_GRID
 from repro.trace.tracer import TRACE
+from repro.workloads import WORKLOADS
 
 __all__ = [
     "FIELDS",
@@ -75,6 +76,10 @@ ROW_SCHEMA: Dict[str, Callable[[MeasurementResult], object]] = {
     "mmap_write_wait_ms": lambda r: r.measurement.mmap_write_wait * 1e3,
     "checks_emitted": lambda r: r.measurement.bounds_checks.get("emitted", 0),
     "checks_elided": lambda r: r.measurement.bounds_checks.get("elided", 0),
+    "syscall_calls": lambda r: sum(
+        int(entry["calls"]) for entry in r.measurement.syscall_stats.values()
+    ),
+    "syscall_ms": lambda r: r.measurement.syscall_seconds * 1e3,
     "cache_hit": lambda r: int(r.cache_hit),
     "elapsed_s": lambda r: round(r.elapsed, 6),
 }
@@ -102,6 +107,12 @@ class SweepSpec:
     size: str = "small"
     iterations: int = 3
     warmup: int = 1
+    #: Scenario axis: "compute" (PolyBench / SPEC proxies — cost is
+    #: userspace work) or "wasi" (syscall-bound workloads crossing the
+    #: simulated kernel).  Declares which family the grid means to
+    #: measure: mismatched workloads are skipped (or rejected under
+    #: ``strict``/``validate()``), like any other invalid combination.
+    scenario: str = "compute"
 
     _SEQUENCE_FIELDS = ("workloads", "runtimes", "strategies", "isas", "threads")
 
@@ -120,12 +131,23 @@ class SweepSpec:
                 else tuple(str(v) for v in value)
             )
             object.__setattr__(self, name, converted)
+        if self.scenario not in _SCENARIO_SUITES:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r} "
+                f"(choose from {sorted(_SCENARIO_SUITES)})"
+            )
 
     # -- canonical (de)serialisation ----------------------------------
 
     def to_json(self) -> Dict[str, object]:
-        """Plain-data form: lists for sequences, scalars otherwise."""
-        return {
+        """Plain-data form: lists for sequences, scalars otherwise.
+
+        ``scenario`` is omitted at its default: every spec serialised
+        before the axis existed implicitly meant "compute", and the
+        omission keeps their canonical JSON — and hence every
+        already-issued :meth:`digest` job key — byte-identical.
+        """
+        raw: Dict[str, object] = {
             "workloads": list(self.workloads),
             "runtimes": list(self.runtimes),
             "strategies": list(self.strategies),
@@ -135,6 +157,9 @@ class SweepSpec:
             "iterations": self.iterations,
             "warmup": self.warmup,
         }
+        if self.scenario != "compute":
+            raw["scenario"] = self.scenario
+        return raw
 
     @classmethod
     def from_json(cls, raw: Dict[str, object]) -> "SweepSpec":
@@ -191,11 +216,20 @@ class SweepSpec:
                 warmup=self.warmup,
             )
             for workload in self.workloads
+            if _workload_in_scenario(workload, self.scenario)
             for runtime, strategy, isa, threads in self.configurations()
         ]
 
     def validate(self) -> None:
         """Raise ValueError for any combination the grid would skip."""
+        for workload in self.workloads:
+            if not _workload_in_scenario(workload, self.scenario):
+                suite = WORKLOADS[workload].suite
+                raise ValueError(
+                    f"workload {workload} belongs to the {suite!r} suite, "
+                    f"outside the {self.scenario!r} scenario "
+                    f"(families: {', '.join(_SCENARIO_SUITES[self.scenario])})"
+                )
         for isa in self.isas:
             cores = MACHINE_SPECS[isa].cores
             for runtime in self.runtimes:
@@ -221,6 +255,26 @@ class SweepSpec:
                     raise ValueError(
                         f"{threads} workers exceed the {cores}-core machine"
                     )
+
+
+#: Scenario → the workload suites it measures.
+_SCENARIO_SUITES: Dict[str, tuple] = {
+    "compute": ("polybench", "spec"),
+    "wasi": ("wasi",),
+}
+
+
+def _workload_in_scenario(workload: str, scenario: str) -> bool:
+    """Whether a workload belongs to the spec's declared scenario.
+
+    Unknown workload names pass through: the harness's
+    ``workload_named`` failure carries the precise message, and
+    skipping them here would silently shrink a typo'd grid to nothing.
+    """
+    entry = WORKLOADS.get(workload)
+    if entry is None:
+        return True
+    return entry.suite in _SCENARIO_SUITES[scenario]
 
 
 def _isa_allows(isa: str, strategy: str) -> bool:

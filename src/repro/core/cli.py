@@ -7,6 +7,7 @@ Usage::
     leaps-bench fig3|fig4|fig5|fig6 [--isa x86_64|armv8] ...
     leaps-bench fig-bce      # bounds-check elimination effect
     leaps-bench fig-cage     # extension: mte/wasm64 vs the paper's five
+    leaps-bench fig-wasi     # extension: syscall-bound WASI scenarios
     leaps-bench replication ...
     leaps-bench cheri        # extension: projected CHERI strategy
     leaps-bench tiers        # extension: compile-time/code-size/speed
@@ -50,6 +51,7 @@ from repro.core.experiments import (
     fig6,
     fig_bce,
     fig_cage,
+    fig_wasi,
     replication,
 )
 from repro.diffcheck import cli as diffcheck_cli
@@ -66,6 +68,7 @@ _EXPERIMENTS = {
     "fig6": fig6.main,
     "fig-bce": fig_bce.main,
     "fig-cage": fig_cage.main,
+    "fig-wasi": fig_wasi.main,
     "replication": replication.main,
     "cheri": extension_cheri.main,
     "tiers": extension_tiers.main,

@@ -87,6 +87,13 @@ PAPER_TARGETS: dict[str, PaperTarget] = {
     "531.deepsjeng": PaperTarget(5.0, 700 * MiB),
     "544.nab": PaperTarget(5.0, 60 * MiB),
     "557.xz": PaperTarget(6.0, 900 * MiB),
+    # WASI syscall-bound scenarios: millisecond-scale iterations (like
+    # the short PolyBench kernels, so instance churn stays high) with
+    # small working sets; most of the duration is kernel crossings.
+    "wasi-grep": PaperTarget(2.5e-3, 2 * MiB),
+    "wasi-checksum": PaperTarget(4.0e-3, 4 * MiB),
+    "wasi-montecarlo": PaperTarget(3.0e-3, 2 * MiB),
+    "wasi-logappend": PaperTarget(2.0e-3, 2 * MiB),
 }
 
 

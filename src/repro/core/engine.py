@@ -52,7 +52,7 @@ from repro.trace.events import MEASURE_REQUEST
 from repro.trace.tracer import TRACE
 
 #: Bump when the cache entry format (not the measured values) changes.
-_CACHE_VERSION = 2  # v2: bounds_checks counters on each measurement
+_CACHE_VERSION = 3  # v3: syscall_seconds/syscall_stats on each measurement
 
 
 @dataclass(frozen=True)
@@ -176,10 +176,14 @@ def _calibration_payload(
     from repro.core.config import PAPER_TARGETS
     from repro.cpu.machine import MACHINE_SPECS
     from repro.isa import ISAS
+    from repro.oskernel.syscalls import SyscallCosts
     from repro.runtime.strategies import STRATEGIES
     from repro.runtimes import runtime_named
 
     return {
+        # The WASI service-latency table prices every syscall batch;
+        # the ISA entry cost is covered by the "isa" entry below.
+        "syscall_costs": _plain(SyscallCosts()),
         "runtime": _plain(runtime_named(runtime)),
         "strategy": _plain(STRATEGIES[strategy]),
         "isa": _plain(ISAS[isa]),
@@ -243,6 +247,11 @@ def measurement_to_json(m: RunMeasurement) -> dict:
         "mmap_write_wait": m.mmap_write_wait,
         "compute_seconds": m.compute_seconds,
         "bounds_checks": {str(k): int(v) for k, v in m.bounds_checks.items()},
+        "syscall_seconds": m.syscall_seconds,
+        "syscall_stats": {
+            str(k): {"calls": int(v["calls"]), "seconds": float(v["seconds"])}
+            for k, v in m.syscall_stats.items()
+        },
     }
 
 
@@ -264,6 +273,11 @@ def measurement_from_json(raw: dict) -> RunMeasurement:
         compute_seconds=raw["compute_seconds"],
         bounds_checks={
             str(k): int(v) for k, v in raw.get("bounds_checks", {}).items()
+        },
+        syscall_seconds=raw.get("syscall_seconds", 0.0),
+        syscall_stats={
+            str(k): {"calls": int(v["calls"]), "seconds": float(v["seconds"])}
+            for k, v in raw.get("syscall_stats", {}).items()
         },
     )
 

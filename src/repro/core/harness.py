@@ -33,6 +33,7 @@ from repro.isa import isa_named
 from repro.oskernel.kernel import Kernel
 from repro.oskernel.meminfo import MemInfoModel
 from repro.oskernel.procstat import ProcStat, UtilisationSample
+from repro.oskernel.syscalls import SyscallCostModel
 from repro.runtime.strategies import strategy_named
 from repro.runtimes import runtime_named
 from repro.sim.engine import Delay, Engine
@@ -75,6 +76,14 @@ class RunMeasurement:
     #: executed in compiled code, ``elided`` checks the BCE pass
     #: removed (both 0 for strategies without inline checks).
     bounds_checks: Dict[str, int] = field(default_factory=dict)
+    #: Modelled WASI kernel time per iteration (0 for compute-family
+    #: workloads) — the syscall-tax analogue of ``compute_seconds``.
+    syscall_seconds: float = 0.0
+    #: Kernel-side per-syscall accounting over the whole run, summed
+    #: across processes: name -> {"calls": int, "seconds": float}.
+    #: Seconds accumulate in batch replay order (the reconciliation
+    #: contract with the ``syscall.wasi`` trace events).
+    syscall_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def median_iteration(self) -> float:
@@ -161,6 +170,10 @@ def run_benchmark(
             else 0.0
         ),
         gc_duration=runtime_model.gc_pause_duration,
+        syscalls=profile.syscalls,
+        # Priced at the *measured* machine's entry cost and clock, so
+        # the syscall tax shifts across ISAs like check cost does.
+        syscall_model=SyscallCostModel(isa_model, spec.frequency_hz),
     )
 
     engine = Engine()
@@ -254,11 +267,16 @@ def run_benchmark(
     unique_procs = _unique_procs(procs)
     kernel_stats: Dict[str, int] = {}
     read_wait = write_wait = 0.0
+    syscall_stats: Dict[str, Dict[str, float]] = {}
     for proc in unique_procs:
         for key, value in proc.stats.items():
             kernel_stats[key] = kernel_stats.get(key, 0) + value
         read_wait += proc.mmap_lock.read_stats.total_wait_time
         write_wait += proc.mmap_lock.write_stats.total_wait_time
+        for name, seconds in proc.syscall_time.items():
+            entry = syscall_stats.setdefault(name, {"calls": 0, "seconds": 0.0})
+            entry["calls"] += proc.syscall_calls.get(name, 0)
+            entry["seconds"] += seconds
 
     all_iterations = [dur for worker_times in results for dur in worker_times]
     if TRACE.enabled:
@@ -279,6 +297,8 @@ def run_benchmark(
         mmap_write_wait=write_wait,
         compute_seconds=plan.compute_seconds,
         bounds_checks=bounds_checks,
+        syscall_seconds=plan.syscall_seconds,
+        syscall_stats=syscall_stats,
     )
 
 

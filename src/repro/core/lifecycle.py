@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.cpu.core import USER
 from repro.cpu.thread import SimThread
@@ -78,6 +78,24 @@ MTE_TAG_GRANULE_BYTES = 16
 
 
 @dataclass(frozen=True)
+class SyscallBatch:
+    """One group of same-named, similar-sized WASI calls per iteration.
+
+    Batches are built per (syscall name, log2 payload bucket) so a
+    workload mixing 4-byte and 4 KiB reads is priced per regime, and
+    the per-syscall latency histograms in the trace layer keep the
+    payload-driven spread.  ``name`` is the *cost* name — reads and
+    writes on direct-I/O files carry an ``@direct`` suffix.
+    """
+
+    name: str
+    calls: int
+    nbytes: int
+    seconds: float   # total simulated kernel time for the batch
+    per_call: float  # seconds per individual call (latency sample)
+
+
+@dataclass(frozen=True)
 class IterationPlan:
     """Everything a worker needs to replay one benchmark iteration."""
 
@@ -90,6 +108,14 @@ class IterationPlan:
     #: ``gc_interval`` of execution (0 = no GC).
     gc_interval: float = 0.0
     gc_duration: float = 0.0
+    #: Kernel crossings replayed inside the timed region (WASI family;
+    #: empty for compute-family workloads).
+    syscalls: Tuple[SyscallBatch, ...] = ()
+
+    @property
+    def syscall_seconds(self) -> float:
+        """Modelled kernel time per iteration (sum over batches)."""
+        return sum(batch.seconds for batch in self.syscalls)
 
 
 def make_plan(
@@ -101,6 +127,8 @@ def make_plan(
     native: bool = False,
     gc_interval: float = 0.0,
     gc_duration: float = 0.0,
+    syscalls: Optional[Dict[str, dict]] = None,
+    syscall_model=None,
 ) -> IterationPlan:
     """Scale a functional profile up to paper-sized iterations.
 
@@ -108,6 +136,13 @@ def make_plan(
     paper-scale iteration duration; ``memory_bytes`` is the paper-scale
     data footprint, all of which is touched (and hence faulted) each
     iteration.
+
+    ``syscalls`` is the profile's host-call census
+    (:meth:`repro.runtime.hostiface.SyscallRecorder.snapshot`); call
+    counts scale by the same ``time_scale`` as compute so syscall
+    *density* (crossings per second of work) survives the stretch to
+    paper scale.  ``syscall_model`` (a
+    :class:`repro.oskernel.syscalls.SyscallCostModel`) prices them.
     """
     compute_seconds = cycles / frequency_hz * time_scale
     memory_bytes = max(WASM_PAGE_SIZE, min(memory_bytes, GUARD_REGION_BYTES))
@@ -120,7 +155,46 @@ def make_plan(
         native=native,
         gc_interval=gc_interval,
         gc_duration=gc_duration,
+        syscalls=plan_syscalls(syscalls, time_scale, syscall_model),
     )
+
+
+def plan_syscalls(
+    census: Optional[Dict[str, dict]],
+    time_scale: float,
+    syscall_model,
+) -> Tuple[SyscallBatch, ...]:
+    """Turn a profile's syscall census into priced per-iteration batches.
+
+    One batch per (name, log2 payload bucket), in sorted order so the
+    replay sequence — and therefore every downstream float accumulation
+    — is deterministic.  Per-bucket average payload size is preserved
+    under scaling (calls stretch, the per-call payload does not).
+    """
+    if not census or syscall_model is None:
+        return ()
+    batches = []
+    for name in sorted(census):
+        entry = census[name]
+        base, _, modifier = name.partition("@")
+        direct = modifier == "direct"
+        for bucket in sorted(entry["buckets"], key=int):
+            calls, nbytes = entry["buckets"][bucket]
+            if calls <= 0:
+                continue
+            scaled_calls = max(1, round(calls * time_scale))
+            scaled_bytes = round(scaled_calls * (nbytes / calls))
+            seconds, per_call = syscall_model.batch(
+                base, scaled_calls, scaled_bytes, direct=direct
+            )
+            batches.append(SyscallBatch(
+                name=name,
+                calls=scaled_calls,
+                nbytes=scaled_bytes,
+                seconds=seconds,
+                per_call=per_call,
+            ))
+    return tuple(batches)
 
 
 class InstanceLifecycle:
@@ -246,6 +320,7 @@ class InstanceLifecycle:
         if TRACE.enabled:
             self._trace(STRATEGY_GROW_END, mechanism=strategy.grow_mechanism)
         yield from self._compute_with_faults(self.area)
+        yield from self._replay_syscalls()
         timed = self.thread.engine.now - timed_start
         # Reset (untimed): each iteration runs a *fresh* instance, so
         # the arena returns to demand-zero.  mprotect revokes access
@@ -280,8 +355,24 @@ class InstanceLifecycle:
             self.thread, self.proc, area, 0, plan.memory_bytes, Prot.RW, thp=True
         )
         yield from self._compute_with_faults(area)
+        yield from self._replay_syscalls()
         yield from self.kernel.sys_munmap(self.thread, self.proc, area)
         return self.thread.engine.now - timed_start
+
+    def _replay_syscalls(self) -> Generator:
+        """Replay the iteration's kernel crossings (timed region).
+
+        The functional run interleaves host calls with compute, but the
+        replay charges them back-to-back after the compute phase: WASI
+        crossings never touch the VMA tree, so their *placement* inside
+        the iteration cannot change lock contention — only their total
+        time matters, and batching keeps the event count bounded.
+        """
+        for batch in self.plan.syscalls:
+            yield from self.kernel.sys_wasi_batch(
+                self.thread, self.proc, batch.name, batch.calls,
+                batch.nbytes, batch.seconds, batch.per_call,
+            )
 
     # ------------------------------------------------------------------
     def _compute_with_faults(self, area) -> Generator:

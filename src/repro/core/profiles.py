@@ -45,6 +45,7 @@ def _profile_to_json(profile: ExecutionProfile) -> dict:
         "grow_events": profile.grow_events,
         "peak_pages": profile.peak_pages,
         "total_instrs": profile.total_instrs,
+        "syscalls": profile.syscalls,
     }
 
 
@@ -60,6 +61,9 @@ def _profile_from_json(raw: dict) -> ExecutionProfile:
         grow_events=[tuple(e) for e in raw["grow_events"]],
         peak_pages=raw["peak_pages"],
         total_instrs=raw["total_instrs"],
+        # Pre-WASI cache entries lack the key; they are compute-family
+        # profiles, for which the census is legitimately empty.
+        syscalls=raw.get("syscalls", {}),
     )
 
 
@@ -103,14 +107,24 @@ def profile_for(workload_name: str, size: str) -> Tuple[Module, ExecutionProfile
     if profile is None:
         # Passing the module digest lets the interpreter memoise its
         # pre-decode (fusion) plan next to the profile cache entries.
+        # WASI workloads link against a fresh host environment; the
+        # module itself stays the memoised one (same digest) since
+        # builds are deterministic.
+        built = workload_named(workload_name).build(size)
+        env = built.env_factory() if built.env_factory is not None else None
         interp = Interpreter(
             module,
+            imports=env.imports() if env is not None else None,
             collect_profile=True,
             track_pages=True,
             module_digest=full_digest,
         )
+        if env is not None:
+            env.bind(interp)
         interp.invoke("bench")
         profile = interp.take_profile(workload_name, size)
+        if env is not None:
+            profile.syscalls = env.recorder.snapshot()
         try:
             disk_path.parent.mkdir(parents=True, exist_ok=True)
             disk_path.write_text(json.dumps(_profile_to_json(profile)))

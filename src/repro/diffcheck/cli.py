@@ -49,7 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma list of phases to run (default: all)",
     )
     parser.add_argument(
-        "--suite", default="all", choices=["all", "polybench", "spec"],
+        "--suite", default="all", choices=["all", "polybench", "spec", "wasi"],
         help="workload suite for reference/sweep phases (default: all)",
     )
     parser.add_argument(
@@ -120,7 +120,14 @@ def _sweep_spec(args, workloads):
     """The diffcheck grid as a facade spec (invalid combos skipped)."""
     from repro import api
     from repro.runtime.strategies import STRATEGY_ORDER
+    from repro.workloads import workload_named
 
+    # The facade's scenario axis filters cross-family workloads, so an
+    # all-WASI selection must sweep under the wasi scenario or measure
+    # nothing at all.  Mixed selections stay on the compute default
+    # (the families are disjoint sweeps by design).
+    suites = {workload_named(name).suite for name in workloads}
+    scenario = "wasi" if suites == {"wasi"} else "compute"
     return api.SweepSpec(
         workloads=tuple(workloads),
         runtimes=tuple(v for v in args.runtimes.split(",") if v),
@@ -129,6 +136,7 @@ def _sweep_spec(args, workloads):
         threads=tuple(int(v) for v in args.threads.split(",") if v),
         size=args.size,
         iterations=args.iterations,
+        scenario=scenario,
     )
 
 

@@ -27,11 +27,10 @@ import numpy as np
 
 from repro.core.engine import _pool_context
 from repro.diffcheck.report import DiffReport
-from repro.runtime.interpreter import Interpreter
 from repro.runtime.strategies import STRATEGY_ORDER
 from repro.wasm.errors import Trap
 from repro.workloads import workload_named
-from repro.workloads.base import read_array
+from repro.workloads.base import instantiate, read_array
 
 CHECK_OUTPUT = "ref.output-equivalence"
 CHECK_COUNTS = "ref.loadstore-equivalence"
@@ -60,8 +59,10 @@ def observe(workload_name: str, size: str, strategy: str) -> StrategyObservation
     """Run one workload functionally under one strategy."""
     workload = workload_named(workload_name)
     built = workload.build(size)
-    interp = Interpreter(
-        built.module, strategy=strategy, collect_profile=False, track_pages=True
+    # instantiate() links host imports, so WASI-family workloads run
+    # through the same cross-strategy gauntlet as closed modules.
+    interp, _env = instantiate(
+        built, strategy=strategy, collect_profile=False, track_pages=True
     )
     trap: Optional[str] = None
     try:
@@ -99,7 +100,7 @@ def _numpy_anchor(workload_name: str, size: str, report: DiffReport) -> None:
         report.skip(CHECK_NUMPY)
         return
     built = workload.build(size)
-    interp = Interpreter(built.module, collect_profile=False, track_pages=False)
+    interp, _env = instantiate(built, collect_profile=False, track_pages=False)
     interp.invoke("bench")
     expected = workload.reference(size)
     for name in workload.check_arrays:

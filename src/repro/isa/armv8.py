@@ -49,4 +49,7 @@ ARMV8 = IsaModel(
     # The one ISA in the matrix with a memory-tagging extension; the
     # 'mte' strategy is Arm-only and must be rejected elsewhere.
     memory_tagging=True,
+    # svc + eret on the older ThunderX2 core: a bit dearer than x86's
+    # syscall/sysret fast path.
+    syscall_entry_cycles=260.0,
 )

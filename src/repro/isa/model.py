@@ -61,6 +61,12 @@ class IsaModel:
     #: Strategies with a tag granule are only runnable where this is
     #: True; everywhere else they must be rejected up-front.
     memory_tagging: bool = False
+    #: Kernel-crossing cost in cycles: user→kernel transition, register
+    #: save/restore, and return, beyond the kernel-side work itself.
+    #: Wide out-of-order cores pipeline the transition better than
+    #: simple in-order ones, so the WASI scenario family's syscall tax
+    #: is ISA-dependent the same way check cost is.
+    syscall_entry_cycles: float = 180.0
 
     def cost(self, kind: str) -> float:
         try:

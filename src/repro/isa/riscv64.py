@@ -42,4 +42,6 @@ RISCV64 = IsaModel(
     int_regs=27,
     float_regs=32,
     interp_dispatch=9.0,
+    # ecall/sret on a single-issue in-order core: full pipeline drain.
+    syscall_entry_cycles=320.0,
 )

@@ -45,4 +45,6 @@ X86_64 = IsaModel(
     # Threaded interpreter: indirect-branch dispatch plus operand
     # shuffling per bytecode op (per *naive* op — see timing.py).
     interp_dispatch=1.8,
+    # syscall/sysret with mitigations off on a wide OoO core.
+    syscall_entry_cycles=180.0,
 )

@@ -1,0 +1,232 @@
+"""Deterministic file-descriptor table backing the WASI surface.
+
+A :class:`FdTable` is the kernel-side state the WASI preview-1 calls
+operate on: a tiny virtual filesystem (a dict of named byte buffers)
+plus per-process open-file state.  Everything is deterministic — file
+contents are supplied by the workload at construction, reads and
+writes are plain buffer arithmetic — so WASI workloads replay
+bit-identically across interpreter tiers and their NumPy references
+can reproduce every observable byte.
+
+Descriptor layout follows the WASI convention: fds 0/1/2 are the stdio
+streams (stdout/stderr capture into buffers the harness can assert
+on), fd 3 is the single preopened directory ``/`` that ``path_open``
+resolves against, and opened files count up from 4.
+
+Each file is either **buffered** (page-cache hit: reads pay one
+copy-out) or **direct** (cache miss: reads also pay the backing-store
+fill) — a static property of the file chosen by the workload, consumed
+by :class:`repro.oskernel.syscalls.SyscallCostModel` via the
+``name@direct`` cost-key suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+# WASI preview-1 errno values (the subset this table can produce).
+ERRNO_SUCCESS = 0
+ERRNO_BADF = 8
+ERRNO_EXIST = 20
+ERRNO_INVAL = 28
+ERRNO_NOENT = 44
+ERRNO_NOTCAPABLE = 76
+
+# WASI filetypes for fd_fdstat_get.
+FILETYPE_UNKNOWN = 0
+FILETYPE_DIRECTORY = 3
+FILETYPE_REGULAR_FILE = 4
+FILETYPE_CHARACTER_DEVICE = 2
+
+# WASI whence values for fd_seek.
+WHENCE_SET = 0
+WHENCE_CUR = 1
+WHENCE_END = 2
+
+# WASI oflags for path_open.
+OFLAGS_CREAT = 1
+OFLAGS_EXCL = 4
+OFLAGS_TRUNC = 8
+
+# WASI fdflags.
+FDFLAGS_APPEND = 1
+
+#: The single preopened directory descriptor.
+PREOPEN_FD = 3
+
+
+@dataclass
+class OpenFile:
+    """One open descriptor: identity, cursor, and capabilities."""
+
+    fd: int
+    name: str
+    data: bytearray
+    kind: str = "file"  # "file" | "stream" | "dir"
+    pos: int = 0
+    readable: bool = True
+    writable: bool = False
+    append: bool = False
+    direct: bool = False
+
+    @property
+    def filetype(self) -> int:
+        if self.kind == "dir":
+            return FILETYPE_DIRECTORY
+        if self.kind == "stream":
+            return FILETYPE_CHARACTER_DEVICE
+        return FILETYPE_REGULAR_FILE
+
+
+class FdTable:
+    """Open-file state plus the virtual filesystem it resolves against.
+
+    ``files`` seeds the filesystem (name → contents); ``direct`` names
+    the files whose reads miss the simulated page cache.  Buffers are
+    copied in, so a table never aliases caller state and two runs from
+    the same inputs are independent.
+    """
+
+    def __init__(
+        self,
+        files: Optional[Dict[str, bytes]] = None,
+        stdin: bytes = b"",
+        direct: Iterable[str] = (),
+    ) -> None:
+        self.root: Dict[str, bytearray] = {
+            name: bytearray(data) for name, data in (files or {}).items()
+        }
+        self._direct = frozenset(direct)
+        self._open: Dict[int, OpenFile] = {
+            0: OpenFile(0, "<stdin>", bytearray(stdin), kind="stream",
+                        readable=True, writable=False),
+            1: OpenFile(1, "<stdout>", bytearray(), kind="stream",
+                        readable=False, writable=True, append=True),
+            2: OpenFile(2, "<stderr>", bytearray(), kind="stream",
+                        readable=False, writable=True, append=True),
+            PREOPEN_FD: OpenFile(PREOPEN_FD, "/", bytearray(), kind="dir",
+                                 readable=False, writable=False),
+        }
+        self._next_fd = PREOPEN_FD + 1
+
+    # ------------------------------------------------------------------
+    def lookup(self, fd: int) -> Optional[OpenFile]:
+        return self._open.get(fd)
+
+    def output(self, fd: int) -> bytes:
+        """Captured bytes of a stdio stream (assertable by tests)."""
+        return bytes(self._open[fd].data)
+
+    def open_fds(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._open))
+
+    # ------------------------------------------------------------------
+    def open_path(
+        self, dirfd: int, path: str, oflags: int = 0, fdflags: int = 0,
+        write: bool = False,
+    ) -> Tuple[int, int]:
+        """path_open against the preopen; returns (errno, new fd)."""
+        base = self._open.get(dirfd)
+        if base is None:
+            return ERRNO_BADF, 0
+        if base.kind != "dir":
+            return ERRNO_NOTCAPABLE, 0
+        name = path.lstrip("/")
+        if not name:
+            return ERRNO_INVAL, 0
+        existing = self.root.get(name)
+        if existing is None:
+            if not oflags & OFLAGS_CREAT:
+                return ERRNO_NOENT, 0
+            existing = self.root[name] = bytearray()
+        elif oflags & OFLAGS_CREAT and oflags & OFLAGS_EXCL:
+            return ERRNO_EXIST, 0
+        elif oflags & OFLAGS_TRUNC:
+            if not write:
+                return ERRNO_INVAL, 0
+            del existing[:]
+        fd = self._next_fd
+        self._next_fd += 1
+        self._open[fd] = OpenFile(
+            fd, name, existing,
+            readable=True, writable=write,
+            append=bool(fdflags & FDFLAGS_APPEND),
+            direct=name in self._direct,
+        )
+        return ERRNO_SUCCESS, fd
+
+    def read(self, fd: int, length: int) -> Tuple[int, bytes]:
+        file = self._open.get(fd)
+        if file is None:
+            return ERRNO_BADF, b""
+        if not file.readable:
+            return ERRNO_NOTCAPABLE, b""
+        if length < 0:
+            return ERRNO_INVAL, b""
+        chunk = bytes(file.data[file.pos:file.pos + length])
+        file.pos += len(chunk)
+        return ERRNO_SUCCESS, chunk
+
+    def write(self, fd: int, data: bytes) -> Tuple[int, int]:
+        file = self._open.get(fd)
+        if file is None:
+            return ERRNO_BADF, 0
+        if not file.writable:
+            return ERRNO_NOTCAPABLE, 0
+        if file.append:
+            file.data.extend(data)
+            file.pos = len(file.data)
+        else:
+            end = file.pos + len(data)
+            if end > len(file.data):
+                file.data.extend(b"\x00" * (end - len(file.data)))
+            file.data[file.pos:end] = data
+            file.pos = end
+        return ERRNO_SUCCESS, len(data)
+
+    def seek(self, fd: int, offset: int, whence: int) -> Tuple[int, int]:
+        file = self._open.get(fd)
+        if file is None:
+            return ERRNO_BADF, 0
+        if file.kind == "stream":
+            return ERRNO_NOTCAPABLE, 0
+        if whence == WHENCE_SET:
+            pos = offset
+        elif whence == WHENCE_CUR:
+            pos = file.pos + offset
+        elif whence == WHENCE_END:
+            pos = len(file.data) + offset
+        else:
+            return ERRNO_INVAL, 0
+        if pos < 0:
+            return ERRNO_INVAL, 0
+        file.pos = pos
+        return ERRNO_SUCCESS, pos
+
+    def close(self, fd: int) -> int:
+        file = self._open.get(fd)
+        if file is None:
+            return ERRNO_BADF
+        if fd <= PREOPEN_FD:
+            # Closing stdio/the preopen would strand later calls; the
+            # real wasi-libc never does it and neither may workloads.
+            return ERRNO_NOTCAPABLE
+        del self._open[fd]
+        return ERRNO_SUCCESS
+
+    def fdstat(self, fd: int) -> Tuple[int, Tuple[int, int]]:
+        """Returns (errno, (filetype, fdflags))."""
+        file = self._open.get(fd)
+        if file is None:
+            return ERRNO_BADF, (FILETYPE_UNKNOWN, 0)
+        flags = FDFLAGS_APPEND if file.append else 0
+        return ERRNO_SUCCESS, (file.filetype, flags)
+
+    def file_bytes(self, name: str) -> bytes:
+        """Current contents of a virtual file (for test assertions)."""
+        return bytes(self.root[name])
+
+    def is_direct(self, fd: int) -> bool:
+        file = self._open.get(fd)
+        return bool(file and file.direct)

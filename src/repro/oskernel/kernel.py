@@ -56,6 +56,7 @@ from repro.trace.events import (
     SYSCALL_MPROTECT,
     SYSCALL_MUNMAP,
     SYSCALL_UFFD_REGISTER,
+    SYSCALL_WASI,
     TLB_SHOOTDOWN,
     VMA_MUTATE,
 )
@@ -124,8 +125,16 @@ class KernelProcess:
             "shootdowns": 0,
             "pages_zapped": 0,
             "pages_populated": 0,
+            "wasi_calls": 0,
+            "wasi_bytes": 0,
         }
     )
+    #: Per-syscall-name accumulators for the WASI scenario family.
+    #: ``syscall_time`` sums the seconds charged to ``sys`` per name in
+    #: batch emission order — the reconciliation contract with the trace
+    #: layer depends on this order, so never re-sort before summing.
+    syscall_time: dict = field(default_factory=dict)
+    syscall_calls: dict = field(default_factory=dict)
 
 
 class Kernel:
@@ -315,6 +324,39 @@ class Kernel:
                 area=area.name, zapped=zapped, dur=self.engine.now - entered,
             )
         return zapped
+
+    def sys_wasi_batch(
+        self,
+        thread: SimThread,
+        proc: KernelProcess,
+        name: str,
+        calls: int,
+        nbytes: int,
+        seconds: float,
+        per_call: float,
+    ) -> Generator:
+        """Charge a batch of WASI host calls of one syscall kind.
+
+        Like the fault batches, per-call kernel crossings are folded
+        into one charge: ``calls`` crossings of syscall ``name`` moving
+        ``nbytes`` payload bytes total, costing ``seconds`` of ``sys``
+        time (``per_call`` is the average latency, carried for the
+        trace layer's log2 histograms).  WASI's fd/clock/random paths
+        never touch the VMA tree, so — unlike every mm syscall above —
+        no ``mmap_lock`` is taken: the bounds-strategy mmap_lock story
+        is untouched by syscall pressure.
+        """
+        proc.stats["wasi_calls"] += calls
+        proc.stats["wasi_bytes"] += nbytes
+        proc.syscall_calls[name] = proc.syscall_calls.get(name, 0) + calls
+        proc.syscall_time[name] = proc.syscall_time.get(name, 0.0) + seconds
+        yield from thread.run(seconds, SYS)
+        if TRACE.enabled:
+            self._emit(
+                SYSCALL_WASI, thread, proc,
+                sys=name, calls=calls, bytes=nbytes,
+                per_call=per_call, charged=seconds,
+            )
 
     def sys_uffd_register(
         self, thread: SimThread, proc: KernelProcess, area: Area

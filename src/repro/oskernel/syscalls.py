@@ -1,0 +1,173 @@
+"""WASI syscall latency calibration and the per-call cost model.
+
+The compute-bound scenario family prices work per machine op; the WASI
+family prices it per kernel crossing.  :class:`SyscallCosts` holds the
+kernel-side service latencies (seconds, same provenance discipline as
+:class:`repro.oskernel.layout.KernelCosts`); :class:`SyscallCostModel`
+combines them with the ISA's user→kernel transition cost
+(``IsaModel.syscall_entry_cycles`` at the machine's clock) into the
+per-call seconds the harness replays through the simulated kernel.
+
+Two data-movement regimes, mirroring buffered vs direct I/O:
+
+* **buffered** — the payload is already in the page cache / pipe
+  buffer; the per-byte cost is one kernel-side ``copy_to_user`` pass
+  (memcpy at tens of GB/s).
+* **direct** — the payload misses the cache and pays a second pass
+  (device/backing-store fill) on top of the copy-out.
+
+Which regime applies is a property of the *file*, not the call: the
+fd table marks each open file, and reads/writes on it price per byte
+accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oskernel.layout import KernelCosts
+
+
+@dataclass(frozen=True)
+class SyscallCosts:
+    """Kernel-side service latencies for the WASI surface, in seconds.
+
+    These are *service* costs only — the user→kernel transition itself
+    comes from the ISA model so the syscall tax scales with the CPU the
+    way check cost does.  Magnitudes follow the same sources as
+    ``KernelCosts``: fd-table lookup and vfs dispatch are each a
+    fraction of the bare syscall entry; ``getrandom`` pays the ChaCha20
+    per-byte expansion; ``clock_gettime`` normally stays in userspace
+    via the vDSO but WASI's hostcall forces the crossing, leaving only
+    the cheap counter read as service time.
+    """
+
+    #: fd-table lookup + file->f_op dispatch, charged by every fd_* call.
+    fd_lookup: float = 0.04e-6
+
+    #: vfs_read/vfs_write fixed path (rw_verify_area, iterator setup).
+    vfs_dispatch: float = 0.10e-6
+
+    #: Path resolution + dentry walk + file allocation for path_open.
+    open_path: float = 0.90e-6
+
+    #: Releasing a file (fput, dentry refcount) for fd_close.
+    close_file: float = 0.30e-6
+
+    #: llseek: pure offset arithmetic on the open file.
+    seek: float = 0.05e-6
+
+    #: fd_fdstat_get: copying the fdstat block out.
+    fdstat: float = 0.08e-6
+
+    #: Reading the monotonic clock (counter read; no vDSO shortcut
+    #: because the Wasm hostcall already crossed into the runtime).
+    clock_read: float = 0.06e-6
+
+    #: getrandom fixed cost (per call).
+    random_fixed: float = 0.20e-6
+
+    #: getrandom per byte (ChaCha20 keystream expansion).
+    random_per_byte: float = 1.5e-9
+
+    #: poll_oneoff with an empty/immediate subscription set: wait-queue
+    #: registration and teardown without blocking.
+    poll_immediate: float = 0.45e-6
+
+    #: copy_to_user/copy_from_user per payload byte (memcpy-speed).
+    copy_per_byte: float = 0.04e-9
+
+    #: Extra per-byte cost when the payload misses the page cache and
+    #: must be filled from the backing store (direct regime).
+    direct_per_byte: float = 0.35e-9
+
+    #: environ_get / args_get: copying the prebuilt block out is priced
+    #: per byte; the fixed part is one fd-less syscall dispatch.
+    env_fixed: float = 0.05e-6
+
+
+#: Service cost per WASI syscall name: (fixed seconds, per-byte kind).
+#: per-byte kind: "copy" pays copy_per_byte; "random" pays
+#: random_per_byte; None moves no payload.
+_SERVICE = {
+    "fd_read": ("fd_lookup+vfs", "copy"),
+    "fd_write": ("fd_lookup+vfs", "copy"),
+    "fd_seek": ("fd_lookup+seek", None),
+    "fd_close": ("close", None),
+    "fd_fdstat_get": ("fd_lookup+fdstat", None),
+    "path_open": ("open", None),
+    "clock_time_get": ("clock", None),
+    "random_get": ("random", "random"),
+    "poll_oneoff": ("poll", None),
+    "args_sizes_get": ("env", None),
+    "args_get": ("env", "copy"),
+    "environ_sizes_get": ("env", None),
+    "environ_get": ("env", "copy"),
+    "proc_exit": ("env", None),
+}
+
+
+class SyscallCostModel:
+    """Prices one WASI call: ISA crossing + kernel service + payload.
+
+    ``entry_seconds`` is the ISA-dependent user→kernel→user transition;
+    every named call adds its service fixed cost and, when it moves
+    payload, a per-byte term.  Files opened in the direct regime add
+    ``direct_per_byte`` on top of the copy cost (decided by the caller
+    via ``direct=True``).
+    """
+
+    def __init__(
+        self,
+        isa,
+        frequency_hz: float,
+        kernel_costs: KernelCosts | None = None,
+        costs: SyscallCosts | None = None,
+    ) -> None:
+        self.isa = isa
+        self.frequency_hz = frequency_hz
+        self.kernel_costs = kernel_costs or KernelCosts()
+        self.costs = costs or SyscallCosts()
+        self.entry_seconds = isa.syscall_entry_cycles / frequency_hz
+
+    def _fixed(self, kind: str) -> float:
+        c = self.costs
+        return {
+            "fd_lookup+vfs": c.fd_lookup + c.vfs_dispatch,
+            "fd_lookup+seek": c.fd_lookup + c.seek,
+            "fd_lookup+fdstat": c.fd_lookup + c.fdstat,
+            "close": c.fd_lookup + c.close_file,
+            "open": c.open_path,
+            "clock": c.clock_read,
+            "random": c.random_fixed,
+            "poll": c.poll_immediate,
+            "env": c.env_fixed,
+        }[kind]
+
+    def per_call(self, name: str, avg_bytes: float = 0.0, direct: bool = False) -> float:
+        """Seconds for one ``name`` call moving ``avg_bytes`` payload."""
+        try:
+            fixed_kind, byte_kind = _SERVICE[name]
+        except KeyError:
+            raise KeyError(f"no cost entry for WASI syscall {name!r}") from None
+        seconds = self.entry_seconds + self._fixed(fixed_kind)
+        if byte_kind == "copy" and avg_bytes:
+            seconds += avg_bytes * self.costs.copy_per_byte
+            if direct:
+                seconds += avg_bytes * self.costs.direct_per_byte
+        elif byte_kind == "random" and avg_bytes:
+            seconds += avg_bytes * self.costs.random_per_byte
+        return seconds
+
+    def batch(
+        self, name: str, calls: int, nbytes: int, direct: bool = False
+    ) -> tuple[float, float]:
+        """(total seconds, per-call seconds) for a batch of calls."""
+        if calls <= 0:
+            return 0.0, 0.0
+        per = self.per_call(name, nbytes / calls, direct=direct)
+        return per * calls, per
+
+    @staticmethod
+    def known_syscalls() -> tuple[str, ...]:
+        return tuple(_SERVICE)

@@ -1,0 +1,205 @@
+"""Declarative host-interface registry for Wasm import shims.
+
+Before this module, adding one WASI call meant four parallel edits: a
+method, a signature tuple, a ``HostFunc`` wiring entry, and ad-hoc
+bookkeeping.  Now a host call is *one decorated method*::
+
+    class MyEnv(HostInterface):
+        MODULE = "my_host"
+
+        @syscall("poke", params=(I32,), results=(I32,))
+        def poke(self, ptr: int) -> int:
+            ...
+            return ERRNO_SUCCESS
+
+:func:`HostInterface.imports` walks the decorated methods and derives
+the ``{(module, name): HostFunc}`` mapping the interpreter links
+against; every call is routed through one wrapper that
+
+* records the call into a :class:`SyscallRecorder` (per-name call and
+  payload-byte counts plus log2 payload buckets — the shape the
+  harness replays through the simulated kernel so each recorded call
+  pays modeled kernel-crossing cost uniformly), and
+* emits a ``syscall.hostcall`` trace event when tracing is enabled
+  (stamped ts 0.0: host calls execute during real profiling, before
+  simulated time exists — the same convention as ``runtime.compile``).
+
+Methods return their WASI errno; a method that moved payload returns
+``(errno, nbytes)`` instead, and one whose cost regime differs from
+its import name (e.g. a read from a direct-I/O file) returns
+``(errno, nbytes, cost_name)``.  The wrapper strips the bookkeeping
+and hands the interpreter the bare errno.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.runtime.interpreter import HostFunc, Interpreter
+from repro.trace.tracer import TRACE
+from repro.wasm.errors import Trap
+from repro.wasm.types import ValType
+
+#: Trace event: one host call observed at the shim (profiling) layer.
+#: The kernel-side replay emits ``syscall.wasi`` with simulated time;
+#: this span carries the call-by-call view (sys, bytes, errno).
+HOSTCALL = "syscall.hostcall"
+
+_SPEC_ATTR = "__syscall_spec__"
+
+
+def syscall(
+    name: str,
+    params: Tuple[ValType, ...],
+    results: Tuple[ValType, ...],
+) -> Callable:
+    """Mark a method as one host syscall with its Wasm signature."""
+
+    def decorate(fn: Callable) -> Callable:
+        setattr(fn, _SPEC_ATTR, (name, tuple(params), tuple(results)))
+        return fn
+
+    return decorate
+
+
+def payload_bucket(nbytes: int) -> int:
+    """log2 payload bucket: 0 for empty, else bit_length (1→1, 2-3→2…)."""
+    return nbytes.bit_length() if nbytes > 0 else 0
+
+
+class SyscallRecorder:
+    """Per-syscall-name call/byte totals with log2 payload buckets.
+
+    The bucket table keys on :func:`payload_bucket` of each call's
+    payload and holds ``[calls, bytes]`` pairs — enough for the harness
+    to rebuild per-call average sizes per bucket (so a workload mixing
+    4-byte and 64 KiB reads is not priced at its meaningless mean) and
+    for the trace layer's latency histograms to stay faithful.
+    """
+
+    def __init__(self) -> None:
+        self.table: Dict[str, dict] = {}
+
+    def record(self, name: str, nbytes: int = 0) -> None:
+        entry = self.table.setdefault(
+            name, {"calls": 0, "bytes": 0, "buckets": {}}
+        )
+        entry["calls"] += 1
+        entry["bytes"] += nbytes
+        bucket = payload_bucket(nbytes)
+        pair = entry["buckets"].setdefault(bucket, [0, 0])
+        pair[0] += 1
+        pair[1] += nbytes
+
+    def counts(self) -> Dict[str, int]:
+        return {name: entry["calls"] for name, entry in self.table.items()}
+
+    def total_calls(self) -> int:
+        return sum(entry["calls"] for entry in self.table.values())
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-ready deep copy (sorted names, string bucket keys)."""
+        return {
+            name: {
+                "calls": entry["calls"],
+                "bytes": entry["bytes"],
+                "buckets": {
+                    str(bucket): list(pair)
+                    for bucket, pair in sorted(entry["buckets"].items())
+                },
+            }
+            for name, entry in sorted(self.table.items())
+        }
+
+    def clear(self) -> None:
+        self.table.clear()
+
+
+class HostInterface:
+    """Base for import shims: binding, recording, auto-derived wiring."""
+
+    #: Wasm import-module name the decorated syscalls live under.
+    MODULE = "env"
+
+    def __init__(self) -> None:
+        self.recorder = SyscallRecorder()
+        self._interp: Optional[Interpreter] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, interp: Interpreter) -> "HostInterface":
+        """Give the shim access to the instance's linear memory."""
+        self._interp = interp
+        return self
+
+    @property
+    def _memory(self):
+        if self._interp is None or self._interp.memory is None:
+            raise Trap(
+                "wasi-unbound",
+                f"call {type(self).__name__}.bind(interp) first",
+            )
+        return self._interp.memory
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def syscall_specs(cls) -> Dict[str, Tuple[Tuple[ValType, ...], Tuple[ValType, ...]]]:
+        """Declared syscalls: name → (params, results), MRO-resolved."""
+        specs: Dict[str, Tuple[tuple, tuple]] = {}
+        for attr in dir(cls):
+            fn = getattr(cls, attr, None)
+            spec = getattr(fn, _SPEC_ATTR, None)
+            if spec is not None:
+                name, params, results = spec
+                specs[name] = (params, results)
+        return specs
+
+    def _wrap(self, name: str, method: Callable) -> Callable:
+        recorder = self.recorder
+
+        @functools.wraps(method)
+        def wrapper(*args: Any):
+            try:
+                result = method(*args)
+            except Trap:
+                # proc_exit and friends still crossed the kernel.
+                recorder.record(name, 0)
+                raise
+            nbytes, cost_name = 0, name
+            if isinstance(result, tuple):
+                if len(result) == 3:
+                    errno, nbytes, cost_name = result
+                else:
+                    errno, nbytes = result
+            else:
+                errno = result
+            recorder.record(cost_name, nbytes)
+            if TRACE.enabled:
+                TRACE.emit(
+                    0.0, HOSTCALL,
+                    sys=cost_name, bytes=nbytes,
+                    errno=0 if errno is None else errno,
+                )
+            return errno
+
+        return wrapper
+
+    def imports(self) -> Dict[Tuple[str, str], HostFunc]:
+        """The interpreter-ready import map, derived from decorators.
+
+        Kept as the public entry point so existing
+        ``Interpreter(module, imports=env.imports())`` call sites are
+        untouched by the registry redesign.
+        """
+        table: Dict[Tuple[str, str], HostFunc] = {}
+        for attr in dir(type(self)):
+            fn = getattr(type(self), attr, None)
+            spec = getattr(fn, _SPEC_ATTR, None)
+            if spec is None:
+                continue
+            name, params, results = spec
+            bound = getattr(self, attr)
+            table[(self.MODULE, name)] = HostFunc(
+                params, results, self._wrap(name, bound), name=name
+            )
+        return table

@@ -38,6 +38,10 @@ class ExecutionProfile:
     grow_events: List[Tuple[int, int]] = field(default_factory=list)
     peak_pages: int = 0
     total_instrs: int = 0
+    #: Host-syscall census from the WASI shim, empty for compute-family
+    #: workloads: name -> {calls, bytes, buckets {log2 -> [calls, bytes]}}
+    #: (a :meth:`repro.runtime.hostiface.SyscallRecorder.snapshot`).
+    syscalls: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def mem_accesses(self) -> int:

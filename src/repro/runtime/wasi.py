@@ -1,44 +1,65 @@
-"""A minimal, deterministic WASI preview-1 shim.
+"""A deterministic, kernel-backed WASI preview-1 surface.
 
 The paper's runtimes execute benchmarks compiled for ``wasm32-wasi``
-(§2.1, §3.2): the WebAssembly System Interface provides the POSIX-ish
-environment — argument strings, a monotonic clock, stdout, randomness,
-process exit.  This shim implements the handful of syscalls numeric
-benchmarks actually use, with two properties the reproduction needs:
+(§2.1, §3.2); eWAPA (PAPERS.md) shows that for server-side Wasm the
+WASI/syscall boundary — not userspace checks — can dominate end-to-end
+cost.  This module is the WASI side of that scenario axis: a preview-1
+surface whose every call is declared via the
+:mod:`repro.runtime.hostiface` registry, recorded per name and payload
+size, and later replayed through the simulated kernel's
+``sys_wasi_batch`` so each crossing pays the modeled ISA + kernel
+cost.
 
-* **deterministic**: the clock is a virtual nanosecond counter and
-  ``random_get`` is a seeded xorshift stream, so module output never
-  varies between runs;
-* **capturing**: ``fd_write`` to stdout/stderr lands in Python
-  buffers the host can inspect.
+Three properties the reproduction needs:
+
+* **deterministic**: the clock is a virtual nanosecond counter,
+  ``random_get`` is a seeded xorshift stream, and the filesystem is a
+  :class:`repro.oskernel.fdtable.FdTable` of caller-supplied buffers —
+  module output never varies between runs or interpreter tiers;
+* **capturing**: writes to stdout/stderr (and any opened file) land in
+  buffers the host can inspect;
+* **accounted**: the inherited :class:`SyscallRecorder` holds per-call
+  counts, payload bytes, and log2 payload buckets for the harness.
 
 Usage::
 
-    wasi = WasiEnvironment(argv=["bench"], seed=7)
+    wasi = WasiEnvironment(argv=["bench"], seed=7,
+                           files={"in.txt": b"..."})
     interp = Interpreter(module, imports=wasi.imports())
     wasi.bind(interp)          # gives the shim access to linear memory
     interp.invoke("bench")
-    print(wasi.stdout())
+    print(wasi.stdout(), wasi.recorder.counts())
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
-from repro.runtime.interpreter import HostFunc, Interpreter
+from repro.oskernel import fdtable as fdt
+from repro.oskernel.fdtable import FdTable
+from repro.runtime.hostiface import HostInterface, syscall
 from repro.wasm.errors import Trap
 from repro.wasm.types import ValType
 
 I32, I64 = ValType.I32, ValType.I64
 
-#: WASI errno values used by the shim.
-ERRNO_SUCCESS = 0
-ERRNO_BADF = 8
-ERRNO_INVAL = 28
+#: WASI errno values used by the shim (re-exported from the fd table so
+#: kernel and ABI layers agree by construction).
+ERRNO_SUCCESS = fdt.ERRNO_SUCCESS
+ERRNO_BADF = fdt.ERRNO_BADF
+ERRNO_INVAL = fdt.ERRNO_INVAL
+ERRNO_NOENT = fdt.ERRNO_NOENT
+
+#: WASI preview-1 rights bits consulted by path_open/fd_fdstat_get.
+RIGHT_FD_READ = 1 << 1
+RIGHT_FD_SEEK = 1 << 2
+RIGHT_FD_WRITE = 1 << 6
 
 #: Virtual clock rate: each clock_time_get advances this many ns, so
 #: repeated reads are monotonic but fully reproducible.
 _CLOCK_STEP_NS = 1_000
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
 
 
 class ProcExit(Trap):
@@ -49,45 +70,57 @@ class ProcExit(Trap):
         self.code = code
 
 
-class WasiEnvironment:
+class WasiEnvironment(HostInterface):
     """State backing one module instance's WASI imports."""
 
     MODULE = "wasi_snapshot_preview1"
 
-    def __init__(self, argv: Optional[List[str]] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        argv: Optional[List[str]] = None,
+        seed: int = 0,
+        files: Optional[Dict[str, bytes]] = None,
+        stdin: bytes = b"",
+        direct: Iterable[str] = (),
+        environ: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__()
         self.argv = list(argv or ["module"])
-        self._rand_state = (seed * 2654435761 + 0x9E3779B9) & 0xFFFFFFFFFFFFFFFF or 1
+        self.environ = dict(environ or {})
+        self._rand_state = (seed * 2654435761 + 0x9E3779B9) & _MASK64 or 1
         self._clock_ns = 0
-        self._interp: Optional[Interpreter] = None
-        self._out: Dict[int, bytearray] = {1: bytearray(), 2: bytearray()}
+        self.fdtable = FdTable(files=files, stdin=stdin, direct=direct)
 
     # ------------------------------------------------------------------
-    def bind(self, interp: Interpreter) -> "WasiEnvironment":
-        self._interp = interp
-        return self
-
     def stdout(self) -> str:
-        return self._out[1].decode("utf-8", errors="replace")
+        return self.fdtable.output(1).decode("utf-8", errors="replace")
 
     def stderr(self) -> str:
-        return self._out[2].decode("utf-8", errors="replace")
+        return self.fdtable.output(2).decode("utf-8", errors="replace")
 
-    @property
-    def _memory(self):
-        if self._interp is None or self._interp.memory is None:
-            raise Trap("wasi-unbound", "call WasiEnvironment.bind(interp) first")
-        return self._interp.memory
+    def _environ_block(self) -> List[bytes]:
+        return [
+            f"{key}={value}".encode() + b"\x00"
+            for key, value in self.environ.items()
+        ]
+
+    def _cost_name(self, base: str, fd: int) -> str:
+        """Cost key for an fd operation: ``@direct`` when the file
+        misses the simulated page cache."""
+        return f"{base}@direct" if self.fdtable.is_direct(fd) else base
 
     # ------------------------------------------------------------------
-    # Syscalls
+    # Arguments and environment
     # ------------------------------------------------------------------
+    @syscall("args_sizes_get", params=(I32, I32), results=(I32,))
     def args_sizes_get(self, argc_ptr: int, buf_size_ptr: int) -> int:
         memory = self._memory
         memory.store_u32(argc_ptr, len(self.argv))
         memory.store_u32(buf_size_ptr, sum(len(a) + 1 for a in self.argv))
         return ERRNO_SUCCESS
 
-    def args_get(self, argv_ptr: int, buf_ptr: int) -> int:
+    @syscall("args_get", params=(I32, I32), results=(I32,))
+    def args_get(self, argv_ptr: int, buf_ptr: int):
         memory = self._memory
         cursor = buf_ptr
         for index, arg in enumerate(self.argv):
@@ -95,55 +128,181 @@ class WasiEnvironment:
             raw = arg.encode() + b"\x00"
             memory.store_bytes(cursor, raw)
             cursor += len(raw)
+        return ERRNO_SUCCESS, cursor - buf_ptr
+
+    @syscall("environ_sizes_get", params=(I32, I32), results=(I32,))
+    def environ_sizes_get(self, count_ptr: int, buf_size_ptr: int) -> int:
+        memory = self._memory
+        block = self._environ_block()
+        memory.store_u32(count_ptr, len(block))
+        memory.store_u32(buf_size_ptr, sum(len(entry) for entry in block))
         return ERRNO_SUCCESS
 
+    @syscall("environ_get", params=(I32, I32), results=(I32,))
+    def environ_get(self, environ_ptr: int, buf_ptr: int):
+        memory = self._memory
+        cursor = buf_ptr
+        for index, entry in enumerate(self._environ_block()):
+            memory.store_u32(environ_ptr + 4 * index, cursor)
+            memory.store_bytes(cursor, entry)
+            cursor += len(entry)
+        return ERRNO_SUCCESS, cursor - buf_ptr
+
+    # ------------------------------------------------------------------
+    # Clock, randomness, polling
+    # ------------------------------------------------------------------
+    @syscall("clock_time_get", params=(I32, I64, I32), results=(I32,))
     def clock_time_get(self, clock_id: int, _precision: int, time_ptr: int) -> int:
         if clock_id not in (0, 1):  # realtime, monotonic
+            # Determinism contract: a rejected read must not tick the
+            # virtual clock (regression-tested).
             return ERRNO_INVAL
         self._clock_ns += _CLOCK_STEP_NS
         self._memory.store_u64(time_ptr, self._clock_ns)
         return ERRNO_SUCCESS
 
-    def fd_write(self, fd: int, iovs_ptr: int, iovs_len: int, nwritten_ptr: int) -> int:
-        if fd not in self._out:
-            return ERRNO_BADF
-        memory = self._memory
-        written = 0
-        for index in range(iovs_len):
-            base = memory.load_u32(iovs_ptr + 8 * index)
-            length = memory.load_u32(iovs_ptr + 8 * index + 4)
-            self._out[fd] += memory.load_bytes(base, length)
-            written += length
-        memory.store_u32(nwritten_ptr, written)
-        return ERRNO_SUCCESS
-
-    def random_get(self, buf_ptr: int, buf_len: int) -> int:
+    @syscall("random_get", params=(I32, I32), results=(I32,))
+    def random_get(self, buf_ptr: int, buf_len: int):
         memory = self._memory
         out = bytearray()
         state = self._rand_state
+        # Determinism contract: buf_len == 0 never advances the
+        # xorshift state (the loop body must not run even once).
         while len(out) < buf_len:
-            state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+            state ^= (state << 13) & _MASK64
             state ^= state >> 7
-            state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+            state ^= (state << 17) & _MASK64
             out += state.to_bytes(8, "little")
         self._rand_state = state
         memory.store_bytes(buf_ptr, bytes(out[:buf_len]))
+        return ERRNO_SUCCESS, buf_len
+
+    @syscall("poll_oneoff", params=(I32, I32, I32, I32), results=(I32,))
+    def poll_oneoff(
+        self, subs_ptr: int, events_ptr: int, nsubscriptions: int,
+        nevents_ptr: int,
+    ) -> int:
+        """poll_oneoff-lite: every subscription is immediately ready.
+
+        Clock subscriptions resolve at the virtual clock (one tick per
+        subscription, modeling the timer-queue visit); fd subscriptions
+        are always readable/writable since the fd table never blocks.
+        """
+        if nsubscriptions <= 0:
+            return ERRNO_INVAL
+        memory = self._memory
+        for index in range(nsubscriptions):
+            sub = subs_ptr + 48 * index
+            userdata = memory.load_u32(sub) | (memory.load_u32(sub + 4) << 32)
+            tag = memory.load_u32(sub + 8) & 0xFF
+            self._clock_ns += _CLOCK_STEP_NS
+            event = events_ptr + 32 * index
+            memory.store_u32(event, userdata & 0xFFFFFFFF)
+            memory.store_u32(event + 4, (userdata >> 32) & 0xFFFFFFFF)
+            # errno u16 + type u8 packed into one word; remaining
+            # payload (nbytes/flags) zeroed.
+            memory.store_u32(event + 8, (tag & 0xFF) << 16)
+            memory.store_u32(event + 12, 0)
+            memory.store_u32(event + 16, 0)
+            memory.store_u32(event + 20, 0)
+            memory.store_u32(event + 24, 0)
+            memory.store_u32(event + 28, 0)
+        memory.store_u32(nevents_ptr, nsubscriptions)
         return ERRNO_SUCCESS
 
-    def proc_exit(self, code: int) -> None:
-        raise ProcExit(code)
+    # ------------------------------------------------------------------
+    # File descriptors
+    # ------------------------------------------------------------------
+    @syscall("fd_write", params=(I32, I32, I32, I32), results=(I32,))
+    def fd_write(self, fd: int, iovs_ptr: int, iovs_len: int, nwritten_ptr: int):
+        memory = self._memory
+        payload = bytearray()
+        for index in range(iovs_len):
+            base = memory.load_u32(iovs_ptr + 8 * index)
+            length = memory.load_u32(iovs_ptr + 8 * index + 4)
+            payload += memory.load_bytes(base, length)
+        errno, written = self.fdtable.write(fd, bytes(payload))
+        if errno != ERRNO_SUCCESS:
+            return errno
+        memory.store_u32(nwritten_ptr, written)
+        return ERRNO_SUCCESS, written, self._cost_name("fd_write", fd)
+
+    @syscall("fd_read", params=(I32, I32, I32, I32), results=(I32,))
+    def fd_read(self, fd: int, iovs_ptr: int, iovs_len: int, nread_ptr: int):
+        memory = self._memory
+        total = 0
+        cost = self._cost_name("fd_read", fd)
+        for index in range(iovs_len):
+            base = memory.load_u32(iovs_ptr + 8 * index)
+            length = memory.load_u32(iovs_ptr + 8 * index + 4)
+            errno, chunk = self.fdtable.read(fd, length)
+            if errno != ERRNO_SUCCESS:
+                return errno
+            memory.store_bytes(base, chunk)
+            total += len(chunk)
+            if len(chunk) < length:
+                break
+        memory.store_u32(nread_ptr, total)
+        return ERRNO_SUCCESS, total, cost
+
+    @syscall("fd_seek", params=(I32, I64, I32, I32), results=(I32,))
+    def fd_seek(self, fd: int, offset: int, whence: int, newoffset_ptr: int) -> int:
+        errno, pos = self.fdtable.seek(fd, offset, whence)
+        if errno != ERRNO_SUCCESS:
+            return errno
+        self._memory.store_u64(newoffset_ptr, pos)
+        return ERRNO_SUCCESS
+
+    @syscall("fd_close", params=(I32,), results=(I32,))
+    def fd_close(self, fd: int) -> int:
+        return self.fdtable.close(fd)
+
+    @syscall("fd_fdstat_get", params=(I32, I32), results=(I32,))
+    def fd_fdstat_get(self, fd: int, stat_ptr: int) -> int:
+        errno, (filetype, flags) = self.fdtable.fdstat(fd)
+        if errno != ERRNO_SUCCESS:
+            return errno
+        file = self.fdtable.lookup(fd)
+        rights = 0
+        if file.readable:
+            rights |= RIGHT_FD_READ
+        if file.writable:
+            rights |= RIGHT_FD_WRITE
+        if file.kind == "file":
+            rights |= RIGHT_FD_SEEK
+        stat = bytearray(24)
+        stat[0] = filetype
+        stat[2:4] = flags.to_bytes(2, "little")
+        stat[8:16] = rights.to_bytes(8, "little")
+        stat[16:24] = rights.to_bytes(8, "little")
+        self._memory.store_bytes(stat_ptr, bytes(stat))
+        return ERRNO_SUCCESS
+
+    @syscall(
+        "path_open",
+        params=(I32, I32, I32, I32, I32, I64, I64, I32, I32),
+        results=(I32,),
+    )
+    def path_open(
+        self, dirfd: int, _dirflags: int, path_ptr: int, path_len: int,
+        oflags: int, rights_base: int, _rights_inheriting: int,
+        fdflags: int, opened_fd_ptr: int,
+    ):
+        memory = self._memory
+        try:
+            path = memory.load_bytes(path_ptr, path_len).decode()
+        except UnicodeDecodeError:
+            return ERRNO_INVAL
+        errno, fd = self.fdtable.open_path(
+            dirfd, path, oflags=oflags, fdflags=fdflags,
+            write=bool(rights_base & RIGHT_FD_WRITE),
+        )
+        if errno != ERRNO_SUCCESS:
+            return errno
+        memory.store_u32(opened_fd_ptr, fd)
+        return ERRNO_SUCCESS, path_len
 
     # ------------------------------------------------------------------
-    def imports(self) -> Dict[Tuple[str, str], HostFunc]:
-        entries = [
-            ("args_sizes_get", (I32, I32), (I32,), self.args_sizes_get),
-            ("args_get", (I32, I32), (I32,), self.args_get),
-            ("clock_time_get", (I32, I64, I32), (I32,), self.clock_time_get),
-            ("fd_write", (I32, I32, I32, I32), (I32,), self.fd_write),
-            ("random_get", (I32, I32), (I32,), self.random_get),
-            ("proc_exit", (I32,), (), self.proc_exit),
-        ]
-        return {
-            (self.MODULE, name): HostFunc(params, results, fn, name=name)
-            for name, params, results, fn in entries
-        }
+    @syscall("proc_exit", params=(I32,), results=())
+    def proc_exit(self, code: int) -> None:
+        raise ProcExit(code)

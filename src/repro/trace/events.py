@@ -41,6 +41,7 @@ SYSCALL_MUNMAP = "syscall.munmap"
 SYSCALL_MPROTECT = "syscall.mprotect"
 SYSCALL_MADVISE = "syscall.madvise"
 SYSCALL_UFFD_REGISTER = "syscall.uffd_register"
+SYSCALL_WASI = "syscall.wasi"        # sys, calls, bytes, per_call, charged
 FAULT_ANON = "fault.anon"            # faults, pages, dur
 FAULT_UFFD = "fault.uffd"            # faults, pages, dur
 SIGNAL_SIGSEGV = "signal.sigsegv"

@@ -1,0 +1,127 @@
+"""Per-syscall log2 latency histograms from ``syscall.wasi`` events.
+
+The style deliberately mirrors eBPF tooling (``funclatency`` /
+``bpftrace``'s ``hist()``): power-of-two nanosecond buckets with an
+ASCII bar per bucket.  The kernel replay emits one ``syscall.wasi``
+event per batch carrying the batch's per-call latency (``per_call``)
+and call count, so a histogram is exact — every modelled call lands in
+the bucket its latency dictates, batching only bounds the event count.
+
+Input is a trace event sequence (or a ``trace summarize``-style event
+dict list); output feeds both the ``fig-wasi`` experiment's committed
+summary and the human-readable report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.trace.events import SYSCALL_WASI
+
+#: Width of the widest ASCII bar, matching bpftrace's default feel.
+_BAR_WIDTH = 40
+
+
+def latency_bucket(seconds: float) -> int:
+    """The log2 nanosecond bucket of one call latency.
+
+    Bucket ``b`` covers latencies in ``[2^(b-1), 2^b)`` ns; anything
+    under a nanosecond lands in bucket 0.
+    """
+    ns = int(seconds * 1e9)
+    return ns.bit_length()
+
+
+def bucket_bounds(bucket: int) -> tuple:
+    """(low, high) nanosecond bounds of a bucket."""
+    if bucket <= 0:
+        return (0, 1)
+    return (1 << (bucket - 1), 1 << bucket)
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:g}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:g}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:g}us"
+    return f"{ns}ns"
+
+
+def _get(event, key):
+    """Field access across TraceEvent objects and plain JSON dicts."""
+    if isinstance(event, dict):
+        return event.get(key) if key in ("name",) else event["args"][key]
+    return event.name if key == "name" else event.args[key]
+
+
+def latency_histograms(events: Iterable) -> Dict[str, dict]:
+    """Aggregate ``syscall.wasi`` events into per-syscall histograms.
+
+    Returns ``{syscall: {"calls", "bytes", "seconds", "buckets"}}``
+    with ``buckets`` mapping the log2 ns bucket to its call count,
+    sorted by syscall name then bucket.
+    """
+    table: Dict[str, dict] = {}
+    for event in events:
+        if _get(event, "name") != SYSCALL_WASI:
+            continue
+        name = _get(event, "sys")
+        entry = table.setdefault(
+            name, {"calls": 0, "bytes": 0, "seconds": 0.0, "buckets": {}}
+        )
+        calls = _get(event, "calls")
+        entry["calls"] += calls
+        entry["bytes"] += _get(event, "bytes")
+        entry["seconds"] += _get(event, "charged")
+        bucket = latency_bucket(_get(event, "per_call"))
+        entry["buckets"][bucket] = entry["buckets"].get(bucket, 0) + calls
+    return {
+        name: {
+            "calls": entry["calls"],
+            "bytes": entry["bytes"],
+            "seconds": entry["seconds"],
+            "buckets": dict(sorted(entry["buckets"].items())),
+        }
+        for name, entry in sorted(table.items())
+    }
+
+
+def histograms_to_json(histograms: Dict[str, dict]) -> Dict[str, dict]:
+    """JSON-ready form (string bucket keys, stable ordering)."""
+    return {
+        name: {
+            "calls": entry["calls"],
+            "bytes": entry["bytes"],
+            "seconds": entry["seconds"],
+            "buckets": {
+                str(bucket): count
+                for bucket, count in sorted(entry["buckets"].items())
+            },
+        }
+        for name, entry in sorted(histograms.items())
+    }
+
+
+def render_histograms(histograms: Dict[str, dict]) -> str:
+    """bpftrace-style ASCII report, one section per syscall."""
+    if not histograms:
+        return "no syscall.wasi events in trace"
+    lines: List[str] = []
+    for name, entry in histograms.items():
+        mean_us = entry["seconds"] / entry["calls"] * 1e6
+        lines.append(
+            f"{name}: {entry['calls']} calls, {entry['bytes']} bytes, "
+            f"avg {mean_us:.2f}us"
+        )
+        buckets = entry["buckets"]
+        peak = max(buckets.values())
+        low_bucket, high_bucket = min(buckets), max(buckets)
+        for bucket in range(low_bucket, high_bucket + 1):
+            count = buckets.get(bucket, 0)
+            low, high = bucket_bounds(bucket)
+            bar = "@" * round(_BAR_WIDTH * count / peak)
+            label = f"[{_fmt_ns(low)}, {_fmt_ns(high)})"
+            lines.append(f"  {label:<18} {count:>8} |{bar:<{_BAR_WIDTH}}|")
+    return "\n".join(lines)

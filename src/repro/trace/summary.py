@@ -50,6 +50,7 @@ from repro.trace.events import (
     SYSCALL_MMAP,
     SYSCALL_MPROTECT,
     SYSCALL_MUNMAP,
+    SYSCALL_WASI,
     TLB_SHOOTDOWN,
     TraceEvent,
     VMA_MUTATE,
@@ -68,6 +69,8 @@ KERNEL_STAT_EVENTS: Dict[str, Tuple[str, Optional[str]]] = {
     "anon_faults": (FAULT_ANON, "faults"),
     "uffd_faults": (FAULT_UFFD, "faults"),
     "shootdowns": (TLB_SHOOTDOWN, None),
+    "wasi_calls": (SYSCALL_WASI, "calls"),
+    "wasi_bytes": (SYSCALL_WASI, "bytes"),
 }
 
 
@@ -437,6 +440,17 @@ def reconcile(events: Sequence[TraceEvent], measurement) -> List[str]:
             problems.append(
                 f"{attribute}: trace-derived {derived!r} != measured {expected!r}"
             )
+
+    derived_syscalls = _replayed_syscalls(events)
+    reported_syscalls = getattr(measurement, "syscall_stats", {}) or {}
+    for name in sorted(set(derived_syscalls) | set(reported_syscalls)):
+        derived = derived_syscalls.get(name)
+        expected = reported_syscalls.get(name)
+        if derived != expected:
+            problems.append(
+                f"syscall_stats[{name}]: trace-derived {derived!r} != "
+                f"measured {expected!r}"
+            )
     return problems
 
 
@@ -462,6 +476,27 @@ def _replayed_wait(events: Sequence[TraceEvent], mode: str) -> float:
     for value in per_lock.values():  # insertion order == first-seen order
         total += value
     return total
+
+
+def _replayed_syscalls(events: Sequence[TraceEvent]) -> Dict[str, dict]:
+    """Per-syscall kernel accounting replayed from ``syscall.wasi`` events.
+
+    Seconds accumulate per name in event (seq) order — the same order
+    :meth:`repro.oskernel.kernel.Kernel.sys_wasi_batch` added them to
+    the process's ``syscall_time``, so for single-process runs (every
+    Wasm runtime) the float sums are bit-identical to the measurement's
+    ``syscall_stats``, not approximately equal.
+    """
+    table: Dict[str, dict] = {}
+    for event in events:
+        if event.name != SYSCALL_WASI:
+            continue
+        entry = table.setdefault(
+            event.args["sys"], {"calls": 0, "seconds": 0.0}
+        )
+        entry["calls"] += event.args["calls"]
+        entry["seconds"] += event.args["charged"]
+    return table
 
 
 # --------------------------------------------------------------------------
@@ -543,7 +578,8 @@ def render(summary: dict) -> str:
         "  kernel: {mprotect_calls} mprotect, {madvise_calls} madvise, "
         "{mmap_calls} mmap, {munmap_calls} munmap, {anon_faults} anon faults, "
         "{uffd_faults} uffd faults, {shootdowns} shootdowns, "
-        "{pages_populated} pages populated, {pages_zapped} zapped".format(**kernel)
+        "{pages_populated} pages populated, {pages_zapped} zapped, "
+        "{wasi_calls} wasi calls ({wasi_bytes} bytes)".format(**kernel)
     )
     for kind in ("grow", "reset"):
         table = summary["strategies"][kind]

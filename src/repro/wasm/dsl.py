@@ -419,6 +419,32 @@ class CallExpr(Expr):
         fb.emit("call", self.target.fb.index)
 
 
+class ImportedFunc:
+    """A host function imported by the module (e.g. a WASI syscall)."""
+
+    def __init__(self, module: str, name: str, index: int,
+                 params: Tuple[str, ...], results: Tuple[str, ...]) -> None:
+        self.module = module
+        self.name = name
+        self.index = index
+        self.params = params
+        self.results = results
+
+
+class CallImportExpr(Expr):
+    def __init__(self, target: ImportedFunc, args: Tuple[Expr, ...]) -> None:
+        if len(target.results) != 1:
+            raise DslError("imported-call expression needs exactly one result")
+        self.target = target
+        self.args = args
+        self.type = target.results[0]
+
+    def emit(self, fb: FunctionBuilder) -> None:
+        for arg in self.args:
+            arg.emit(fb)
+        fb.emit("call", self.target.index)
+
+
 class _IfContext:
     """Yielded by DslFunc.if_; supports a one-shot ``otherwise()``."""
 
@@ -497,6 +523,23 @@ class DslFunc:
         for arg in coerced:
             arg.emit(self.fb)
         self.fb.emit("call", target.fb.index)
+        return None
+
+    def call_import(self, target: ImportedFunc, *args: ExprLike):
+        """Call an imported host function: statement if void, Expr else."""
+        if len(args) != len(target.params):
+            raise DslError(
+                f"import {target.module}.{target.name} takes "
+                f"{len(target.params)} args, got {len(args)}"
+            )
+        coerced = tuple(
+            _coerce(arg, ptype) for arg, ptype in zip(args, target.params)
+        )
+        if target.results:
+            return CallImportExpr(target, coerced)
+        for arg in coerced:
+            arg.emit(self.fb)
+        self.fb.emit("call", target.index)
         return None
 
     def eval_drop(self, expr: Expr) -> None:
@@ -597,6 +640,20 @@ class DslModule:
     @property
     def required_pages(self) -> int:
         return -(-self._cursor // (64 * 1024))
+
+    # -- imports ---------------------------------------------------------------
+    def import_func(self, module: str, name: str,
+                    params: Sequence[str] = (),
+                    results: Sequence[str] = ()) -> ImportedFunc:
+        """Declare a host import (must precede every ``func`` call —
+        imported function indices come first in the Wasm index space)."""
+        index = self.mb.import_func(
+            module, name,
+            [_VALTYPES[p] for p in params],
+            [_VALTYPES[r] for r in results],
+        )
+        return ImportedFunc(module, name, index,
+                            tuple(params), tuple(results))
 
     # -- functions ---------------------------------------------------------------
     def func(self, name: str, params: Sequence[Tuple[str, str]] = (),

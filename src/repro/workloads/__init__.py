@@ -6,6 +6,9 @@
   the paper compiled to WASI (505.mcf, 508.namd, 519.lbm, 525.x264,
   531.deepsjeng, 544.nab, 557.xz), each reproducing the computational
   character of its original (pointer chasing, stencils, search, …);
+* :mod:`wasi` — four WASI-family (syscall-bound) workloads that
+  stream files, poll clocks and draw randomness through the simulated
+  kernel, covering the scenario axis the compute suites miss;
 * :mod:`registry` — the catalogue with size presets (the paper uses
   PolyBench MEDIUM and SPEC Train; we scale dimensions down so a
   Python-interpreted functional run stays tractable, see sizes.py).
@@ -16,6 +19,7 @@ from repro.workloads.registry import (
     WORKLOADS,
     POLYBENCH,
     SPEC,
+    WASI,
     workload_named,
     suite_workloads,
 )
@@ -27,6 +31,7 @@ __all__ = [
     "WORKLOADS",
     "POLYBENCH",
     "SPEC",
+    "WASI",
     "workload_named",
     "suite_workloads",
 ]

@@ -19,6 +19,30 @@ class Built:
     module: Module
     arrays: Dict[str, Array]
     dm: DslModule
+    #: WASI-family workloads supply a zero-arg factory producing a
+    #: fresh, pre-seeded host environment (a
+    #: :class:`repro.runtime.hostiface.HostInterface`) per
+    #: instantiation; compute-family workloads leave it None and link
+    #: against no imports.
+    env_factory: Optional[Callable[[], object]] = None
+
+
+def instantiate(built: Built, **interp_kwargs):
+    """Interpreter + (optionally) bound host environment for a build.
+
+    Returns ``(interp, env)``; ``env`` is None for import-free modules.
+    Every call site that used to construct the Interpreter directly
+    goes through here so WASI workloads link uniformly.
+    """
+    env = built.env_factory() if built.env_factory is not None else None
+    interp = Interpreter(
+        built.module,
+        imports=env.imports() if env is not None else None,
+        **interp_kwargs,
+    )
+    if env is not None:
+        env.bind(interp)
+    return interp, env
 
 
 @dataclass(frozen=True)
@@ -32,7 +56,7 @@ class Workload:
     """
 
     name: str
-    suite: str  # 'polybench' | 'spec'
+    suite: str  # 'polybench' | 'spec' | 'wasi'
     build: Callable[[str], Built]
     reference: Optional[Callable[[str], Dict[str, np.ndarray]]]
     check_arrays: Tuple[str, ...]
@@ -53,7 +77,7 @@ def read_array(interp: Interpreter, array: Array) -> np.ndarray:
 def run_and_extract(workload: Workload, size: str) -> Dict[str, np.ndarray]:
     """Execute a workload functionally and return its checked arrays."""
     built = workload.build(size)
-    interp = Interpreter(built.module, collect_profile=False, track_pages=False)
+    interp, _env = instantiate(built, collect_profile=False, track_pages=False)
     interp.invoke("bench")
     return {
         name: read_array(interp, built.arrays[name])

@@ -4,15 +4,16 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.workloads import polybench, spec
+from repro.workloads import polybench, spec, wasi
 from repro.workloads.base import Workload
 
 POLYBENCH: List[Workload] = list(polybench.ALL)
 SPEC: List[Workload] = list(spec.ALL)
+WASI: List[Workload] = list(wasi.ALL)
 
-WORKLOADS: Dict[str, Workload] = {w.name: w for w in POLYBENCH + SPEC}
+WORKLOADS: Dict[str, Workload] = {w.name: w for w in POLYBENCH + SPEC + WASI}
 
-if len(WORKLOADS) != len(POLYBENCH) + len(SPEC):  # pragma: no cover
+if len(WORKLOADS) != len(POLYBENCH) + len(SPEC) + len(WASI):  # pragma: no cover
     raise AssertionError("duplicate workload names")
 
 
@@ -30,6 +31,10 @@ def suite_workloads(suite: str) -> List[Workload]:
         return list(POLYBENCH)
     if suite == "spec":
         return list(SPEC)
+    if suite == "wasi":
+        return list(WASI)
     if suite == "all":
-        return POLYBENCH + SPEC
-    raise ValueError(f"unknown suite {suite!r} (polybench | spec | all)")
+        return POLYBENCH + SPEC + WASI
+    raise ValueError(
+        f"unknown suite {suite!r} (polybench | spec | wasi | all)"
+    )

@@ -71,6 +71,15 @@ SIZES: Dict[str, Dict[str, Tuple[int, ...]]] = {
     "544.nab": {"mini": (14, 2), "small": (36, 3), "medium": (70, 4)},
     # xz: (data_len, iterations)
     "557.xz": {"mini": (600, 2), "small": (3000, 3), "medium": (9000, 4)},
+    # -- WASI (syscall-bound) ------------------------------------------------------
+    # grep: (lines, read_chunk_bytes)
+    "wasi-grep": {"mini": (24, 128), "small": (160, 512), "medium": (480, 1024)},
+    # checksum: (file_bytes, read_chunk_bytes)
+    "wasi-checksum": {"mini": (1024, 128), "small": (12288, 512), "medium": (49152, 1024)},
+    # montecarlo: (samples, clock_every)
+    "wasi-montecarlo": {"mini": (64, 16), "small": (512, 32), "medium": (2048, 64)},
+    # logappend: (records, stat_every)
+    "wasi-logappend": {"mini": (24, 8), "small": (160, 16), "medium": (480, 32)},
 }
 
 PRESETS = ("mini", "small", "medium")

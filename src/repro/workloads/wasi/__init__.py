@@ -1,0 +1,64 @@
+"""The WASI (syscall-bound) workload family.
+
+Four kernels whose cost is split between bounds-checked userspace work
+and preview-1 syscalls crossing the simulated kernel — the scenario
+axis the compute suites (PolyBench, SPEC proxies) cannot cover:
+
+* ``wasi-grep``       — line filter streaming a text file via fd_read;
+* ``wasi-checksum``   — two-pass rolling checksum over a direct-I/O file;
+* ``wasi-montecarlo`` — random_get/clock_time_get-bound π estimate;
+* ``wasi-logappend``  — append-mode log writer with stat/env calls.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import Workload
+from repro.workloads.wasi.filters import (
+    build_wasi_checksum,
+    build_wasi_grep,
+    ref_wasi_checksum,
+    ref_wasi_grep,
+)
+from repro.workloads.wasi.hostload import (
+    build_wasi_logappend,
+    build_wasi_montecarlo,
+    ref_wasi_logappend,
+    ref_wasi_montecarlo,
+)
+
+ALL: List[Workload] = [
+    Workload(
+        name="wasi-grep",
+        suite="wasi",
+        build=build_wasi_grep,
+        reference=ref_wasi_grep,
+        check_arrays=("counts",),
+        tags=("wasi", "stream", "read-heavy"),
+    ),
+    Workload(
+        name="wasi-checksum",
+        suite="wasi",
+        build=build_wasi_checksum,
+        reference=ref_wasi_checksum,
+        check_arrays=("sums",),
+        tags=("wasi", "stream", "direct-io"),
+    ),
+    Workload(
+        name="wasi-montecarlo",
+        suite="wasi",
+        build=build_wasi_montecarlo,
+        reference=ref_wasi_montecarlo,
+        check_arrays=("hits", "ticks"),
+        tags=("wasi", "random", "clock"),
+    ),
+    Workload(
+        name="wasi-logappend",
+        suite="wasi",
+        build=build_wasi_logappend,
+        reference=ref_wasi_logappend,
+        check_arrays=("sizes",),
+        tags=("wasi", "write-heavy", "append"),
+    ),
+]

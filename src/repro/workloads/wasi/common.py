@@ -1,0 +1,135 @@
+"""Shared helpers for the WASI (syscall-bound) workload family.
+
+Compute-family workloads are closed Wasm modules; WASI-family ones
+import preview-1 syscalls and run against a
+:class:`repro.runtime.wasi.WasiEnvironment` seeded with deterministic
+virtual files.  Everything observable — file bytes, the xorshift
+random stream, the virtual clock — is replicated here in plain Python
+so NumPy references can predict every checked value exactly, and runs
+are bit-identical across interpreter tiers.
+
+DSL side: modules talk to WASI through pointers into their own linear
+memory (iovecs, out-params, path strings).  The helpers below write
+constant strings into i32 scratch arrays at build time (no data
+segments needed) and extract bytes from little-endian i32 words with
+shift/mask — the DSL has no 8-bit loads by design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.wasm.dsl import DslFunc, DslModule, ImportedFunc
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Virtual clock step, mirrored from repro.runtime.wasi.
+CLOCK_STEP_NS = 1_000
+
+
+# ----------------------------------------------------------------------
+# Deterministic content generation (shared with references)
+# ----------------------------------------------------------------------
+
+def _lcg(seed_text: str) -> Iterator[int]:
+    """Deterministic byte stream seeded by a name (LCG, full period)."""
+    state = 0
+    for ch in seed_text.encode():
+        state = (state * 131 + ch) & _MASK64
+    state = state or 1
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) & _MASK64
+        yield (state >> 33) & 0xFF
+
+
+def binary_bytes(name: str, size: int) -> bytes:
+    """``size`` pseudo-random bytes, a pure function of ``name``."""
+    stream = _lcg(name)
+    return bytes(next(stream) for _ in range(size))
+
+
+def text_bytes(name: str, lines: int) -> bytes:
+    """Line-oriented pseudo-text: lowercase words, variable lengths."""
+    stream = _lcg(name)
+    out = bytearray()
+    for _ in range(lines):
+        length = 24 + next(stream) % 40
+        for index in range(length):
+            byte = next(stream)
+            out.append(0x20 if byte % 7 == 0 else 0x61 + byte % 26)
+        out.append(0x0A)
+    return bytes(out)
+
+
+class WasiRandomRef:
+    """Reference replica of WasiEnvironment's random_get stream."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.state = (seed * 2654435761 + 0x9E3779B9) & _MASK64 or 1
+
+    def get(self, nbytes: int) -> bytes:
+        out = bytearray()
+        state = self.state
+        while len(out) < nbytes:
+            state ^= (state << 13) & _MASK64
+            state ^= state >> 7
+            state ^= (state << 17) & _MASK64
+            out += state.to_bytes(8, "little")
+        self.state = state
+        return bytes(out[:nbytes])
+
+
+# ----------------------------------------------------------------------
+# DSL-side ABI helpers
+# ----------------------------------------------------------------------
+
+def str_words(text: str) -> List[int]:
+    """A string as little-endian i32 words, zero-padded to 4 bytes."""
+    raw = text.encode()
+    raw += b"\x00" * (-len(raw) % 4)
+    return [
+        int.from_bytes(raw[k:k + 4], "little") for k in range(0, len(raw), 4)
+    ]
+
+
+def emit_str(f: DslFunc, array, word_offset: int, text: str) -> int:
+    """Store ``text`` into an i32 array at a word offset; returns its
+    byte address inside linear memory."""
+    for index, word in enumerate(str_words(text)):
+        f.store(array[word_offset + index], word)
+    return array.base + 4 * word_offset
+
+
+def byte_at(buf, index):
+    """Byte ``index`` of a packed little-endian i32 buffer array."""
+    return (buf[index >> 2] >> ((index & 3) << 3)) & 0xFF
+
+
+def import_wasi(dm: DslModule, *names: str) -> dict[str, ImportedFunc]:
+    """Declare the named preview-1 imports (before any ``dm.func``)."""
+    signatures = {
+        "args_sizes_get": (("i32", "i32"), ("i32",)),
+        "args_get": (("i32", "i32"), ("i32",)),
+        "environ_sizes_get": (("i32", "i32"), ("i32",)),
+        "environ_get": (("i32", "i32"), ("i32",)),
+        "clock_time_get": (("i32", "i64", "i32"), ("i32",)),
+        "random_get": (("i32", "i32"), ("i32",)),
+        "poll_oneoff": (("i32", "i32", "i32", "i32"), ("i32",)),
+        "fd_write": (("i32", "i32", "i32", "i32"), ("i32",)),
+        "fd_read": (("i32", "i32", "i32", "i32"), ("i32",)),
+        "fd_seek": (("i32", "i64", "i32", "i32"), ("i32",)),
+        "fd_close": (("i32",), ("i32",)),
+        "fd_fdstat_get": (("i32", "i32"), ("i32",)),
+        "path_open": (
+            ("i32", "i32", "i32", "i32", "i32", "i64", "i64", "i32", "i32"),
+            ("i32",),
+        ),
+        "proc_exit": (("i32",), ()),
+    }
+    table = {}
+    for name in names:
+        params, results = signatures[name]
+        table[name] = dm.import_func(
+            "wasi_snapshot_preview1", name, params, results
+        )
+    return table

@@ -1,0 +1,213 @@
+"""WASI stream-processing workloads: wasi-grep and wasi-checksum.
+
+Both are the eWAPA-style shape the compute suite lacks: a tight
+userspace scan (every byte access bounds-checked) interleaved with a
+steady stream of kernel crossings (``fd_read`` chunks, seeks, the
+final summary write), so total cost is check cost *plus* syscall tax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.wasi import WasiEnvironment
+from repro.workloads.base import Built, Workload
+from repro.workloads.sizes import dims
+from repro.workloads.wasi.common import (
+    binary_bytes,
+    byte_at,
+    emit_str,
+    import_wasi,
+    text_bytes,
+)
+from repro.wasm.dsl import DslModule
+
+# WASI ABI constants used by the builders (match repro.runtime.wasi).
+_RIGHT_READ = 1 << 1
+_RIGHT_SEEK = 1 << 2
+_PREOPEN = 3
+_WHENCE_SET = 0
+_WHENCE_END = 2
+
+_NEWLINE = 0x0A
+_TARGET = ord("e")
+
+
+# ----------------------------------------------------------------------
+# wasi-grep: line-oriented file filter
+# ----------------------------------------------------------------------
+def build_wasi_grep(preset: str) -> Built:
+    lines, chunk = dims("wasi-grep", preset)
+    dm = DslModule("wasi-grep")
+    w = import_wasi(
+        dm, "path_open", "fd_read", "fd_write", "fd_close", "proc_exit"
+    )
+    io = dm.array_i32("io", 8)
+    buf = dm.array_i32("buf", chunk // 4)
+    counts = dm.array_i32("counts", 3)
+
+    f = dm.func("bench")
+    fd, nread, going = f.i32("fd"), f.i32("nread"), f.i32("going")
+    b, byte, linehit = f.i32("b"), f.i32("byte"), f.i32("linehit")
+    path = emit_str(f, io, 0, "in.txt")
+    err = f.i32("err")
+    f.set(err, f.call_import(
+        w["path_open"], _PREOPEN, 0, path, 6, 0,
+        _RIGHT_READ | _RIGHT_SEEK, 0, 0, io.base + 8,
+    ))
+    with f.if_(err.ne(0)):
+        f.call_import(w["proc_exit"], 1)
+    f.set(fd, io[2])
+    f.set(going, 1)
+    f.set(linehit, 0)
+    with f.while_(lambda: going):
+        f.store(io[3], buf.base)    # iovec.base
+        f.store(io[4], chunk)       # iovec.len
+        f.eval_drop(f.call_import(
+            w["fd_read"], fd, io.base + 12, 1, io.base + 20
+        ))
+        f.set(nread, io[5])
+        with f.if_(nread.eq(0)) as branch:
+            f.set(going, 0)
+            branch.otherwise()
+            with f.for_(b, 0, nread):
+                f.set(byte, byte_at(buf, b))
+                with f.if_(byte.eq(_NEWLINE)) as inner:
+                    f.store(counts[0], counts[0] + 1)
+                    f.store(counts[1], counts[1] + linehit)
+                    f.set(linehit, 0)
+                    inner.otherwise()
+                    with f.if_(byte.eq(_TARGET)):
+                        f.set(linehit, 1)
+            f.store(counts[2], counts[2] + nread)
+            with f.if_(nread < chunk):
+                f.set(going, 0)
+    f.eval_drop(f.call_import(w["fd_close"], fd))
+    # Summary: the three counters, raw little-endian, to stdout.
+    f.store(io[3], counts.base)
+    f.store(io[4], 12)
+    f.eval_drop(f.call_import(w["fd_write"], 1, io.base + 12, 1, io.base + 20))
+
+    module = dm.build()
+    return Built(
+        module=module,
+        arrays={"io": io, "buf": buf, "counts": counts},
+        dm=dm,
+        env_factory=lambda: WasiEnvironment(
+            argv=["wasi-grep"], seed=1,
+            files={"in.txt": grep_input(preset)},
+        ),
+    )
+
+
+def grep_input(preset: str) -> bytes:
+    lines, _chunk = dims("wasi-grep", preset)
+    return text_bytes("in.txt", lines)
+
+
+def ref_wasi_grep(preset: str) -> dict:
+    text = grep_input(preset)
+    newlines = text.count(b"\n")
+    hits = sum(1 for line in text.split(b"\n")[:-1] if b"e" in line)
+    counts = np.array([newlines, hits, len(text)], dtype=np.uint32)
+    return {"counts": counts.view(np.int32)}
+
+
+def grep_expected_stdout(preset: str) -> bytes:
+    ref = ref_wasi_grep(preset)["counts"].view(np.uint32)
+    return b"".join(int(v).to_bytes(4, "little") for v in ref)
+
+
+# ----------------------------------------------------------------------
+# wasi-checksum: two-pass streaming checksum over a direct-I/O file
+# ----------------------------------------------------------------------
+def build_wasi_checksum(preset: str) -> Built:
+    nbytes, chunk = dims("wasi-checksum", preset)
+    dm = DslModule("wasi-checksum")
+    w = import_wasi(
+        dm, "path_open", "fd_read", "fd_seek", "fd_write", "fd_close",
+        "proc_exit",
+    )
+    io = dm.array_i32("io", 8)
+    buf = dm.array_i32("buf", chunk // 4)
+    sums = dm.array_i32("sums", 4)
+    off = dm.array_i64("off", 1)
+
+    f = dm.func("bench")
+    fd, nread, going = f.i32("fd"), f.i32("nread"), f.i32("going")
+    b, acc = f.i32("b"), f.i32("acc")
+    path = emit_str(f, io, 0, "data.bin")
+    err = f.i32("err")
+    f.set(err, f.call_import(
+        w["path_open"], _PREOPEN, 0, path, 8, 0,
+        _RIGHT_READ | _RIGHT_SEEK, 0, 0, io.base + 8,
+    ))
+    with f.if_(err.ne(0)):
+        f.call_import(w["proc_exit"], 1)
+    f.set(fd, io[2])
+
+    for pass_index, multiplier in ((0, 31), (1, 131)):
+        f.set(acc, 0)
+        f.set(going, 1)
+        with f.while_(lambda: going):
+            f.store(io[3], buf.base)
+            f.store(io[4], chunk)
+            f.eval_drop(f.call_import(
+                w["fd_read"], fd, io.base + 12, 1, io.base + 20
+            ))
+            f.set(nread, io[5])
+            with f.if_(nread.eq(0)) as branch:
+                f.set(going, 0)
+                branch.otherwise()
+                with f.for_(b, 0, nread):
+                    f.set(acc, acc * multiplier + byte_at(buf, b))
+                f.store(sums[3], sums[3] + 1)
+                with f.if_(nread < chunk):
+                    f.set(going, 0)
+        f.store(sums[pass_index], acc)
+        f.eval_drop(f.call_import(
+            w["fd_seek"], fd, 0, _WHENCE_SET, off.base
+        ))
+    f.eval_drop(f.call_import(w["fd_seek"], fd, 0, _WHENCE_END, off.base))
+    f.store(sums[2], off[0].to_i32())
+    f.eval_drop(f.call_import(w["fd_close"], fd))
+    f.store(io[3], sums.base)
+    f.store(io[4], 16)
+    f.eval_drop(f.call_import(w["fd_write"], 1, io.base + 12, 1, io.base + 20))
+
+    module = dm.build()
+    return Built(
+        module=module,
+        arrays={"io": io, "buf": buf, "sums": sums, "off": off},
+        dm=dm,
+        env_factory=lambda: WasiEnvironment(
+            argv=["wasi-checksum"], seed=2,
+            files={"data.bin": checksum_input(preset)},
+            direct=("data.bin",),
+        ),
+    )
+
+
+def checksum_input(preset: str) -> bytes:
+    nbytes, _chunk = dims("wasi-checksum", preset)
+    return binary_bytes("data.bin", nbytes)
+
+
+def ref_wasi_checksum(preset: str) -> dict:
+    nbytes, chunk = dims("wasi-checksum", preset)
+    data = checksum_input(preset)
+    mask = 0xFFFFFFFF
+    passes = []
+    for multiplier in (31, 131):
+        acc = 0
+        for value in data:
+            acc = (acc * multiplier + value) & mask
+        passes.append(acc)
+    # Per pass the module counts one read per non-empty chunk; an even
+    # division costs an extra (uncounted) empty read to observe EOF.
+    full, rem = divmod(len(data), chunk)
+    per_pass = full + 1 if rem else full
+    sums = np.array(
+        [passes[0], passes[1], len(data), 2 * per_pass], dtype=np.uint32
+    )
+    return {"sums": sums.view(np.int32)}

@@ -1,0 +1,212 @@
+"""WASI host-call-heavy workloads: wasi-montecarlo and wasi-logappend.
+
+wasi-montecarlo is the clock/random-bound shape (every sample costs a
+``random_get``, periodic ``clock_time_get`` ticks, a ``poll_oneoff``
+epilogue); wasi-logappend is the write-amplified server loop (append
+records through ``fd_write``, periodic ``fd_fdstat_get``, environment
+introspection, reopen-and-measure).  Between them they exercise every
+syscall the redesigned surface declares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.wasi import WasiEnvironment
+from repro.workloads.base import Built, Workload
+from repro.workloads.sizes import dims
+from repro.workloads.wasi.common import (
+    CLOCK_STEP_NS,
+    WasiRandomRef,
+    emit_str,
+    import_wasi,
+)
+from repro.wasm.dsl import DslModule
+
+_RIGHT_READ = 1 << 1
+_RIGHT_SEEK = 1 << 2
+_RIGHT_WRITE = 1 << 6
+_PREOPEN = 3
+_WHENCE_END = 2
+_OFLAGS_CREAT = 1
+_FDFLAGS_APPEND = 1
+
+_SCALE = float(1 << 31)
+
+#: Environment the logappend factory installs (insertion order matters:
+#: the reference replays the same block layout byte for byte).
+_LOG_ENVIRON = {"SUITE": "wasi", "RUN": "logappend"}
+
+
+# ----------------------------------------------------------------------
+# wasi-montecarlo: clock/random-heavy Monte Carlo π estimate
+# ----------------------------------------------------------------------
+def build_wasi_montecarlo(preset: str) -> Built:
+    samples, every = dims("wasi-montecarlo", preset)
+    dm = DslModule("wasi-montecarlo")
+    w = import_wasi(dm, "random_get", "clock_time_get", "poll_oneoff")
+    io = dm.array_i32("io", 4)
+    subs = dm.array_i32("subs", 24)    # two 48-byte subscriptions
+    events = dm.array_i32("events", 16)  # two 32-byte events
+    hits = dm.array_i32("hits", 2)
+    ticks = dm.array_i64("ticks", 2)
+
+    f = dm.func("bench")
+    i, x, y = f.i32("i"), f.i32("x"), f.i32("y")
+    fx, fy = f.f64("fx"), f.f64("fy")
+    with f.for_(i, 0, samples):
+        f.eval_drop(f.call_import(w["random_get"], io.base, 8))
+        f.set(x, io[0] & 0x7FFFFFFF)
+        f.set(y, io[1] & 0x7FFFFFFF)
+        f.set(fx, x.to_f64() / _SCALE)
+        f.set(fy, y.to_f64() / _SCALE)
+        with f.if_((fx * fx + fy * fy) <= 1.0):
+            f.store(hits[0], hits[0] + 1)
+        with f.if_((i % every).eq(0)):
+            f.eval_drop(f.call_import(
+                w["clock_time_get"], 1, 0, ticks.base
+            ))
+    f.store(hits[1], samples)
+    # Epilogue: a two-subscription poll (one clock, one fd) and a final
+    # clock read into ticks[1].
+    f.store(subs[0], 7)    # userdata lo (clock subscription)
+    f.store(subs[1], 0)
+    f.store(subs[2], 0)    # tag 0 = clock
+    f.store(subs[12], 9)   # userdata lo (fd_read subscription)
+    f.store(subs[13], 0)
+    f.store(subs[14], 1)   # tag 1 = fd_read
+    f.eval_drop(f.call_import(
+        w["poll_oneoff"], subs.base, events.base, 2, io.base + 8
+    ))
+    f.eval_drop(f.call_import(w["clock_time_get"], 1, 0, ticks.base + 8))
+
+    module = dm.build()
+    return Built(
+        module=module,
+        arrays={
+            "io": io, "subs": subs, "events": events,
+            "hits": hits, "ticks": ticks,
+        },
+        dm=dm,
+        env_factory=lambda: WasiEnvironment(argv=["wasi-montecarlo"], seed=3),
+    )
+
+
+def ref_wasi_montecarlo(preset: str) -> dict:
+    samples, every = dims("wasi-montecarlo", preset)
+    rng = WasiRandomRef(seed=3)
+    hits = 0
+    clock_calls = 0
+    for index in range(samples):
+        raw = rng.get(8)
+        x = int.from_bytes(raw[0:4], "little") & 0x7FFFFFFF
+        y = int.from_bytes(raw[4:8], "little") & 0x7FFFFFFF
+        fx, fy = x / _SCALE, y / _SCALE
+        if fx * fx + fy * fy <= 1.0:
+            hits += 1
+        if index % every == 0:
+            clock_calls += 1
+    last_loop_tick = CLOCK_STEP_NS * clock_calls
+    # poll_oneoff advances one step per subscription (2), then the
+    # final clock read advances once more and lands in ticks[1].
+    final_tick = CLOCK_STEP_NS * (clock_calls + 2 + 1)
+    return {
+        "hits": np.array([hits, samples], dtype=np.int32),
+        "ticks": np.array([last_loop_tick, final_tick], dtype=np.int64),
+    }
+
+
+# ----------------------------------------------------------------------
+# wasi-logappend: append-only log writer with stat/env introspection
+# ----------------------------------------------------------------------
+def build_wasi_logappend(preset: str) -> Built:
+    records, every = dims("wasi-logappend", preset)
+    dm = DslModule("wasi-logappend")
+    w = import_wasi(
+        dm, "environ_sizes_get", "environ_get", "path_open", "fd_write",
+        "fd_fdstat_get", "fd_seek", "fd_close", "proc_exit",
+    )
+    io = dm.array_i32("io", 8)
+    rec = dm.array_i32("rec", 4)       # one 16-byte log record
+    stat = dm.array_i32("stat", 6)     # 24-byte fdstat block
+    envp = dm.array_i32("envp", 4)
+    envbuf = dm.array_i32("envbuf", 16)
+    sizes = dm.array_i32("sizes", 4)
+    off = dm.array_i64("off", 1)
+
+    f = dm.func("bench")
+    fd, i, err = f.i32("fd"), f.i32("i"), f.i32("err")
+    ck = f.i32("ck")
+    f.eval_drop(f.call_import(
+        w["environ_sizes_get"], sizes.base + 8, sizes.base + 4
+    ))
+    f.eval_drop(f.call_import(w["environ_get"], envp.base, envbuf.base))
+    path = emit_str(f, io, 0, "app.log")
+    f.set(err, f.call_import(
+        w["path_open"], _PREOPEN, 0, path, 7, _OFLAGS_CREAT,
+        _RIGHT_WRITE, 0, _FDFLAGS_APPEND, io.base + 8,
+    ))
+    with f.if_(err.ne(0)):
+        f.call_import(w["proc_exit"], 1)
+    f.set(fd, io[2])
+    f.set(ck, 0)
+    with f.for_(i, 0, records):
+        f.set(ck, ck * 33 + i)
+        f.store(rec[0], i)
+        f.store(rec[1], i * i)
+        f.store(rec[2], ck)
+        f.store(rec[3], 0x5EED)
+        f.store(io[3], rec.base)
+        f.store(io[4], 16)
+        f.eval_drop(f.call_import(
+            w["fd_write"], fd, io.base + 12, 1, io.base + 20
+        ))
+        with f.if_((i % every).eq(0)):
+            f.eval_drop(f.call_import(w["fd_fdstat_get"], fd, stat.base))
+            f.store(sizes[3], sizes[3] + 1)
+    f.eval_drop(f.call_import(w["fd_close"], fd))
+    # Reopen read-only and measure the log we just wrote.
+    f.set(err, f.call_import(
+        w["path_open"], _PREOPEN, 0, path, 7, 0,
+        _RIGHT_READ | _RIGHT_SEEK, 0, 0, io.base + 8,
+    ))
+    with f.if_(err.ne(0)):
+        f.call_import(w["proc_exit"], 2)
+    f.set(fd, io[2])
+    f.eval_drop(f.call_import(w["fd_seek"], fd, 0, _WHENCE_END, off.base))
+    f.store(sizes[0], off[0].to_i32())
+    f.eval_drop(f.call_import(w["fd_close"], fd))
+
+    module = dm.build()
+    return Built(
+        module=module,
+        arrays={
+            "io": io, "rec": rec, "stat": stat, "envp": envp,
+            "envbuf": envbuf, "sizes": sizes, "off": off,
+        },
+        dm=dm,
+        env_factory=lambda: WasiEnvironment(
+            argv=["wasi-logappend"], seed=4, environ=dict(_LOG_ENVIRON)
+        ),
+    )
+
+
+def ref_wasi_logappend(preset: str) -> dict:
+    records, every = dims("wasi-logappend", preset)
+    env_block = [
+        f"{key}={value}\x00".encode() for key, value in _LOG_ENVIRON.items()
+    ]
+    stats = sum(1 for index in range(records) if index % every == 0)
+    sizes = np.array(
+        [
+            16 * records,
+            sum(len(entry) for entry in env_block),
+            len(env_block),
+            stats,
+        ],
+        dtype=np.int32,
+    )
+    return {"sizes": sizes}
+
+
+WORKLOADS = []

@@ -56,7 +56,8 @@ class TestSurfaceSnapshot:
             "workload", "runtime", "strategy", "isa", "threads",
             "median_ms", "utilisation_percent", "ctx_per_sec",
             "mem_avg_mib", "mmap_write_wait_ms", "checks_emitted",
-            "checks_elided", "cache_hit", "elapsed_s",
+            "checks_elided", "syscall_calls", "syscall_ms",
+            "cache_hit", "elapsed_s",
         ]
         assert list(api.ROW_SCHEMA) == api.FIELDS
 
@@ -73,6 +74,7 @@ class TestSurfaceSnapshot:
             "size": "small",
             "iterations": 3,
             "warmup": 1,
+            "scenario": "compute",
         }
         # Frozen: specs are shareable cache keys, not mutable state.
         with pytest.raises(dataclasses.FrozenInstanceError):
@@ -153,6 +155,38 @@ class TestSpecCanonicalization:
             api.SweepSpec.from_json({"workloads": ["gemm"], "bogus": 1})
         with pytest.raises(ValueError, match="workloads"):
             api.SweepSpec.from_json({"runtimes": ["wavm"]})
+
+    def test_scenario_axis_round_trips_and_validates(self):
+        spec = api.SweepSpec(workloads=["wasi-grep"], scenario="wasi")
+        assert spec.to_json()["scenario"] == "wasi"
+        assert api.SweepSpec.from_json(spec.to_json()) == spec
+        with pytest.raises(ValueError, match="unknown scenario"):
+            api.SweepSpec(workloads=["gemm"], scenario="io")
+
+    def test_scenario_default_keeps_digests_byte_identical(self):
+        # The field must be invisible at its default, so every job key
+        # issued before the axis existed still dedups against the same
+        # digest.  The hex is the pre-axis digest of this exact spec.
+        assert "scenario" not in SPEC.canonical_json()
+        legacy = api.SweepSpec(
+            workloads=("trisolv",), runtimes=("wavm",),
+            strategies=("mprotect",), isas=("x86_64",), threads=(1,),
+            size="small", iterations=3, warmup=1,
+        )
+        assert legacy.digest() == (
+            "26e1c6ea9de920c8192619e51f4e50c8"
+            "3650189a8d55988f9ef35f16a38cc9ca"
+        )
+
+    def test_scenario_filters_mismatched_workloads(self):
+        mixed = api.SweepSpec(
+            workloads=["gemm", "wasi-grep"], scenario="wasi"
+        )
+        assert {r.workload for r in mixed.requests()} == {"wasi-grep"}
+        with pytest.raises(ValueError, match="outside the 'wasi' scenario"):
+            mixed.validate()
+        compute = api.SweepSpec(workloads=["gemm", "wasi-grep"])
+        assert {r.workload for r in compute.requests()} == {"gemm"}
 
     def test_digest_is_stable_and_discriminating(self):
         assert SPEC.digest() == SPEC.digest()

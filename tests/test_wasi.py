@@ -9,6 +9,8 @@ from repro.wasm.types import ValType
 
 I32, I64 = ValType.I32, ValType.I64
 
+pytestmark = pytest.mark.wasi
+
 
 def wasi_module(*import_names):
     """A module importing the named WASI functions, with helpers."""

@@ -9,7 +9,14 @@ import numpy as np
 import pytest
 
 from repro.wasm import validate_module
-from repro.workloads import POLYBENCH, SPEC, WORKLOADS, suite_workloads, workload_named
+from repro.workloads import (
+    POLYBENCH,
+    SPEC,
+    WASI,
+    WORKLOADS,
+    suite_workloads,
+    workload_named,
+)
 from repro.workloads.base import run_and_extract
 
 ALL_NAMES = sorted(WORKLOADS)
@@ -31,8 +38,16 @@ class TestCatalogue:
         with pytest.raises(ValueError, match="unknown workload"):
             workload_named("nonexistent")
 
+    def test_wasi_has_the_syscall_scenarios(self):
+        names = {w.name for w in WASI}
+        assert names == {
+            "wasi-grep", "wasi-checksum", "wasi-montecarlo", "wasi-logappend",
+        }
+        assert all(w.suite == "wasi" for w in WASI)
+
     def test_suite_workloads(self):
-        assert len(suite_workloads("all")) == 37
+        assert len(suite_workloads("all")) == 41
+        assert len(suite_workloads("wasi")) == 4
         with pytest.raises(ValueError):
             suite_workloads("mibench")
 
